@@ -1,0 +1,125 @@
+//! Criterion benches wrapping the figure/table harness.
+//!
+//! One bench per experiment, at reduced scope (one representative
+//! matrix / mode) so `cargo bench` finishes in minutes while still
+//! exercising every experiment's full code path: sweep simulation,
+//! live adaptive runs, oracle construction and model inference.
+//! The full experiments run via `cargo run -p sa-bench --bin paper`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sa_bench::experiments::{compare_workload, suite_workload, Kernel};
+use sa_bench::models::ensemble;
+use sa_bench::{experiments, Harness};
+use sparse::suite::spec_by_id;
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+
+/// A small harness for benching: fewer sampled configs than the default.
+fn bench_harness() -> Harness {
+    Harness {
+        sampled_configs: 8,
+        ..Harness::default()
+    }
+}
+
+fn bench_fig1_motivation(c: &mut Criterion) {
+    let harness = bench_harness();
+    // Warm the model cache outside the measured region.
+    ensemble(harness.scale, MemKind::Cache, OptMode::EnergyEfficient, harness.threads);
+    c.bench_function("fig1_motivation", |b| {
+        b.iter(|| experiments::fig1::run(&harness))
+    });
+}
+
+/// One full scheme comparison (sweep + live run + oracle family) on a
+/// representative matrix — the unit of work behind figures 5–8.
+fn bench_scheme_comparison(c: &mut Criterion) {
+    let harness = bench_harness();
+    let model = ensemble(
+        harness.scale,
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        harness.threads,
+    );
+    let mut group = c.benchmark_group("scheme_comparison");
+    group.sample_size(10);
+    for id in ["P3", "R12"] {
+        let spec = spec_by_id(id).expect("suite id");
+        let wl = suite_workload(&harness, &spec, Kernel::SpMSpV, MemKind::Cache);
+        group.bench_function(format!("fig5_spmspv_{id}"), |b| {
+            b.iter(|| {
+                compare_workload(
+                    &harness,
+                    &wl,
+                    &model,
+                    Kernel::SpMSpV,
+                    OptMode::EnergyEfficient,
+                    MemKind::Cache,
+                )
+            })
+        });
+    }
+    let spec = spec_by_id("R02").expect("suite id");
+    let wl = suite_workload(&harness, &spec, Kernel::SpMSpM, MemKind::Cache);
+    group.bench_function("fig6_fig8_spmspm_R02", |b| {
+        b.iter(|| {
+            compare_workload(
+                &harness,
+                &wl,
+                &model,
+                Kernel::SpMSpM,
+                OptMode::EnergyEfficient,
+                MemKind::Cache,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_table6_graph(c: &mut Criterion) {
+    let harness = bench_harness();
+    let model = ensemble(
+        harness.scale,
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        harness.threads,
+    );
+    let spec = spec_by_id("R10").expect("suite id");
+    let n = Kernel::SpMSpV.spec(harness.scale).geometry.gpe_count();
+    let (wl, _) = sa_bench::workloads::bfs_workload(&spec, harness.scale, harness.seed, n);
+    let mut group = c.benchmark_group("table6");
+    group.sample_size(10);
+    group.bench_function("bfs_R10", |b| {
+        b.iter(|| {
+            compare_workload(
+                &harness,
+                &wl,
+                &model,
+                Kernel::SpMSpV,
+                OptMode::EnergyEfficient,
+                MemKind::Cache,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig10_importance(c: &mut Criterion) {
+    let harness = bench_harness();
+    ensemble(harness.scale, MemKind::Cache, OptMode::EnergyEfficient, harness.threads);
+    ensemble(harness.scale, MemKind::Cache, OptMode::PowerPerformance, harness.threads);
+    c.bench_function("fig10_feature_importance", |b| {
+        b.iter(|| experiments::fig10::run(&harness))
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_fig1_motivation,
+        bench_scheme_comparison,
+        bench_table6_graph,
+        bench_fig10_importance
+);
+criterion_main!(figures);

@@ -1,0 +1,110 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! Usage: paper <experiment|all>
+//! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
+//! Scale via SA_SCALE = quick | half | paper (default quick).
+//! ```
+//!
+//! Models are trained on first use and cached under `models/<scale>/`;
+//! result CSVs land in `results/`.
+
+use sa_bench::{experiments, Harness};
+
+const ALL: [&str; 14] = [
+    "fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table6", "sec64",
+    "sec7", "insights", "ablation",
+];
+
+fn run_one(harness: &Harness, which: &str) -> bool {
+    let started = std::time::Instant::now();
+    let ok = match which {
+        "fig1" => {
+            experiments::fig1::run(harness);
+            true
+        }
+        "fig5" => {
+            experiments::fig5::run(harness);
+            true
+        }
+        "fig6" => {
+            experiments::fig6::run(harness);
+            true
+        }
+        "fig7" => {
+            experiments::fig7::run(harness);
+            true
+        }
+        "fig8" => {
+            experiments::fig8::run(harness);
+            true
+        }
+        "fig9" => {
+            experiments::fig9::run(harness);
+            true
+        }
+        "fig10" => {
+            experiments::fig10::run(harness);
+            true
+        }
+        "fig11" => {
+            experiments::fig11::run(harness);
+            true
+        }
+        "fig12" => {
+            experiments::fig12::run(harness);
+            true
+        }
+        "table6" => {
+            experiments::table6::run(harness);
+            true
+        }
+        "sec64" => {
+            experiments::sec64::run(harness);
+            true
+        }
+        "sec7" => {
+            experiments::sec7::run(harness);
+            true
+        }
+        "insights" => {
+            experiments::insights::run(harness);
+            true
+        }
+        "ablation" => {
+            experiments::ablation::run(harness);
+            true
+        }
+        _ => false,
+    };
+    if ok {
+        eprintln!(
+            "# {which} finished in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
+    }
+    ok
+}
+
+fn main() {
+    let harness = Harness::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    eprintln!(
+        "# scale={:?} sampled={} threads={}",
+        harness.scale, harness.sampled_configs, harness.threads
+    );
+    if which == "all" {
+        for exp in ALL {
+            run_one(&harness, exp);
+        }
+        return;
+    }
+    if !run_one(&harness, which) {
+        eprintln!(
+            "unknown experiment '{which}'; available: {} all",
+            ALL.join(" ")
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,108 @@
+//! Ablation of the paper's central §4.2 design decision: feeding the
+//! *current configuration parameters* to the predictive model alongside
+//! the performance counters.
+//!
+//! ProfileAdapt needs a profiling detour precisely because its model only
+//! understands counters collected in one fixed configuration; SparseAdapt
+//! trains on (counters, current config) → best config, so it predicts
+//! from anywhere. This experiment trains a second ensemble with the six
+//! configuration features removed and compares:
+//!
+//! * held-out label accuracy of the per-parameter trees, and
+//! * live end-to-end gains on SpMSpV.
+//!
+//! Also ablated: the controller's two-in-a-row debounce (the §7
+//! history-based damping this reproduction implements).
+
+use std::collections::BTreeMap;
+
+use mltree::cv::cross_validate;
+use mltree::{DecisionTree, TreeParams};
+use sparse::suite::spec_by_id;
+use sparseadapt::{PredictiveEnsemble, SparseAdaptController};
+use transmuter::config::{ConfigParam, MemKind, TransmuterConfig};
+use transmuter::machine::Machine;
+use transmuter::metrics::OptMode;
+
+use super::{suite_workload, Kernel};
+use crate::models::{collect_options, results_dir};
+use crate::report::Table;
+use crate::Harness;
+
+/// Number of telemetry features (the prefix kept by the ablated model).
+const TELEMETRY_ONLY: usize = transmuter::counters::TELEMETRY_FEATURES.len();
+
+/// Runs the ablation; returns `[accuracy table, live-gains table]`.
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let mode = OptMode::EnergyEfficient;
+    let data = trainer::collect::collect(
+        MemKind::Cache,
+        &collect_options(harness.scale, harness.threads),
+    );
+    let datasets = data.datasets_for(mode);
+    let params = TreeParams::default();
+
+    // Train both ensembles. Trees trained on the 18-feature prefix only
+    // ever index features < 18, so they predict fine on full rows.
+    let mut full = BTreeMap::new();
+    let mut ablated = BTreeMap::new();
+    let mut acc = Table::new(
+        "Ablation — 3-fold CV accuracy with vs without config features",
+        &["with_config", "without_config"],
+    );
+    for p in ConfigParam::ALL {
+        let with_cfg = &datasets[&p];
+        let without_cfg = with_cfg.project_prefix(TELEMETRY_ONLY);
+        acc.push(
+            p.name(),
+            vec![
+                cross_validate(with_cfg, &params, 3),
+                cross_validate(&without_cfg, &params, 3),
+            ],
+        );
+        full.insert(p, DecisionTree::fit(with_cfg, &params));
+        ablated.insert(p, DecisionTree::fit(&without_cfg, &params));
+    }
+    acc.emit(&results_dir(), "ablation-accuracy");
+    let full = PredictiveEnsemble::new(full);
+    let ablated = PredictiveEnsemble::new(ablated);
+
+    // Live comparison on two representative matrices, plus the debounce
+    // ablation of the full model.
+    let machine_spec = Kernel::SpMSpV.spec(harness.scale);
+    let mut live = Table::new(
+        "Ablation — live energy-efficiency gain over Baseline (SpMSpV)",
+        &["full", "no_config_features", "no_debounce"],
+    );
+    for id in ["P3", "R12"] {
+        let spec = spec_by_id(id).expect("suite id");
+        let wl = suite_workload(harness, &spec, Kernel::SpMSpV, MemKind::Cache);
+        let baseline = Machine::new(machine_spec, TransmuterConfig::baseline())
+            .run(&wl)
+            .metrics();
+        let gain = |ensemble: &PredictiveEnsemble, debounce: bool| {
+            let mut ctrl = SparseAdaptController::new(
+                ensemble.clone(),
+                Kernel::SpMSpV.policy(),
+                machine_spec,
+            );
+            if !debounce {
+                ctrl = ctrl.without_debounce();
+            }
+            let run = Machine::new(machine_spec, TransmuterConfig::best_avg_cache())
+                .run_with_controller(&wl, &mut ctrl);
+            run.metrics().gflops_per_watt() / baseline.gflops_per_watt()
+        };
+        live.push(
+            id,
+            vec![
+                gain(&full, true),
+                gain(&ablated, true),
+                gain(&full, false),
+            ],
+        );
+    }
+    live.push_geomean();
+    live.emit(&results_dir(), "ablation-live");
+    vec![acc, live]
+}

@@ -1,0 +1,62 @@
+//! Figure 10: relative importance of each class of performance counter
+//! for each trained per-parameter model, in both optimisation modes.
+//!
+//! Paper shapes: L1 R-DCache and memory-controller counters dominate
+//! across models; LCP counters outweigh GPE counters (the LCP has the
+//! "global" tile view).
+
+use std::collections::BTreeMap;
+
+use sparseadapt::features::feature_class;
+use transmuter::config::{ConfigParam, MemKind};
+use transmuter::metrics::OptMode;
+
+use crate::models::{ensemble, results_dir};
+use crate::report::Table;
+use crate::Harness;
+
+/// The counter classes reported (order of the figure's legend).
+pub const CLASSES: [&str; 7] = [
+    "L1 R-DCache",
+    "L2 R-DCache",
+    "R-XBar",
+    "GPE",
+    "LCP",
+    "MemCtrl",
+    "Config",
+];
+
+/// Runs the analysis; returns one table per mode (rows = models,
+/// columns = counter classes; each row sums to ~1).
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for mode in [OptMode::PowerPerformance, OptMode::EnergyEfficient] {
+        let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
+        let mut t = Table::new(
+            &format!("Fig 10 ({}) — feature importance by counter class", mode.name()),
+            &CLASSES,
+        );
+        let importances = model.feature_importances();
+        for p in ConfigParam::ALL {
+            let per_feature = &importances[&p];
+            let mut by_class: BTreeMap<&str, f64> = BTreeMap::new();
+            for (i, &v) in per_feature.iter().enumerate() {
+                // The clock feature folds into Config for reporting: it
+                // is one scalar that identifies the operating point.
+                let class = match feature_class(i) {
+                    "Clock" => "Config",
+                    c => c,
+                };
+                *by_class.entry(class).or_insert(0.0) += v;
+            }
+            let row: Vec<f64> = CLASSES
+                .iter()
+                .map(|c| by_class.get(c).copied().unwrap_or(0.0))
+                .collect();
+            t.push(p.name(), row);
+        }
+        t.emit(&results_dir(), &format!("fig10-{}", mode.name()));
+        tables.push(t);
+    }
+    tables
+}

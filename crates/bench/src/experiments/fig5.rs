@@ -1,0 +1,64 @@
+//! Figure 5: SpMSpV on the synthetic suite (U1–U3, P1–P3), L1 as cache.
+//!
+//! Left/middle: Power-Performance mode GFLOPS and GFLOPS/W of Best Avg,
+//! Max Cfg and SparseAdapt, normalised to Baseline. Right:
+//! Energy-Efficient mode GFLOPS/W.
+//!
+//! Paper shapes: SparseAdapt ≈ 1.8× Baseline GFLOPS (PP mode) while
+//! ~3.5× more efficient than Max Cfg; EE mode 1.5–1.9× GFLOPS/W over
+//! Baseline with Max Cfg ~2.9× *less* efficient than Baseline.
+
+use sparse::suite::synthetic_suite;
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+
+use super::{compare_workload, suite_workload, Kernel};
+use crate::models::{ensemble, results_dir};
+use crate::report::Table;
+use crate::Harness;
+
+/// Runs the experiment; returns one table per panel.
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for (mode, columns) in [
+        (
+            OptMode::PowerPerformance,
+            vec!["gflops:BestAvg", "gflops:MaxCfg", "gflops:SpAdapt", "eff:BestAvg", "eff:MaxCfg", "eff:SpAdapt"],
+        ),
+        (
+            OptMode::EnergyEfficient,
+            vec!["eff:BestAvg", "eff:MaxCfg", "eff:SpAdapt"],
+        ),
+    ] {
+        let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
+        let mut t = Table::new(
+            &format!("Fig 5 ({}) — SpMSpV synthetic, gains over Baseline", mode.name()),
+            &columns,
+        );
+        for spec in synthetic_suite() {
+            let wl = suite_workload(harness, &spec, Kernel::SpMSpV, MemKind::Cache);
+            let cmp = compare_workload(harness, &wl, &model, Kernel::SpMSpV, mode, MemKind::Cache);
+            let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
+            let e = |m: &transmuter::metrics::Metrics| {
+                m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
+            };
+            let row = if mode == OptMode::PowerPerformance {
+                vec![
+                    g(&cmp.best_avg),
+                    g(&cmp.max_cfg),
+                    g(&cmp.sparseadapt),
+                    e(&cmp.best_avg),
+                    e(&cmp.max_cfg),
+                    e(&cmp.sparseadapt),
+                ]
+            } else {
+                vec![e(&cmp.best_avg), e(&cmp.max_cfg), e(&cmp.sparseadapt)]
+            };
+            t.push(spec.id, row);
+        }
+        t.push_geomean();
+        t.emit(&results_dir(), &format!("fig5-{}", mode.name()));
+        tables.push(t);
+    }
+    tables
+}

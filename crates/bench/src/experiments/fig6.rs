@@ -1,0 +1,69 @@
+//! Figure 6: SpMSpM (`C = A·Aᵀ`) on the real-world suite R01–R08, L1 as
+//! cache.
+//!
+//! Paper shapes: SparseAdapt ≈ Best Avg performance (within 8 % of Max
+//! Cfg) at 1.3× less energy than Best Avg and 5.3× better efficiency
+//! than Max Cfg (Power-Performance mode); 1.8× Baseline efficiency and
+//! 1.6× over Best Avg in Energy-Efficient mode.
+
+use sparse::suite::spmspm_suite;
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+
+use super::{compare_workload, suite_workload, Kernel};
+use crate::models::{ensemble, results_dir};
+use crate::report::Table;
+use crate::Harness;
+
+/// Runs the experiment; returns one table per mode.
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for mode in [OptMode::PowerPerformance, OptMode::EnergyEfficient] {
+        let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
+        let columns = if mode == OptMode::PowerPerformance {
+            vec![
+                "gflops:BestAvg",
+                "gflops:MaxCfg",
+                "gflops:SpAdapt",
+                "eff:BestAvg",
+                "eff:MaxCfg",
+                "eff:SpAdapt",
+            ]
+        } else {
+            vec!["eff:BestAvg", "eff:MaxCfg", "eff:SpAdapt"]
+        };
+        let mut t = Table::new(
+            &format!(
+                "Fig 6 ({}) — SpMSpM real-world, gains over Baseline",
+                mode.name()
+            ),
+            &columns,
+        );
+        for spec in spmspm_suite() {
+            let wl = suite_workload(harness, &spec, Kernel::SpMSpM, MemKind::Cache);
+            let cmp =
+                compare_workload(harness, &wl, &model, Kernel::SpMSpM, mode, MemKind::Cache);
+            let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
+            let e = |m: &transmuter::metrics::Metrics| {
+                m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
+            };
+            let row = if mode == OptMode::PowerPerformance {
+                vec![
+                    g(&cmp.best_avg),
+                    g(&cmp.max_cfg),
+                    g(&cmp.sparseadapt),
+                    e(&cmp.best_avg),
+                    e(&cmp.max_cfg),
+                    e(&cmp.sparseadapt),
+                ]
+            } else {
+                vec![e(&cmp.best_avg), e(&cmp.max_cfg), e(&cmp.sparseadapt)]
+            };
+            t.push(spec.id, row);
+        }
+        t.push_geomean();
+        t.emit(&results_dir(), &format!("fig6-{}", mode.name()));
+        tables.push(t);
+    }
+    tables
+}

@@ -1,0 +1,63 @@
+//! Figure 7: SpMSpV on the real-world suite R09–R16 in
+//! Power-Performance mode, with the L1 configured as cache (a) and as
+//! scratchpad (b).
+//!
+//! Paper shapes: gains over Best Avg are larger for L1 = SPM (1.9×)
+//! than for L1 = cache (1.3×); SparseAdapt is ~1.2× faster than Max Cfg
+//! while 4.3× (cache) / 6.2× (SPM) more energy-efficient.
+
+use sparse::suite::spmspv_suite;
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+
+use super::{compare_workload, suite_workload, Kernel};
+use crate::models::{ensemble, results_dir};
+use crate::report::Table;
+use crate::Harness;
+
+/// Runs the experiment; returns one table per L1 kind.
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let mode = OptMode::PowerPerformance;
+    let mut tables = Vec::new();
+    for l1_kind in [MemKind::Cache, MemKind::Spm] {
+        let model = ensemble(harness.scale, l1_kind, mode, harness.threads);
+        let kind_name = match l1_kind {
+            MemKind::Cache => "cache",
+            MemKind::Spm => "spm",
+        };
+        let mut t = Table::new(
+            &format!("Fig 7 (L1 = {kind_name}) — SpMSpV real-world, power-perf gains over Baseline"),
+            &[
+                "gflops:BestAvg",
+                "gflops:MaxCfg",
+                "gflops:SpAdapt",
+                "eff:BestAvg",
+                "eff:MaxCfg",
+                "eff:SpAdapt",
+            ],
+        );
+        for spec in spmspv_suite() {
+            let wl = suite_workload(harness, &spec, Kernel::SpMSpV, l1_kind);
+            let cmp = compare_workload(harness, &wl, &model, Kernel::SpMSpV, mode, l1_kind);
+            let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
+            let e = |m: &transmuter::metrics::Metrics| {
+                m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
+            };
+            t.push(
+                spec.id,
+                vec![
+                    g(&cmp.best_avg),
+                    g(&cmp.max_cfg),
+                    g(&cmp.sparseadapt),
+                    e(&cmp.best_avg),
+                    e(&cmp.max_cfg),
+                    e(&cmp.sparseadapt),
+                ],
+            );
+        }
+        t.push_geomean();
+        t.emit(&results_dir(), &format!("fig7-{kind_name}"));
+        tables.push(t);
+    }
+    tables
+}

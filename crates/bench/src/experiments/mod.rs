@@ -1,0 +1,105 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Every experiment prints the same rows/series the paper reports
+//! (gains normalised to the Baseline configuration) and writes a CSV
+//! under `results/`. Absolute numbers are not expected to match the
+//! authors' gem5 testbed; the *shapes* (who wins, by roughly what
+//! factor, where crossovers fall) are the reproduction target — see
+//! `EXPERIMENTS.md`.
+
+pub mod ablation;
+pub mod fig1;
+pub mod insights;
+pub mod sec7;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sec64;
+pub mod table6;
+
+use sparse::suite::MatrixSpec;
+use sparseadapt::eval::{compare, ComparisonSetup, SchemeComparison};
+use sparseadapt::{PredictiveEnsemble, ReconfigPolicy};
+use transmuter::config::{MachineSpec, MemKind};
+use transmuter::metrics::OptMode;
+use transmuter::workload::Workload;
+
+use crate::Harness;
+
+/// Which kernel an experiment drives (selects epoch size and policy
+/// defaults per §5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kernel {
+    /// OP-SpMSpM (epoch 5 000, conservative policy).
+    SpMSpM,
+    /// SpMSpV / graph kernels (epoch 500, hybrid-40 % policy).
+    SpMSpV,
+}
+
+impl Kernel {
+    /// The machine spec for this kernel at a dataset scale.
+    pub fn spec(self, scale: sparse::suite::Scale) -> MachineSpec {
+        match self {
+            Kernel::SpMSpM => crate::workloads::spmspm_spec(scale),
+            Kernel::SpMSpV => crate::workloads::spmspv_spec(scale),
+        }
+    }
+
+    /// The default policy for this kernel. The paper assigns
+    /// Conservative to SpMSpM and Hybrid-40 % to SpMSpV (§5.4), chosen
+    /// by sweep studies on *their* cost landscape; on this simulator's
+    /// landscape the same sweep (Fig 11 left) favours the relative
+    /// Hybrid gate for SpMSpM too, because the absolute Conservative
+    /// budget does not track the scaled-down epoch lengths.
+    pub fn policy(self) -> ReconfigPolicy {
+        match self {
+            Kernel::SpMSpM => ReconfigPolicy::Hybrid { tolerance: 0.2 },
+            Kernel::SpMSpV => ReconfigPolicy::hybrid40(),
+        }
+    }
+}
+
+/// Runs the full scheme comparison for one workload under the harness
+/// defaults.
+pub fn compare_workload(
+    harness: &Harness,
+    workload: &Workload,
+    ensemble: &PredictiveEnsemble,
+    kernel: Kernel,
+    mode: OptMode,
+    l1_kind: MemKind,
+) -> SchemeComparison {
+    let setup = ComparisonSetup {
+        spec: kernel.spec(harness.scale),
+        mode,
+        policy: kernel.policy(),
+        l1_kind,
+        sampled: harness.sampled_configs,
+        seed: harness.seed,
+        threads: harness.threads,
+    };
+    compare(workload, ensemble, &setup)
+}
+
+/// Convenience: the scaled workload for a suite matrix and kernel.
+pub fn suite_workload(
+    harness: &Harness,
+    spec: &MatrixSpec,
+    kernel: Kernel,
+    l1_kind: MemKind,
+) -> Workload {
+    let n = kernel.spec(harness.scale).geometry.gpe_count();
+    match kernel {
+        Kernel::SpMSpM => {
+            crate::workloads::spmspm_workload(spec, harness.scale, l1_kind, harness.seed, n)
+        }
+        Kernel::SpMSpV => {
+            crate::workloads::spmspv_workload(spec, harness.scale, l1_kind, harness.seed, n)
+        }
+    }
+}

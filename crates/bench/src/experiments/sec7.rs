@@ -1,0 +1,68 @@
+//! §7 discussion: dynamic reconfiguration is an overkill for *regular*
+//! kernels.
+//!
+//! The paper's offline analysis finds less than 5 % between Ideal
+//! Static and Oracle for GeMM and Conv — no implicit phases, nothing to
+//! chase. This experiment reproduces that negative result and contrasts
+//! it with the large dynamic headroom of the sparse kernels.
+
+use kernels::{conv, gemm};
+use sparse::suite::spec_by_id;
+use sparseadapt::schemes::{ideal_static, oracle};
+use sparseadapt::stitch::{sample_configs, SweepData};
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+use transmuter::workload::Workload;
+
+use super::Kernel;
+use crate::models::results_dir;
+use crate::report::Table;
+use crate::Harness;
+
+/// Runs the study; one table with the Oracle-over-Ideal-Static headroom
+/// per workload and mode.
+pub fn run(harness: &Harness) -> Vec<Table> {
+    let machine_spec = Kernel::SpMSpM.spec(harness.scale);
+    let n = machine_spec.geometry.gpe_count();
+
+    // Regular workloads.
+    let dim = 48u32;
+    let a = gemm::dense_operand(dim, 1);
+    let b = gemm::dense_operand(dim, 2);
+    let gemm_wl = gemm::build(&a, &b, dim, n).workload;
+    let image = gemm::dense_operand(64, 3); // 64x64 image
+    let conv_wl = conv::build(&image, 64, 64, &[0.111; 9], n).workload;
+
+    // A sparse reference point for contrast.
+    let r02 = spec_by_id("R02").expect("suite id");
+    let spmspm_wl = crate::workloads::spmspm_workload(
+        &r02,
+        harness.scale,
+        MemKind::Cache,
+        harness.seed,
+        n,
+    );
+
+    let configs = sample_configs(MemKind::Cache, harness.sampled_configs, harness.seed);
+    let mut t = Table::new(
+        "Sec 7 — Oracle / Ideal Static headroom (regular vs sparse)",
+        &["headroom:power-perf", "headroom:energy-eff"],
+    );
+    let workloads: [(&str, &Workload); 3] = [
+        ("GeMM (regular)", &gemm_wl),
+        ("Conv (regular)", &conv_wl),
+        ("SpMSpM R02 (sparse)", &spmspm_wl),
+    ];
+    for (name, wl) in workloads {
+        let sweep = SweepData::simulate(machine_spec, wl, &configs, harness.threads);
+        let mut row = Vec::new();
+        for mode in [OptMode::PowerPerformance, OptMode::EnergyEfficient] {
+            let (_, st) = ideal_static(&sweep, mode);
+            let orc = oracle(&sweep, mode);
+            row.push(mode.score(&orc.metrics) / mode.score(&st));
+        }
+        t.push(name, row);
+    }
+    t.emit(&results_dir(), "sec7");
+    vec![t]
+}

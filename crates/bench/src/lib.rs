@@ -1,0 +1,46 @@
+//! Experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see `DESIGN.md` §5 for the experiment index and
+//! `EXPERIMENTS.md` for paper-vs-measured results).
+//!
+//! The `paper` binary exposes one subcommand per experiment; the
+//! Criterion benches in `benches/` wrap the same functions. Scale is
+//! controlled by `SA_SCALE` (`quick` | `half` | `paper`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod models;
+pub mod report;
+pub mod workloads;
+
+use sparse::suite::Scale;
+
+/// Harness-wide settings resolved from the environment.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Dataset / sweep scale.
+    pub scale: Scale,
+    /// Configurations sampled for oracle sweeps.
+    pub sampled_configs: usize,
+    /// OS threads.
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        let scale = Scale::from_env();
+        Harness {
+            scale,
+            sampled_configs: match scale {
+                Scale::Quick => 24,
+                Scale::Half => 64,
+                Scale::Paper => 256,
+            },
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            seed: 0x5AAD,
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Trained-model management for the harness.
+//!
+//! Models are trained once per (scale preset, L1 kind, mode) and cached
+//! under `models/<preset>/`; every experiment then loads from disk, so
+//! repeated harness invocations skip the training sweep.
+
+use std::path::PathBuf;
+
+use sparse::suite::Scale;
+use sparseadapt::PredictiveEnsemble;
+use trainer::collect::CollectOptions;
+use trainer::scenarios::TrainingPreset;
+use trainer::train::{train_or_load_both, TrainOptions};
+use transmuter::config::MemKind;
+use transmuter::metrics::OptMode;
+
+/// The model cache directory for a scale.
+pub fn model_dir(scale: Scale) -> PathBuf {
+    let preset = match scale {
+        Scale::Quick => "quick",
+        Scale::Half => "half",
+        Scale::Paper => "paper",
+    };
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../models")
+        .join(preset)
+}
+
+/// The results directory (CSV output of the harness).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results")
+}
+
+/// Collection options matching a scale.
+pub fn collect_options(scale: Scale, threads: usize) -> CollectOptions {
+    CollectOptions {
+        preset: match scale {
+            Scale::Quick => TrainingPreset::Quick,
+            Scale::Half => TrainingPreset::Quick,
+            Scale::Paper => TrainingPreset::Paper,
+        },
+        k_random: match scale {
+            Scale::Quick => 8,
+            Scale::Half => 12,
+            Scale::Paper => 24,
+        },
+        seed: 0xDA7A,
+        threads,
+    }
+}
+
+/// Loads (or trains and caches) the ensemble for (scale, L1 kind, mode).
+///
+/// # Panics
+///
+/// Panics on unrecoverable I/O failure of the model cache.
+pub fn ensemble(scale: Scale, l1_kind: MemKind, mode: OptMode, threads: usize) -> PredictiveEnsemble {
+    let dir = model_dir(scale);
+    let copts = collect_options(scale, threads);
+    let topts = TrainOptions {
+        // The grid triples training time; quick runs use tuned defaults.
+        grid: scale == Scale::Paper,
+        ..TrainOptions::default()
+    };
+    train_or_load_both(&dir, l1_kind, mode, &copts, &topts)
+        .expect("model cache directory must be writable")
+}

@@ -1,0 +1,100 @@
+//! Workload construction for the evaluation suites.
+
+use kernels::{bfs, spmspm, spmspv, sssp};
+use sparse::suite::Scale as SuiteScale;
+use sparse::gen::{uniform_random_vector, GenSeed};
+use sparse::suite::{MatrixSpec, Scale};
+use transmuter::config::{MachineSpec, MemKind};
+use transmuter::workload::Workload;
+
+/// Epoch sizes of §5.4.
+pub const SPMSPM_EPOCH_OPS: u64 = 5_000;
+/// Epoch size for SpMSpV and the graph kernels.
+pub const SPMSPV_EPOCH_OPS: u64 = 500;
+
+/// The machine spec used for an SpMSpM experiment.
+///
+/// The epoch quota shrinks with the dataset scale so scaled-down
+/// matrices still span enough epochs for phase adaptation (the paper's
+/// 5 000-op epochs assume full-size inputs).
+pub fn spmspm_spec(scale: SuiteScale) -> MachineSpec {
+    let ops = (SPMSPM_EPOCH_OPS / scale.divisor() as u64).max(1_250);
+    MachineSpec::default().with_epoch_ops(ops)
+}
+
+/// The machine spec used for SpMSpV / graph experiments (same scaling
+/// rationale as [`spmspm_spec`]).
+pub fn spmspv_spec(scale: SuiteScale) -> MachineSpec {
+    let ops = (SPMSPV_EPOCH_OPS / scale.divisor() as u64).max(125);
+    MachineSpec::default().with_epoch_ops(ops)
+}
+
+/// Builds `C = A · Aᵀ` (the §6.1.2 evaluation) for a suite matrix.
+pub fn spmspm_workload(
+    spec: &MatrixSpec,
+    scale: Scale,
+    l1_kind: MemKind,
+    seed: u64,
+    n_gpes: usize,
+) -> Workload {
+    let m = spec.generate(scale, GenSeed(seed));
+    let a = m.to_csc();
+    let b = m.to_csr().transpose();
+    spmspm::build_with_variant(&a, &b, n_gpes, l1_kind).workload
+}
+
+/// Builds `y = A · x` against a 50 %-dense uniform vector (§6.1.1).
+pub fn spmspv_workload(
+    spec: &MatrixSpec,
+    scale: Scale,
+    l1_kind: MemKind,
+    seed: u64,
+    n_gpes: usize,
+) -> Workload {
+    let a = spec.generate(scale, GenSeed(seed)).to_csc();
+    let x = uniform_random_vector(a.dim(), 0.5, GenSeed(seed ^ 0xFEED));
+    spmspv::build_with_variant(&a, &x, n_gpes, l1_kind).workload
+}
+
+/// The traversal source: the highest-out-degree vertex, so power-law
+/// graphs (whose low columns can be empty under the paper's R-MAT
+/// parameters) yield a non-trivial traversal.
+fn traversal_source(a: &sparse::CscMatrix) -> u32 {
+    (0..a.cols()).max_by_key(|&k| a.col_nnz(k)).unwrap_or(0)
+}
+
+/// Builds BFS from the max-degree vertex; returns the workload and the
+/// traversed-edge count (the TEPS numerator).
+pub fn bfs_workload(spec: &MatrixSpec, scale: Scale, seed: u64, n_gpes: usize) -> (Workload, u64) {
+    let a = spec.generate(scale, GenSeed(seed)).to_csc();
+    let built = bfs::build(&a, traversal_source(&a), n_gpes);
+    (built.workload, built.edges_traversed)
+}
+
+/// Builds SSSP from the max-degree vertex; returns the workload and the
+/// traversed-edge count.
+pub fn sssp_workload(spec: &MatrixSpec, scale: Scale, seed: u64, n_gpes: usize) -> (Workload, u64) {
+    let a = spec.generate(scale, GenSeed(seed)).to_csc();
+    let built = sssp::build(&a, traversal_source(&a), n_gpes);
+    (built.workload, built.edges_traversed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::suite::spec_by_id;
+
+    #[test]
+    fn suite_workloads_build_at_quick_scale() {
+        let n = 16;
+        let r02 = spec_by_id("R02").unwrap();
+        let w = spmspm_workload(&r02, Scale::Quick, MemKind::Cache, 1, n);
+        assert!(w.total_flops() > 0);
+        let r12 = spec_by_id("R12").unwrap();
+        let w = spmspv_workload(&r12, Scale::Quick, MemKind::Cache, 1, n);
+        assert!(w.total_flops() > 0);
+        let (w, edges) = bfs_workload(&r12, Scale::Quick, 1, n);
+        assert!(edges > 0);
+        assert!(!w.phases.is_empty());
+    }
+}

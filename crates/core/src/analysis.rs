@@ -1,0 +1,176 @@
+//! Configuration-choice analysis — the §6.1.5 "insights" machinery.
+//!
+//! Given a run's epoch records, this module summarises how each
+//! parameter was used: how often it changed, which values it dwelt in,
+//! and how the choices correlate with telemetry (e.g. "the model applies
+//! DVFS based on the bandwidth requirement of the explicit phase").
+
+use std::collections::BTreeMap;
+
+use transmuter::config::ConfigParam;
+use transmuter::machine::EpochRecord;
+
+/// Per-parameter usage statistics over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamUsage {
+    /// Number of epochs in which the parameter's value changed.
+    pub changes: usize,
+    /// Epoch count per value index.
+    pub dwell: BTreeMap<usize, usize>,
+}
+
+impl ParamUsage {
+    /// The value index the run spent the most epochs in.
+    pub fn dominant_value(&self) -> Option<usize> {
+        self.dwell
+            .iter()
+            .max_by_key(|&(_, count)| *count)
+            .map(|(&v, _)| v)
+    }
+}
+
+/// Summary of a run's configuration decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionAnalysis {
+    /// Per-parameter statistics.
+    pub usage: BTreeMap<ConfigParam, ParamUsage>,
+    /// Pearson correlation between memory-bandwidth utilisation and the
+    /// chosen clock index (§6.1.5: DVFS tracks bandwidth demand, so this
+    /// is expected to be negative — saturated memory ⇒ slower clocks).
+    pub bw_clock_correlation: f64,
+    /// Pearson correlation between L1 occupancy and the chosen L1
+    /// capacity index (§6.1.5: "the L1 size choice is correlated to the
+    /// cache occupancy").
+    pub occupancy_l1cap_correlation: f64,
+}
+
+/// Analyses the epoch records of a run.
+pub fn analyze(epochs: &[EpochRecord]) -> DecisionAnalysis {
+    let mut usage: BTreeMap<ConfigParam, ParamUsage> = ConfigParam::ALL
+        .iter()
+        .map(|&p| {
+            (
+                p,
+                ParamUsage {
+                    changes: 0,
+                    dwell: BTreeMap::new(),
+                },
+            )
+        })
+        .collect();
+    for (i, e) in epochs.iter().enumerate() {
+        for p in ConfigParam::ALL {
+            let v = p.get_index(&e.config);
+            let u = usage.get_mut(&p).expect("initialised");
+            *u.dwell.entry(v).or_insert(0) += 1;
+            if i > 0 && p.get_index(&epochs[i - 1].config) != v {
+                u.changes += 1;
+            }
+        }
+    }
+    let bw: Vec<f64> = epochs
+        .iter()
+        .map(|e| e.telemetry.mem_read_util + e.telemetry.mem_write_util)
+        .collect();
+    let clock: Vec<f64> = epochs
+        .iter()
+        .map(|e| ConfigParam::Clock.get_index(&e.config) as f64)
+        .collect();
+    let occ: Vec<f64> = epochs.iter().map(|e| e.telemetry.l1_occupancy).collect();
+    let l1cap: Vec<f64> = epochs
+        .iter()
+        .map(|e| ConfigParam::L1Capacity.get_index(&e.config) as f64)
+        .collect();
+    DecisionAnalysis {
+        usage,
+        bw_clock_correlation: pearson(&bw, &clock),
+        occupancy_l1cap_correlation: pearson(&occ, &l1cap),
+    }
+}
+
+/// Pearson correlation; 0 for degenerate inputs.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    let n = x.len().min(y.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = x[..n].iter().sum::<f64>() / n as f64;
+    let my = y[..n].iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= 0.0 || vy <= 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmuter::config::{ClockFreq, TransmuterConfig};
+    use transmuter::counters::Telemetry;
+    use transmuter::metrics::Metrics;
+
+    fn epoch(clock: ClockFreq, bw: f64, l1_kb: u32, occ: f64, index: usize) -> EpochRecord {
+        let mut config = TransmuterConfig::baseline();
+        config.clock = clock;
+        config.l1_capacity_kb = l1_kb;
+        let telemetry = Telemetry {
+            mem_read_util: bw,
+            l1_occupancy: occ,
+            ..Telemetry::default()
+        };
+        EpochRecord {
+            index,
+            config,
+            metrics: Metrics::new(1e-4, 1e-6, 1_000),
+            fp_ops: 1_000,
+            telemetry,
+            reconfig_time_s: 0.0,
+            reconfig_energy_j: 0.0,
+        }
+    }
+
+    #[test]
+    fn counts_changes_and_dwell() {
+        let epochs = vec![
+            epoch(ClockFreq::Mhz1000, 0.2, 4, 0.5, 0),
+            epoch(ClockFreq::Mhz125, 1.0, 4, 0.5, 1),
+            epoch(ClockFreq::Mhz125, 1.0, 4, 0.5, 2),
+        ];
+        let a = analyze(&epochs);
+        let clock = &a.usage[&ConfigParam::Clock];
+        assert_eq!(clock.changes, 1);
+        assert_eq!(clock.dominant_value(), Some(ClockFreq::Mhz125.index()));
+        assert_eq!(a.usage[&ConfigParam::L1Capacity].changes, 0);
+    }
+
+    #[test]
+    fn bandwidth_clock_correlation_is_negative_for_dvfs_behaviour() {
+        // Saturated memory -> slow clock; idle memory -> fast clock.
+        let epochs = vec![
+            epoch(ClockFreq::Mhz1000, 0.1, 4, 0.5, 0),
+            epoch(ClockFreq::Mhz500, 0.5, 4, 0.5, 1),
+            epoch(ClockFreq::Mhz125, 0.9, 4, 0.5, 2),
+            epoch(ClockFreq::Mhz62, 1.0, 4, 0.5, 3),
+        ];
+        let a = analyze(&epochs);
+        assert!(a.bw_clock_correlation < -0.9, "{}", a.bw_clock_correlation);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Predictive-model feature construction.
+//!
+//! The model input is the normalised telemetry snapshot (Table 2)
+//! **augmented with the current configuration parameters** — the §4.2
+//! insight that lets one training example per (dataset, phase, sampled
+//! config) triple teach the model to predict *from any configuration*,
+//! not just from a profiling configuration.
+
+use transmuter::config::{ConfigParam, TransmuterConfig};
+use transmuter::counters::{Telemetry, TELEMETRY_FEATURES};
+
+/// Number of model features: 18 telemetry + 6 configuration ordinals.
+pub const FEATURE_COUNT: usize = TELEMETRY_FEATURES.len() + ConfigParam::ALL.len();
+
+/// Feature names, aligned with [`feature_vector`].
+pub fn feature_names() -> Vec<String> {
+    TELEMETRY_FEATURES
+        .iter()
+        .map(|s| (*s).to_string())
+        .chain(ConfigParam::ALL.iter().map(|p| format!("cfg_{}", p.name())))
+        .collect()
+}
+
+/// Builds the model input row from a telemetry snapshot and the
+/// configuration it was collected under.
+pub fn feature_vector(telemetry: &Telemetry, cfg: &TransmuterConfig) -> Vec<f64> {
+    let mut v = telemetry.to_features();
+    for p in ConfigParam::ALL {
+        v.push(p.get_index(cfg) as f64);
+    }
+    v
+}
+
+/// The counter class of a feature index, extending
+/// [`Telemetry::feature_class`] to the configuration features (used for
+/// the Figure 10 grouping).
+pub fn feature_class(index: usize) -> &'static str {
+    if index < TELEMETRY_FEATURES.len() {
+        Telemetry::feature_class(index)
+    } else {
+        "Config"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmuter::config::SharingMode;
+
+    #[test]
+    fn feature_vector_has_documented_length() {
+        let t = Telemetry::default();
+        let cfg = TransmuterConfig::baseline();
+        let v = feature_vector(&t, &cfg);
+        assert_eq!(v.len(), FEATURE_COUNT);
+        assert_eq!(feature_names().len(), FEATURE_COUNT);
+    }
+
+    #[test]
+    fn config_features_reflect_config() {
+        let t = Telemetry::default();
+        let mut cfg = TransmuterConfig::baseline();
+        let base = feature_vector(&t, &cfg);
+        cfg.l1_sharing = SharingMode::Private;
+        cfg.l2_capacity_kb = 64;
+        let changed = feature_vector(&t, &cfg);
+        assert_ne!(base, changed);
+        // l1_sharing is the first config feature.
+        assert_eq!(changed[TELEMETRY_FEATURES.len()], 1.0);
+    }
+
+    #[test]
+    fn classes_cover_every_feature() {
+        for i in 0..FEATURE_COUNT {
+            assert_ne!(feature_class(i), "unknown", "feature {i}");
+        }
+        assert_eq!(feature_class(FEATURE_COUNT - 1), "Config");
+    }
+}

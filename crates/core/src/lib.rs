@@ -1,0 +1,62 @@
+//! SparseAdapt: ML-driven runtime reconfiguration control for the
+//! simulated Transmuter CGRA.
+//!
+//! This crate is the paper's primary contribution: a lightweight
+//! feedback loop that reads hardware performance counters at every epoch
+//! and reconfigures six hardware parameters (sharing modes, cache
+//! capacities, clock, prefetch degree) to track both explicit
+//! (code-driven) and implicit (data-driven) phases of sparse linear
+//! algebra.
+//!
+//! The pieces:
+//!
+//! * [`features`] — predictive-model input: the Table 2 counters plus
+//!   the *current configuration* (the paper's key §4.2 insight).
+//! * [`model`] — the per-parameter decision-tree ensemble, with
+//!   persistence.
+//! * [`policy`] — reconfiguration-cost-aware hysteresis (Conservative /
+//!   Aggressive / Hybrid, §4.4).
+//! * [`runtime`] — [`runtime::SparseAdaptController`], a live
+//!   [`transmuter::machine::Controller`] that closes the loop.
+//! * [`stitch`] — per-configuration epoch traces and schedule
+//!   evaluation, the artifact's §A.7 methodology.
+//! * [`schemes`] — the §5.3 comparison points: Ideal Static, Ideal
+//!   Greedy, Oracle (DAG shortest path), ProfileAdapt naïve/ideal.
+//! * [`eval`] — one-call comparison of every scheme on a workload.
+//! * [`analysis`] — §6.1.5 configuration-choice insights.
+//!
+//! # Example: closing the loop live
+//!
+//! ```no_run
+//! use sparseadapt::model::PredictiveEnsemble;
+//! use sparseadapt::policy::ReconfigPolicy;
+//! use sparseadapt::runtime::SparseAdaptController;
+//! use transmuter::config::{MachineSpec, TransmuterConfig};
+//! use transmuter::machine::Machine;
+//! # fn workload() -> transmuter::workload::Workload { unimplemented!() }
+//!
+//! let spec = MachineSpec::default();
+//! let ensemble = PredictiveEnsemble::load(std::path::Path::new("model.json"))?;
+//! let mut ctrl = SparseAdaptController::new(ensemble, ReconfigPolicy::Conservative, spec);
+//! let mut machine = Machine::new(spec, TransmuterConfig::baseline());
+//! let result = machine.run_with_controller(&workload(), &mut ctrl);
+//! println!("{:.2} GFLOPS/W", result.metrics().gflops_per_watt());
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod eval;
+pub mod features;
+pub mod model;
+pub mod policy;
+pub mod runtime;
+pub mod schemes;
+pub mod stitch;
+
+pub use model::PredictiveEnsemble;
+pub use policy::ReconfigPolicy;
+pub use runtime::SparseAdaptController;
+pub use stitch::SweepData;

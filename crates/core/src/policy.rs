@@ -1,0 +1,177 @@
+//! Reconfiguration-cost-aware prediction policies (§4.4).
+//!
+//! Accurate predictions can still lose time if costly parameters flap at
+//! every epoch, so the controller filters the model's output per
+//! dimension:
+//!
+//! * **Conservative** — never applies a change whose stall time exceeds
+//!   a fixed cost budget ([`CONSERVATIVE_MAX_COST_S`]); cheap flushes
+//!   (small caches) pass, expensive ones are suppressed.
+//! * **Aggressive** — always follows the model.
+//! * **Hybrid(t)** — applies a dimension's change only if its stall time
+//!   is within fraction `t` of the previous epoch's elapsed time. A
+//!   relative threshold penalises reconfiguration bursts in short epochs
+//!   while allowing occasional expensive switches in long ones.
+
+use serde::{Deserialize, Serialize};
+use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
+use transmuter::power::EnergyTable;
+use transmuter::reconfig;
+
+/// The fixed stall-time budget of the Conservative policy (100 µs — the
+/// time to flush the smallest L1 layer at the evaluated 1 GB/s, so only
+/// cheap reconfigurations pass).
+pub const CONSERVATIVE_MAX_COST_S: f64 = 1e-4;
+
+/// The hysteresis policy applied to model predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReconfigPolicy {
+    /// Suppress any change costing more than [`CONSERVATIVE_MAX_COST_S`].
+    Conservative,
+    /// Apply every predicted change.
+    Aggressive,
+    /// Apply a change if its stall time ≤ `tolerance` × previous epoch
+    /// time.
+    Hybrid {
+        /// Fraction of the previous epoch's elapsed time allowed to be
+        /// spent reconfiguring one dimension (the paper finds 0.1–0.4
+        /// best; §5.4 uses 0.4 for SpMSpV).
+        tolerance: f64,
+    },
+}
+
+impl ReconfigPolicy {
+    /// The paper's default for SpMSpM (§5.4).
+    pub fn conservative() -> Self {
+        ReconfigPolicy::Conservative
+    }
+
+    /// The paper's default for SpMSpV (§5.4): hybrid with 40 % tolerance.
+    pub fn hybrid40() -> Self {
+        ReconfigPolicy::Hybrid { tolerance: 0.4 }
+    }
+
+    /// Filters a predicted configuration: starting from `current`, apply
+    /// each changed dimension only if this policy allows its cost given
+    /// the previous epoch's duration. Returns the configuration to
+    /// actually install.
+    pub fn filter(
+        &self,
+        spec: &MachineSpec,
+        table: &EnergyTable,
+        current: &TransmuterConfig,
+        predicted: &TransmuterConfig,
+        last_epoch_time_s: f64,
+    ) -> TransmuterConfig {
+        let mut out = *current;
+        for p in ConfigParam::ALL {
+            let want = p.get_index(predicted);
+            if want == p.get_index(current) {
+                continue;
+            }
+            // Marginal cost of moving this dimension alone.
+            let mut candidate = *current;
+            p.set_index(&mut candidate, want);
+            let cost = reconfig::cost(spec, table, current, &candidate);
+            let allowed = match *self {
+                ReconfigPolicy::Aggressive => true,
+                ReconfigPolicy::Conservative => cost.time_s <= CONSERVATIVE_MAX_COST_S,
+                ReconfigPolicy::Hybrid { tolerance } => {
+                    cost.time_s <= tolerance * last_epoch_time_s
+                }
+            };
+            if allowed {
+                p.set_index(&mut out, want);
+            }
+        }
+        out
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            ReconfigPolicy::Conservative => "conservative".to_string(),
+            ReconfigPolicy::Aggressive => "aggressive".to_string(),
+            ReconfigPolicy::Hybrid { tolerance } => {
+                format!("hybrid-{:.0}%", tolerance * 100.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmuter::config::{ClockFreq, SharingMode};
+
+    fn setup() -> (MachineSpec, EnergyTable, TransmuterConfig) {
+        (
+            MachineSpec::default(),
+            EnergyTable::default(),
+            TransmuterConfig::baseline(),
+        )
+    }
+
+    #[test]
+    fn aggressive_applies_everything() {
+        let (spec, table, cur) = setup();
+        let mut want = cur;
+        want.l1_sharing = SharingMode::Private;
+        want.clock = ClockFreq::Mhz125;
+        let out = ReconfigPolicy::Aggressive.filter(&spec, &table, &cur, &want, 1e-6);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn conservative_blocks_expensive_flushes_allows_cheap_changes() {
+        let (spec, table, mut cur) = setup();
+        cur.l1_capacity_kb = 64; // 1 MB L1 layer: ~1 ms to flush
+        let mut want = cur;
+        want.l1_sharing = SharingMode::Private; // expensive L1 flush
+        want.clock = ClockFreq::Mhz125; // super fine-grained
+        let out = ReconfigPolicy::Conservative.filter(&spec, &table, &cur, &want, 1e-6);
+        assert_eq!(out.l1_sharing, cur.l1_sharing, "expensive flush suppressed");
+        assert_eq!(out.clock, ClockFreq::Mhz125, "cheap change applied");
+        // At 4 kB banks the same flush is ~65 µs and passes the budget.
+        let (spec, table, small) = setup();
+        let mut want = small;
+        want.l1_sharing = SharingMode::Private;
+        let out = ReconfigPolicy::Conservative.filter(&spec, &table, &small, &want, 1e-6);
+        assert_eq!(out.l1_sharing, SharingMode::Private);
+    }
+
+    #[test]
+    fn conservative_allows_capacity_growth() {
+        let (spec, table, cur) = setup();
+        let mut want = cur;
+        want.l2_capacity_kb = 64; // growth: no flush
+        let out = ReconfigPolicy::Conservative.filter(&spec, &table, &cur, &want, 1e-6);
+        assert_eq!(out.l2_capacity_kb, 64);
+    }
+
+    #[test]
+    fn hybrid_gates_on_epoch_length() {
+        let (spec, table, cur) = setup();
+        let mut want = cur;
+        want.l2_sharing = SharingMode::Private; // L2 flush: 8 kB @ 1 GB/s ≈ 8.2 µs
+        let policy = ReconfigPolicy::Hybrid { tolerance: 0.4 };
+        // Short epoch: blocked.
+        let short = policy.filter(&spec, &table, &cur, &want, 1e-6);
+        assert_eq!(short.l2_sharing, cur.l2_sharing);
+        // Long epoch: allowed.
+        let long = policy.filter(&spec, &table, &cur, &want, 1.0);
+        assert_eq!(long.l2_sharing, SharingMode::Private);
+    }
+
+    #[test]
+    fn unchanged_prediction_is_identity() {
+        let (spec, table, cur) = setup();
+        for policy in [
+            ReconfigPolicy::Aggressive,
+            ReconfigPolicy::Conservative,
+            ReconfigPolicy::hybrid40(),
+        ] {
+            assert_eq!(policy.filter(&spec, &table, &cur, &cur, 1.0), cur);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Ideal Greedy: per-epoch locally optimal choices with oracle
+//! knowledge of the *next* epoch only (§5.3, §A.7 step 6).
+//!
+//! The artifact describes it exactly: "the next configuration is chosen
+//! as the one that has the best metric-of-interest for the next epoch
+//! (among the sampled points). The stitched profile is then modified to
+//! include the reconfiguration costs across epoch boundaries" — i.e.
+//! the choice ignores switching costs; the evaluation charges them.
+
+use transmuter::metrics::OptMode;
+
+use crate::schemes::ScheduleOutcome;
+use crate::stitch::SweepData;
+
+/// Runs the Ideal Greedy scheme over a sweep.
+pub fn ideal_greedy(sweep: &SweepData, mode: OptMode) -> ScheduleOutcome {
+    let schedule: Vec<usize> = (0..sweep.n_epochs())
+        .map(|e| {
+            (0..sweep.n_configs())
+                .max_by(|&a, &b| {
+                    let sa = mode.score(&sweep.traces[a][e].metrics);
+                    let sb = mode.score(&sweep.traces[b][e].metrics);
+                    sa.partial_cmp(&sb).expect("scores are finite")
+                })
+                .expect("sweep has configurations")
+        })
+        .collect();
+    let metrics = sweep.schedule_metrics(&schedule);
+    ScheduleOutcome { schedule, metrics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stitch::SweepData;
+    use transmuter::config::{MachineSpec, TransmuterConfig};
+    use transmuter::workload::{Op, Phase, Workload};
+
+    fn sweep() -> SweepData {
+        // Two phases with opposite affinities: a cache-friendly stream
+        // then a scatter, so the greedy schedule has a reason to switch.
+        let stream: Vec<Vec<Op>> = (0..16)
+            .map(|g| {
+                (0..300u64)
+                    .flat_map(|i| {
+                        [
+                            Op::Load {
+                                addr: g as u64 * 8192 + i * 8,
+                                pc: 1,
+                            },
+                            Op::Flops(1),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let scatter: Vec<Vec<Op>> = (0..16)
+            .map(|g| {
+                (0..300u64)
+                    .flat_map(|i| {
+                        [
+                            Op::Load {
+                                addr: ((g as u64 * 131 + i * 7919) % 4096) * 512,
+                                pc: 2,
+                            },
+                            Op::Flops(1),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        let wl = Workload::new(
+            "w",
+            vec![Phase::new("stream", stream), Phase::new("scatter", scatter)],
+        );
+        SweepData::simulate(
+            MachineSpec::default().with_epoch_ops(200),
+            &wl,
+            &[
+                TransmuterConfig::baseline(),
+                TransmuterConfig::best_avg_cache(),
+                TransmuterConfig::maximum(),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn greedy_picks_per_epoch_maxima() {
+        let s = sweep();
+        let out = ideal_greedy(&s, OptMode::EnergyEfficient);
+        assert_eq!(out.schedule.len(), s.n_epochs());
+        for (e, &c) in out.schedule.iter().enumerate() {
+            for other in 0..s.n_configs() {
+                assert!(
+                    OptMode::EnergyEfficient.score(&s.traces[c][e].metrics)
+                        >= OptMode::EnergyEfficient.score(&s.traces[other][e].metrics) - 1e-15
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_metrics_include_switch_costs() {
+        let s = sweep();
+        let out = ideal_greedy(&s, OptMode::PowerPerformance);
+        let bare: f64 = out
+            .schedule
+            .iter()
+            .enumerate()
+            .map(|(e, &c)| s.traces[c][e].metrics.time_s)
+            .sum();
+        assert!(out.metrics.time_s >= bare);
+    }
+}

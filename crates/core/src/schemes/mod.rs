@@ -1,0 +1,29 @@
+//! The §5.3 comparison points.
+//!
+//! *Static* schemes pick one configuration for the whole run; *dynamic*
+//! schemes pick one per epoch. Ideal Static, Ideal Greedy and Oracle
+//! cannot be realised at run time (they need knowledge of the future) —
+//! they are the upper-bound yardsticks of §6.2. ProfileAdapt (§6.4)
+//! models the prior state of the art, which must detour through a
+//! profiling configuration to collect telemetry.
+
+mod greedy;
+mod oracle;
+mod profileadapt;
+mod statics;
+
+pub use greedy::ideal_greedy;
+pub use oracle::oracle;
+pub use profileadapt::{profileadapt_ideal, profileadapt_naive, ProfileAdaptOutcome};
+pub use statics::ideal_static;
+
+/// A dynamic scheme's outcome: the chosen per-epoch schedule and its
+/// stitched metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// `schedule[e]` = index (into the sweep's configs) chosen for epoch
+    /// `e`.
+    pub schedule: Vec<usize>,
+    /// Stitched metrics including reconfiguration penalties.
+    pub metrics: transmuter::metrics::Metrics,
+}

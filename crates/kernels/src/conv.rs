@@ -1,0 +1,136 @@
+//! Dense 2-D convolution — the second *regular* workload of §7.
+//!
+//! A 3×3 stencil over a row-major image, one output row per work item.
+//! Like [`crate::gemm`], it exists to reproduce the paper's observation
+//! that dynamic reconfiguration is an overkill for regular kernels.
+
+use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+
+use crate::partition::{assign_greedy, group_by_worker};
+use crate::pc;
+
+/// The output of building a convolution workload.
+#[derive(Debug, Clone)]
+pub struct ConvBuild {
+    /// Single-phase workload.
+    pub workload: Workload,
+    /// The functional result (`(h-2) × (w-2)`, valid padding).
+    pub result: Vec<f64>,
+    /// Output height and width.
+    pub out_shape: (u32, u32),
+}
+
+/// Builds a valid-padding 3×3 convolution of `image` (`h × w`,
+/// row-major) with `kernel` (9 weights).
+///
+/// # Panics
+///
+/// Panics if the image is smaller than the kernel, lengths disagree, or
+/// `n_gpes == 0`.
+pub fn build(image: &[f64], h: u32, w: u32, kernel: &[f64; 9], n_gpes: usize) -> ConvBuild {
+    let (h, w) = (h as usize, w as usize);
+    assert_eq!(image.len(), h * w, "image must be h x w");
+    assert!(h >= 3 && w >= 3, "image smaller than the 3x3 kernel");
+    assert!(n_gpes > 0, "need at least one GPE");
+    let (oh, ow) = (h - 2, w - 2);
+
+    let mut space = AddressSpace::new(32);
+    let limg = space.alloc((h * w * 8) as u64);
+    let lker = space.alloc(9 * 8);
+    let lout = space.alloc((oh * ow * 8) as u64);
+
+    let mut result = vec![0.0f64; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0;
+            for ky in 0..3 {
+                for kx in 0..3 {
+                    acc += image[(oy + ky) * w + ox + kx] * kernel[ky * 3 + kx];
+                }
+            }
+            result[oy * ow + ox] = acc;
+        }
+    }
+
+    let costs = vec![ow as u64; oh];
+    let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    for items in &groups {
+        let mut ops = Vec::new();
+        for &oy in items {
+            // Kernel weights stay in registers after one load per row.
+            for kidx in 0..9u64 {
+                ops.push(Op::Load {
+                    addr: lker.addr(kidx, 8),
+                    pc: pc::B_VAL,
+                });
+            }
+            for ox in 0..ow {
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        ops.push(Op::Load {
+                            addr: limg.addr(((oy + ky) * w + ox + kx) as u64, 8),
+                            pc: pc::A_VAL,
+                        });
+                        ops.push(Op::Flops(2));
+                    }
+                }
+                ops.push(Op::Store {
+                    addr: lout.addr((oy * ow + ox) as u64, 8),
+                    pc: pc::OUT_VAL,
+                });
+            }
+        }
+        streams.push(ops);
+    }
+    ConvBuild {
+        workload: Workload::new("conv", vec![Phase::new("conv", streams)]),
+        result,
+        out_shape: (oh as u32, ow as u32),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_reproduces_interior() {
+        let (h, w) = (8u32, 10u32);
+        let image: Vec<f64> = (0..h * w).map(|i| i as f64).collect();
+        let mut kernel = [0.0; 9];
+        kernel[4] = 1.0; // centre tap
+        let built = build(&image, h, w, &kernel, 4);
+        let (oh, ow) = built.out_shape;
+        for oy in 0..oh as usize {
+            for ox in 0..ow as usize {
+                let want = image[(oy + 1) * w as usize + ox + 1];
+                assert_eq!(built.result[oy * ow as usize + ox], want);
+            }
+        }
+    }
+
+    #[test]
+    fn box_blur_averages() {
+        let image = vec![9.0; 25]; // 5x5 constant
+        let kernel = [1.0 / 9.0; 9];
+        let built = build(&image, 5, 5, &kernel, 2);
+        for v in &built.result {
+            assert!((v - 9.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flop_count_is_18_per_output() {
+        let image = vec![1.0; 36];
+        let built = build(&image, 6, 6, &[0.5; 9], 4);
+        let outputs = (built.out_shape.0 * built.out_shape.1) as u64;
+        assert_eq!(built.workload.total_flops(), 18 * outputs);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than")]
+    fn tiny_image_panics() {
+        build(&[1.0; 4], 2, 2, &[0.0; 9], 1);
+    }
+}

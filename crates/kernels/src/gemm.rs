@@ -1,0 +1,167 @@
+//! Dense GeMM on the simulated machine — a *regular* workload.
+//!
+//! §7 of the paper reports that for regular kernels (GeMM, Conv) the
+//! gap between Ideal Static and Oracle is under 5 %: with no implicit
+//! phases there is nothing for dynamic reconfiguration to chase, so a
+//! compile-time choice suffices. This kernel (and [`crate::conv`])
+//! exists to reproduce that negative result — the `sec7` harness
+//! experiment.
+//!
+//! The loop order is `i, k, j` (B streamed row-wise), the classic
+//! cache-friendly order for row-major operands.
+
+use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+
+use crate::partition::{assign_greedy, group_by_worker};
+use crate::pc;
+
+/// The output of building a dense GeMM workload.
+#[derive(Debug, Clone)]
+pub struct GemmBuild {
+    /// Single-phase workload.
+    pub workload: Workload,
+    /// The functional result, row-major.
+    pub result: Vec<f64>,
+    /// Problem dimension (square operands).
+    pub dim: u32,
+}
+
+/// Builds `C = A · B` for square row-major dense operands.
+///
+/// # Panics
+///
+/// Panics if operand lengths are not `dim²` or `n_gpes == 0`.
+pub fn build(a: &[f64], b: &[f64], dim: u32, n_gpes: usize) -> GemmBuild {
+    let n = dim as usize;
+    assert_eq!(a.len(), n * n, "A must be dim x dim");
+    assert_eq!(b.len(), n * n, "B must be dim x dim");
+    assert!(n_gpes > 0, "need at least one GPE");
+
+    let mut space = AddressSpace::new(32);
+    let la = space.alloc((n * n * 8) as u64);
+    let lb = space.alloc((n * n * 8) as u64);
+    let lc = space.alloc((n * n * 8) as u64);
+
+    // Functional result.
+    let mut result = vec![0.0f64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                result[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+
+    // One work item per output row; cost is uniform — that's the point.
+    let costs = vec![n as u64; n];
+    let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
+    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    // Model register blocking: one load of A[i][k] per k, one streaming
+    // load of each B[k][j] line-element, FMA per element, and a final
+    // store pass of the output row.
+    for items in &groups {
+        let mut ops = Vec::new();
+        for &i in items {
+            for k in 0..n {
+                ops.push(Op::Load {
+                    addr: la.addr((i * n + k) as u64, 8),
+                    pc: pc::A_VAL,
+                });
+                for j in 0..n {
+                    ops.push(Op::Load {
+                        addr: lb.addr((k * n + j) as u64, 8),
+                        pc: pc::B_VAL,
+                    });
+                    ops.push(Op::Flops(2)); // multiply-add
+                }
+            }
+            for j in 0..n {
+                ops.push(Op::Store {
+                    addr: lc.addr((i * n + j) as u64, 8),
+                    pc: pc::OUT_VAL,
+                });
+            }
+        }
+        streams.push(ops);
+    }
+    GemmBuild {
+        workload: Workload::new("gemm", vec![Phase::new("gemm", streams)]),
+        result,
+        dim,
+    }
+}
+
+/// Generates a deterministic dense operand for tests and experiments.
+pub fn dense_operand(dim: u32, seed: u64) -> Vec<f64> {
+    let n = dim as usize;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n * n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000) as f64 / 1_000.0 + 0.001
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_matmul() {
+        let dim = 12u32;
+        let a = dense_operand(dim, 1);
+        let b = dense_operand(dim, 2);
+        let built = build(&a, &b, dim, 4);
+        let n = dim as usize;
+        for i in 0..n {
+            for j in 0..n {
+                let want: f64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                assert!((built.result[i * n + j] - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flop_count_is_2n3() {
+        let dim = 16u32;
+        let a = dense_operand(dim, 3);
+        let b = dense_operand(dim, 4);
+        let built = build(&a, &b, dim, 8);
+        assert_eq!(built.workload.total_flops(), 2 * (dim as u64).pow(3));
+    }
+
+    #[test]
+    fn work_is_balanced() {
+        let dim = 32u32;
+        let a = dense_operand(dim, 5);
+        let b = dense_operand(dim, 6);
+        let built = build(&a, &b, dim, 16);
+        let lens: Vec<usize> = built.workload.phases[0]
+            .streams
+            .iter()
+            .map(Vec::len)
+            .collect();
+        let max = *lens.iter().max().unwrap();
+        let min = *lens.iter().min().unwrap();
+        assert!(max - min <= max / 8, "regular work should balance: {lens:?}");
+    }
+
+    #[test]
+    fn runs_on_the_machine_with_high_hit_rate() {
+        use transmuter::config::{MachineSpec, TransmuterConfig};
+        use transmuter::machine::Machine;
+        let dim = 24u32;
+        let a = dense_operand(dim, 7);
+        let b = dense_operand(dim, 8);
+        let built = build(&a, &b, dim, 16);
+        let spec = MachineSpec::default().with_epoch_ops(2_000);
+        let r = Machine::new(spec, TransmuterConfig::best_avg_cache()).run(&built.workload);
+        let last = r.epochs.last().unwrap().telemetry;
+        // Streaming 8-byte loads over 32-byte lines: mostly hits.
+        assert!(last.l1_miss_rate < 0.3, "miss rate {}", last.l1_miss_rate);
+    }
+}

@@ -1,0 +1,181 @@
+//! Memory layout of kernel data structures in the modelled address space.
+//!
+//! Addresses matter: cache behaviour, prefetcher effectiveness and
+//! bandwidth pressure all derive from them. Each sparse array gets its
+//! own line-aligned region, mirroring how the real runtime allocates
+//! input/output buffers in HBM before kernel dispatch (§3.1).
+
+use sparse::{CscMatrix, CsrMatrix, SparseVector};
+use transmuter::workload::{AddressSpace, Region};
+
+/// Bytes per value element (f64).
+pub const VAL_BYTES: u64 = 8;
+/// Bytes per index element (u32).
+pub const IDX_BYTES: u64 = 4;
+/// Bytes per offset element (u64).
+pub const PTR_BYTES: u64 = 8;
+
+/// Address layout of a CSC matrix (offsets / row indices / values).
+#[derive(Debug, Clone, Copy)]
+pub struct CscLayout {
+    /// Column offsets array (`cols + 1` entries of 8 bytes).
+    pub colptr: Region,
+    /// Row indices array (`nnz` entries of 4 bytes).
+    pub idx: Region,
+    /// Values array (`nnz` entries of 8 bytes).
+    pub val: Region,
+}
+
+impl CscLayout {
+    /// Allocates regions for `m` in `space`.
+    pub fn alloc(space: &mut AddressSpace, m: &CscMatrix) -> Self {
+        CscLayout {
+            colptr: space.alloc((m.cols() as u64 + 1) * PTR_BYTES),
+            idx: space.alloc((m.nnz() as u64).max(1) * IDX_BYTES),
+            val: space.alloc((m.nnz() as u64).max(1) * VAL_BYTES),
+        }
+    }
+
+    /// Address of `colptr[k]`.
+    pub fn colptr_addr(&self, k: u64) -> u64 {
+        self.colptr.addr(k, PTR_BYTES)
+    }
+
+    /// Address of the `p`-th row index.
+    pub fn idx_addr(&self, p: u64) -> u64 {
+        self.idx.addr(p, IDX_BYTES)
+    }
+
+    /// Address of the `p`-th value.
+    pub fn val_addr(&self, p: u64) -> u64 {
+        self.val.addr(p, VAL_BYTES)
+    }
+}
+
+/// Address layout of a CSR matrix (offsets / column indices / values).
+#[derive(Debug, Clone, Copy)]
+pub struct CsrLayout {
+    /// Row offsets array (`rows + 1` entries of 8 bytes).
+    pub rowptr: Region,
+    /// Column indices array (`nnz` entries of 4 bytes).
+    pub idx: Region,
+    /// Values array (`nnz` entries of 8 bytes).
+    pub val: Region,
+}
+
+impl CsrLayout {
+    /// Allocates regions for `m` in `space`.
+    pub fn alloc(space: &mut AddressSpace, m: &CsrMatrix) -> Self {
+        CsrLayout {
+            rowptr: space.alloc((m.rows() as u64 + 1) * PTR_BYTES),
+            idx: space.alloc((m.nnz() as u64).max(1) * IDX_BYTES),
+            val: space.alloc((m.nnz() as u64).max(1) * VAL_BYTES),
+        }
+    }
+
+    /// Address of `rowptr[k]`.
+    pub fn rowptr_addr(&self, k: u64) -> u64 {
+        self.rowptr.addr(k, PTR_BYTES)
+    }
+
+    /// Address of the `p`-th column index.
+    pub fn idx_addr(&self, p: u64) -> u64 {
+        self.idx.addr(p, IDX_BYTES)
+    }
+
+    /// Address of the `p`-th value.
+    pub fn val_addr(&self, p: u64) -> u64 {
+        self.val.addr(p, VAL_BYTES)
+    }
+}
+
+/// Address layout of a sparse vector stored as packed
+/// (u32 index, f64 value) pairs of 16 bytes (padded for alignment).
+#[derive(Debug, Clone, Copy)]
+pub struct SparseVecLayout {
+    /// The packed pair array.
+    pub pairs: Region,
+}
+
+/// Bytes per packed pair.
+pub const PAIR_BYTES: u64 = 16;
+
+impl SparseVecLayout {
+    /// Allocates a region for `v` in `space`.
+    pub fn alloc(space: &mut AddressSpace, v: &SparseVector) -> Self {
+        SparseVecLayout {
+            pairs: space.alloc((v.nnz() as u64).max(1) * PAIR_BYTES),
+        }
+    }
+
+    /// Allocates a region able to hold `capacity` pairs.
+    pub fn with_capacity(space: &mut AddressSpace, capacity: u64) -> Self {
+        SparseVecLayout {
+            pairs: space.alloc(capacity.max(1) * PAIR_BYTES),
+        }
+    }
+
+    /// Address of the `p`-th pair.
+    pub fn pair_addr(&self, p: u64) -> u64 {
+        self.pairs.addr(p, PAIR_BYTES)
+    }
+}
+
+/// A dense array of 8-byte elements (accumulators, level/distance
+/// arrays).
+#[derive(Debug, Clone, Copy)]
+pub struct DenseLayout {
+    /// The array region.
+    pub region: Region,
+}
+
+impl DenseLayout {
+    /// Allocates `len` elements of 8 bytes.
+    pub fn alloc(space: &mut AddressSpace, len: u64) -> Self {
+        DenseLayout {
+            region: space.alloc(len.max(1) * VAL_BYTES),
+        }
+    }
+
+    /// Address of element `i`.
+    pub fn addr(&self, i: u64) -> u64 {
+        self.region.addr(i, VAL_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{uniform_random, GenSeed};
+
+    #[test]
+    fn regions_are_disjoint() {
+        let m = uniform_random(64, 200, GenSeed(1));
+        let csc = m.to_csc();
+        let csr = m.to_csr();
+        let mut space = AddressSpace::new(32);
+        let la = CscLayout::alloc(&mut space, &csc);
+        let lb = CsrLayout::alloc(&mut space, &csr);
+        let regions = [la.colptr, la.idx, la.val, lb.rowptr, lb.idx, lb.val];
+        for (i, r) in regions.iter().enumerate() {
+            for (j, s) in regions.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        r.base + r.bytes <= s.base || s.base + s.bytes <= r.base,
+                        "regions {i} and {j} overlap"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn element_addresses_are_strided() {
+        let m = uniform_random(64, 200, GenSeed(2)).to_csc();
+        let mut space = AddressSpace::new(32);
+        let l = CscLayout::alloc(&mut space, &m);
+        assert_eq!(l.idx_addr(1) - l.idx_addr(0), IDX_BYTES);
+        assert_eq!(l.val_addr(1) - l.val_addr(0), VAL_BYTES);
+        assert_eq!(l.colptr_addr(1) - l.colptr_addr(0), PTR_BYTES);
+    }
+}

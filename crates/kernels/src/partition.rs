@@ -1,0 +1,111 @@
+//! Deterministic load-balanced work assignment.
+//!
+//! The LCPs of the real machine dispatch work items to GPEs dynamically
+//! from per-tile queues. For the epoch-stitching evaluation methodology
+//! we need the item→GPE mapping to be *identical across hardware
+//! configurations*, so the kernels use a deterministic greedy
+//! longest-processing-time heuristic instead: items are assigned, in
+//! descending cost order, to the currently least-loaded GPE. This mimics
+//! the LCP's load balancing while staying configuration-independent
+//! (DESIGN.md §2).
+
+/// Assigns `costs.len()` work items to `n_workers` workers. Returns
+/// `assignment[item] = worker`.
+///
+/// Deterministic: ties are broken by the lower worker index, and items of
+/// equal cost keep their original relative order.
+///
+/// # Panics
+///
+/// Panics if `n_workers == 0`.
+///
+/// # Example
+///
+/// ```
+/// use kernels::partition::assign_greedy;
+///
+/// let costs = [10, 1, 1, 1, 1, 1, 1, 1, 1, 1];
+/// let a = assign_greedy(&costs, 2);
+/// // The heavy item lands alone-ish: loads end up 10+something vs rest.
+/// let load0: u64 = costs.iter().zip(&a).filter(|&(_, &w)| w == 0).map(|(c, _)| *c).sum();
+/// let load1: u64 = costs.iter().zip(&a).filter(|&(_, &w)| w == 1).map(|(c, _)| *c).sum();
+/// assert!(load0.abs_diff(load1) <= 10);
+/// ```
+pub fn assign_greedy(costs: &[u64], n_workers: usize) -> Vec<usize> {
+    assert!(n_workers > 0, "need at least one worker");
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    // Sort by descending cost; stable so equal costs keep item order.
+    order.sort_by(|&a, &b| costs[b].cmp(&costs[a]));
+    let mut load = vec![0u64; n_workers];
+    let mut assignment = vec![0usize; costs.len()];
+    for item in order {
+        let worker = (0..n_workers)
+            .min_by_key(|&w| (load[w], w))
+            .expect("n_workers > 0");
+        assignment[item] = worker;
+        load[worker] = load[worker].saturating_add(costs[item].max(1));
+    }
+    assignment
+}
+
+/// Groups items by worker: `groups[w]` lists the item indices assigned to
+/// worker `w`, each in ascending item order (the order a work queue would
+/// hand them out).
+pub fn group_by_worker(assignment: &[usize], n_workers: usize) -> Vec<Vec<usize>> {
+    let mut groups = vec![Vec::new(); n_workers];
+    for (item, &w) in assignment.iter().enumerate() {
+        groups[w].push(item);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_items_assigned_once() {
+        let costs: Vec<u64> = (0..100).map(|i| (i * 7) % 13 + 1).collect();
+        let a = assign_greedy(&costs, 16);
+        assert_eq!(a.len(), 100);
+        let groups = group_by_worker(&a, 16);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn balances_skewed_costs() {
+        // One giant item plus many small ones.
+        let mut costs = vec![1u64; 150];
+        costs[0] = 50;
+        let a = assign_greedy(&costs, 4);
+        let mut load = [0u64; 4];
+        for (i, &w) in a.iter().enumerate() {
+            load[w] += costs[i];
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(max - min <= 2, "loads {load:?} should be near-equal");
+    }
+
+    #[test]
+    fn deterministic() {
+        let costs: Vec<u64> = (0..64).map(|i| (i * 31) % 17).collect();
+        assert_eq!(assign_greedy(&costs, 8), assign_greedy(&costs, 8));
+    }
+
+    #[test]
+    fn zero_cost_items_still_assigned() {
+        let costs = vec![0u64; 10];
+        let groups = group_by_worker(&assign_greedy(&costs, 3), 3);
+        assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), 10);
+        // Roughly spread, not all on worker 0.
+        assert!(groups[0].len() < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        assign_greedy(&[1], 0);
+    }
+}

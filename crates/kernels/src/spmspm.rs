@@ -1,0 +1,386 @@
+//! Outer-product SpMSpM (OuterSpace-style, §2.1).
+//!
+//! `C = A · B` with *A* in CSC and *B* in CSR decomposes into:
+//!
+//! * **multiply** — for every `k`, the outer product of column `k` of *A*
+//!   with row `k` of *B* produces partial products, scattered into
+//!   per-row buckets;
+//! * **merge** — every row of *C* sorts and accumulates its bucket.
+//!
+//! The two explicit phases have very different behaviour (streaming,
+//! bandwidth-hungry multiply vs. sort-heavy merge), and *implicit* phases
+//! arise inside multiply when dense columns meet dense rows (Figure 1).
+//!
+//! Partial-product slots are laid out deterministically (per row, in
+//! ascending `k`), so the op streams are independent of execution order.
+
+use sparse::{CooMatrix, CscMatrix, CsrMatrix};
+use transmuter::config::MemKind;
+use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+
+use crate::layout::{CscLayout, CsrLayout, IDX_BYTES, VAL_BYTES};
+use crate::partition::{assign_greedy, group_by_worker};
+use crate::pc;
+
+/// The output of building an SpMSpM workload.
+#[derive(Debug, Clone)]
+pub struct SpmspmBuild {
+    /// The two-phase workload for the simulator.
+    pub workload: Workload,
+    /// The functional result `C = A · B`.
+    pub result: CsrMatrix,
+    /// Total partial products produced by the multiply phase.
+    pub partial_products: u64,
+}
+
+/// Builds the workload for the cache variant of the kernel.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree or `n_gpes == 0`.
+pub fn build(a: &CscMatrix, b: &CsrMatrix, n_gpes: usize) -> SpmspmBuild {
+    build_with_variant(a, b, n_gpes, MemKind::Cache)
+}
+
+/// Builds the workload for a given algorithm variant (§5.1 trains the
+/// Cache and SPM code versions separately).
+///
+/// The SPM variant copies each work item's B-row slice into scratchpad
+/// before the inner loop (explicit orchestration ops), after which inner
+/// accesses are deterministic one-cycle SPM hits; the cache variant
+/// relies on the R-DCache to capture that reuse.
+///
+/// # Panics
+///
+/// Panics if inner dimensions disagree or `n_gpes == 0`.
+pub fn build_with_variant(
+    a: &CscMatrix,
+    b: &CsrMatrix,
+    n_gpes: usize,
+    variant: MemKind,
+) -> SpmspmBuild {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(n_gpes > 0, "need at least one GPE");
+    let dim_k = a.cols();
+    let rows = a.rows();
+
+    let mut space = AddressSpace::new(32);
+    let la = CscLayout::alloc(&mut space, a);
+    let lb = CsrLayout::alloc(&mut space, b);
+
+    // ---- Partial-product bookkeeping -----------------------------------
+    // Row r of C receives row_nnz_b(k) partials for every nonzero (r, k)
+    // of A. Slots are assigned per row in ascending k.
+    let mut row_count = vec![0u64; rows as usize];
+    for k in 0..dim_k {
+        let (rows_a, _) = a.col(k);
+        let blen = b.row_nnz(k) as u64;
+        for &r in rows_a {
+            row_count[r as usize] += blen;
+        }
+    }
+    let total_pp: u64 = row_count.iter().sum();
+    let mut row_base = vec![0u64; rows as usize + 1];
+    for r in 0..rows as usize {
+        row_base[r + 1] = row_base[r] + row_count[r];
+    }
+    let partial_idx = space.alloc(total_pp.max(1) * IDX_BYTES);
+    let partial_val = space.alloc(total_pp.max(1) * VAL_BYTES);
+
+    // slot_base_for_p[p]: first slot of the contribution of A's p-th
+    // stored element (CSC order).
+    let mut slot_base_for_p = vec![0u64; a.nnz()];
+    {
+        let mut cursor = row_base[..rows as usize].to_vec();
+        for k in 0..dim_k {
+            let lo = a.col_offsets()[k as usize];
+            let hi = a.col_offsets()[k as usize + 1];
+            let blen = b.row_nnz(k) as u64;
+            for p in lo..hi {
+                let r = a.row_indices()[p] as usize;
+                slot_base_for_p[p] = cursor[r];
+                cursor[r] += blen;
+            }
+        }
+    }
+
+    // ---- Functional result ---------------------------------------------
+    let mut c_coo = CooMatrix::new(rows, b.cols());
+    for k in 0..dim_k {
+        let (rows_a, vals_a) = a.col(k);
+        let (cols_b, vals_b) = b.row(k);
+        for (&r, &av) in rows_a.iter().zip(vals_a) {
+            for (&c, &bv) in cols_b.iter().zip(vals_b) {
+                c_coo.push(r, c, av * bv);
+            }
+        }
+    }
+    let result = c_coo.to_csr();
+
+    // Output layout (CSR of C).
+    let lc = CsrLayout::alloc(&mut space, &result);
+    let mut out_base = vec![0u64; rows as usize + 1];
+    for r in 0..rows as usize {
+        out_base[r + 1] = out_base[r] + result.row_nnz(r as u32) as u64;
+    }
+
+    // ---- Multiply phase --------------------------------------------------
+    let mul_costs: Vec<u64> = (0..dim_k)
+        .map(|k| a.col_nnz(k) as u64 * b.row_nnz(k) as u64 + 2)
+        .collect();
+    let assignment = assign_greedy(&mul_costs, n_gpes);
+    let groups = group_by_worker(&assignment, n_gpes);
+
+    let spm = variant == MemKind::Spm;
+    // In the SPM variant the per-item B slice lives in scratchpad;
+    // we model the scratchpad as a dedicated staging region.
+    let spm_stage = space.alloc(64 * 1024);
+
+    let mut mul_streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    for items in &groups {
+        let mut ops = Vec::new();
+        for &ki in items {
+            let k = ki as u32;
+            ops.push(Op::Load {
+                addr: la.colptr_addr(k as u64),
+                pc: pc::A_COLPTR,
+            });
+            ops.push(Op::Load {
+                addr: la.colptr_addr(k as u64 + 1),
+                pc: pc::A_COLPTR,
+            });
+            ops.push(Op::Load {
+                addr: lb.rowptr_addr(k as u64),
+                pc: pc::B_ROWPTR,
+            });
+            ops.push(Op::Load {
+                addr: lb.rowptr_addr(k as u64 + 1),
+                pc: pc::B_ROWPTR,
+            });
+            let lo_b = b.row_offsets()[k as usize] as u64;
+            let blen = b.row_nnz(k) as u64;
+            if spm && blen > 0 {
+                // Copy the B-row slice into scratchpad: one streaming
+                // load per element (through L2/memory), one int op each.
+                for q in 0..blen {
+                    ops.push(Op::Load {
+                        addr: lb.idx_addr(lo_b + q),
+                        pc: pc::B_IDX,
+                    });
+                    ops.push(Op::Load {
+                        addr: lb.val_addr(lo_b + q),
+                        pc: pc::B_VAL,
+                    });
+                    ops.push(Op::IntOps(1));
+                }
+            }
+            let col_lo = a.col_offsets()[k as usize];
+            let col_hi = a.col_offsets()[k as usize + 1];
+            for p in col_lo..col_hi {
+                ops.push(Op::Load {
+                    addr: la.idx_addr(p as u64),
+                    pc: pc::A_IDX,
+                });
+                ops.push(Op::Load {
+                    addr: la.val_addr(p as u64),
+                    pc: pc::A_VAL,
+                });
+                ops.push(Op::IntOps(2)); // slot address computation
+                let slot0 = slot_base_for_p[p];
+                for q in 0..blen {
+                    if spm {
+                        // B slice is staged in scratchpad (wrapping within
+                        // the staging window).
+                        ops.push(Op::Load {
+                            addr: spm_stage.base + (q * 16) % spm_stage.bytes,
+                            pc: pc::B_IDX,
+                        });
+                        ops.push(Op::Load {
+                            addr: spm_stage.base + (q * 16 + 8) % spm_stage.bytes,
+                            pc: pc::B_VAL,
+                        });
+                    } else {
+                        ops.push(Op::Load {
+                            addr: lb.idx_addr(lo_b + q),
+                            pc: pc::B_IDX,
+                        });
+                        ops.push(Op::Load {
+                            addr: lb.val_addr(lo_b + q),
+                            pc: pc::B_VAL,
+                        });
+                    }
+                    ops.push(Op::Flops(1));
+                    ops.push(Op::Store {
+                        addr: partial_idx.addr(slot0 + q, IDX_BYTES),
+                        pc: pc::PARTIAL_IDX_W,
+                    });
+                    ops.push(Op::Store {
+                        addr: partial_val.addr(slot0 + q, VAL_BYTES),
+                        pc: pc::PARTIAL_VAL_W,
+                    });
+                }
+            }
+        }
+        mul_streams.push(ops);
+    }
+    let mut multiply = Phase::new("multiply", mul_streams);
+    if spm {
+        multiply = multiply.with_spm_regions(vec![spm_stage]);
+    }
+
+    // ---- Merge phase -----------------------------------------------------
+    let merge_costs: Vec<u64> = (0..rows as usize)
+        .map(|r| {
+            let n = row_count[r];
+            n + n * log2_ceil(n) + 2
+        })
+        .collect();
+    let merge_groups = group_by_worker(&assign_greedy(&merge_costs, n_gpes), n_gpes);
+    let mut merge_streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    for items in &merge_groups {
+        let mut ops = Vec::new();
+        for &ri in items {
+            let r = ri as u32;
+            let cnt = row_count[ri];
+            if cnt == 0 {
+                continue;
+            }
+            for j in 0..cnt {
+                ops.push(Op::Load {
+                    addr: partial_idx.addr(row_base[ri] + j, IDX_BYTES),
+                    pc: pc::PARTIAL_IDX_R,
+                });
+                ops.push(Op::Load {
+                    addr: partial_val.addr(row_base[ri] + j, VAL_BYTES),
+                    pc: pc::PARTIAL_VAL_R,
+                });
+            }
+            // Mergesort bookkeeping: n log n comparisons/moves.
+            let sort_ops = (cnt * log2_ceil(cnt)) as u32;
+            if sort_ops > 0 {
+                ops.push(Op::IntOps(sort_ops));
+            }
+            let out_cnt = result.row_nnz(r) as u64;
+            let adds = cnt.saturating_sub(out_cnt) as u32;
+            if adds > 0 {
+                ops.push(Op::Flops(adds));
+            }
+            for o in 0..out_cnt {
+                ops.push(Op::Store {
+                    addr: lc.idx_addr(out_base[ri] + o),
+                    pc: pc::OUT_IDX,
+                });
+                ops.push(Op::Store {
+                    addr: lc.val_addr(out_base[ri] + o),
+                    pc: pc::OUT_VAL,
+                });
+            }
+        }
+        merge_streams.push(ops);
+    }
+    let merge = Phase::new("merge", merge_streams);
+
+    SpmspmBuild {
+        workload: Workload::new("spmspm", vec![multiply, merge]),
+        result,
+        partial_products: total_pp,
+    }
+}
+
+fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{rmat, uniform_random, GenSeed};
+
+    #[test]
+    fn result_matches_dense_reference() {
+        let a = uniform_random(48, 200, GenSeed(3));
+        let a_csc = a.to_csc();
+        let b = a.to_csr().transpose(); // C = A * A^T
+        let built = build(&a_csc, &b, 16);
+        let dense = a.to_csr().matmul_dense_reference(&b);
+        for r in 0..48u32 {
+            for c in 0..48u32 {
+                let got = built.result.get(r, c).unwrap_or(0.0);
+                assert!(
+                    (got - dense[r as usize][c as usize]).abs() < 1e-9,
+                    "C[{r}][{c}] = {got}, want {}",
+                    dense[r as usize][c as usize]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_explicit_phases() {
+        let a = uniform_random(32, 100, GenSeed(4));
+        let built = build(&a.to_csc(), &a.to_csr().transpose(), 8);
+        assert_eq!(built.workload.phases.len(), 2);
+        assert_eq!(built.workload.phases[0].name, "multiply");
+        assert_eq!(built.workload.phases[1].name, "merge");
+    }
+
+    #[test]
+    fn flop_counts_match_partial_products() {
+        let a = uniform_random(32, 120, GenSeed(5));
+        let built = build(&a.to_csc(), &a.to_csr().transpose(), 8);
+        // multiply: one FLOP per partial product; merge: one per add.
+        let mul_flops: u64 = built.workload.phases[0]
+            .streams
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                Op::Flops(n) => *n as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(mul_flops, built.partial_products);
+        let merge_flops = built.workload.total_flops() - mul_flops;
+        assert_eq!(
+            merge_flops,
+            built.partial_products - built.result.nnz() as u64
+        );
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = rmat(64, 400, GenSeed(6));
+        let w1 = build(&a.to_csc(), &a.to_csr().transpose(), 16).workload;
+        let w2 = build(&a.to_csc(), &a.to_csr().transpose(), 16).workload;
+        assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn spm_variant_stages_b_rows() {
+        let a = uniform_random(32, 150, GenSeed(7));
+        let cache = build_with_variant(&a.to_csc(), &a.to_csr().transpose(), 8, MemKind::Cache);
+        let spm = build_with_variant(&a.to_csc(), &a.to_csr().transpose(), 8, MemKind::Spm);
+        assert!(spm.workload.phases[0].spm_regions.len() == 1);
+        assert!(cache.workload.phases[0].spm_regions.is_empty());
+        // Same functional result, more orchestration ops in SPM.
+        assert_eq!(cache.result, spm.result);
+        let count = |w: &Workload| w.phases[0].streams.iter().flatten().count();
+        assert!(count(&spm.workload) > count(&cache.workload));
+    }
+
+    #[test]
+    fn runs_on_the_machine() {
+        use transmuter::config::{MachineSpec, TransmuterConfig};
+        use transmuter::machine::Machine;
+        let a = uniform_random(48, 300, GenSeed(8));
+        let built = build(&a.to_csc(), &a.to_csr().transpose(), 16);
+        let spec = MachineSpec::default().with_epoch_ops(1_000);
+        let mut m = Machine::new(spec, TransmuterConfig::baseline());
+        let r = m.run(&built.workload);
+        assert_eq!(r.flops, built.workload.total_fp_ops());
+        assert!(r.epochs.len() > 1, "should cross epoch boundaries");
+    }
+}

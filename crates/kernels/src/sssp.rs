@@ -1,0 +1,248 @@
+//! Single-source shortest paths as iterative SpMSpV (§6.1.3).
+//!
+//! Frontier-based Bellman-Ford over the min-plus semiring: each
+//! iteration relaxes the out-edges of every vertex whose distance
+//! improved in the previous iteration. Edge weights are the matrix
+//! values (positive by construction of the generators), so distances are
+//! well-defined.
+
+use sparse::CscMatrix;
+use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+
+use crate::layout::{CscLayout, DenseLayout, SparseVecLayout};
+use crate::partition::{assign_greedy, group_by_worker};
+use crate::pc;
+
+/// The output of building an SSSP workload.
+#[derive(Debug, Clone)]
+pub struct SsspBuild {
+    /// One phase per relaxation round.
+    pub workload: Workload,
+    /// `dist[v]` = shortest distance from the source, or `None`.
+    pub dist: Vec<Option<f64>>,
+    /// Edges relaxed across the whole run (the TEPS numerator).
+    pub edges_traversed: u64,
+    /// Number of relaxation rounds.
+    pub iterations: u32,
+}
+
+/// Reference Dijkstra over the same edge interpretation, for validation.
+pub fn reference_distances(a: &CscMatrix, source: u32) -> Vec<Option<f64>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = a.cols() as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((OrdF64(0.0), source)));
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        let (rows, vals) = a.col(u);
+        for (&v, &w) in rows.iter().zip(vals) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    dist.into_iter()
+        .map(|d| if d.is_finite() { Some(d) } else { None })
+        .collect()
+}
+
+#[derive(PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are finite")
+    }
+}
+
+/// Builds the SSSP workload from `source`.
+///
+/// # Panics
+///
+/// Panics if the matrix is not square, has a non-positive stored weight,
+/// `source` is out of range, or `n_gpes == 0`.
+pub fn build(a: &CscMatrix, source: u32, n_gpes: usize) -> SsspBuild {
+    let n = a.dim();
+    assert!(source < n, "source {source} out of range {n}");
+    assert!(n_gpes > 0, "need at least one GPE");
+    assert!(
+        a.values().iter().all(|&w| w > 0.0),
+        "SSSP requires positive edge weights"
+    );
+
+    let mut space = AddressSpace::new(32);
+    let la = CscLayout::alloc(&mut space, a);
+    let dist_arr = DenseLayout::alloc(&mut space, n as u64);
+    let frontier_buf = SparseVecLayout::with_capacity(&mut space, n as u64);
+    let next_buf = SparseVecLayout::with_capacity(&mut space, n as u64);
+
+    let mut dist = vec![f64::INFINITY; n as usize];
+    dist[source as usize] = 0.0;
+    let mut frontier = vec![source];
+    let mut phases = Vec::new();
+    let mut edges = 0u64;
+    let mut rounds = 0u32;
+
+    while !frontier.is_empty() {
+        rounds += 1;
+        let costs: Vec<u64> = frontier.iter().map(|&k| a.col_nnz(k) as u64 + 1).collect();
+        let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
+        let mut per_gpe_updates: Vec<Vec<u32>> = vec![Vec::new(); n_gpes];
+        let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+        let mut next_write_cursor = 0u64;
+        for (g, items) in groups.iter().enumerate() {
+            let mut ops = Vec::new();
+            for &it in items {
+                let u = frontier[it];
+                ops.push(Op::Load {
+                    addr: frontier_buf.pair_addr(it as u64),
+                    pc: pc::X_PAIR,
+                });
+                ops.push(Op::Load {
+                    addr: la.colptr_addr(u as u64),
+                    pc: pc::A_COLPTR,
+                });
+                ops.push(Op::Load {
+                    addr: la.colptr_addr(u as u64 + 1),
+                    pc: pc::A_COLPTR,
+                });
+                let du = dist[u as usize];
+                let lo = a.col_offsets()[u as usize];
+                let hi = a.col_offsets()[u as usize + 1];
+                edges += (hi - lo) as u64;
+                for p in lo..hi {
+                    let v = a.row_indices()[p];
+                    let w = a.values()[p];
+                    ops.push(Op::Load {
+                        addr: la.idx_addr(p as u64),
+                        pc: pc::A_IDX,
+                    });
+                    ops.push(Op::Load {
+                        addr: la.val_addr(p as u64),
+                        pc: pc::A_VAL,
+                    });
+                    ops.push(Op::Load {
+                        addr: dist_arr.addr(v as u64),
+                        pc: pc::STATE_R,
+                    });
+                    // add + min over the min-plus semiring.
+                    ops.push(Op::Flops(2));
+                    let alt = du + w;
+                    if alt < dist[v as usize] {
+                        dist[v as usize] = alt;
+                        per_gpe_updates[g].push(v);
+                        ops.push(Op::Store {
+                            addr: dist_arr.addr(v as u64),
+                            pc: pc::STATE_W,
+                        });
+                        ops.push(Op::Store {
+                            addr: next_buf.pair_addr(next_write_cursor % n as u64),
+                            pc: pc::OUT_VAL,
+                        });
+                        next_write_cursor += 1;
+                    }
+                }
+            }
+            streams.push(ops);
+        }
+        let mut next: Vec<u32> = per_gpe_updates.into_iter().flatten().collect();
+        next.sort_unstable();
+        next.dedup();
+        phases.push(Phase::new(&format!("sssp-round-{rounds}"), streams));
+        frontier = next;
+    }
+
+    SsspBuild {
+        workload: Workload::new("sssp", phases),
+        dist: dist
+            .into_iter()
+            .map(|d| if d.is_finite() { Some(d) } else { None })
+            .collect(),
+        edges_traversed: edges,
+        iterations: rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparse::gen::{rmat, structured, GenSeed, PatternClass};
+
+    fn assert_dists_eq(a: &[Option<f64>], b: &[Option<f64>]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            match (x, y) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert!((p - q).abs() < 1e-9, "dist[{i}]: {p} vs {q}")
+                }
+                _ => panic!("dist[{i}]: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn distances_match_dijkstra() {
+        let a = rmat(128, 900, GenSeed(1)).to_csc();
+        let built = build(&a, 0, 16);
+        assert_dists_eq(&built.dist, &reference_distances(&a, 0));
+    }
+
+    #[test]
+    fn banded_graph_distances() {
+        let a = structured(
+            150,
+            1_200,
+            &PatternClass::Banded { half_bandwidth: 8 },
+            GenSeed(2),
+        )
+        .to_csc();
+        let built = build(&a, 10, 8);
+        assert_dists_eq(&built.dist, &reference_distances(&a, 10));
+        assert!(built.iterations >= 3);
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let a = rmat(64, 400, GenSeed(3)).to_csc();
+        let built = build(&a, 7, 8);
+        assert_eq!(built.dist[7], Some(0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(96, 700, GenSeed(4)).to_csc();
+        assert_eq!(build(&a, 0, 16).workload, build(&a, 0, 16).workload);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive edge weights")]
+    fn rejects_non_positive_weights() {
+        let mut coo = sparse::CooMatrix::new(4, 4);
+        coo.push(1, 0, -1.0);
+        build(&coo.to_csc(), 0, 4);
+    }
+
+    #[test]
+    fn runs_on_the_machine() {
+        use transmuter::config::{MachineSpec, TransmuterConfig};
+        use transmuter::machine::Machine;
+        let a = rmat(96, 700, GenSeed(5)).to_csc();
+        let built = build(&a, 0, 16);
+        let spec = MachineSpec::default().with_epoch_ops(500);
+        let r = Machine::new(spec, TransmuterConfig::baseline()).run(&built.workload);
+        assert!(r.time_s > 0.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Random forest (bagged CART trees with feature subsampling).
+//!
+//! §4.3 reports forests matching single decision trees on accuracy but
+//! losing on inference overhead and explainability; this implementation
+//! exists so that comparison can be reproduced.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::tree::{DecisionTree, TreeParams};
+use crate::{Classifier, Dataset};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree CART parameters.
+    pub tree: TreeParams,
+    /// RNG seed for bootstrap sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 20,
+            tree: TreeParams::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits a forest with bootstrap-sampled training sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `n_trees == 0`.
+    pub fn fit(data: &Dataset, params: &ForestParams) -> RandomForest {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(params.n_trees > 0, "need at least one tree");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let n = data.len();
+        let trees = (0..params.n_trees)
+            .map(|_| {
+                let sample: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                DecisionTree::fit(&data.subset(&sample), &params.tree)
+            })
+            .collect();
+        RandomForest {
+            trees,
+            n_classes: data.n_classes().max(1),
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Mean feature importances across trees.
+    pub fn feature_importances(&self) -> Vec<f64> {
+        let n_features = self
+            .trees
+            .first()
+            .map_or(0, |t| t.feature_importances().len());
+        let mut imp = vec![0.0; n_features];
+        for t in &self.trees {
+            for (a, b) in imp.iter_mut().zip(t.feature_importances()) {
+                *a += b;
+            }
+        }
+        for v in &mut imp {
+            *v /= self.trees.len() as f64;
+        }
+        imp
+    }
+}
+
+impl Classifier for RandomForest {
+    fn predict(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            let c = t.predict(row);
+            if c < votes.len() {
+                votes[c] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_threshold() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into(), "noise".into()]);
+        for i in 0..200 {
+            let x = (i % 100) as f64 / 100.0;
+            let noise = ((i * 37) % 100) as f64 / 100.0;
+            d.push(vec![x, noise], usize::from(x > 0.5));
+        }
+        d
+    }
+
+    #[test]
+    fn forest_learns_threshold() {
+        let d = noisy_threshold();
+        let f = RandomForest::fit(&d, &ForestParams::default());
+        assert!(f.accuracy(&d) > 0.95);
+        assert_eq!(f.n_trees(), 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = noisy_threshold();
+        let a = RandomForest::fit(&d, &ForestParams::default());
+        let b = RandomForest::fit(&d, &ForestParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn importances_favor_signal_feature() {
+        let d = noisy_threshold();
+        let f = RandomForest::fit(&d, &ForestParams::default());
+        let imp = f.feature_importances();
+        assert!(imp[0] > imp[1], "signal {} vs noise {}", imp[0], imp[1]);
+    }
+}

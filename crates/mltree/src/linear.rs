@@ -1,0 +1,225 @@
+//! Linear baselines: least-squares linear classification and one-vs-rest
+//! logistic regression.
+//!
+//! §4.3: "the linear and logistic regression models gave us poor
+//! accuracies" — these exist to reproduce that comparison (Figure 9's
+//! model-choice discussion).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Classifier, Dataset};
+
+/// Least-squares linear model: fits `w·x + b ≈ label` (ridge-regularised
+/// normal equations), rounds the prediction to the nearest class index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearClassifier {
+    weights: Vec<f64>, // last entry is the bias
+    n_classes: usize,
+}
+
+impl LinearClassifier {
+    /// Fits by ridge-regularised normal equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset) -> LinearClassifier {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let d = data.n_features() + 1; // + bias
+        // Accumulate X^T X and X^T y with an appended 1 for the bias.
+        let mut xtx = vec![vec![0.0f64; d]; d];
+        let mut xty = vec![0.0f64; d];
+        for (x, y) in data.rows() {
+            let mut row = x.to_vec();
+            row.push(1.0);
+            for i in 0..d {
+                for j in 0..d {
+                    xtx[i][j] += row[i] * row[j];
+                }
+                xty[i] += row[i] * y as f64;
+            }
+        }
+        for (i, row) in xtx.iter_mut().enumerate() {
+            row[i] += 1e-6; // ridge term keeps the system solvable
+        }
+        let weights = solve(xtx, xty);
+        LinearClassifier {
+            weights,
+            n_classes: data.n_classes().max(1),
+        }
+    }
+}
+
+impl Classifier for LinearClassifier {
+    fn predict(&self, row: &[f64]) -> usize {
+        let mut v = *self.weights.last().expect("bias present");
+        for (w, x) in self.weights.iter().zip(row) {
+            v += w * x;
+        }
+        (v.round().max(0.0) as usize).min(self.n_classes - 1)
+    }
+}
+
+/// Gaussian elimination with partial pivoting.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        if diag.abs() < 1e-30 {
+            continue;
+        }
+        for row in col + 1..n {
+            let f = a[row][col] / diag;
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for k in col + 1..n {
+            v -= a[col][k] * x[k];
+        }
+        x[col] = if a[col][col].abs() < 1e-30 {
+            0.0
+        } else {
+            v / a[col][col]
+        };
+    }
+    x
+}
+
+/// One-vs-rest logistic regression trained by batch gradient descent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogisticRegression {
+    /// One weight vector (with trailing bias) per class.
+    per_class: Vec<Vec<f64>>,
+}
+
+impl LogisticRegression {
+    /// Fits with `iters` gradient steps at learning rate `lr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset, iters: usize, lr: f64) -> LogisticRegression {
+        assert!(!data.is_empty(), "cannot fit on an empty dataset");
+        let d = data.n_features() + 1;
+        let n_classes = data.n_classes().max(1);
+        let n = data.len() as f64;
+        let mut per_class = vec![vec![0.0f64; d]; n_classes];
+        for (c, w) in per_class.iter_mut().enumerate() {
+            for _ in 0..iters {
+                let mut grad = vec![0.0f64; d];
+                for (x, y) in data.rows() {
+                    let target = f64::from(y == c);
+                    let mut z = w[d - 1];
+                    for (wi, xi) in w[..d - 1].iter().zip(x) {
+                        z += wi * xi;
+                    }
+                    let p = 1.0 / (1.0 + (-z).exp());
+                    let err = p - target;
+                    for (g, xi) in grad[..d - 1].iter_mut().zip(x) {
+                        *g += err * xi;
+                    }
+                    grad[d - 1] += err;
+                }
+                for (wi, g) in w.iter_mut().zip(&grad) {
+                    *wi -= lr * g / n;
+                }
+            }
+        }
+        LogisticRegression { per_class }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn predict(&self, row: &[f64]) -> usize {
+        self.per_class
+            .iter()
+            .enumerate()
+            .map(|(c, w)| {
+                let mut z = *w.last().expect("bias");
+                for (wi, xi) in w[..w.len() - 1].iter().zip(row) {
+                    z += wi * xi;
+                }
+                (c, z)
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeParams};
+
+    fn linear_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..100 {
+            let x = i as f64 / 100.0;
+            d.push(vec![x], usize::from(x > 0.5));
+        }
+        d
+    }
+
+    /// Non-linear (banded) labels that linear models cannot capture.
+    fn banded_data() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for i in 0..120 {
+            let x = i as f64 / 120.0;
+            d.push(vec![x], usize::from((x * 6.0) as usize % 2 == 1));
+        }
+        d
+    }
+
+    #[test]
+    fn linear_model_fits_linear_data() {
+        let d = linear_data();
+        let m = LinearClassifier::fit(&d);
+        assert!(m.accuracy(&d) > 0.9);
+    }
+
+    #[test]
+    fn logistic_fits_linear_data() {
+        let d = linear_data();
+        let m = LogisticRegression::fit(&d, 300, 1.0);
+        assert!(m.accuracy(&d) > 0.9);
+    }
+
+    #[test]
+    fn trees_beat_linear_models_on_banded_labels() {
+        // Reproduces the §4.3 observation that motivated decision trees.
+        let d = banded_data();
+        let lin = LinearClassifier::fit(&d).accuracy(&d);
+        let log = LogisticRegression::fit(&d, 200, 1.0).accuracy(&d);
+        let tree = DecisionTree::fit(&d, &TreeParams::default()).accuracy(&d);
+        assert!(tree > 0.95, "tree accuracy {tree}");
+        assert!(tree > lin + 0.2, "tree {tree} vs linear {lin}");
+        assert!(tree > log + 0.2, "tree {tree} vs logistic {log}");
+    }
+
+    #[test]
+    fn solver_inverts_simple_system() {
+        // 2x + y = 5, x + 3y = 10 -> x = 1, y = 3.
+        let a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let x = solve(a, vec![5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,195 @@
+use crate::{CscMatrix, CsrMatrix, FormatError};
+
+/// Triplet (coordinate) sparse matrix.
+///
+/// The natural construction format: push `(row, col, value)` entries in any
+/// order, deduplicate, then convert to [`CsrMatrix`] / [`CscMatrix`] for
+/// computation. Duplicate coordinates are summed on conversion, matching
+/// SciPy semantics (the paper generates its synthetic inputs with SciPy).
+///
+/// # Example
+///
+/// ```
+/// use sparse::CooMatrix;
+///
+/// let mut m = CooMatrix::new(3, 3);
+/// m.push(0, 1, 2.0);
+/// m.push(2, 0, -1.0);
+/// m.push(0, 1, 3.0); // duplicate: summed on conversion
+/// let csr = m.to_csr();
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.get(0, 1), Some(5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CooMatrix {
+    rows: u32,
+    cols: u32,
+    entries: Vec<(u32, u32, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty matrix with the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u32, cols: u32) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        CooMatrix {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates a matrix from a list of `(row, col, value)` triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::IndexOutOfBounds`] if any coordinate exceeds
+    /// the dimensions.
+    pub fn from_triplets(
+        rows: u32,
+        cols: u32,
+        triplets: Vec<(u32, u32, f64)>,
+    ) -> Result<Self, FormatError> {
+        for &(r, c, _) in &triplets {
+            if r >= rows {
+                return Err(FormatError::IndexOutOfBounds { index: r, bound: rows });
+            }
+            if c >= cols {
+                return Err(FormatError::IndexOutOfBounds { index: c, bound: cols });
+            }
+        }
+        Ok(CooMatrix {
+            rows,
+            cols,
+            entries: triplets,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Dimension of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn dim(&self) -> u32 {
+        assert_eq!(self.rows, self.cols, "matrix is not square");
+        self.rows
+    }
+
+    /// Number of stored entries, *including* duplicates not yet merged.
+    pub fn raw_nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends an entry. Duplicates are allowed and summed on conversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, row: u32, col: u32, value: f64) {
+        assert!(row < self.rows, "row {row} out of bounds {}", self.rows);
+        assert!(col < self.cols, "col {col} out of bounds {}", self.cols);
+        self.entries.push((row, col, value));
+    }
+
+    /// Borrows the raw triplets.
+    pub fn triplets(&self) -> &[(u32, u32, f64)] {
+        &self.entries
+    }
+
+    /// Converts to CSR, summing duplicates and dropping explicit zeros that
+    /// result from cancellation.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let merged = self.merged(|&(r, c, _)| (r, c));
+        CsrMatrix::from_sorted_triplets(self.rows, self.cols, &merged)
+    }
+
+    /// Converts to CSC, summing duplicates and dropping explicit zeros that
+    /// result from cancellation.
+    pub fn to_csc(&self) -> CscMatrix {
+        let merged = self.merged(|&(r, c, _)| (c, r));
+        CscMatrix::from_col_sorted_triplets(self.rows, self.cols, &merged)
+    }
+
+    /// Sorts a copy of the entries by the given key and merges duplicates.
+    fn merged<K>(&self, key: impl Fn(&(u32, u32, f64)) -> K) -> Vec<(u32, u32, f64)>
+    where
+        K: Ord + Copy,
+    {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by_key(|e| key(e));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(sorted.len());
+        for e in sorted {
+            match merged.last_mut() {
+                Some(last) if last.0 == e.0 && last.1 == e.1 => last.2 += e.2,
+                _ => merged.push(e),
+            }
+        }
+        merged.retain(|&(_, _, v)| v != 0.0);
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(1, 1, 1.5);
+        m.push(1, 1, 2.5);
+        assert_eq!(m.raw_nnz(), 2);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 1);
+        assert_eq!(csr.get(1, 1), Some(4.0));
+    }
+
+    #[test]
+    fn cancellation_drops_entry() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, -1.0);
+        assert_eq!(m.to_csr().nnz(), 0);
+    }
+
+    #[test]
+    fn from_triplets_validates_bounds() {
+        let err = CooMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).unwrap_err();
+        assert_eq!(err, FormatError::IndexOutOfBounds { index: 2, bound: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(0, 5, 1.0);
+    }
+
+    #[test]
+    fn csr_csc_agree() {
+        let mut m = CooMatrix::new(4, 3);
+        m.push(3, 2, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(1, 2, 3.0);
+        let csr = m.to_csr();
+        let csc = m.to_csc();
+        for r in 0..4 {
+            for c in 0..3 {
+                assert_eq!(csr.get(r, c), csc.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+    }
+}

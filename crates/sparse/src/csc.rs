@@ -1,0 +1,212 @@
+use crate::csr::validate_compressed;
+use crate::{CooMatrix, CsrMatrix, FormatError};
+
+/// Compressed sparse column matrix.
+///
+/// The mirror image of [`CsrMatrix`]: `col_offsets` (length `cols + 1`),
+/// `row_indices` and `values` (length `nnz`), with row indices strictly
+/// increasing within each column.
+///
+/// Matrix *A* of the paper's outer-product SpMSpM is stored in CSC so that
+/// column *k* (an outer-product operand) streams contiguously; the SpMSpV
+/// kernel also consumes the matrix in CSC, gathering the columns selected
+/// by the sparse input vector.
+///
+/// # Example
+///
+/// ```
+/// use sparse::CscMatrix;
+///
+/// let m = CscMatrix::from_parts(
+///     3,
+///     2,
+///     vec![0, 1, 3],
+///     vec![2, 0, 1],
+///     vec![7.0, 1.0, 2.0],
+/// )?;
+/// assert_eq!(m.col(1), (&[0u32, 1][..], &[1.0, 2.0][..]));
+/// # Ok::<(), sparse::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: u32,
+    cols: u32,
+    col_offsets: Vec<usize>,
+    row_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from raw parts, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] under the same conditions as
+    /// [`CsrMatrix::from_parts`], with rows and columns swapped.
+    pub fn from_parts(
+        rows: u32,
+        cols: u32,
+        col_offsets: Vec<usize>,
+        row_indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        validate_compressed(cols, rows, &col_offsets, &row_indices, &values)?;
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_offsets,
+            row_indices,
+            values,
+        })
+    }
+
+    /// Builds from triplets sorted by `(col, row)` with no duplicates.
+    pub(crate) fn from_col_sorted_triplets(
+        rows: u32,
+        cols: u32,
+        triplets: &[(u32, u32, f64)],
+    ) -> Self {
+        let mut col_offsets = vec![0usize; cols as usize + 1];
+        for &(_, c, _) in triplets {
+            col_offsets[c as usize + 1] += 1;
+        }
+        for i in 0..cols as usize {
+            col_offsets[i + 1] += col_offsets[i];
+        }
+        let row_indices = triplets.iter().map(|&(r, _, _)| r).collect();
+        let values = triplets.iter().map(|&(_, _, v)| v).collect();
+        CscMatrix {
+            rows,
+            cols,
+            col_offsets,
+            row_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Dimension of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn dim(&self) -> u32 {
+        assert_eq!(self.rows, self.cols, "matrix is not square");
+        self.rows
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero entries.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// The column offsets array (length `cols + 1`).
+    pub fn col_offsets(&self) -> &[usize] {
+        &self.col_offsets
+    }
+
+    /// The row indices array (length `nnz`).
+    pub fn row_indices(&self) -> &[u32] {
+        &self.row_indices
+    }
+
+    /// The values array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The row indices and values of one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col(&self, col: u32) -> (&[u32], &[f64]) {
+        let lo = self.col_offsets[col as usize];
+        let hi = self.col_offsets[col as usize + 1];
+        (&self.row_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in one column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col >= self.cols()`.
+    pub fn col_nnz(&self, col: u32) -> usize {
+        self.col_offsets[col as usize + 1] - self.col_offsets[col as usize]
+    }
+
+    /// Looks up a single entry (binary search within the column).
+    ///
+    /// Returns `None` for structural zeros.
+    pub fn get(&self, row: u32, col: u32) -> Option<f64> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let (rows, vals) = self.col(col);
+        rows.binary_search(&row).ok().map(|i| vals[i])
+    }
+
+    /// Iterates over `(row, col, value)` triplets in column-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.cols).flat_map(move |c| {
+            let (rows, vals) = self.col(c);
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts to CSR.
+    pub fn to_csr(&self) -> CsrMatrix {
+        CooMatrix::from_triplets(self.rows, self.cols, self.iter().collect())
+            .expect("CSC invariants guarantee valid triplets")
+            .to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_access() {
+        // [0 1]
+        // [0 2]
+        // [7 0]
+        let m = CscMatrix::from_parts(3, 2, vec![0, 1, 3], vec![2, 0, 1], vec![7.0, 1.0, 2.0])
+            .unwrap();
+        assert_eq!(m.col_nnz(0), 1);
+        assert_eq!(m.get(2, 0), Some(7.0));
+        assert_eq!(m.get(0, 0), None);
+    }
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let mut coo = CooMatrix::new(5, 5);
+        coo.push(0, 4, 1.0);
+        coo.push(3, 3, 2.0);
+        coo.push(4, 0, 3.0);
+        let csc = coo.to_csc();
+        let back = csc.to_csr().to_csc();
+        assert_eq!(csc, back);
+    }
+
+    #[test]
+    fn rejects_row_index_out_of_bounds() {
+        let err =
+            CscMatrix::from_parts(2, 1, vec![0, 1], vec![3], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { .. }));
+    }
+}

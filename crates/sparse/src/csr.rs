@@ -1,0 +1,316 @@
+use crate::{CooMatrix, CscMatrix, FormatError};
+
+/// Compressed sparse row matrix.
+///
+/// Storage is the classic three-array layout: `row_offsets` (length
+/// `rows + 1`), `col_indices` and `values` (length `nnz`). Column indices
+/// within each row are strictly increasing.
+///
+/// In the outer-product SpMSpM of the paper, matrix *B* is stored in CSR so
+/// that row *k* (matched with column *k* of *A* in CSC) streams
+/// contiguously.
+///
+/// # Example
+///
+/// ```
+/// use sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_parts(
+///     2,
+///     3,
+///     vec![0, 2, 3],
+///     vec![0, 2, 1],
+///     vec![1.0, 2.0, 3.0],
+/// )?;
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.row(0), (&[0u32, 2][..], &[1.0, 2.0][..]));
+/// # Ok::<(), sparse::FormatError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: u32,
+    cols: u32,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating every invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FormatError`] if the offsets array has the wrong length,
+    /// is non-monotonic, if indices/values lengths differ, if a column
+    /// index is out of bounds, or if indices within a row are not strictly
+    /// increasing.
+    pub fn from_parts(
+        rows: u32,
+        cols: u32,
+        row_offsets: Vec<usize>,
+        col_indices: Vec<u32>,
+        values: Vec<f64>,
+    ) -> Result<Self, FormatError> {
+        validate_compressed(rows, cols, &row_offsets, &col_indices, &values)?;
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        })
+    }
+
+    /// Builds from triplets already sorted by `(row, col)` with no
+    /// duplicates. Internal fast path for [`CooMatrix`] conversion.
+    pub(crate) fn from_sorted_triplets(
+        rows: u32,
+        cols: u32,
+        triplets: &[(u32, u32, f64)],
+    ) -> Self {
+        let mut row_offsets = vec![0usize; rows as usize + 1];
+        for &(r, _, _) in triplets {
+            row_offsets[r as usize + 1] += 1;
+        }
+        for i in 0..rows as usize {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        let col_indices = triplets.iter().map(|&(_, c, _)| c).collect();
+        let values = triplets.iter().map(|&(_, _, v)| v).collect();
+        CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Dimension of a square matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn dim(&self) -> u32 {
+        assert_eq!(self.rows, self.cols, "matrix is not square");
+        self.rows
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of non-zero entries.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// The row offsets array (length `rows + 1`).
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row_offsets
+    }
+
+    /// The column indices array (length `nnz`).
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The values array (length `nnz`).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The column indices and values of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row(&self, row: u32) -> (&[u32], &[f64]) {
+        let lo = self.row_offsets[row as usize];
+        let hi = self.row_offsets[row as usize + 1];
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Number of non-zeros in one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= self.rows()`.
+    pub fn row_nnz(&self, row: u32) -> usize {
+        self.row_offsets[row as usize + 1] - self.row_offsets[row as usize]
+    }
+
+    /// Looks up a single entry (binary search within the row).
+    ///
+    /// Returns `None` for structural zeros.
+    pub fn get(&self, row: u32, col: u32) -> Option<f64> {
+        if row >= self.rows || col >= self.cols {
+            return None;
+        }
+        let (cols, vals) = self.row(row);
+        cols.binary_search(&col).ok().map(|i| vals[i])
+    }
+
+    /// Iterates over `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (cols, vals) = self.row(r);
+            cols.iter().zip(vals).map(move |(&c, &v)| (r, c, v))
+        })
+    }
+
+    /// Converts to COO triplets.
+    pub fn to_coo(&self) -> CooMatrix {
+        CooMatrix::from_triplets(self.rows, self.cols, self.iter().collect())
+            .expect("CSR invariants guarantee valid triplets")
+    }
+
+    /// Converts to CSC.
+    pub fn to_csc(&self) -> CscMatrix {
+        self.to_coo().to_csc()
+    }
+
+    /// Returns the transpose (also in CSR).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut t = CooMatrix::new(self.cols, self.rows);
+        for (r, c, v) in self.iter() {
+            t.push(c, r, v);
+        }
+        t.to_csr()
+    }
+
+    /// Dense reference SpMSpM (`self * other`) used by tests to validate
+    /// the simulated kernels. O(rows × cols) memory — small matrices only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul_dense_reference(&self, other: &CsrMatrix) -> Vec<Vec<f64>> {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = vec![vec![0.0; other.cols as usize]; self.rows as usize];
+        for (r, k, va) in self.iter() {
+            let (cols, vals) = other.row(k);
+            for (&c, &vb) in cols.iter().zip(vals) {
+                out[r as usize][c as usize] += va * vb;
+            }
+        }
+        out
+    }
+}
+
+/// Shared validation for CSR/CSC three-array layouts.
+pub(crate) fn validate_compressed(
+    major_dim: u32,
+    minor_dim: u32,
+    offsets: &[usize],
+    indices: &[u32],
+    values: &[f64],
+) -> Result<(), FormatError> {
+    if offsets.len() != major_dim as usize + 1 {
+        return Err(FormatError::OffsetsLength {
+            got: offsets.len(),
+            expected: major_dim as usize + 1,
+        });
+    }
+    if indices.len() != values.len() {
+        return Err(FormatError::LengthMismatch {
+            indices: indices.len(),
+            values: values.len(),
+        });
+    }
+    if offsets[0] != 0 || offsets[major_dim as usize] != indices.len() {
+        return Err(FormatError::OffsetsLength {
+            got: offsets[major_dim as usize],
+            expected: indices.len(),
+        });
+    }
+    for i in 0..major_dim as usize {
+        if offsets[i] > offsets[i + 1] {
+            return Err(FormatError::NonMonotonicOffsets { at: i + 1 });
+        }
+        let slice = &indices[offsets[i]..offsets[i + 1]];
+        for w in slice.windows(2) {
+            if w[0] >= w[1] {
+                return Err(FormatError::UnsortedIndices { major: i as u32 });
+            }
+        }
+        if let Some(&last) = slice.last() {
+            if last >= minor_dim {
+                return Err(FormatError::IndexOutOfBounds {
+                    index: last,
+                    bound: minor_dim,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 3 0]
+        CsrMatrix::from_parts(2, 3, vec![0, 2, 3], vec![0, 2, 1], vec![1.0, 2.0, 3.0]).unwrap()
+    }
+
+    #[test]
+    fn get_and_row() {
+        let m = sample();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(1, 1), Some(3.0));
+        assert_eq!(m.row_nnz(0), 2);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = sample();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn rejects_unsorted_indices() {
+        let err =
+            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        assert_eq!(err, FormatError::UnsortedIndices { major: 0 });
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        let err =
+            CsrMatrix::from_parts(2, 3, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::OffsetsLength { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_index() {
+        let err = CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).unwrap_err();
+        assert!(matches!(err, FormatError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn dense_reference_matmul() {
+        let m = sample();
+        let t = m.transpose();
+        let p = m.matmul_dense_reference(&t);
+        // [1 0 2] * [1 0; 0 3; 2 0] = [5 0; 0 9]
+        assert_eq!(p[0][0], 5.0);
+        assert_eq!(p[0][1], 0.0);
+        assert_eq!(p[1][1], 9.0);
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when constructing a sparse matrix from invalid parts.
+///
+/// Produced by the checked constructors such as
+/// [`CsrMatrix::from_parts`](crate::CsrMatrix::from_parts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// An index is outside the matrix dimensions.
+    IndexOutOfBounds {
+        /// The offending index value.
+        index: u32,
+        /// The exclusive bound it must stay under.
+        bound: u32,
+    },
+    /// The offsets array is not monotonically non-decreasing.
+    NonMonotonicOffsets {
+        /// Position in the offsets array where monotonicity breaks.
+        at: usize,
+    },
+    /// The offsets array has the wrong length (must be `major_dim + 1`).
+    OffsetsLength {
+        /// Observed length.
+        got: usize,
+        /// Required length.
+        expected: usize,
+    },
+    /// The indices and values arrays differ in length.
+    LengthMismatch {
+        /// Length of the indices array.
+        indices: usize,
+        /// Length of the values array.
+        values: usize,
+    },
+    /// Indices within one major slice are not strictly increasing.
+    UnsortedIndices {
+        /// The major index (row for CSR, column for CSC) with the problem.
+        major: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (must be < {bound})")
+            }
+            FormatError::NonMonotonicOffsets { at } => {
+                write!(f, "offsets array decreases at position {at}")
+            }
+            FormatError::OffsetsLength { got, expected } => {
+                write!(f, "offsets array has length {got}, expected {expected}")
+            }
+            FormatError::LengthMismatch { indices, values } => {
+                write!(
+                    f,
+                    "indices ({indices}) and values ({values}) lengths differ"
+                )
+            }
+            FormatError::UnsortedIndices { major } => {
+                write!(f, "indices in major slice {major} are not strictly increasing")
+            }
+        }
+    }
+}
+
+impl Error for FormatError {}

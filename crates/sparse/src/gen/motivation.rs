@@ -1,0 +1,76 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::uniform::nonzero_value;
+use super::GenSeed;
+use crate::CooMatrix;
+
+/// Generates the Figure 1 motivation matrix: `strips` dense columns
+/// separating sparse strips, at roughly the target overall `density`.
+///
+/// The paper motivates implicit phases with a 128×128, 20 %-dense matrix
+/// whose dense columns alternate with eight sparse strips; multiplying it
+/// by its transpose makes the outer-product SpMSpM alternate between dense
+/// and sparse outer products.
+///
+/// # Example
+///
+/// ```
+/// use sparse::gen::{motivation_matrix, GenSeed};
+///
+/// let m = motivation_matrix(128, 8, 0.2, GenSeed(42));
+/// let csr = m.to_csr();
+/// assert!((csr.density() - 0.2).abs() < 0.05);
+/// ```
+pub fn motivation_matrix(dim: u32, strips: u32, density: f64, seed: GenSeed) -> CooMatrix {
+    assert!(strips > 0 && strips < dim, "strips must be in 1..dim");
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut coo = CooMatrix::new(dim, dim);
+
+    // One fully dense column at the start of each strip; the rest of the
+    // strip is sparse. Pick the sparse density so the overall density
+    // matches the target: strips/dim columns are dense (density 1),
+    // the remaining columns carry the rest.
+    let strip_width = dim / strips;
+    let dense_cols = strips as f64 / dim as f64;
+    let sparse_density = ((density - dense_cols) / (1.0 - dense_cols)).max(0.0);
+
+    for col in 0..dim {
+        if col % strip_width == 0 && col / strip_width < strips {
+            for row in 0..dim {
+                coo.push(row, col, nonzero_value(&mut rng));
+            }
+        } else {
+            for row in 0..dim {
+                if rng.gen_bool(sparse_density) {
+                    coo.push(row, col, nonzero_value(&mut rng));
+                }
+            }
+        }
+    }
+    coo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_dense_and_sparse_columns() {
+        let m = motivation_matrix(128, 8, 0.2, GenSeed(7)).to_csc();
+        // Dense columns are full.
+        assert_eq!(m.col_nnz(0), 128);
+        assert_eq!(m.col_nnz(16), 128);
+        // Sparse columns are much thinner.
+        let sparse_avg: f64 =
+            (1..16).map(|c| m.col_nnz(c) as f64).sum::<f64>() / 15.0;
+        assert!(sparse_avg < 40.0, "sparse strip average {sparse_avg}");
+    }
+
+    #[test]
+    fn density_close_to_target() {
+        let m = motivation_matrix(128, 8, 0.2, GenSeed(1)).to_csr();
+        assert!((m.density() - 0.2).abs() < 0.05, "density {}", m.density());
+    }
+}

@@ -1,0 +1,118 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::uniform::nonzero_value;
+use super::GenSeed;
+use crate::CooMatrix;
+
+/// R-MAT quadrant probabilities used throughout the paper:
+/// `A = C = 0.1`, `B = 0.4` (and therefore `D = 0.4`).
+const QUAD_A: f64 = 0.1;
+const QUAD_B: f64 = 0.4;
+const QUAD_C: f64 = 0.1;
+
+/// Generates a square power-law matrix with the recursive R-MAT model
+/// (Chakrabarti, Zhan, Faloutsos 2004) using the paper's parameters
+/// `A = C = 0.1`, `B = 0.4`.
+///
+/// `dim` is rounded up internally to a power of two for the recursion and
+/// out-of-range samples are rejected, so the returned matrix has exactly
+/// the requested dimension and `nnz` distinct non-zeros.
+///
+/// # Panics
+///
+/// Panics if `nnz` exceeds `dim × dim`.
+///
+/// # Example
+///
+/// ```
+/// use sparse::gen::{rmat, GenSeed};
+///
+/// let m = rmat(256, 2_000, GenSeed(11));
+/// assert_eq!(m.to_csr().nnz(), 2_000);
+/// ```
+pub fn rmat(dim: u32, nnz: usize, seed: GenSeed) -> CooMatrix {
+    assert!(
+        nnz as u64 <= dim as u64 * dim as u64,
+        "requested {nnz} non-zeros in a {dim}x{dim} matrix"
+    );
+    let levels = 32 - (dim.max(2) - 1).leading_zeros(); // ceil(log2(dim))
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut coo = CooMatrix::new(dim, dim);
+    let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+    // With high skew many samples collide; cap attempts generously but
+    // fall back to uniform fill-in if the structure saturates.
+    let max_attempts = nnz.saturating_mul(1000).max(1 << 20);
+    let mut attempts = 0usize;
+    while seen.len() < nnz && attempts < max_attempts {
+        attempts += 1;
+        let (r, c) = sample_edge(levels, &mut rng);
+        if r < dim && c < dim && seen.insert((r, c)) {
+            coo.push(r, c, nonzero_value(&mut rng));
+        }
+    }
+    // Saturated hubs: fill the remainder uniformly (rare; keeps nnz exact).
+    while seen.len() < nnz {
+        let r = rng.gen_range(0..dim);
+        let c = rng.gen_range(0..dim);
+        if seen.insert((r, c)) {
+            coo.push(r, c, nonzero_value(&mut rng));
+        }
+    }
+    coo
+}
+
+/// One recursive-descent sample through the quadrant distribution.
+fn sample_edge(levels: u32, rng: &mut StdRng) -> (u32, u32) {
+    let mut r = 0u32;
+    let mut c = 0u32;
+    for level in (0..levels).rev() {
+        let p: f64 = rng.gen();
+        let (dr, dc) = if p < QUAD_A {
+            (0, 0)
+        } else if p < QUAD_A + QUAD_B {
+            (0, 1)
+        } else if p < QUAD_A + QUAD_B + QUAD_C {
+            (1, 0)
+        } else {
+            (1, 1)
+        };
+        r |= dr << level;
+        c |= dc << level;
+    }
+    (r, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn exact_nnz_and_deterministic() {
+        let a = rmat(128, 1_000, GenSeed(4));
+        assert_eq!(a.to_csr().nnz(), 1_000);
+        let b = rmat(128, 1_000, GenSeed(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_law_is_skewed_relative_to_uniform() {
+        let p = rmat(512, 5_000, GenSeed(6)).to_csr();
+        let u = super::super::uniform_random(512, 5_000, GenSeed(6)).to_csr();
+        let gp = stats::col_degree_gini(&p);
+        let gu = stats::col_degree_gini(&u);
+        assert!(
+            gp > gu + 0.15,
+            "rmat gini {gp} should exceed uniform gini {gu}"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_dim() {
+        let m = rmat(100, 500, GenSeed(8));
+        let csr = m.to_csr();
+        assert_eq!(csr.dim(), 100);
+        assert_eq!(csr.nnz(), 500);
+    }
+}

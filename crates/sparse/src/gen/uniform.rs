@@ -1,0 +1,128 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::GenSeed;
+use crate::{CooMatrix, SparseVector};
+
+/// Generates a square uniform-random sparse matrix with exactly `nnz`
+/// non-zeros (distinct coordinates), values uniform in `(0, 1]`.
+///
+/// This mirrors the paper's use of SciPy's `sparse.random` for the U1–U3
+/// synthetic inputs and the training sweeps of Table 3.
+///
+/// # Panics
+///
+/// Panics if `nnz` exceeds `dim × dim`.
+///
+/// # Example
+///
+/// ```
+/// use sparse::gen::{uniform_random, GenSeed};
+///
+/// let m = uniform_random(64, 500, GenSeed(1));
+/// assert_eq!(m.to_csr().nnz(), 500);
+/// ```
+pub fn uniform_random(dim: u32, nnz: usize, seed: GenSeed) -> CooMatrix {
+    let total = dim as u64 * dim as u64;
+    assert!(
+        (nnz as u64) <= total,
+        "requested {nnz} non-zeros in a {dim}x{dim} matrix"
+    );
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut coo = CooMatrix::new(dim, dim);
+    if (nnz as u64) * 4 > total {
+        // Dense-ish: sample by reservoir over all coordinates.
+        dense_sample(dim, nnz, &mut rng, &mut coo);
+    } else {
+        // Sparse: rejection-sample distinct coordinates.
+        let mut seen = std::collections::HashSet::with_capacity(nnz * 2);
+        while seen.len() < nnz {
+            let r = rng.gen_range(0..dim);
+            let c = rng.gen_range(0..dim);
+            if seen.insert((r, c)) {
+                coo.push(r, c, nonzero_value(&mut rng));
+            }
+        }
+    }
+    coo
+}
+
+/// Floyd-style selection of `nnz` distinct cells for high densities.
+fn dense_sample(dim: u32, nnz: usize, rng: &mut StdRng, coo: &mut CooMatrix) {
+    let total = dim as u64 * dim as u64;
+    let mut chosen = std::collections::HashSet::with_capacity(nnz * 2);
+    for j in (total - nnz as u64)..total {
+        let t = rng.gen_range(0..=j);
+        let cell = if chosen.insert(t) { t } else { j };
+        if cell != t {
+            chosen.insert(cell);
+        }
+        let r = (cell / dim as u64) as u32;
+        let c = (cell % dim as u64) as u32;
+        coo.push(r, c, nonzero_value(rng));
+    }
+}
+
+/// Generates a uniform-random sparse vector with the given density
+/// (the paper multiplies its synthetic matrices by a 50 %-dense vector).
+///
+/// # Example
+///
+/// ```
+/// use sparse::gen::{uniform_random_vector, GenSeed};
+///
+/// let v = uniform_random_vector(1000, 0.5, GenSeed(2));
+/// let frac = v.nnz() as f64 / 1000.0;
+/// assert!((frac - 0.5).abs() < 0.1);
+/// ```
+pub fn uniform_random_vector(dim: u32, density: f64, seed: GenSeed) -> SparseVector {
+    assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed.0);
+    let mut pairs = Vec::new();
+    for i in 0..dim {
+        if rng.gen_bool(density) {
+            pairs.push((i, nonzero_value(&mut rng)));
+        }
+    }
+    SparseVector::from_pairs(dim, pairs)
+}
+
+/// A value uniform in `(0, 1]` — never zero, so nnz counts are exact.
+pub(crate) fn nonzero_value(rng: &mut StdRng) -> f64 {
+    1.0 - rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_nnz() {
+        for &(dim, nnz) in &[(16u32, 10usize), (16, 200), (64, 64 * 64)] {
+            let m = uniform_random(dim, nnz, GenSeed(3));
+            assert_eq!(m.to_csr().nnz(), nnz, "dim={dim} nnz={nnz}");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = uniform_random(32, 100, GenSeed(9));
+        let b = uniform_random(32, 100, GenSeed(9));
+        assert_eq!(a, b);
+        let c = uniform_random(32, 100, GenSeed(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zeros")]
+    fn too_many_nnz_panics() {
+        uniform_random(4, 17, GenSeed(0));
+    }
+
+    #[test]
+    fn vector_density() {
+        let v = uniform_random_vector(10_000, 0.3, GenSeed(5));
+        let frac = v.nnz() as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.03);
+    }
+}

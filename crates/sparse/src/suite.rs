@@ -1,0 +1,338 @@
+//! The named evaluation suite of the paper (Table 5).
+//!
+//! `U1–U3` and `P1–P3` are synthetic (uniform / power-law, dim 8 192, NNZ
+//! 25 k / 50 k / 100 k). `R01–R16` are stand-ins for the SuiteSparse/SNAP
+//! matrices: same dimension, NNZ and pattern class, synthesised by
+//! [`crate::gen::structured`] (see `DESIGN.md` §3).
+//!
+//! Every spec can be generated at a reduced [`Scale`] so the full
+//! experiment suite stays tractable on a laptop; the pattern class — which
+//! is what drives the paper's results — is preserved exactly.
+
+use crate::gen::{structured, GenSeed, PatternClass};
+use crate::CooMatrix;
+
+/// How large to generate the suite matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Dimensions and NNZ divided by 8 — minutes-scale experiment suite.
+    #[default]
+    Quick,
+    /// Dimensions and NNZ divided by 2 — heavier, closer shapes.
+    Half,
+    /// The publication sizes from Table 5.
+    Paper,
+}
+
+impl Scale {
+    /// The divisor applied to dimension and NNZ.
+    pub fn divisor(self) -> u32 {
+        match self {
+            Scale::Quick => 8,
+            Scale::Half => 2,
+            Scale::Paper => 1,
+        }
+    }
+
+    /// Parses from the `SA_SCALE` environment convention
+    /// (`quick` / `half` / `paper`).
+    pub fn from_env() -> Scale {
+        match std::env::var("SA_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("half") => Scale::Half,
+            _ => Scale::Quick,
+        }
+    }
+}
+
+/// A named dataset of the evaluation suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixSpec {
+    /// Suite identifier (`"U1"`, `"P3"`, `"R12"` …).
+    pub id: &'static str,
+    /// Human-readable name (original matrix name for R-matrices).
+    pub name: &'static str,
+    /// Application domain from Table 5.
+    pub domain: &'static str,
+    /// Square dimension at paper scale.
+    pub dim: u32,
+    /// Non-zero count at paper scale.
+    pub nnz: usize,
+    /// Structural pattern class of the stand-in generator.
+    pub class: PatternClass,
+}
+
+impl MatrixSpec {
+    /// Generates the matrix at the given scale, deterministically from the
+    /// suite id and the provided seed.
+    ///
+    /// The NNZ count scales with the dimension so the *average degree* —
+    /// the structural property the kernels' behaviour depends on — is
+    /// preserved as matrices shrink. (Scaling NNZ with dim² would densify
+    /// small matrices far beyond the paper's ultra-sparse regime.)
+    pub fn generate(&self, scale: Scale, seed: GenSeed) -> CooMatrix {
+        let div = scale.divisor();
+        let dim = (self.dim / div).max(64);
+        let nnz = ((self.nnz as u64 * dim as u64) / self.dim as u64) as usize;
+        let nnz = nnz.clamp(dim as usize, (dim as u64 * dim as u64) as usize);
+        let seed = seed.derive(fxhash(self.id));
+        structured(dim, nnz, &self.class, seed)
+    }
+
+    /// Average number of non-zeros per row at paper scale.
+    pub fn avg_degree(&self) -> f64 {
+        self.nnz as f64 / self.dim as f64
+    }
+}
+
+/// Deterministic hash of the suite id, for seed derivation.
+fn fxhash(s: &str) -> u64 {
+    s.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+/// The six synthetic matrices of Table 5 (top): U1–U3 uniform, P1–P3
+/// power-law, dimension 8 192, NNZ 25 k / 50 k / 100 k.
+pub fn synthetic_suite() -> Vec<MatrixSpec> {
+    let mut v = Vec::new();
+    for (i, &nnz) in [25_000usize, 50_000, 100_000].iter().enumerate() {
+        v.push(MatrixSpec {
+            id: ["U1", "U2", "U3"][i],
+            name: ["U1", "U2", "U3"][i],
+            domain: "Uniform",
+            dim: 8_192,
+            nnz,
+            class: PatternClass::Uniform,
+        });
+    }
+    for (i, &nnz) in [25_000usize, 50_000, 100_000].iter().enumerate() {
+        v.push(MatrixSpec {
+            id: ["P1", "P2", "P3"][i],
+            name: ["P1", "P2", "P3"][i],
+            domain: "Power-Law",
+            dim: 8_192,
+            nnz,
+            class: PatternClass::PowerLaw,
+        });
+    }
+    v
+}
+
+/// The sixteen real-world stand-ins of Table 5 (bottom): R01–R08 are the
+/// SpMSpM inputs, R09–R16 the SpMSpV / graph-kernel inputs.
+pub fn real_world_suite() -> Vec<MatrixSpec> {
+    vec![
+        MatrixSpec {
+            id: "R01",
+            name: "California",
+            domain: "Directed Graph",
+            dim: 9_700,
+            nnz: 16_200,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R02",
+            name: "Si2",
+            domain: "Quant. Chemistry",
+            dim: 800,
+            nnz: 17_800,
+            class: PatternClass::BlockDiagonal { blocks: 8 },
+        },
+        MatrixSpec {
+            id: "R03",
+            name: "bayer09",
+            domain: "Chemical Simulation",
+            dim: 3_100,
+            nnz: 11_800,
+            class: PatternClass::Stencil {
+                offsets: vec![-512, -16, 0, 16, 512],
+                jitter: 4,
+            },
+        },
+        MatrixSpec {
+            id: "R04",
+            name: "bcsstk08",
+            domain: "Structural Problem",
+            dim: 1_100,
+            nnz: 13_000,
+            class: PatternClass::Banded { half_bandwidth: 60 },
+        },
+        MatrixSpec {
+            id: "R05",
+            name: "coater1",
+            domain: "Comp. Fluid Dyn.",
+            dim: 1_300,
+            nnz: 19_500,
+            class: PatternClass::Banded { half_bandwidth: 40 },
+        },
+        MatrixSpec {
+            id: "R06",
+            name: "gemat12",
+            domain: "Power Network",
+            dim: 4_900,
+            nnz: 33_000,
+            class: PatternClass::Stencil {
+                offsets: vec![-1024, -64, 0, 64, 1024],
+                jitter: 32,
+            },
+        },
+        MatrixSpec {
+            id: "R07",
+            name: "p2p-Gnutella08",
+            domain: "Directed Graph",
+            dim: 6_300,
+            nnz: 20_800,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R08",
+            name: "spaceStation_11",
+            domain: "Optimal Control",
+            dim: 1_400,
+            nnz: 19_000,
+            class: PatternClass::Arrow { border_frac: 0.04 },
+        },
+        MatrixSpec {
+            id: "R09",
+            name: "EX3",
+            domain: "Comp. Fluid Dyn.",
+            dim: 1_800,
+            nnz: 52_700,
+            // Paper §6.1.3: "local connections only … non-zeros distributed
+            // roughly uniformly along the diagonal".
+            class: PatternClass::Banded { half_bandwidth: 30 },
+        },
+        MatrixSpec {
+            id: "R10",
+            name: "Oregon-1",
+            domain: "Undirected Graph",
+            dim: 11_500,
+            nnz: 46_800,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R11",
+            name: "as-22july06",
+            domain: "Undirected Graph",
+            dim: 23_000,
+            nnz: 96_900,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R12",
+            name: "crack",
+            domain: "2D/3D Problem",
+            dim: 10_200,
+            nnz: 60_800,
+            class: PatternClass::Stencil {
+                offsets: vec![-128, -1, 0, 1, 128],
+                jitter: 2,
+            },
+        },
+        MatrixSpec {
+            id: "R13",
+            name: "kineticBatchReactor_3",
+            domain: "Optimal Control",
+            dim: 5_100,
+            nnz: 53_200,
+            class: PatternClass::Arrow { border_frac: 0.02 },
+        },
+        MatrixSpec {
+            id: "R14",
+            name: "nopoly",
+            domain: "Undirected Graph",
+            dim: 10_800,
+            nnz: 70_800,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R15",
+            name: "soc-sign-bitcoin-otc",
+            domain: "Directed Graph",
+            dim: 5_900,
+            nnz: 35_600,
+            class: PatternClass::PowerLaw,
+        },
+        MatrixSpec {
+            id: "R16",
+            name: "wiki-Vote_11",
+            domain: "Directed Graph",
+            dim: 8_300,
+            nnz: 103_700,
+            class: PatternClass::PowerLaw,
+        },
+    ]
+}
+
+/// The SpMSpM subset (R01–R08).
+pub fn spmspm_suite() -> Vec<MatrixSpec> {
+    real_world_suite().into_iter().take(8).collect()
+}
+
+/// The SpMSpV / graph subset (R09–R16).
+pub fn spmspv_suite() -> Vec<MatrixSpec> {
+    real_world_suite().into_iter().skip(8).collect()
+}
+
+/// Looks up a spec by id across both suites.
+pub fn spec_by_id(id: &str) -> Option<MatrixSpec> {
+    synthetic_suite()
+        .into_iter()
+        .chain(real_world_suite())
+        .find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn suites_have_expected_sizes() {
+        assert_eq!(synthetic_suite().len(), 6);
+        assert_eq!(real_world_suite().len(), 16);
+        assert_eq!(spmspm_suite().len(), 8);
+        assert_eq!(spmspv_suite().len(), 8);
+    }
+
+    #[test]
+    fn uniform_specs_use_uniform_generator() {
+        let u1 = spec_by_id("U1").unwrap();
+        let m = u1.generate(Scale::Quick, GenSeed(1)).to_csr();
+        // uniform matrices have low degree skew
+        assert!(stats::col_degree_gini(&m) < 0.45);
+    }
+
+    #[test]
+    fn power_law_specs_are_skewed() {
+        let p3 = spec_by_id("P3").unwrap();
+        let m = p3.generate(Scale::Quick, GenSeed(1)).to_csr();
+        let g = stats::col_degree_gini(&m);
+        assert!(g > 0.5, "col gini {g}");
+    }
+
+    #[test]
+    fn quick_scale_preserves_avg_degree() {
+        let r12 = spec_by_id("R12").unwrap();
+        let m = r12.generate(Scale::Quick, GenSeed(1)).to_csr();
+        let deg = m.nnz() as f64 / m.rows() as f64;
+        assert!(
+            (deg - r12.avg_degree()).abs() < 1.5,
+            "degree {deg} vs spec {}",
+            r12.avg_degree()
+        );
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_id_dependent() {
+        let r10 = spec_by_id("R10").unwrap();
+        let a = r10.generate(Scale::Quick, GenSeed(2));
+        let b = r10.generate(Scale::Quick, GenSeed(2));
+        assert_eq!(a, b);
+        let r11 = spec_by_id("R11").unwrap();
+        let c = r11.generate(Scale::Quick, GenSeed(2));
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,206 @@
+use crate::CscMatrix;
+
+/// Sparse vector stored as sorted index–value pairs.
+///
+/// This is the "array of index–value tuples" representation the paper uses
+/// for the *B* operand of SpMSpV (§5.4) and for the frontiers of the graph
+/// kernels.
+///
+/// # Example
+///
+/// ```
+/// use sparse::SparseVector;
+///
+/// let v = SparseVector::from_pairs(8, vec![(1, 2.0), (5, -1.0)]);
+/// assert_eq!(v.nnz(), 2);
+/// assert_eq!(v.get(5), Some(-1.0));
+/// assert_eq!(v.get(0), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SparseVector {
+    dim: u32,
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Creates an empty vector of the given dimension.
+    pub fn new(dim: u32) -> Self {
+        SparseVector {
+            dim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Builds from index–value pairs; sorts, merges duplicates (summing)
+    /// and drops zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= dim`.
+    pub fn from_pairs(dim: u32, mut pairs: Vec<(u32, f64)>) -> Self {
+        for &(i, _) in &pairs {
+            assert!(i < dim, "index {i} out of bounds {dim}");
+        }
+        pairs.sort_by_key(|&(i, _)| i);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match entries.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => entries.push((i, v)),
+            }
+        }
+        entries.retain(|&(_, v)| v != 0.0);
+        SparseVector { dim, entries }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no non-zeros are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of non-zero entries.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / self.dim as f64
+    }
+
+    /// The sorted index–value pairs.
+    pub fn pairs(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Looks up one entry (binary search). `None` for structural zeros.
+    pub fn get(&self, index: u32) -> Option<f64> {
+        self.entries
+            .binary_search_by_key(&index, |&(i, _)| i)
+            .ok()
+            .map(|p| self.entries[p].1)
+    }
+
+    /// Iterates over the sorted `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Reference SpMSpV: `y = A · self`, used by tests to validate the
+    /// simulated kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `A.cols() != self.dim()`.
+    pub fn spmspv_reference(&self, a: &CscMatrix) -> SparseVector {
+        assert_eq!(a.cols(), self.dim, "dimension mismatch");
+        let mut acc = std::collections::BTreeMap::<u32, f64>::new();
+        for (k, xv) in self.iter() {
+            let (rows, vals) = a.col(k);
+            for (&r, &av) in rows.iter().zip(vals) {
+                *acc.entry(r).or_insert(0.0) += av * xv;
+            }
+        }
+        SparseVector {
+            dim: a.rows(),
+            entries: acc.into_iter().filter(|&(_, v)| v != 0.0).collect(),
+        }
+    }
+
+    /// Converts to a dense vector.
+    pub fn to_dense(&self) -> DenseVector {
+        let mut d = DenseVector::zeros(self.dim);
+        for (i, v) in self.iter() {
+            d.values[i as usize] = v;
+        }
+        d
+    }
+}
+
+/// Dense vector, used as the reference representation in tests and for
+/// graph-kernel distance arrays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseVector {
+    values: Vec<f64>,
+}
+
+impl DenseVector {
+    /// A vector of `dim` zeros.
+    pub fn zeros(dim: u32) -> Self {
+        DenseVector {
+            values: vec![0.0; dim as usize],
+        }
+    }
+
+    /// Builds from raw values.
+    pub fn from_values(values: Vec<f64>) -> Self {
+        DenseVector { values }
+    }
+
+    /// Vector dimension.
+    pub fn dim(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the raw values.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Converts to a sparse vector, dropping zeros.
+    pub fn to_sparse(&self) -> SparseVector {
+        SparseVector {
+            dim: self.dim(),
+            entries: self
+                .values
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| v != 0.0)
+                .map(|(i, &v)| (i as u32, v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+
+    #[test]
+    fn from_pairs_sorts_and_merges() {
+        let v = SparseVector::from_pairs(10, vec![(7, 1.0), (2, 2.0), (7, 3.0)]);
+        assert_eq!(v.pairs(), &[(2, 2.0), (7, 4.0)]);
+    }
+
+    #[test]
+    fn spmspv_reference_matches_dense() {
+        // A = [1 0; 2 3], x = [0, 1] -> y = [0, 3]
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(1, 1, 3.0);
+        let a = coo.to_csc();
+        let x = SparseVector::from_pairs(2, vec![(1, 1.0)]);
+        let y = x.spmspv_reference(&a);
+        assert_eq!(y.pairs(), &[(1, 3.0)]);
+    }
+
+    #[test]
+    fn dense_sparse_roundtrip() {
+        let d = DenseVector::from_values(vec![0.0, 1.0, 0.0, -2.0]);
+        let s = d.to_sparse();
+        assert_eq!(s.nnz(), 2);
+        assert_eq!(s.to_dense(), d);
+    }
+}

@@ -1,0 +1,241 @@
+//! Training-set construction (Figure 4b).
+//!
+//! For every scenario, every epoch `e` and every sampled configuration
+//! `S`, one example is emitted: features = (telemetry under `S` at epoch
+//! `e`, the parameters of `S`), label = the Figure 4a best configuration
+//! for epoch `e`. Including the current configuration in the features is
+//! what frees SparseAdapt from ProfileAdapt's profiling detour — the
+//! model learns to predict *from any configuration* (§4.2).
+//!
+//! Simulated traces are mode-independent, so both optimisation modes are
+//! labelled from one collection pass.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use mltree::Dataset;
+use sparseadapt::features::{feature_names, feature_vector};
+use sparseadapt::stitch::sample_configs;
+use transmuter::config::{ConfigParam, MachineSpec, MemKind};
+use transmuter::metrics::OptMode;
+
+use crate::scenarios::{scenarios, TrainingPreset, TrainingScenario};
+use crate::search::ConfigSearcher;
+
+/// Options for a collection pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectOptions {
+    /// Scenario preset.
+    pub preset: TrainingPreset,
+    /// Number of sampled configurations per scenario (K in §4.1).
+    pub k_random: usize,
+    /// Base seed for configuration sampling.
+    pub seed: u64,
+    /// OS threads across scenarios.
+    pub threads: usize,
+}
+
+impl Default for CollectOptions {
+    fn default() -> Self {
+        CollectOptions {
+            preset: TrainingPreset::Quick,
+            k_random: 10,
+            seed: 0xDA7A,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// Collected examples with per-mode, per-parameter labels.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainingData {
+    features: Vec<Vec<f64>>,
+    labels_ee: BTreeMap<ConfigParam, Vec<usize>>,
+    labels_pp: BTreeMap<ConfigParam, Vec<usize>>,
+}
+
+impl TrainingData {
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `true` if no examples were collected.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    fn labels(&self, mode: OptMode) -> &BTreeMap<ConfigParam, Vec<usize>> {
+        match mode {
+            OptMode::EnergyEfficient => &self.labels_ee,
+            OptMode::PowerPerformance => &self.labels_pp,
+        }
+    }
+
+    /// Per-parameter datasets for one optimisation mode.
+    pub fn datasets_for(&self, mode: OptMode) -> BTreeMap<ConfigParam, Dataset> {
+        let names = feature_names();
+        let labels = self.labels(mode);
+        ConfigParam::ALL
+            .iter()
+            .map(|&p| {
+                let mut d = Dataset::new(names.clone());
+                for (x, &y) in self.features.iter().zip(&labels[&p]) {
+                    d.push(x.clone(), y);
+                }
+                (p, d)
+            })
+            .collect()
+    }
+
+    /// Merges another collection into this one.
+    pub fn merge(&mut self, other: TrainingData) {
+        self.features.extend(other.features);
+        for p in ConfigParam::ALL {
+            self.labels_ee
+                .entry(p)
+                .or_default()
+                .extend(other.labels_ee.get(&p).into_iter().flatten().copied());
+            self.labels_pp
+                .entry(p)
+                .or_default()
+                .extend(other.labels_pp.get(&p).into_iter().flatten().copied());
+        }
+    }
+
+    /// Writes one CSV per (mode, parameter) into `dir`, mirroring the
+    /// artifact's `dataset/<opt_mode>/.../dataset-exp.csv` layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_csvs(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for mode in OptMode::ALL {
+            for (p, d) in self.datasets_for(mode) {
+                d.save(&dir.join(format!("dataset-{}-{}.csv", mode.name(), p.name())))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Collects training data for one L1 kind over the preset's scenarios.
+pub fn collect(l1_kind: MemKind, opts: &CollectOptions) -> TrainingData {
+    let list = scenarios(opts.preset);
+    let threads = opts.threads.max(1).min(list.len());
+    let mut merged = TrainingData::default();
+    std::thread::scope(|scope| {
+        let chunks: Vec<Vec<TrainingScenario>> = (0..threads)
+            .map(|t| list.iter().skip(t).step_by(threads).copied().collect())
+            .collect();
+        let mut handles = Vec::new();
+        for chunk in chunks {
+            let opts = *opts;
+            handles.push(scope.spawn(move || {
+                let mut local = TrainingData::default();
+                for sc in chunk {
+                    local.merge(collect_scenario(l1_kind, &sc, &opts));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            merged.merge(h.join().expect("collection worker panicked"));
+        }
+    });
+    merged
+}
+
+/// Collects examples from one scenario.
+pub fn collect_scenario(
+    l1_kind: MemKind,
+    sc: &TrainingScenario,
+    opts: &CollectOptions,
+) -> TrainingData {
+    let spec = MachineSpec::default()
+        .with_bandwidth_gbps(sc.bandwidth_gbps)
+        .with_epoch_ops(sc.kernel.epoch_ops());
+    let wl = sc.build_workload(l1_kind, spec.geometry.gpe_count());
+    let mut searcher = ConfigSearcher::new(spec, &wl);
+    let samples = sample_configs(l1_kind, opts.k_random, opts.seed ^ sc.seed);
+    let n_epochs = searcher.n_epochs(samples[0]);
+
+    let mut out = TrainingData::default();
+    for p in ConfigParam::ALL {
+        out.labels_ee.insert(p, Vec::new());
+        out.labels_pp.insert(p, Vec::new());
+    }
+    for e in 0..n_epochs {
+        let best_ee = searcher.best_config(&samples, e, OptMode::EnergyEfficient);
+        let best_pp = searcher.best_config(&samples, e, OptMode::PowerPerformance);
+        for &s in &samples {
+            let telemetry = searcher.trace(s)[e].telemetry;
+            out.features.push(feature_vector(&telemetry, &s));
+            for p in ConfigParam::ALL {
+                out.labels_ee.get_mut(&p).expect("init").push(p.get_index(&best_ee));
+                out.labels_pp.get_mut(&p).expect("init").push(p.get_index(&best_pp));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TrainingData {
+        collect(
+            MemKind::Cache,
+            &CollectOptions {
+                preset: TrainingPreset::Tiny,
+                k_random: 5,
+                seed: 77,
+                threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn collects_examples_with_consistent_labels() {
+        let data = tiny();
+        assert!(!data.is_empty());
+        for mode in OptMode::ALL {
+            let ds = data.datasets_for(mode);
+            assert_eq!(ds.len(), 6);
+            for (p, d) in &ds {
+                assert_eq!(d.len(), data.len(), "{p:?}");
+                assert!(d.n_classes() <= p.value_count(), "{p:?} labels in range");
+            }
+        }
+    }
+
+    #[test]
+    fn modes_can_disagree_on_labels() {
+        // Not guaranteed on every dataset, but the clock dimension
+        // almost always differs between max-GFLOPS/W and max-GFLOPS³/W.
+        let data = tiny();
+        let ee = &data.labels_ee[&ConfigParam::Clock];
+        let pp = &data.labels_pp[&ConfigParam::Clock];
+        let mean = |v: &[usize]| v.iter().sum::<usize>() as f64 / v.len() as f64;
+        assert!(
+            mean(pp) >= mean(ee),
+            "power-performance should prefer clocks at least as fast: {} vs {}",
+            mean(pp),
+            mean(ee)
+        );
+    }
+
+    #[test]
+    fn csv_export_writes_twelve_files() {
+        let data = tiny();
+        let dir = std::env::temp_dir().join("sa-test-csvs");
+        let _ = std::fs::remove_dir_all(&dir);
+        data.save_csvs(&dir).unwrap();
+        let count = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(count, 12);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,166 @@
+//! Training scenarios: the Table 3 parameter sweeps.
+//!
+//! The paper sweeps SpMSpM over dimensions 128→1k, densities 0.2→13 %
+//! and bandwidths 0.01→100 GB/s (and SpMSpV over 256→8k), generating
+//! ~360 k examples over weeks of gem5 time. The presets here reproduce
+//! the sweep structure at laptop scale; `Paper` widens back toward the
+//! published ranges.
+
+use kernels::{spmspm, spmspv};
+use sparse::gen::{uniform_random, uniform_random_vector, GenSeed};
+use transmuter::config::MemKind;
+use transmuter::workload::Workload;
+
+/// Which kernel a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// Outer-product SpMSpM on `A · Aᵀ`.
+    SpMSpM,
+    /// SpMSpV against a 50 %-dense vector.
+    SpMSpV,
+}
+
+impl KernelKind {
+    /// The epoch size the paper uses for this kernel (§5.4).
+    pub fn epoch_ops(self) -> u64 {
+        match self {
+            KernelKind::SpMSpM => 5_000,
+            KernelKind::SpMSpV => 500,
+        }
+    }
+}
+
+/// One training scenario: a point of the Table 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingScenario {
+    /// Kernel exercised.
+    pub kernel: KernelKind,
+    /// Square matrix dimension.
+    pub dim: u32,
+    /// Matrix density (fraction of non-zeros).
+    pub density: f64,
+    /// External memory bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TrainingScenario {
+    /// Builds the scenario's workload for the given L1 kind (algorithm
+    /// variant) and GPE count.
+    pub fn build_workload(&self, l1_kind: MemKind, n_gpes: usize) -> Workload {
+        let nnz = ((self.dim as f64 * self.dim as f64 * self.density) as usize).max(1);
+        let m = uniform_random(self.dim, nnz, GenSeed(self.seed));
+        match self.kernel {
+            KernelKind::SpMSpM => {
+                let a = m.to_csc();
+                let b = m.to_csr().transpose();
+                spmspm::build_with_variant(&a, &b, n_gpes, l1_kind).workload
+            }
+            KernelKind::SpMSpV => {
+                let a = m.to_csc();
+                let x = uniform_random_vector(self.dim, 0.5, GenSeed(self.seed ^ 0x5eed));
+                spmspv::build_with_variant(&a, &x, n_gpes, l1_kind).workload
+            }
+        }
+    }
+}
+
+/// How large a training sweep to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainingPreset {
+    /// A couple of scenarios — for unit tests only.
+    Tiny,
+    /// Minutes-scale default sweep.
+    #[default]
+    Quick,
+    /// Toward the published Table 3 ranges (hours).
+    Paper,
+}
+
+/// The scenario list for a preset.
+pub fn scenarios(preset: TrainingPreset) -> Vec<TrainingScenario> {
+    let (spmspm_dims, spmspv_dims, densities, bandwidths): (
+        Vec<u32>,
+        Vec<u32>,
+        Vec<f64>,
+        Vec<f64>,
+    ) = match preset {
+        TrainingPreset::Tiny => (vec![96], vec![192], vec![0.04], vec![1.0]),
+        TrainingPreset::Quick => (
+            vec![128, 256],
+            vec![256, 768],
+            vec![0.01, 0.05, 0.15],
+            vec![0.5, 4.0],
+        ),
+        TrainingPreset::Paper => (
+            vec![128, 256, 512, 1024],
+            vec![256, 1024, 4096, 8192],
+            vec![0.002, 0.008, 0.032, 0.13],
+            vec![0.01, 0.1, 1.0, 10.0, 100.0],
+        ),
+    };
+    let mut out = Vec::new();
+    let mut seed = 100u64;
+    for &dim in &spmspm_dims {
+        for &density in &densities {
+            for &bandwidth_gbps in &bandwidths {
+                seed += 1;
+                out.push(TrainingScenario {
+                    kernel: KernelKind::SpMSpM,
+                    dim,
+                    density,
+                    bandwidth_gbps,
+                    seed,
+                });
+            }
+        }
+    }
+    for &dim in &spmspv_dims {
+        for &density in &densities {
+            for &bandwidth_gbps in &bandwidths {
+                seed += 1;
+                out.push(TrainingScenario {
+                    kernel: KernelKind::SpMSpV,
+                    dim,
+                    density,
+                    bandwidth_gbps,
+                    seed,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_preset_covers_both_kernels_and_sweeps() {
+        let s = scenarios(TrainingPreset::Quick);
+        assert_eq!(s.len(), 24);
+        assert!(s.iter().any(|x| x.kernel == KernelKind::SpMSpM));
+        assert!(s.iter().any(|x| x.kernel == KernelKind::SpMSpV));
+        let bws: std::collections::HashSet<_> =
+            s.iter().map(|x| x.bandwidth_gbps.to_bits()).collect();
+        assert!(bws.len() >= 2, "bandwidth must vary to cover both regimes");
+    }
+
+    #[test]
+    fn scenario_builds_a_runnable_workload() {
+        let sc = scenarios(TrainingPreset::Tiny)[0];
+        let wl = sc.build_workload(MemKind::Cache, 16);
+        assert!(wl.total_flops() > 0);
+        assert_eq!(wl.phases[0].streams.len(), 16);
+    }
+
+    #[test]
+    fn spm_variant_differs_from_cache() {
+        let sc = scenarios(TrainingPreset::Tiny)[0];
+        let c = sc.build_workload(MemKind::Cache, 16);
+        let s = sc.build_workload(MemKind::Spm, 16);
+        assert_ne!(c, s);
+    }
+}

@@ -1,0 +1,152 @@
+//! The Figure 4a best-configuration search.
+//!
+//! For an epoch of a training run, the "best" configuration is found in
+//! three steps: (1) the best of K randomly sampled configurations,
+//! (2) the best configuration in the axis neighbourhood of that point,
+//! (3) a sweep of each dimension in isolation from the neighbourhood
+//! winner — whose per-dimension winners compose into the final label
+//! under the conditional-independence assumption of §4.1.
+//!
+//! Every step needs the epoch's metrics under configurations that were
+//! not in the original sample, so the searcher lazily simulates and
+//! caches whole-run traces per configuration (epoch contents are
+//! configuration-independent, making the per-epoch comparison sound).
+
+use std::collections::HashMap;
+
+use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
+use transmuter::machine::{EpochRecord, Machine};
+use transmuter::metrics::OptMode;
+use transmuter::workload::Workload;
+
+/// Lazily simulating, caching configuration evaluator for one workload.
+pub struct ConfigSearcher<'w> {
+    spec: MachineSpec,
+    workload: &'w Workload,
+    cache: HashMap<TransmuterConfig, Vec<EpochRecord>>,
+}
+
+impl<'w> ConfigSearcher<'w> {
+    /// Creates a searcher for a workload on a machine spec.
+    pub fn new(spec: MachineSpec, workload: &'w Workload) -> Self {
+        ConfigSearcher {
+            spec,
+            workload,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The whole-run epoch trace under `cfg`, simulating on first use.
+    pub fn trace(&mut self, cfg: TransmuterConfig) -> &Vec<EpochRecord> {
+        self.cache
+            .entry(cfg)
+            .or_insert_with(|| Machine::new(self.spec, cfg).run(self.workload).epochs)
+    }
+
+    /// Number of epochs of this workload (from any cached trace; the
+    /// first call simulates `probe`).
+    pub fn n_epochs(&mut self, probe: TransmuterConfig) -> usize {
+        self.trace(probe).len()
+    }
+
+    /// The mode score of epoch `e` under `cfg`.
+    fn epoch_score(&mut self, cfg: TransmuterConfig, e: usize, mode: OptMode) -> f64 {
+        let rec = &self.trace(cfg)[e];
+        mode.score(&rec.metrics)
+    }
+
+    /// The best of a candidate set for epoch `e` (ties keep the earliest
+    /// candidate).
+    fn best_of(
+        &mut self,
+        candidates: &[TransmuterConfig],
+        e: usize,
+        mode: OptMode,
+    ) -> TransmuterConfig {
+        assert!(!candidates.is_empty(), "candidate set must be non-empty");
+        let mut best = candidates[0];
+        let mut best_score = self.epoch_score(best, e, mode);
+        for &c in &candidates[1..] {
+            let s = self.epoch_score(c, e, mode);
+            if s > best_score {
+                best = c;
+                best_score = s;
+            }
+        }
+        best
+    }
+
+    /// Runs the three-step search for epoch `e`, starting from the
+    /// K random samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn best_config(
+        &mut self,
+        samples: &[TransmuterConfig],
+        e: usize,
+        mode: OptMode,
+    ) -> TransmuterConfig {
+        // Step 1: best random sample.
+        let rand_best = self.best_of(samples, e, mode);
+        // Step 2: best within the axis neighbourhood (including itself).
+        let mut hood = rand_best.axis_neighbors();
+        hood.insert(0, rand_best);
+        let neigh_best = self.best_of(&hood, e, mode);
+        // Step 3: sweep each dimension in isolation; compose the
+        // per-dimension winners.
+        let mut composed = neigh_best;
+        for p in ConfigParam::ALL {
+            let sweep = p.sweep(&neigh_best);
+            let dim_best = self.best_of(&sweep, e, mode);
+            p.set_index(&mut composed, p.get_index(&dim_best));
+        }
+        composed
+    }
+
+    /// Number of distinct configurations simulated so far.
+    pub fn simulated_configs(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{scenarios, TrainingPreset};
+    use transmuter::config::MemKind;
+
+    #[test]
+    fn search_returns_a_config_at_least_as_good_as_the_samples() {
+        let sc = scenarios(TrainingPreset::Tiny)[0];
+        let spec = MachineSpec::default()
+            .with_epoch_ops(1_000)
+            .with_bandwidth_gbps(sc.bandwidth_gbps);
+        let wl = sc.build_workload(MemKind::Cache, spec.geometry.gpe_count());
+        let mut searcher = ConfigSearcher::new(spec, &wl);
+        let samples = sparseadapt::stitch::sample_configs(MemKind::Cache, 5, 11);
+        let mode = OptMode::EnergyEfficient;
+        let best = searcher.best_config(&samples, 0, mode);
+        let best_score = {
+            let rec = &searcher.trace(best)[0];
+            mode.score(&rec.metrics)
+        };
+        for &s in &samples {
+            let rec_score = {
+                let rec = &searcher.trace(s)[0];
+                mode.score(&rec.metrics)
+            };
+            assert!(
+                best_score >= rec_score - 1e-12,
+                "sample {} beats searched best {}",
+                s.short(),
+                best.short()
+            );
+        }
+        // Caching means repeated searches don't grow the cache much.
+        let before = searcher.simulated_configs();
+        searcher.best_config(&samples, 0, mode);
+        assert_eq!(searcher.simulated_configs(), before);
+    }
+}

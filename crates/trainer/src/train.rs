@@ -1,0 +1,197 @@
+//! Ensemble training (§5.1) and on-disk model caching.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use mltree::cv::{default_grid, grid_search, GridSearchResult};
+use mltree::{Dataset, DecisionTree, TreeParams};
+use sparseadapt::PredictiveEnsemble;
+use transmuter::config::{ConfigParam, MemKind};
+use transmuter::metrics::OptMode;
+
+use crate::collect::{collect, CollectOptions};
+
+/// Training options.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainOptions {
+    /// Run the §5.1 hyperparameter grid with k-fold CV; otherwise fit
+    /// once with `fallback` (much faster, slightly worse).
+    pub grid: bool,
+    /// CV folds (the paper uses k = 3).
+    pub cv_folds: usize,
+    /// Parameters used when `grid` is off.
+    pub fallback: TreeParams,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            grid: true,
+            cv_folds: 3,
+            fallback: TreeParams::default(),
+        }
+    }
+}
+
+/// Trains one decision tree per configuration parameter and assembles
+/// the ensemble.
+///
+/// # Panics
+///
+/// Panics if any per-parameter dataset is empty or a parameter is
+/// missing from `datasets`.
+pub fn train_ensemble(
+    datasets: &BTreeMap<ConfigParam, Dataset>,
+    opts: &TrainOptions,
+) -> PredictiveEnsemble {
+    let (ensemble, _) = train_ensemble_with_report(datasets, opts);
+    ensemble
+}
+
+/// Like [`train_ensemble`], also returning the per-parameter grid-search
+/// reports (empty when `opts.grid` is off).
+pub fn train_ensemble_with_report(
+    datasets: &BTreeMap<ConfigParam, Dataset>,
+    opts: &TrainOptions,
+) -> (PredictiveEnsemble, BTreeMap<ConfigParam, GridSearchResult>) {
+    let mut trees = BTreeMap::new();
+    let mut reports = BTreeMap::new();
+    for p in ConfigParam::ALL {
+        let data = datasets
+            .get(&p)
+            .unwrap_or_else(|| panic!("missing dataset for {p:?}"));
+        let tree = if opts.grid {
+            let (report, tree) = grid_search(data, &default_grid(), opts.cv_folds);
+            reports.insert(p, report);
+            tree
+        } else {
+            DecisionTree::fit(data, &opts.fallback)
+        };
+        trees.insert(p, tree);
+    }
+    (PredictiveEnsemble::new(trees), reports)
+}
+
+/// Canonical model-file path for an (L1 kind, mode) pair.
+pub fn model_path(dir: &Path, l1_kind: MemKind, mode: OptMode) -> PathBuf {
+    let kind = match l1_kind {
+        MemKind::Cache => "cache",
+        MemKind::Spm => "spm",
+    };
+    dir.join(format!("sparseadapt-{kind}-{}.json", mode.name()))
+}
+
+/// Loads the cached model for (L1 kind, mode), or collects data, trains
+/// and saves it first. This is how the benches and examples obtain
+/// models without retraining on every run.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the cache directory.
+pub fn train_or_load(
+    dir: &Path,
+    l1_kind: MemKind,
+    mode: OptMode,
+    collect_opts: &CollectOptions,
+    train_opts: &TrainOptions,
+) -> io::Result<PredictiveEnsemble> {
+    let path = model_path(dir, l1_kind, mode);
+    if path.exists() {
+        return PredictiveEnsemble::load(&path);
+    }
+    std::fs::create_dir_all(dir)?;
+    let data = collect(l1_kind, collect_opts);
+    let ensemble = train_ensemble(&data.datasets_for(mode), train_opts);
+    ensemble.save(&path)?;
+    Ok(ensemble)
+}
+
+/// Trains models for *both* modes from a single collection pass and
+/// caches them; returns the one for `mode`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the cache directory.
+pub fn train_or_load_both(
+    dir: &Path,
+    l1_kind: MemKind,
+    mode: OptMode,
+    collect_opts: &CollectOptions,
+    train_opts: &TrainOptions,
+) -> io::Result<PredictiveEnsemble> {
+    let path = model_path(dir, l1_kind, mode);
+    if path.exists() {
+        return PredictiveEnsemble::load(&path);
+    }
+    std::fs::create_dir_all(dir)?;
+    let data = collect(l1_kind, collect_opts);
+    let mut wanted = None;
+    for m in OptMode::ALL {
+        let ensemble = train_ensemble(&data.datasets_for(m), train_opts);
+        ensemble.save(&model_path(dir, l1_kind, m))?;
+        if m == mode {
+            wanted = Some(ensemble);
+        }
+    }
+    Ok(wanted.expect("mode trained"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::TrainingPreset;
+    use mltree::Classifier;
+
+    fn tiny_data() -> crate::TrainingData {
+        collect(
+            MemKind::Cache,
+            &CollectOptions {
+                preset: TrainingPreset::Tiny,
+                k_random: 5,
+                seed: 9,
+                threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn trains_an_ensemble_that_fits_training_data() {
+        let data = tiny_data();
+        let ds = data.datasets_for(OptMode::EnergyEfficient);
+        let opts = TrainOptions {
+            grid: false,
+            ..TrainOptions::default()
+        };
+        let ensemble = train_ensemble(&ds, &opts);
+        // Every per-parameter tree should fit its training set well.
+        for p in ConfigParam::ALL {
+            let acc = ensemble.tree(p).accuracy(&ds[&p]);
+            assert!(acc > 0.7, "{p:?} training accuracy {acc}");
+        }
+    }
+
+    #[test]
+    fn train_or_load_caches_to_disk() {
+        let dir = std::env::temp_dir().join("sa-test-models");
+        let _ = std::fs::remove_dir_all(&dir);
+        let copts = CollectOptions {
+            preset: TrainingPreset::Tiny,
+            k_random: 4,
+            seed: 5,
+            threads: 2,
+        };
+        let topts = TrainOptions {
+            grid: false,
+            ..TrainOptions::default()
+        };
+        let a = train_or_load(&dir, MemKind::Cache, OptMode::EnergyEfficient, &copts, &topts)
+            .unwrap();
+        assert!(model_path(&dir, MemKind::Cache, OptMode::EnergyEfficient).exists());
+        // Second call loads the identical model.
+        let b = train_or_load(&dir, MemKind::Cache, OptMode::EnergyEfficient, &copts, &topts)
+            .unwrap();
+        assert_eq!(a, b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,150 @@
+//! Bandwidth-regulated HBM model.
+//!
+//! The off-chip interface is the binding resource for sparse kernels
+//! (§1), so it is modelled carefully: a fixed access latency plus a
+//! busy-until regulator that serialises line transfers at the configured
+//! bandwidth. Because the machine's event loop processes GPEs in global
+//! time order, the regulator sees requests in non-decreasing time.
+
+/// Per-epoch HBM statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HbmStats {
+    /// Bytes read from memory (demand fills + prefetch fills).
+    pub bytes_read: u64,
+    /// Bytes written to memory (writebacks, flushes).
+    pub bytes_written: u64,
+}
+
+/// The HBM interface model.
+#[derive(Debug, Clone)]
+pub struct Hbm {
+    /// ps per byte at the configured bandwidth.
+    ps_per_byte: f64,
+    /// Fixed access latency in ps (row activation + interface).
+    latency_ps: u64,
+    /// Time at which the interface becomes free.
+    busy_until_ps: u64,
+    stats: HbmStats,
+}
+
+/// Fixed DRAM access latency (60 ns).
+pub const DRAM_LATENCY_PS: u64 = 60_000;
+
+impl Hbm {
+    /// Creates the model for a total bandwidth in GB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive.
+    pub fn new(bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        Hbm {
+            // 1 GB/s = 1 byte/ns = 1000 ps/byte.
+            ps_per_byte: 1000.0 / bandwidth_gbps,
+            latency_ps: DRAM_LATENCY_PS,
+            busy_until_ps: 0,
+            stats: HbmStats::default(),
+        }
+    }
+
+    /// A demand read of `bytes`, issued at absolute time `now_ps`.
+    /// Returns the completion time (arrival of the critical word).
+    pub fn read(&mut self, now_ps: u64, bytes: u32) -> u64 {
+        self.stats.bytes_read += bytes as u64;
+        self.occupy(now_ps, bytes) + self.latency_ps
+    }
+
+    /// A write of `bytes` (writeback / flush) issued at `now_ps`. Writes
+    /// are posted: they occupy bandwidth but the issuer does not wait.
+    pub fn write(&mut self, now_ps: u64, bytes: u32) {
+        self.stats.bytes_written += bytes as u64;
+        self.occupy(now_ps, bytes);
+    }
+
+    /// A prefetch read: occupies bandwidth, issuer does not wait.
+    pub fn prefetch_read(&mut self, now_ps: u64, bytes: u32) {
+        self.stats.bytes_read += bytes as u64;
+        self.occupy(now_ps, bytes);
+    }
+
+    /// Serialises a transfer at the regulator; returns the time the
+    /// transfer finishes on the bus.
+    fn occupy(&mut self, now_ps: u64, bytes: u32) -> u64 {
+        let start = self.busy_until_ps.max(now_ps);
+        let service = (bytes as f64 * self.ps_per_byte).ceil() as u64;
+        self.busy_until_ps = start + service;
+        self.busy_until_ps
+    }
+
+    /// The time at which the interface is next free.
+    pub fn busy_until_ps(&self) -> u64 {
+        self.busy_until_ps
+    }
+
+    /// Peak bytes transferable in a window of `window_ps`.
+    pub fn capacity_bytes(&self, window_ps: u64) -> f64 {
+        window_ps as f64 / self.ps_per_byte
+    }
+
+    /// Returns and resets the statistics.
+    pub fn take_stats(&mut self) -> HbmStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Reads the statistics without resetting.
+    pub fn stats(&self) -> HbmStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_latency_includes_queuing() {
+        let mut hbm = Hbm::new(1.0); // 1 GB/s -> 32 B line = 32 ns
+        let t1 = hbm.read(0, 32);
+        assert_eq!(t1, 32_000 + DRAM_LATENCY_PS);
+        // A second read at t=0 queues behind the first transfer.
+        let t2 = hbm.read(0, 32);
+        assert_eq!(t2, 64_000 + DRAM_LATENCY_PS);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_accumulate() {
+        let mut hbm = Hbm::new(1.0);
+        hbm.read(0, 32);
+        let t = hbm.read(1_000_000, 32); // long after the first finished
+        assert_eq!(t, 1_000_000 + 32_000 + DRAM_LATENCY_PS);
+    }
+
+    #[test]
+    fn bandwidth_scales_service_time() {
+        let mut slow = Hbm::new(1.0);
+        let mut fast = Hbm::new(16.0);
+        let ts = slow.read(0, 3200);
+        let tf = fast.read(0, 3200);
+        assert!(ts > tf);
+        assert_eq!(ts - DRAM_LATENCY_PS, 16 * (tf - DRAM_LATENCY_PS));
+    }
+
+    #[test]
+    fn writes_are_posted_but_occupy_bus() {
+        let mut hbm = Hbm::new(1.0);
+        hbm.write(0, 32);
+        let t = hbm.read(0, 32);
+        // The read queues behind the posted write.
+        assert_eq!(t, 64_000 + DRAM_LATENCY_PS);
+        assert_eq!(hbm.stats().bytes_written, 32);
+        assert_eq!(hbm.stats().bytes_read, 32);
+    }
+
+    #[test]
+    fn stats_reset_on_take() {
+        let mut hbm = Hbm::new(1.0);
+        hbm.read(0, 32);
+        assert_eq!(hbm.take_stats().bytes_read, 32);
+        assert_eq!(hbm.stats().bytes_read, 0);
+    }
+}

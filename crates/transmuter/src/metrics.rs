@@ -1,0 +1,157 @@
+//! Figures of merit and the two optimisation modes (§1, §4).
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregated time / energy / work of a run or an epoch segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct Metrics {
+    /// Wall-clock time in seconds.
+    pub time_s: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Work performed, in the paper's FP-op currency: floating-point
+    /// operations *including loads and stores* (§4).
+    pub flops: u64,
+}
+
+impl Metrics {
+    /// Creates metrics from components.
+    pub fn new(time_s: f64, energy_j: f64, flops: u64) -> Self {
+        Metrics {
+            time_s,
+            energy_j,
+            flops,
+        }
+    }
+
+    /// Giga-FLOP/s.
+    pub fn gflops(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.time_s / 1e9
+    }
+
+    /// Mean power in watts.
+    pub fn watts(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            return 0.0;
+        }
+        self.energy_j / self.time_s
+    }
+
+    /// GFLOPS per watt — the Energy-Efficient mode objective. Equals
+    /// `flops / energy / 1e9`.
+    pub fn gflops_per_watt(&self) -> f64 {
+        if self.energy_j <= 0.0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.energy_j / 1e9
+    }
+
+    /// GFLOPS³ per watt — the Power-Performance mode objective
+    /// (an energy-delay²-style metric favouring speed).
+    pub fn gflops3_per_watt(&self) -> f64 {
+        let g = self.gflops();
+        let w = self.watts();
+        if w <= 0.0 {
+            return 0.0;
+        }
+        g * g * g / w
+    }
+
+    /// Traversed edges per second per watt, for the graph kernels
+    /// (Table 6). `edges` is the number of edges the traversal touched.
+    pub fn teps_per_watt(&self, edges: u64) -> f64 {
+        if self.time_s <= 0.0 || self.energy_j <= 0.0 {
+            return 0.0;
+        }
+        let teps = edges as f64 / self.time_s;
+        teps / self.watts()
+    }
+
+    /// Element-wise accumulation (times and energies add; flops add).
+    pub fn accumulate(&mut self, other: &Metrics) {
+        self.time_s += other.time_s;
+        self.energy_j += other.energy_j;
+        self.flops += other.flops;
+    }
+}
+
+/// The optimisation objective SparseAdapt is asked to maximise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OptMode {
+    /// Maximise GFLOPS/W (cloud/edge energy efficiency).
+    #[default]
+    EnergyEfficient,
+    /// Maximise GFLOPS³/W (performance-weighted efficiency).
+    PowerPerformance,
+}
+
+impl OptMode {
+    /// Both modes, for sweeps.
+    pub const ALL: [OptMode; 2] = [OptMode::EnergyEfficient, OptMode::PowerPerformance];
+
+    /// The scalar objective value of `m` under this mode (higher is
+    /// better).
+    pub fn score(self, m: &Metrics) -> f64 {
+        match self {
+            OptMode::EnergyEfficient => m.gflops_per_watt(),
+            OptMode::PowerPerformance => m.gflops3_per_watt(),
+        }
+    }
+
+    /// Short name for file paths and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptMode::EnergyEfficient => "energy-eff",
+            OptMode::PowerPerformance => "power-perf",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_figures() {
+        let m = Metrics::new(2.0, 4.0, 6_000_000_000);
+        assert!((m.gflops() - 3.0).abs() < 1e-12);
+        assert!((m.watts() - 2.0).abs() < 1e-12);
+        assert!((m.gflops_per_watt() - 1.5).abs() < 1e-12);
+        assert!((m.gflops3_per_watt() - 13.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero_not_nan() {
+        let m = Metrics::default();
+        assert_eq!(m.gflops(), 0.0);
+        assert_eq!(m.gflops_per_watt(), 0.0);
+        assert_eq!(m.gflops3_per_watt(), 0.0);
+        assert_eq!(m.teps_per_watt(10), 0.0);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut a = Metrics::new(1.0, 2.0, 100);
+        a.accumulate(&Metrics::new(0.5, 1.0, 50));
+        assert_eq!(a, Metrics::new(1.5, 3.0, 150));
+    }
+
+    #[test]
+    fn modes_rank_differently() {
+        // fast-but-hungry vs slow-but-frugal
+        let fast = Metrics::new(1.0, 10.0, 10_000_000_000);
+        let frugal = Metrics::new(4.0, 5.0, 10_000_000_000);
+        assert!(OptMode::PowerPerformance.score(&fast) > OptMode::PowerPerformance.score(&frugal));
+        assert!(OptMode::EnergyEfficient.score(&frugal) > OptMode::EnergyEfficient.score(&fast));
+    }
+
+    #[test]
+    fn teps_per_watt() {
+        let m = Metrics::new(2.0, 4.0, 0);
+        // 1000 edges / 2 s = 500 TEPS; 2 W -> 250 TEPS/W.
+        assert!((m.teps_per_watt(1_000) - 250.0).abs() < 1e-9);
+    }
+}

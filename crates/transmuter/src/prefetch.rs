@@ -1,0 +1,168 @@
+//! PC-indexed stride prefetcher (§3.2.5).
+//!
+//! Each L1 bank owns one prefetcher. The index table maps a program
+//! counter (in our abstract op streams, a stable access-site id assigned
+//! by the kernel) to the last address and detected stride. Once the same
+//! stride repeats (2-bit confidence), accesses at that site trigger
+//! `degree` line prefetches ahead of the stream.
+
+/// One stride-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct StrideEntry {
+    pc: u32,
+    last_addr: u64,
+    stride: i64,
+    confidence: u8,
+    valid: bool,
+}
+
+/// Maximum confidence (saturating 2-bit counter).
+const CONF_MAX: u8 = 3;
+/// Confidence needed before prefetches are issued.
+const CONF_ISSUE: u8 = 2;
+/// Number of direct-mapped table entries.
+const TABLE_SIZE: usize = 64;
+
+/// PC-indexed stride prefetcher.
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: u8,
+    line_bytes: u32,
+}
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with the given degree (0 disables it).
+    pub fn new(degree: u8, line_bytes: u32) -> Self {
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); TABLE_SIZE],
+            degree,
+            line_bytes,
+        }
+    }
+
+    /// Active degree.
+    pub fn degree(&self) -> u8 {
+        self.degree
+    }
+
+    /// Changes the degree (a super-fine-grained reconfiguration); the
+    /// stride table survives.
+    pub fn set_degree(&mut self, degree: u8) {
+        self.degree = degree;
+    }
+
+    /// Observes a demand access and returns the line-aligned addresses to
+    /// prefetch (empty when the degree is 0 or no stable stride exists).
+    pub fn observe(&mut self, pc: u32, addr: u64) -> Vec<u64> {
+        let slot = (pc as usize) % TABLE_SIZE;
+        let e = &mut self.table[slot];
+        let mut out = Vec::new();
+        if e.valid && e.pc == pc {
+            let new_stride = addr as i64 - e.last_addr as i64;
+            if new_stride == e.stride && new_stride != 0 {
+                e.confidence = (e.confidence + 1).min(CONF_MAX);
+            } else {
+                e.stride = new_stride;
+                e.confidence = e.confidence.saturating_sub(1);
+            }
+            e.last_addr = addr;
+            if e.confidence >= CONF_ISSUE && self.degree > 0 {
+                let line = self.line_bytes as i64;
+                // Prefetch `degree` *lines* ahead along the stride
+                // direction, de-duplicated by line.
+                let dir = if e.stride >= 0 { 1 } else { -1 };
+                let mut last_line = addr as i64 / line;
+                let mut k = 1i64;
+                while out.len() < self.degree as usize && k <= 4 * self.degree as i64 {
+                    let target = addr as i64 + k * e.stride.max(-line * 64).min(line * 64);
+                    let target_line = target / line;
+                    if target >= 0 && target_line != last_line {
+                        out.push((target_line * line) as u64);
+                        last_line = target_line;
+                    } else if target_line == last_line && e.stride.abs() < line {
+                        // Small strides: jump whole lines instead.
+                        let jump = (last_line + dir) * line;
+                        if jump >= 0 {
+                            out.push(jump as u64);
+                            last_line += dir;
+                        }
+                    }
+                    k += 1;
+                }
+            }
+        } else {
+            *e = StrideEntry {
+                pc,
+                last_addr: addr,
+                stride: 0,
+                confidence: 0,
+                valid: true,
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unit_line_stride() {
+        let mut p = StridePrefetcher::new(4, 32);
+        let mut issued = Vec::new();
+        for i in 0..8u64 {
+            issued = p.observe(1, i * 32);
+        }
+        assert_eq!(issued.len(), 4);
+        // After accessing line 7, prefetch lines 8..=11.
+        assert_eq!(issued[0], 8 * 32);
+        assert_eq!(issued[3], 11 * 32);
+    }
+
+    #[test]
+    fn sub_line_strides_advance_by_lines() {
+        let mut p = StridePrefetcher::new(2, 32);
+        let mut issued = Vec::new();
+        for i in 0..16u64 {
+            issued = p.observe(7, i * 8); // 8-byte stride within 32-byte lines
+        }
+        assert_eq!(issued.len(), 2);
+        assert!(issued[0] % 32 == 0 && issued[1] % 32 == 0);
+        assert!(issued[1] > issued[0]);
+    }
+
+    #[test]
+    fn degree_zero_issues_nothing() {
+        let mut p = StridePrefetcher::new(0, 32);
+        for i in 0..8u64 {
+            assert!(p.observe(1, i * 32).is_empty());
+        }
+    }
+
+    #[test]
+    fn random_addresses_issue_nothing() {
+        let mut p = StridePrefetcher::new(8, 32);
+        let addrs = [100u64, 9000, 40, 77777, 3, 123456];
+        let mut total = 0;
+        for &a in &addrs {
+            total += p.observe(1, a).len();
+        }
+        assert_eq!(total, 0, "no stable stride should mean no prefetches");
+    }
+
+    #[test]
+    fn distinct_pcs_track_independent_streams() {
+        let mut p = StridePrefetcher::new(2, 32);
+        for i in 0..6u64 {
+            p.observe(1, i * 32);
+            p.observe(2, 4096 + i * 64);
+        }
+        let a = p.observe(1, 6 * 32);
+        let b = p.observe(2, 4096 + 6 * 64);
+        assert!(!a.is_empty());
+        assert!(!b.is_empty());
+        assert_ne!(a[0], b[0]);
+    }
+}

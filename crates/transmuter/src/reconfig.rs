@@ -1,0 +1,214 @@
+//! Reconfiguration cost model (§3.4, §5.2).
+//!
+//! Parameters fall into three classes:
+//!
+//! * **Super fine-grained** — clock, prefetch degree, capacity *increase*
+//!   (the sub-banked R-DCache keeps contents): a fixed 100-cycle cost.
+//! * **Fine-grained** — sharing-mode changes and capacity *decreases*:
+//!   the affected layer is flushed to the next level. Following the
+//!   paper's pessimistic assumption, every line is dirty, and the flush
+//!   drains at the off-chip bandwidth (dirty L1 lines displace dirty L2
+//!   lines, so the off-chip interface is the bottleneck). This reproduces
+//!   the paper's quoted ranges (100–961 k cycles / up to 157 µJ for the
+//!   L1 layer at 1 GB/s).
+//! * **Coarse-grained** — the L1 memory type, fixed at compile time and
+//!   never charged at run time.
+//!
+//! The host flushes at a reduced clock chosen from a lookup table; the
+//! flush is bandwidth-bound, so we model the choice as the lowest clock
+//! that still saturates the interface (250 MHz for the evaluated system)
+//! and charge the flush's dynamic energy at that voltage, with cores and
+//! unaffected SRAM power-gated (§5.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ClockFreq, MachineSpec, TransmuterConfig};
+use crate::power::{dynamic_scale, EnergyTable, PowerModel};
+
+/// Fixed cost of any reconfiguration, in cycles of the outgoing clock.
+pub const FIXED_RECONFIG_CYCLES: u64 = 100;
+
+/// Flush energy per byte moved (cache read + crossbar + DRAM write) at
+/// nominal voltage. 150 pJ/B ≈ the paper's 157 µJ for a 1 MB L1 layer.
+pub const FLUSH_ENERGY_PER_BYTE: f64 = 150e-12;
+
+/// The clock used while flushing (lowest step that saturates the
+/// off-chip interface on the evaluated system).
+pub const FLUSH_CLOCK: ClockFreq = ClockFreq::Mhz250;
+
+/// The cost of switching between two configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct ReconfigCost {
+    /// Stall time in seconds.
+    pub time_s: f64,
+    /// Energy spent reconfiguring, in joules.
+    pub energy_j: f64,
+    /// Whether the L1 layer must be flushed (and invalidated).
+    pub flush_l1: bool,
+    /// Whether the L2 layer must be flushed (and invalidated).
+    pub flush_l2: bool,
+}
+
+impl ReconfigCost {
+    /// Zero cost (no change).
+    pub fn zero() -> Self {
+        ReconfigCost::default()
+    }
+
+    /// `true` if any cost is incurred.
+    pub fn is_nonzero(&self) -> bool {
+        self.time_s > 0.0 || self.energy_j > 0.0
+    }
+}
+
+/// Computes the cost of switching `from → to` on the given machine.
+///
+/// # Example
+///
+/// ```
+/// use transmuter::config::{MachineSpec, TransmuterConfig};
+/// use transmuter::power::EnergyTable;
+/// use transmuter::reconfig::cost;
+///
+/// let spec = MachineSpec::default();
+/// let table = EnergyTable::default();
+/// let a = TransmuterConfig::baseline();
+/// let mut b = a;
+/// b.prefetch_degree = 8; // super fine-grained: fixed 100-cycle cost
+/// let c = cost(&spec, &table, &a, &b);
+/// assert!(c.time_s > 0.0 && !c.flush_l1 && !c.flush_l2);
+/// ```
+pub fn cost(
+    spec: &MachineSpec,
+    table: &EnergyTable,
+    from: &TransmuterConfig,
+    to: &TransmuterConfig,
+) -> ReconfigCost {
+    if from == to {
+        return ReconfigCost::zero();
+    }
+    let flush_l1 = from.l1_sharing != to.l1_sharing
+        || to.l1_capacity_kb < from.l1_capacity_kb;
+    let flush_l2 = from.l2_sharing != to.l2_sharing
+        || to.l2_capacity_kb < from.l2_capacity_kb;
+
+    // Fixed cost at the outgoing clock.
+    let mut time_s = FIXED_RECONFIG_CYCLES as f64 * from.clock.period_ps() as f64 * 1e-12;
+    let mut energy_j = FIXED_RECONFIG_CYCLES as f64 * table.int_op * dynamic_scale(from.clock);
+
+    let mut flush_bytes = 0u64;
+    if flush_l1 {
+        flush_bytes +=
+            from.l1_capacity_kb as u64 * 1024 * spec.geometry.l1_bank_count() as u64;
+    }
+    if flush_l2 {
+        flush_bytes +=
+            from.l2_capacity_kb as u64 * 1024 * spec.geometry.l2_bank_count() as u64;
+    }
+    if flush_bytes > 0 {
+        // Bandwidth-bound drain of (pessimistically) all-dirty lines.
+        let drain_s = flush_bytes as f64 / (spec.mem_bw_gbps * 1e9);
+        let floor_s = FIXED_RECONFIG_CYCLES as f64 * FLUSH_CLOCK.period_ps() as f64 * 1e-12;
+        let flush_s = drain_s.max(floor_s);
+        time_s += flush_s;
+        // Byte movement at the flush clock's voltage...
+        energy_j += flush_bytes as f64 * FLUSH_ENERGY_PER_BYTE * dynamic_scale(FLUSH_CLOCK);
+        // ...plus the power-gated machine idling under the flush.
+        let idle = PowerModel::new(*table, spec, from);
+        energy_j += idle.flush_static_power_w() * flush_s;
+    }
+    ReconfigCost {
+        time_s,
+        energy_j,
+        flush_l1,
+        flush_l2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SharingMode;
+
+    fn spec() -> MachineSpec {
+        MachineSpec::default()
+    }
+
+    #[test]
+    fn identical_configs_cost_nothing() {
+        let c = cost(
+            &spec(),
+            &EnergyTable::default(),
+            &TransmuterConfig::baseline(),
+            &TransmuterConfig::baseline(),
+        );
+        assert!(!c.is_nonzero());
+    }
+
+    #[test]
+    fn clock_change_is_super_fine_grained() {
+        let a = TransmuterConfig::baseline();
+        let mut b = a;
+        b.clock = ClockFreq::Mhz125;
+        let c = cost(&spec(), &EnergyTable::default(), &a, &b);
+        assert!(!c.flush_l1 && !c.flush_l2);
+        // 100 cycles at 1 GHz = 100 ns.
+        assert!((c.time_s - 100e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_increase_is_cheap_decrease_flushes() {
+        let a = TransmuterConfig::baseline(); // 4 kB L1
+        let mut grow = a;
+        grow.l1_capacity_kb = 64;
+        let cg = cost(&spec(), &EnergyTable::default(), &a, &grow);
+        assert!(!cg.flush_l1, "growing keeps contents");
+
+        let cs = cost(&spec(), &EnergyTable::default(), &grow, &a);
+        assert!(cs.flush_l1, "shrinking flushes");
+        assert!(cs.time_s > cg.time_s * 10.0);
+    }
+
+    #[test]
+    fn sharing_change_flushes_its_layer() {
+        let a = TransmuterConfig::baseline();
+        let mut b = a;
+        b.l2_sharing = SharingMode::Private;
+        let c = cost(&spec(), &EnergyTable::default(), &a, &b);
+        assert!(!c.flush_l1);
+        assert!(c.flush_l2);
+    }
+
+    #[test]
+    fn flush_cost_matches_paper_ranges() {
+        // Max L1 layer: 64 kB × 16 banks = 1 MB at 1 GB/s ≈ 1.05 ms
+        // ≈ 1.05 M cycles at 1 GHz (paper: up to 961 k cycles) and
+        // ≈ 100 µJ at the flush voltage (paper: up to 157 µJ).
+        let mut a = TransmuterConfig::maximum();
+        a.l2_capacity_kb = 4;
+        let mut b = a;
+        b.l1_capacity_kb = 4;
+        let c = cost(&spec(), &EnergyTable::default(), &a, &b);
+        let cycles = c.time_s / 1e-9;
+        assert!(
+            (500_000.0..2_000_000.0).contains(&cycles),
+            "flush cycles {cycles}"
+        );
+        assert!(
+            (20e-6..300e-6).contains(&c.energy_j),
+            "flush energy {} J",
+            c.energy_j
+        );
+    }
+
+    #[test]
+    fn cost_scales_inversely_with_bandwidth() {
+        let a = TransmuterConfig::maximum();
+        let mut b = a;
+        b.l1_capacity_kb = 4;
+        let slow = cost(&spec(), &EnergyTable::default(), &a, &b);
+        let fast_spec = spec().with_bandwidth_gbps(16.0);
+        let fast = cost(&fast_spec, &EnergyTable::default(), &a, &b);
+        assert!(slow.time_s > 10.0 * fast.time_s);
+    }
+}

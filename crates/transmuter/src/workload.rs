@@ -1,0 +1,229 @@
+//! Abstract workloads: per-GPE op streams with real addresses.
+//!
+//! Kernels (the `kernels` crate) compile sparse computations into
+//! [`Op`] streams — batched compute plus loads/stores against a modelled
+//! address space — one stream per GPE per explicit phase. The addresses
+//! are what make implicit phases real: a dense outer product re-touches
+//! the same B-row lines and hits in cache; a scattered one misses.
+//!
+//! Work-to-GPE assignment is performed by the kernels *deterministically*
+//! (round-robin over work items), so the FP-op stream of epoch *k* is
+//! identical across hardware configurations — the property that makes
+//! per-epoch stitching of independently simulated configurations sound
+//! (DESIGN.md §2).
+
+use serde::{Deserialize, Serialize};
+
+/// One abstract operation executed by a GPE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `n` floating-point operations (CPI 1 each).
+    Flops(u32),
+    /// `n` integer / bookkeeping operations (CPI 1 each).
+    IntOps(u32),
+    /// A load from `addr`. `pc` is a stable access-site id used by the
+    /// stride prefetcher's index table.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access-site id (stands in for the program counter).
+        pc: u32,
+    },
+    /// A store to `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access-site id.
+        pc: u32,
+    },
+}
+
+/// A contiguous region of the modelled address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    /// First byte address.
+    pub base: u64,
+    /// Size in bytes.
+    pub bytes: u64,
+}
+
+impl Region {
+    /// Address of element `i` with elements of `elem_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the element lies outside the region.
+    pub fn addr(&self, i: u64, elem_bytes: u64) -> u64 {
+        debug_assert!(
+            (i + 1) * elem_bytes <= self.bytes,
+            "element {i} x {elem_bytes}B outside region of {}B",
+            self.bytes
+        );
+        self.base + i * elem_bytes
+    }
+
+    /// `true` if `addr` falls inside the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.bytes
+    }
+}
+
+/// Bump allocator for laying kernel data structures out in the modelled
+/// address space (line-aligned so regions do not share cache lines).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    next: u64,
+    align: u64,
+}
+
+impl AddressSpace {
+    /// A fresh address space with the given line alignment.
+    pub fn new(line_bytes: u64) -> Self {
+        AddressSpace {
+            next: line_bytes, // keep address 0 unused
+            align: line_bytes,
+        }
+    }
+
+    /// Allocates a region of `bytes`, aligned to the line size.
+    pub fn alloc(&mut self, bytes: u64) -> Region {
+        let base = self.next;
+        let padded = bytes.div_ceil(self.align) * self.align;
+        self.next += padded.max(self.align);
+        Region { base, bytes }
+    }
+}
+
+/// One explicit phase: a name, one op stream per GPE, and the phase's
+/// scratchpad map / control-processor load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Phase name (`"multiply"`, `"merge"`, `"iter3"`, …).
+    pub name: String,
+    /// One op stream per GPE; the vector length must equal the machine's
+    /// GPE count.
+    pub streams: Vec<Vec<Op>>,
+    /// Address regions the kernel maps into scratchpad when the L1 is in
+    /// SPM mode. Accesses outside these regions bypass to L2.
+    pub spm_regions: Vec<Region>,
+    /// LCP bookkeeping ops charged per GPE op executed — models the
+    /// work-queue dispatch and load-balancing activity of the control
+    /// processors (Table 2's LCP IPC counter).
+    pub lcp_ops_per_gpe_op: f64,
+}
+
+impl Phase {
+    /// A phase with no SPM mapping and the default LCP load.
+    pub fn new(name: &str, streams: Vec<Vec<Op>>) -> Self {
+        Phase {
+            name: name.to_string(),
+            streams,
+            spm_regions: Vec::new(),
+            lcp_ops_per_gpe_op: 0.05,
+        }
+    }
+
+    /// Sets the SPM-mapped regions.
+    pub fn with_spm_regions(mut self, regions: Vec<Region>) -> Self {
+        self.spm_regions = regions;
+        self
+    }
+
+    /// Sets the LCP load factor.
+    pub fn with_lcp_load(mut self, ops_per_gpe_op: f64) -> Self {
+        self.lcp_ops_per_gpe_op = ops_per_gpe_op;
+        self
+    }
+
+    /// Total FP ops (including loads and stores — the paper's epoch
+    /// currency) across all streams.
+    pub fn total_fp_ops(&self) -> u64 {
+        self.streams
+            .iter()
+            .flatten()
+            .map(|op| match op {
+                Op::Flops(n) => *n as u64,
+                Op::Load { .. } | Op::Store { .. } => 1,
+                Op::IntOps(_) => 0,
+            })
+            .sum()
+    }
+}
+
+/// A complete workload: named, with one or more explicit phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Workload name for reports.
+    pub name: String,
+    /// The explicit phases, executed in order with a global barrier
+    /// between them.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: &str, phases: Vec<Phase>) -> Self {
+        Workload {
+            name: name.to_string(),
+            phases,
+        }
+    }
+
+    /// Total FP ops (including loads/stores) over all phases.
+    pub fn total_fp_ops(&self) -> u64 {
+        self.phases.iter().map(Phase::total_fp_ops).sum()
+    }
+
+    /// Total pure floating-point operations (the GFLOPS numerator).
+    pub fn total_flops(&self) -> u64 {
+        self.phases
+            .iter()
+            .flat_map(|p| p.streams.iter().flatten())
+            .map(|op| match op {
+                Op::Flops(n) => *n as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_space_is_line_aligned_and_disjoint() {
+        let mut a = AddressSpace::new(32);
+        let r1 = a.alloc(100);
+        let r2 = a.alloc(1);
+        assert_eq!(r1.base % 32, 0);
+        assert_eq!(r2.base % 32, 0);
+        assert!(r1.base + 128 <= r2.base || r2.base >= r1.base + 100);
+        assert!(!r1.contains(r2.base));
+    }
+
+    #[test]
+    fn region_addressing() {
+        let mut a = AddressSpace::new(32);
+        let r = a.alloc(80);
+        assert_eq!(r.addr(0, 8), r.base);
+        assert_eq!(r.addr(9, 8), r.base + 72);
+        assert!(r.contains(r.addr(9, 8)));
+    }
+
+    #[test]
+    fn fp_op_accounting_counts_loads_and_stores() {
+        let p = Phase::new(
+            "p",
+            vec![vec![
+                Op::Flops(10),
+                Op::IntOps(99),
+                Op::Load { addr: 0, pc: 0 },
+                Op::Store { addr: 8, pc: 1 },
+            ]],
+        );
+        assert_eq!(p.total_fp_ops(), 12);
+        let w = Workload::new("w", vec![p]);
+        assert_eq!(w.total_flops(), 10);
+    }
+}

@@ -1,0 +1,71 @@
+//! Watch SparseAdapt track explicit and implicit phases: OP-SpMSpM on
+//! the Figure 1 motivation matrix (dense columns separating sparse
+//! strips), with the per-epoch configuration decisions printed as a
+//! timeline.
+//!
+//! ```text
+//! cargo run --release --example autotune_spmspm
+//! ```
+
+use kernels::spmspm;
+use sparse::gen::{motivation_matrix, GenSeed};
+use sparseadapt::{ReconfigPolicy, SparseAdaptController};
+use trainer::collect::CollectOptions;
+use trainer::scenarios::TrainingPreset;
+use trainer::train::{train_or_load, TrainOptions};
+use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
+use transmuter::machine::Machine;
+use transmuter::metrics::OptMode;
+
+fn main() -> std::io::Result<()> {
+    let m = motivation_matrix(128, 8, 0.2, GenSeed(42));
+    let a = m.to_csc();
+    let b = m.to_csr().transpose(); // C = A · Aᵀ
+    let spec = MachineSpec::default().with_epoch_ops(2_000);
+    let built = spmspm::build(&a, &b, spec.geometry.gpe_count());
+    println!(
+        "C = A·A^T: {} partial products -> {} output non-zeros",
+        built.partial_products,
+        built.result.nnz()
+    );
+
+    let ensemble = train_or_load(
+        std::path::Path::new("models/tiny"),
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        &CollectOptions {
+            preset: TrainingPreset::Tiny,
+            ..CollectOptions::default()
+        },
+        &TrainOptions {
+            grid: false,
+            ..TrainOptions::default()
+        },
+    )?;
+
+    let mut ctrl = SparseAdaptController::new(
+        ensemble,
+        ReconfigPolicy::Hybrid { tolerance: 0.2 },
+        spec,
+    );
+    let mut machine = Machine::new(spec, TransmuterConfig::best_avg_cache());
+    let run = machine.run_with_controller(&built.workload, &mut ctrl);
+
+    println!("epoch  config                       GFLOPS/W  bw-util");
+    for e in &run.epochs {
+        println!(
+            "e{:<4}  {:<27}  {:>8.2}  {:>7.2}",
+            e.index,
+            e.config.short(),
+            e.metrics.gflops_per_watt(),
+            e.telemetry.mem_read_util + e.telemetry.mem_write_util,
+        );
+    }
+    println!(
+        "total: {:.3} ms, {:.1} uJ, {} reconfigurations",
+        run.time_s * 1e3,
+        run.energy_j * 1e6,
+        ctrl.reconfig_count()
+    );
+    Ok(())
+}

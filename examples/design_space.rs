@@ -1,0 +1,69 @@
+//! Explore the static design space: sweep sampled configurations on one
+//! workload and print the time/energy Pareto frontier, plus where the
+//! Table 4 reference points and the dynamic Oracle land.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use kernels::spmspv;
+use sparse::gen::{rmat, uniform_random_vector, GenSeed};
+use sparseadapt::schemes::{ideal_static, oracle};
+use sparseadapt::stitch::{sample_configs, SweepData};
+use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
+use transmuter::metrics::OptMode;
+
+fn main() {
+    let a = rmat(1_024, 8_000, GenSeed(5)).to_csc();
+    let x = uniform_random_vector(1_024, 0.5, GenSeed(6));
+    let spec = MachineSpec::default().with_epoch_ops(500);
+    let built = spmspv::build(&a, &x, spec.geometry.gpe_count());
+
+    let configs = sample_configs(MemKind::Cache, 32, 99);
+    let sweep = SweepData::simulate(spec, &built.workload, &configs, 4);
+
+    // Collect (time, energy) per static config and mark the frontier.
+    let mut points: Vec<(usize, f64, f64)> = (0..sweep.n_configs())
+        .map(|c| {
+            let m = sweep.static_metrics(c);
+            (c, m.time_s, m.energy_j)
+        })
+        .collect();
+    points.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    let mut best_energy = f64::INFINITY;
+    println!("time_ms   energy_uJ  pareto  config");
+    for (c, t, e) in &points {
+        let pareto = *e < best_energy;
+        if pareto {
+            best_energy = *e;
+        }
+        println!(
+            "{:>7.3}   {:>9.1}  {}       {}",
+            t * 1e3,
+            e * 1e6,
+            if pareto { "*" } else { " " },
+            sweep.configs[*c].short()
+        );
+    }
+
+    for mode in OptMode::ALL {
+        let (idx, st) = ideal_static(&sweep, mode);
+        let orc = oracle(&sweep, mode);
+        println!(
+            "{:?}: ideal static = {} ({:.3} score); oracle schedule scores {:.3} ({} switches)",
+            mode,
+            sweep.configs[idx].short(),
+            mode.score(&st),
+            mode.score(&orc.metrics),
+            orc.schedule.windows(2).filter(|w| w[0] != w[1]).count(),
+        );
+    }
+    let base = sweep
+        .config_index(&TransmuterConfig::baseline())
+        .expect("baseline sampled");
+    println!(
+        "Baseline lands at {:.3} ms / {:.1} uJ",
+        sweep.static_metrics(base).time_s * 1e3,
+        sweep.static_metrics(base).energy_j * 1e6
+    );
+}

@@ -1,0 +1,78 @@
+//! Quickstart: train a small SparseAdapt model, then run SpMSpV on a
+//! power-law matrix under the Baseline configuration and under
+//! SparseAdapt control, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use kernels::spmspv;
+use sparse::gen::{rmat, uniform_random_vector, GenSeed};
+use sparseadapt::{ReconfigPolicy, SparseAdaptController};
+use trainer::collect::CollectOptions;
+use trainer::scenarios::TrainingPreset;
+use trainer::train::{train_or_load, TrainOptions};
+use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
+use transmuter::machine::Machine;
+use transmuter::metrics::OptMode;
+
+fn main() -> std::io::Result<()> {
+    // 1. A dataset: an 8k-ish power-law matrix and a 50 %-dense vector.
+    let a = rmat(2_048, 16_000, GenSeed(7)).to_csc();
+    let x = uniform_random_vector(2_048, 0.5, GenSeed(8));
+
+    // 2. The kernel compiles the computation into per-GPE op streams
+    //    (and computes the functional result).
+    let spec = MachineSpec::default().with_epoch_ops(500);
+    let built = spmspv::build(&a, &x, spec.geometry.gpe_count());
+    assert_eq!(built.result, x.spmspv_reference(&a), "kernel is correct");
+    println!(
+        "workload: {} FP-ops over {} matrix elements",
+        built.workload.total_fp_ops(),
+        built.elements_touched
+    );
+
+    // 3. A predictive model (trained once, cached under models/tiny/).
+    let model_dir = std::path::Path::new("models/tiny");
+    let ensemble = train_or_load(
+        model_dir,
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        &CollectOptions {
+            preset: TrainingPreset::Tiny,
+            ..CollectOptions::default()
+        },
+        &TrainOptions {
+            grid: false,
+            ..TrainOptions::default()
+        },
+    )?;
+
+    // 4. Static baseline run.
+    let baseline = Machine::new(spec, TransmuterConfig::baseline()).run(&built.workload);
+
+    // 5. SparseAdapt run: telemetry -> decision trees -> cost-aware
+    //    policy, every 500 FP-ops per GPE.
+    let mut ctrl = SparseAdaptController::new(ensemble, ReconfigPolicy::hybrid40(), spec);
+    let mut machine = Machine::new(spec, TransmuterConfig::best_avg_cache());
+    let adaptive = machine.run_with_controller(&built.workload, &mut ctrl);
+
+    println!(
+        "baseline:    {:>8.3} ms  {:>8.1} uJ  {:>6.2} GFLOPS/W",
+        baseline.time_s * 1e3,
+        baseline.energy_j * 1e6,
+        baseline.metrics().gflops_per_watt()
+    );
+    println!(
+        "sparseadapt: {:>8.3} ms  {:>8.1} uJ  {:>6.2} GFLOPS/W  ({} reconfigs)",
+        adaptive.time_s * 1e3,
+        adaptive.energy_j * 1e6,
+        adaptive.metrics().gflops_per_watt(),
+        ctrl.reconfig_count()
+    );
+    println!(
+        "energy-efficiency gain: {:.2}x",
+        adaptive.metrics().gflops_per_watt() / baseline.metrics().gflops_per_watt()
+    );
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! Property-based tests over the cross-crate invariants.
+
+use kernels::{partition, spmspm, spmspv};
+use proptest::prelude::*;
+use sparse::gen::{rmat, structured, uniform_random, uniform_random_vector, GenSeed, PatternClass};
+use sparse::SparseVector;
+use transmuter::config::{ConfigParam, MachineSpec, MemKind, TransmuterConfig};
+use transmuter::machine::Machine;
+use transmuter::power::target_voltage;
+use transmuter::reconfig;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// SpMSpV on the machine: functional result always matches the
+    /// reference, whatever the matrix shape or vector density.
+    #[test]
+    fn spmspv_correct_for_any_input(
+        dim in 32u32..200,
+        nnz_frac in 0.005f64..0.2,
+        density in 0.05f64..0.9,
+        seed in 0u64..1_000,
+    ) {
+        let nnz = ((dim as f64 * dim as f64 * nnz_frac) as usize).max(1);
+        let a = uniform_random(dim, nnz, GenSeed(seed)).to_csc();
+        let x = uniform_random_vector(dim, density, GenSeed(seed ^ 1));
+        let built = spmspv::build(&a, &x, 8);
+        prop_assert_eq!(built.result, x.spmspv_reference(&a));
+    }
+
+    /// SpMSpM: C = A·B matches the dense reference on random inputs.
+    #[test]
+    fn spmspm_correct_for_any_input(
+        dim in 16u32..96,
+        nnz_frac in 0.01f64..0.2,
+        seed in 0u64..1_000,
+    ) {
+        let nnz = ((dim as f64 * dim as f64 * nnz_frac) as usize).max(1);
+        let m = uniform_random(dim, nnz, GenSeed(seed));
+        let a = m.to_csc();
+        let b = m.to_csr().transpose();
+        let built = spmspm::build(&a, &b, 8);
+        let dense = m.to_csr().matmul_dense_reference(&b);
+        for (r, c, v) in built.result.iter() {
+            prop_assert!((v - dense[r as usize][c as usize]).abs() < 1e-9);
+        }
+        // And no dense entry is missing from the sparse result.
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                if v.abs() > 1e-12 {
+                    prop_assert!(built.result.get(r as u32, c as u32).is_some());
+                }
+            }
+        }
+    }
+
+    /// Structured generators always honour dimension and NNZ exactly.
+    #[test]
+    fn generators_hit_exact_nnz(
+        dim in 64u32..256,
+        nnz in 100usize..2_000,
+        class_pick in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let class = match class_pick {
+            0 => PatternClass::Uniform,
+            1 => PatternClass::PowerLaw,
+            2 => PatternClass::Banded { half_bandwidth: 16 },
+            _ => PatternClass::BlockDiagonal { blocks: 4 },
+        };
+        let m = structured(dim, nnz, &class, GenSeed(seed)).to_csr();
+        prop_assert_eq!(m.rows(), dim);
+        prop_assert_eq!(m.nnz(), nnz);
+    }
+
+    /// Greedy partitioning: every item assigned exactly once, and no
+    /// worker exceeds the optimal bound by more than the largest item.
+    #[test]
+    fn partition_is_balanced(
+        costs in prop::collection::vec(1u64..100, 1..200),
+        workers in 1usize..16,
+    ) {
+        let assignment = partition::assign_greedy(&costs, workers);
+        prop_assert_eq!(assignment.len(), costs.len());
+        let mut load = vec![0u64; workers];
+        for (i, &w) in assignment.iter().enumerate() {
+            prop_assert!(w < workers);
+            load[w] += costs[i];
+        }
+        let total: u64 = costs.iter().sum();
+        let max_item = costs.iter().copied().max().unwrap_or(0);
+        let bound = total / workers as u64 + max_item;
+        prop_assert!(load.iter().all(|&l| l <= bound),
+            "load {:?} exceeds LPT bound {}", load, bound);
+    }
+
+    /// The DVFS voltage solution is monotone in frequency and within
+    /// the physical rails.
+    #[test]
+    fn dvfs_voltage_is_monotone(f1 in 10.0f64..1000.0, f2 in 10.0f64..1000.0) {
+        let (lo, hi) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+        let v_lo = target_voltage(lo);
+        let v_hi = target_voltage(hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        prop_assert!(v_lo >= 1.3 * transmuter::power::V_THRESHOLD - 1e-12);
+        prop_assert!(v_hi <= transmuter::power::VDD_NOMINAL + 1e-12);
+    }
+
+    /// Reconfiguration costs are symmetric in "needs a flush" and never
+    /// negative; identical configs are free.
+    #[test]
+    fn reconfig_costs_are_sane(a_idx in 0usize..1800, b_idx in 0usize..1800) {
+        let space = TransmuterConfig::runtime_space(MemKind::Cache);
+        let spec = MachineSpec::default();
+        let table = transmuter::power::EnergyTable::default();
+        let ca = space[a_idx];
+        let cb = space[b_idx];
+        let cost = reconfig::cost(&spec, &table, &ca, &cb);
+        prop_assert!(cost.time_s >= 0.0 && cost.energy_j >= 0.0);
+        if ca == cb {
+            prop_assert!(!cost.is_nonzero());
+        } else {
+            prop_assert!(cost.time_s > 0.0, "any change costs at least the fixed cycles");
+        }
+    }
+
+    /// Epoch structure is identical across configurations for any
+    /// workload (the stitching invariant).
+    #[test]
+    fn epochs_align_across_configs(
+        dim in 64u32..160,
+        seed in 0u64..500,
+        cfg_idx in 0usize..1800,
+    ) {
+        let a = rmat(dim, (dim as usize) * 6, GenSeed(seed)).to_csc();
+        let x = uniform_random_vector(dim, 0.5, GenSeed(seed ^ 3));
+        let built = spmspv::build(&a, &x, 16);
+        let spec = MachineSpec::default().with_epoch_ops(200);
+        let base = Machine::new(spec, TransmuterConfig::baseline()).run(&built.workload);
+        let other_cfg = TransmuterConfig::runtime_space(MemKind::Cache)[cfg_idx];
+        let other = Machine::new(spec, other_cfg).run(&built.workload);
+        prop_assert_eq!(base.epochs.len(), other.epochs.len());
+        for (x, y) in base.epochs.iter().zip(&other.epochs) {
+            prop_assert_eq!(x.fp_ops, y.fp_ops);
+        }
+    }
+
+    /// Config parameters round-trip through index encoding for every
+    /// point of the space.
+    #[test]
+    fn config_param_index_roundtrip(idx in 0usize..1800) {
+        let cfg = TransmuterConfig::runtime_space(MemKind::Cache)[idx];
+        let mut rebuilt = TransmuterConfig::baseline();
+        for p in ConfigParam::ALL {
+            p.set_index(&mut rebuilt, p.get_index(&cfg));
+        }
+        prop_assert_eq!(rebuilt, cfg);
+    }
+
+    /// Sparse vectors survive dense round-trips.
+    #[test]
+    fn sparse_vector_dense_roundtrip(
+        dim in 1u32..500,
+        pairs in prop::collection::vec((0u32..500, -100.0f64..100.0), 0..64),
+    ) {
+        let pairs: Vec<(u32, f64)> = pairs
+            .into_iter()
+            .filter(|&(i, v)| i < dim && v != 0.0)
+            .collect();
+        let v = SparseVector::from_pairs(dim, pairs);
+        prop_assert_eq!(v.to_dense().to_sparse(), v);
+    }
+}
