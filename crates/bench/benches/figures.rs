@@ -25,7 +25,12 @@ fn bench_harness() -> Harness {
 fn bench_fig1_motivation(c: &mut Criterion) {
     let harness = bench_harness();
     // Warm the model cache outside the measured region.
-    ensemble(harness.scale, MemKind::Cache, OptMode::EnergyEfficient, harness.threads);
+    ensemble(
+        harness.scale,
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        harness.threads,
+    );
     c.bench_function("fig1_motivation", |b| {
         b.iter(|| experiments::fig1::run(&harness))
     });
@@ -106,8 +111,18 @@ fn bench_table6_graph(c: &mut Criterion) {
 
 fn bench_fig10_importance(c: &mut Criterion) {
     let harness = bench_harness();
-    ensemble(harness.scale, MemKind::Cache, OptMode::EnergyEfficient, harness.threads);
-    ensemble(harness.scale, MemKind::Cache, OptMode::PowerPerformance, harness.threads);
+    ensemble(
+        harness.scale,
+        MemKind::Cache,
+        OptMode::EnergyEfficient,
+        harness.threads,
+    );
+    ensemble(
+        harness.scale,
+        MemKind::Cache,
+        OptMode::PowerPerformance,
+        harness.threads,
+    );
     c.bench_function("fig10_feature_importance", |b| {
         b.iter(|| experiments::fig10::run(&harness))
     });

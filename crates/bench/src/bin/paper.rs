@@ -1,10 +1,22 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! Usage: paper <experiment|all>
+//! Usage: paper [--threads N] [--cache-dir DIR] [--serial] [experiment ...|all]
 //! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
+//!              sec7 insights ablation
 //! Scale via SA_SCALE = quick | half | paper (default quick).
 //! ```
+//!
+//! `--threads N` caps the worker pool (default: available parallelism).
+//! `--cache-dir DIR` persists simulated traces to disk so later runs —
+//! even across processes — reuse them. `--serial` runs experiments one
+//! after another at full thread count instead of fanning out; use it
+//! when per-experiment progress output matters more than wall clock.
+//!
+//! With `all` (the default), experiments themselves run concurrently:
+//! the thread budget is split so each experiment gets an inner slice of
+//! the pool while several experiments proceed at once, all sharing the
+//! process-wide trace and model caches.
 //!
 //! Models are trained on first use and cached under `models/<scale>/`;
 //! result CSVs land in `results/`.
@@ -86,25 +98,110 @@ fn run_one(harness: &Harness, which: &str) -> bool {
     ok
 }
 
-fn main() {
-    let harness = Harness::default();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all");
+struct Cli {
+    threads: Option<usize>,
+    cache_dir: Option<std::path::PathBuf>,
+    serial: bool,
+    experiments: Vec<String>,
+}
+
+fn usage_and_exit(code: i32) -> ! {
     eprintln!(
-        "# scale={:?} sampled={} threads={}",
-        harness.scale, harness.sampled_configs, harness.threads
+        "usage: paper [--threads N] [--cache-dir DIR] [--serial] [experiment ...|all]\n\
+         experiments: {} all",
+        ALL.join(" ")
     );
-    if which == "all" {
-        for exp in ALL {
+    std::process::exit(code);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        threads: None,
+        cache_dir: None,
+        serial: false,
+        experiments: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
+                        usage_and_exit(2)
+                    });
+                cli.threads = Some(n);
+            }
+            "--cache-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--cache-dir needs a path");
+                    usage_and_exit(2)
+                });
+                cli.cache_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--serial" => cli.serial = true,
+            "--help" | "-h" => usage_and_exit(0),
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag '{other}'");
+                usage_and_exit(2)
+            }
+            other => cli.experiments.push(other.to_string()),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    let mut harness = Harness::default();
+    if let Some(n) = cli.threads {
+        harness = harness.with_threads(n);
+    }
+    if let Some(dir) = &cli.cache_dir {
+        sparseadapt::trace_cache::TraceCache::global().set_disk_dir(Some(dir.clone()));
+    }
+    let list: Vec<String> =
+        if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {
+            ALL.iter().map(|s| s.to_string()).collect()
+        } else {
+            cli.experiments.clone()
+        };
+    for exp in &list {
+        if !ALL.contains(&exp.as_str()) {
+            eprintln!("unknown experiment '{exp}'");
+            usage_and_exit(2);
+        }
+    }
+    eprintln!(
+        "# scale={:?} sampled={} threads={} cache_dir={:?}",
+        harness.scale, harness.sampled_configs, harness.threads, cli.cache_dir
+    );
+
+    let started = std::time::Instant::now();
+    if cli.serial || list.len() == 1 {
+        for exp in &list {
             run_one(&harness, exp);
         }
-        return;
+    } else {
+        // Fan out across experiments: split the thread budget so `outer`
+        // experiments run concurrently, each with an `inner` slice of the
+        // pool. All of them share the process-wide trace and model caches,
+        // so overlapping sweeps (e.g. fig6 and fig8 on the same suite)
+        // simulate each (spec, workload, config) triple exactly once.
+        let (outer, inner) = sparseadapt::exec::split_threads(list.len(), harness.threads);
+        let per_exp = harness.with_threads(inner);
+        sparseadapt::exec::parallel_map(list.len(), outer, |i| run_one(&per_exp, &list[i]));
     }
-    if !run_one(&harness, which) {
-        eprintln!(
-            "unknown experiment '{which}'; available: {} all",
-            ALL.join(" ")
-        );
-        std::process::exit(2);
-    }
+    let stats = sparseadapt::trace_cache::TraceCache::global().stats();
+    eprintln!(
+        "# all done in {:.1}s — trace cache: {} hits / {} misses ({} from disk), {} resident",
+        started.elapsed().as_secs_f64(),
+        stats.hits,
+        stats.misses,
+        stats.disk_hits,
+        stats.entries
+    );
 }

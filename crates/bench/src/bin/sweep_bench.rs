@@ -1,0 +1,203 @@
+//! Timing harness for the sweep engine: measures the scheduler A/B
+//! (static stride vs. work stealing), thread scaling, and the trace
+//! cache's effect on a repeated sweep, then writes the numbers to
+//! `BENCH_sweep.json` at the repository root.
+//!
+//! ```text
+//! Usage: sweep_bench [--threads N] [--configs S] [--out FILE]
+//! Scale via SA_SCALE = quick | half | paper (default quick).
+//! ```
+//!
+//! The cached scenario mirrors what `paper` does end to end: several
+//! experiments sweep the same (spec, workload, config) triples, so the
+//! second and later sweeps should be near-free. The cold scenarios
+//! isolate the scheduler: work stealing wins when per-config simulation
+//! times are skewed (different cache geometries retire the same
+//! workload at very different rates), which leaves static stride's
+//! slowest-stripe thread as the critical path.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sparse::suite::{spmspm_suite, spmspv_suite};
+use sparseadapt::exec::{self, Schedule};
+use sparseadapt::stitch::{sample_configs, SweepData};
+use sparseadapt::trace_cache::TraceCache;
+use transmuter::config::{MachineSpec, MemKind};
+use transmuter::workload::Workload;
+
+#[derive(Serialize)]
+struct ScenarioTiming {
+    workload: String,
+    configs: usize,
+    epochs: usize,
+    /// One thread, work stealing (degenerates to serial execution).
+    serial_s: f64,
+    /// N threads, static strided assignment (the old scheduler).
+    static_stride_s: f64,
+    /// N threads, work stealing (the new scheduler), cache bypassed.
+    work_stealing_s: f64,
+    /// N threads, work stealing, first pass through the trace cache.
+    cached_first_s: f64,
+    /// Same sweep again — every config is a cache hit.
+    cached_second_s: f64,
+    /// static_stride_s / work_stealing_s: scheduler win, cold.
+    schedule_speedup: f64,
+    /// serial_s / work_stealing_s: thread-scaling win.
+    thread_speedup: f64,
+    /// static_stride_s / cached_second_s: what a repeated sweep costs
+    /// after this change relative to a cold static-stride sweep.
+    resweep_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    threads: usize,
+    /// `std::thread::available_parallelism` on the measuring host; the
+    /// scheduler/thread speedups are only meaningful when this is > 1.
+    host_cpus: usize,
+    scale: String,
+    sampled_configs: usize,
+    scenarios: Vec<ScenarioTiming>,
+    /// Geometric means over the scenarios.
+    geomean_schedule_speedup: f64,
+    geomean_thread_speedup: f64,
+    geomean_resweep_speedup: f64,
+    notes: Vec<String>,
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64(), r)
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = xs.fold((0.0, 0usize), |(s, n), x| (s + x.ln(), n + 1));
+    if n == 0 {
+        1.0
+    } else {
+        (sum / n as f64).exp()
+    }
+}
+
+fn bench_scenario(
+    name: &str,
+    spec: MachineSpec,
+    workload: &Workload,
+    configs: &[transmuter::config::TransmuterConfig],
+    threads: usize,
+) -> ScenarioTiming {
+    // Warm-up pass so page faults and lazy allocations don't land on
+    // the first measured variant.
+    SweepData::simulate_uncached(spec, workload, configs, threads);
+
+    let (serial_s, _) = time(|| SweepData::simulate_uncached(spec, workload, configs, 1));
+    let (static_stride_s, _) = time(|| {
+        SweepData::simulate_with_schedule(spec, workload, configs, threads, Schedule::StaticStride)
+    });
+    let (work_stealing_s, sweep) =
+        time(|| SweepData::simulate_uncached(spec, workload, configs, threads));
+    TraceCache::global().clear();
+    let (cached_first_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
+    let (cached_second_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
+
+    ScenarioTiming {
+        workload: name.to_string(),
+        configs: configs.len(),
+        epochs: sweep.traces[0].len(),
+        serial_s,
+        static_stride_s,
+        work_stealing_s,
+        cached_first_s,
+        cached_second_s,
+        schedule_speedup: static_stride_s / work_stealing_s,
+        thread_speedup: serial_s / work_stealing_s,
+        resweep_speedup: static_stride_s / cached_second_s,
+    }
+}
+
+fn main() {
+    let mut threads = exec::default_threads();
+    let mut sampled = 16usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
+            "--configs" => sampled = args.next().and_then(|v| v.parse().ok()).unwrap_or(sampled),
+            "--out" => out = args.next().unwrap_or(out),
+            other => {
+                eprintln!("usage: sweep_bench [--threads N] [--configs S] [--out FILE]");
+                eprintln!("unknown flag '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let harness = sa_bench::Harness::default().with_threads(threads);
+    let seed = harness.seed;
+    eprintln!(
+        "# sweep_bench scale={:?} threads={threads} configs={sampled}",
+        harness.scale
+    );
+
+    let mut scenarios = Vec::new();
+    // One SpMSpM and one SpMSpV matrix from each suite end: a dense-ish
+    // head and a power-law tail exercise skewed per-config runtimes.
+    let mm = spmspm_suite();
+    let mv = spmspv_suite();
+    let picks = [
+        (&mm[0], sa_bench::experiments::Kernel::SpMSpM),
+        (mm.last().unwrap(), sa_bench::experiments::Kernel::SpMSpM),
+        (&mv[0], sa_bench::experiments::Kernel::SpMSpV),
+        (mv.last().unwrap(), sa_bench::experiments::Kernel::SpMSpV),
+    ];
+    let configs = sample_configs(MemKind::Cache, sampled, seed);
+    for (mspec, kernel) in picks {
+        let spec = kernel.spec(harness.scale);
+        let wl = sa_bench::experiments::suite_workload(&harness, mspec, kernel, MemKind::Cache);
+        eprintln!("# scenario {} ({:?})", mspec.id, kernel);
+        let t = bench_scenario(mspec.id, spec, &wl, &configs, threads);
+        eprintln!(
+            "#   serial {:.2}s | static {:.2}s | steal {:.2}s | cached 2nd {:.4}s",
+            t.serial_s, t.static_stride_s, t.work_stealing_s, t.cached_second_s
+        );
+        scenarios.push(t);
+    }
+
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut notes = vec![
+        "serial_s is one thread; *_stride/*_stealing are N threads, trace cache bypassed".into(),
+        "cached_second_s repeats an identical sweep; every config is a trace-cache hit".into(),
+        "resweep_speedup is the repeated-sweep cost after this change vs a cold static-stride sweep, \
+         the situation `paper all` hits whenever two experiments share a (spec, workload, config) triple"
+            .into(),
+    ];
+    if host_cpus <= 1 {
+        notes.push(
+            "host has a single CPU: schedule/thread speedups necessarily measure ~1x here; \
+             the wall-clock win on this host comes from the trace cache and the simulator \
+             inner-loop optimizations"
+                .into(),
+        );
+    }
+    let report = Report {
+        threads,
+        host_cpus,
+        scale: format!("{:?}", harness.scale),
+        sampled_configs: sampled,
+        geomean_schedule_speedup: geomean(scenarios.iter().map(|s| s.schedule_speedup)),
+        geomean_thread_speedup: geomean(scenarios.iter().map(|s| s.thread_speedup)),
+        geomean_resweep_speedup: geomean(scenarios.iter().map(|s| s.resweep_speedup)),
+        scenarios,
+        notes,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").expect("write benchmark report");
+    eprintln!(
+        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x -> {out}",
+        report.geomean_schedule_speedup,
+        report.geomean_thread_speedup,
+        report.geomean_resweep_speedup
+    );
+}

@@ -81,11 +81,8 @@ pub fn run(harness: &Harness) -> Vec<Table> {
             .run(&wl)
             .metrics();
         let gain = |ensemble: &PredictiveEnsemble, debounce: bool| {
-            let mut ctrl = SparseAdaptController::new(
-                ensemble.clone(),
-                Kernel::SpMSpV.policy(),
-                machine_spec,
-            );
+            let mut ctrl =
+                SparseAdaptController::new(ensemble.clone(), Kernel::SpMSpV.policy(), machine_spec);
             if !debounce {
                 ctrl = ctrl.without_debounce();
             }
@@ -95,11 +92,7 @@ pub fn run(harness: &Harness) -> Vec<Table> {
         };
         live.push(
             id,
-            vec![
-                gain(&full, true),
-                gain(&ablated, true),
-                gain(&full, false),
-            ],
+            vec![gain(&full, true), gain(&ablated, true), gain(&full, false)],
         );
     }
     live.push_geomean();

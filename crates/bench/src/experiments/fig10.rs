@@ -33,7 +33,10 @@ pub fn run(harness: &Harness) -> Vec<Table> {
     for mode in [OptMode::PowerPerformance, OptMode::EnergyEfficient] {
         let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
         let mut t = Table::new(
-            &format!("Fig 10 ({}) — feature importance by counter class", mode.name()),
+            &format!(
+                "Fig 10 ({}) — feature importance by counter class",
+                mode.name()
+            ),
             &CLASSES,
         );
         let importances = model.feature_importances();

@@ -36,7 +36,9 @@ pub fn run(harness: &Harness) -> Vec<Table> {
     for spec in spmspm_suite() {
         let mut row = Vec::new();
         for (tiles, gpes) in SYSTEMS {
-            let machine_spec = Kernel::SpMSpM.spec(harness.scale).with_geometry(tiles, gpes);
+            let machine_spec = Kernel::SpMSpM
+                .spec(harness.scale)
+                .with_geometry(tiles, gpes);
             let wl = spmspm_workload(
                 &spec,
                 harness.scale,

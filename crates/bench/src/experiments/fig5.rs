@@ -23,7 +23,14 @@ pub fn run(harness: &Harness) -> Vec<Table> {
     for (mode, columns) in [
         (
             OptMode::PowerPerformance,
-            vec!["gflops:BestAvg", "gflops:MaxCfg", "gflops:SpAdapt", "eff:BestAvg", "eff:MaxCfg", "eff:SpAdapt"],
+            vec![
+                "gflops:BestAvg",
+                "gflops:MaxCfg",
+                "gflops:SpAdapt",
+                "eff:BestAvg",
+                "eff:MaxCfg",
+                "eff:SpAdapt",
+            ],
         ),
         (
             OptMode::EnergyEfficient,
@@ -32,17 +39,21 @@ pub fn run(harness: &Harness) -> Vec<Table> {
     ] {
         let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
         let mut t = Table::new(
-            &format!("Fig 5 ({}) — SpMSpV synthetic, gains over Baseline", mode.name()),
+            &format!(
+                "Fig 5 ({}) — SpMSpV synthetic, gains over Baseline",
+                mode.name()
+            ),
             &columns,
         );
-        for spec in synthetic_suite() {
-            let wl = suite_workload(harness, &spec, Kernel::SpMSpV, MemKind::Cache);
-            let cmp = compare_workload(harness, &wl, &model, Kernel::SpMSpV, mode, MemKind::Cache);
+        let suite = synthetic_suite();
+        let rows = super::map_items(harness, &suite, |spec, h| {
+            let wl = suite_workload(h, spec, Kernel::SpMSpV, MemKind::Cache);
+            let cmp = compare_workload(h, &wl, &model, Kernel::SpMSpV, mode, MemKind::Cache);
             let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
             let e = |m: &transmuter::metrics::Metrics| {
                 m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
             };
-            let row = if mode == OptMode::PowerPerformance {
+            if mode == OptMode::PowerPerformance {
                 vec![
                     g(&cmp.best_avg),
                     g(&cmp.max_cfg),
@@ -53,7 +64,9 @@ pub fn run(harness: &Harness) -> Vec<Table> {
                 ]
             } else {
                 vec![e(&cmp.best_avg), e(&cmp.max_cfg), e(&cmp.sparseadapt)]
-            };
+            }
+        });
+        for (spec, row) in suite.iter().zip(rows) {
             t.push(spec.id, row);
         }
         t.push_geomean();

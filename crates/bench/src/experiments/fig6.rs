@@ -39,15 +39,15 @@ pub fn run(harness: &Harness) -> Vec<Table> {
             ),
             &columns,
         );
-        for spec in spmspm_suite() {
-            let wl = suite_workload(harness, &spec, Kernel::SpMSpM, MemKind::Cache);
-            let cmp =
-                compare_workload(harness, &wl, &model, Kernel::SpMSpM, mode, MemKind::Cache);
+        let suite = spmspm_suite();
+        let rows = super::map_items(harness, &suite, |spec, h| {
+            let wl = suite_workload(h, spec, Kernel::SpMSpM, MemKind::Cache);
+            let cmp = compare_workload(h, &wl, &model, Kernel::SpMSpM, mode, MemKind::Cache);
             let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
             let e = |m: &transmuter::metrics::Metrics| {
                 m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
             };
-            let row = if mode == OptMode::PowerPerformance {
+            if mode == OptMode::PowerPerformance {
                 vec![
                     g(&cmp.best_avg),
                     g(&cmp.max_cfg),
@@ -58,7 +58,9 @@ pub fn run(harness: &Harness) -> Vec<Table> {
                 ]
             } else {
                 vec![e(&cmp.best_avg), e(&cmp.max_cfg), e(&cmp.sparseadapt)]
-            };
+            }
+        });
+        for (spec, row) in suite.iter().zip(rows) {
             t.push(spec.id, row);
         }
         t.push_geomean();

@@ -26,7 +26,9 @@ pub fn run(harness: &Harness) -> Vec<Table> {
             MemKind::Spm => "spm",
         };
         let mut t = Table::new(
-            &format!("Fig 7 (L1 = {kind_name}) — SpMSpV real-world, power-perf gains over Baseline"),
+            &format!(
+                "Fig 7 (L1 = {kind_name}) — SpMSpV real-world, power-perf gains over Baseline"
+            ),
             &[
                 "gflops:BestAvg",
                 "gflops:MaxCfg",
@@ -36,24 +38,25 @@ pub fn run(harness: &Harness) -> Vec<Table> {
                 "eff:SpAdapt",
             ],
         );
-        for spec in spmspv_suite() {
-            let wl = suite_workload(harness, &spec, Kernel::SpMSpV, l1_kind);
-            let cmp = compare_workload(harness, &wl, &model, Kernel::SpMSpV, mode, l1_kind);
+        let suite = spmspv_suite();
+        let rows = super::map_items(harness, &suite, |spec, h| {
+            let wl = suite_workload(h, spec, Kernel::SpMSpV, l1_kind);
+            let cmp = compare_workload(h, &wl, &model, Kernel::SpMSpV, mode, l1_kind);
             let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
             let e = |m: &transmuter::metrics::Metrics| {
                 m.gflops_per_watt() / cmp.baseline.gflops_per_watt()
             };
-            t.push(
-                spec.id,
-                vec![
-                    g(&cmp.best_avg),
-                    g(&cmp.max_cfg),
-                    g(&cmp.sparseadapt),
-                    e(&cmp.best_avg),
-                    e(&cmp.max_cfg),
-                    e(&cmp.sparseadapt),
-                ],
-            );
+            vec![
+                g(&cmp.best_avg),
+                g(&cmp.max_cfg),
+                g(&cmp.sparseadapt),
+                e(&cmp.best_avg),
+                e(&cmp.max_cfg),
+                e(&cmp.sparseadapt),
+            ]
+        });
+        for (spec, row) in suite.iter().zip(rows) {
+            t.push(spec.id, row);
         }
         t.push_geomean();
         t.emit(&results_dir(), &format!("fig7-{kind_name}"));

@@ -48,8 +48,7 @@ pub fn run(harness: &Harness) -> Vec<Table> {
         );
         for spec in spmspm_suite() {
             let wl = suite_workload(harness, &spec, Kernel::SpMSpM, MemKind::Cache);
-            let cmp =
-                compare_workload(harness, &wl, &model, Kernel::SpMSpM, mode, MemKind::Cache);
+            let cmp = compare_workload(harness, &wl, &model, Kernel::SpMSpM, mode, MemKind::Cache);
             let g = |m: &transmuter::metrics::Metrics| m.gflops() / cmp.baseline.gflops();
             let e = |m: &transmuter::metrics::Metrics| {
                 m.gflops_per_watt() / cmp.baseline.gflops_per_watt()

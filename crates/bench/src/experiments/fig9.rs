@@ -61,8 +61,7 @@ pub fn run(harness: &Harness) -> Vec<Table> {
                 };
                 let cmp = compare(&wl, &variant, &setup);
                 gflops_gains.push(cmp.sparseadapt.gflops() / cmp.baseline.gflops());
-                eff_gains
-                    .push(cmp.sparseadapt.gflops_per_watt() / cmp.baseline.gflops_per_watt());
+                eff_gains.push(cmp.sparseadapt.gflops_per_watt() / cmp.baseline.gflops_per_watt());
             }
             row.push(geomean(&gflops_gains));
             row.push(geomean(&eff_gains));

@@ -27,8 +27,7 @@ pub fn run(harness: &Harness) -> Vec<Table> {
     for mode in [OptMode::PowerPerformance, OptMode::EnergyEfficient] {
         let model = ensemble(harness.scale, MemKind::Cache, mode, harness.threads);
         let wl = suite_workload(harness, &spec, Kernel::SpMSpV, MemKind::Cache);
-        let mut ctrl =
-            SparseAdaptController::new(model, Kernel::SpMSpV.policy(), machine_spec);
+        let mut ctrl = SparseAdaptController::new(model, Kernel::SpMSpV.policy(), machine_spec);
         let run = Machine::new(
             machine_spec,
             transmuter::config::TransmuterConfig::best_avg_cache(),
@@ -44,16 +43,10 @@ pub fn run(harness: &Harness) -> Vec<Table> {
             let u = &analysis.usage[&p];
             t.push(
                 p.name(),
-                vec![
-                    u.changes as f64,
-                    u.dominant_value().unwrap_or(0) as f64,
-                ],
+                vec![u.changes as f64, u.dominant_value().unwrap_or(0) as f64],
             );
         }
-        t.push(
-            "corr(bw,clock)",
-            vec![analysis.bw_clock_correlation, 0.0],
-        );
+        t.push("corr(bw,clock)", vec![analysis.bw_clock_correlation, 0.0]);
         t.push(
             "corr(occ,l1cap)",
             vec![analysis.occupancy_l1cap_correlation, 0.0],

@@ -9,8 +9,6 @@
 
 pub mod ablation;
 pub mod fig1;
-pub mod insights;
-pub mod sec7;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;
@@ -19,7 +17,9 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod insights;
 pub mod sec64;
+pub mod sec7;
 pub mod table6;
 
 use sparse::suite::MatrixSpec;
@@ -62,6 +62,21 @@ impl Kernel {
             Kernel::SpMSpV => ReconfigPolicy::hybrid40(),
         }
     }
+}
+
+/// Runs `f` over every item on the shared work-stealing pool, splitting
+/// the harness's thread budget between concurrent items (the outer
+/// fan-out) and the configuration sweeps inside each one (`f`'s harness
+/// argument carries the inner budget). Results come back in item order,
+/// so tables built from them are independent of the thread count.
+pub fn map_items<T: Sync, R: Send>(
+    harness: &Harness,
+    items: &[T],
+    f: impl Fn(&T, &Harness) -> R + Sync,
+) -> Vec<R> {
+    let (outer, inner) = sparseadapt::exec::split_threads(items.len(), harness.threads);
+    let h = harness.with_threads(inner);
+    sparseadapt::exec::parallel_map(items.len(), outer, |i| f(&items[i], &h))
 }
 
 /// Runs the full scheme comparison for one workload under the harness

@@ -37,44 +37,40 @@ pub fn run(harness: &Harness) -> Vec<Table> {
                 "Sec 6.4 ({}) — SparseAdapt gain over ProfileAdapt",
                 mode.name()
             ),
-            &[
-                "gflops/naive",
-                "eff/naive",
-                "gflops/ideal",
-                "eff/ideal",
-            ],
+            &["gflops/naive", "eff/naive", "gflops/ideal", "eff/ideal"],
         );
-        for spec in spmspv_suite() {
-            let wl = suite_workload(harness, &spec, Kernel::SpMSpV, MemKind::Cache);
+        let suite = spmspv_suite();
+        let rows = super::map_items(harness, &suite, |spec, h| {
+            let wl = suite_workload(h, spec, Kernel::SpMSpV, MemKind::Cache);
             // SparseAdapt at its fine epochs.
             let setup = ComparisonSetup {
-                spec: Kernel::SpMSpV.spec(harness.scale),
+                spec: Kernel::SpMSpV.spec(h.scale),
                 mode,
                 policy: Kernel::SpMSpV.policy(),
                 l1_kind: MemKind::Cache,
-                sampled: harness.sampled_configs,
-                seed: harness.seed,
-                threads: harness.threads,
+                sampled: h.sampled_configs,
+                seed: h.seed,
+                threads: h.threads,
             };
             let cmp = compare(&wl, &model, &setup);
             // ProfileAdapt at its coarse epochs (own sweep).
-            let spa_spec = Kernel::SpMSpV.spec(harness.scale);
+            let spa_spec = Kernel::SpMSpV.spec(h.scale);
             let pa_spec = spa_spec.with_epoch_ops(spa_spec.epoch_ops * PROFILEADAPT_EPOCH_RATIO);
-            let configs = sample_configs(MemKind::Cache, harness.sampled_configs, harness.seed);
-            let sweep = SweepData::simulate(pa_spec, &wl, &configs, harness.threads);
+            let configs = sample_configs(MemKind::Cache, h.sampled_configs, h.seed);
+            let sweep = SweepData::simulate(pa_spec, &wl, &configs, h.threads);
             let (_, _, max_cfg) = reference_configs(MemKind::Cache);
             let profile_idx = sweep.config_index(&max_cfg).expect("MaxCfg sampled");
             let naive = profileadapt_naive(&sweep, mode, profile_idx).metrics;
             let ideal = profileadapt_ideal(&sweep, mode, profile_idx).metrics;
-            t.push(
-                spec.id,
-                vec![
-                    cmp.sparseadapt.gflops() / naive.gflops(),
-                    cmp.sparseadapt.gflops_per_watt() / naive.gflops_per_watt(),
-                    cmp.sparseadapt.gflops() / ideal.gflops(),
-                    cmp.sparseadapt.gflops_per_watt() / ideal.gflops_per_watt(),
-                ],
-            );
+            vec![
+                cmp.sparseadapt.gflops() / naive.gflops(),
+                cmp.sparseadapt.gflops_per_watt() / naive.gflops_per_watt(),
+                cmp.sparseadapt.gflops() / ideal.gflops(),
+                cmp.sparseadapt.gflops_per_watt() / ideal.gflops_per_watt(),
+            ]
+        });
+        for (spec, row) in suite.iter().zip(rows) {
+            t.push(spec.id, row);
         }
         t.push_geomean();
         t.emit(&results_dir(), &format!("sec64-{}", mode.name()));

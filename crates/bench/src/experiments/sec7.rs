@@ -35,13 +35,8 @@ pub fn run(harness: &Harness) -> Vec<Table> {
 
     // A sparse reference point for contrast.
     let r02 = spec_by_id("R02").expect("suite id");
-    let spmspm_wl = crate::workloads::spmspm_workload(
-        &r02,
-        harness.scale,
-        MemKind::Cache,
-        harness.seed,
-        n,
-    );
+    let spmspm_wl =
+        crate::workloads::spmspm_workload(&r02, harness.scale, MemKind::Cache, harness.seed, n);
 
     let configs = sample_configs(MemKind::Cache, harness.sampled_configs, harness.seed);
     let mut t = Table::new(

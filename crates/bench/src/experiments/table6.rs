@@ -27,24 +27,24 @@ pub fn run(harness: &Harness) -> Vec<Table> {
             &format!("Table 6 ({algo}) — TEPS/W gains over Baseline, energy-eff"),
             &["BestAvg", "SparseAdapt"],
         );
-        for spec in spmspv_suite() {
+        let suite = spmspv_suite();
+        let rows = super::map_items(harness, &suite, |spec, h| {
             let (wl, edges) = if algo == "BFS" {
-                bfs_workload(&spec, harness.scale, harness.seed, n)
+                bfs_workload(spec, h.scale, h.seed, n)
             } else {
-                sssp_workload(&spec, harness.scale, harness.seed, n)
+                sssp_workload(spec, h.scale, h.seed, n)
             };
-            let cmp =
-                compare_workload(harness, &wl, &model, Kernel::SpMSpV, mode, MemKind::Cache);
+            let cmp = compare_workload(h, &wl, &model, Kernel::SpMSpV, mode, MemKind::Cache);
             // TEPS/W ratio = (edges/T/W) ratio; edges cancel, so the
             // gain is the inverse energy-delay ratio per traversed edge.
             let base = cmp.baseline.teps_per_watt(edges);
-            t.push(
-                spec.id,
-                vec![
-                    cmp.best_avg.teps_per_watt(edges) / base,
-                    cmp.sparseadapt.teps_per_watt(edges) / base,
-                ],
-            );
+            vec![
+                cmp.best_avg.teps_per_watt(edges) / base,
+                cmp.sparseadapt.teps_per_watt(edges) / base,
+            ]
+        });
+        for (spec, row) in suite.iter().zip(rows) {
+            t.push(spec.id, row);
         }
         t.push_geomean();
         t.emit(&results_dir(), &format!("table6-{}", algo.to_lowercase()));

@@ -39,8 +39,18 @@ impl Default for Harness {
                 Scale::Half => 64,
                 Scale::Paper => 256,
             },
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads: sparseadapt::exec::default_threads(),
             seed: 0x5AAD,
         }
+    }
+}
+
+impl Harness {
+    /// A copy with a different thread budget — used when the budget is
+    /// split between concurrent experiments or workloads and the sweeps
+    /// nested inside them.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
     }
 }

@@ -4,7 +4,9 @@
 //! under `models/<preset>/`; every experiment then loads from disk, so
 //! repeated harness invocations skip the training sweep.
 
+use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use sparse::suite::Scale;
 use sparseadapt::PredictiveEnsemble;
@@ -51,17 +53,41 @@ pub fn collect_options(scale: Scale, threads: usize) -> CollectOptions {
 
 /// Loads (or trains and caches) the ensemble for (scale, L1 kind, mode).
 ///
+/// Memoised per process: when experiments run concurrently, the first
+/// request for a given (scale, L1 kind, mode) trains/loads while later
+/// requests block on its slot and then share the result — the
+/// disk-level cache under `models/` is never written to by two threads
+/// at once.
+///
 /// # Panics
 ///
 /// Panics on unrecoverable I/O failure of the model cache.
-pub fn ensemble(scale: Scale, l1_kind: MemKind, mode: OptMode, threads: usize) -> PredictiveEnsemble {
-    let dir = model_dir(scale);
-    let copts = collect_options(scale, threads);
-    let topts = TrainOptions {
-        // The grid triples training time; quick runs use tuned defaults.
-        grid: scale == Scale::Paper,
-        ..TrainOptions::default()
+pub fn ensemble(
+    scale: Scale,
+    l1_kind: MemKind,
+    mode: OptMode,
+    threads: usize,
+) -> PredictiveEnsemble {
+    type Slot = Arc<OnceLock<PredictiveEnsemble>>;
+    static MEMO: OnceLock<Mutex<HashMap<String, Slot>>> = OnceLock::new();
+    let key = format!("{scale:?}/{l1_kind:?}/{}", mode.name());
+    let slot: Slot = {
+        let mut memo = MEMO
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("model memo lock");
+        memo.entry(key).or_default().clone()
     };
-    train_or_load_both(&dir, l1_kind, mode, &copts, &topts)
-        .expect("model cache directory must be writable")
+    slot.get_or_init(|| {
+        let dir = model_dir(scale);
+        let copts = collect_options(scale, threads);
+        let topts = TrainOptions {
+            // The grid triples training time; quick runs use tuned defaults.
+            grid: scale == Scale::Paper,
+            ..TrainOptions::default()
+        };
+        train_or_load_both(&dir, l1_kind, mode, &copts, &topts)
+            .expect("model cache directory must be writable")
+    })
+    .clone()
 }

@@ -1,8 +1,8 @@
 //! Workload construction for the evaluation suites.
 
 use kernels::{bfs, spmspm, spmspv, sssp};
-use sparse::suite::Scale as SuiteScale;
 use sparse::gen::{uniform_random_vector, GenSeed};
+use sparse::suite::Scale as SuiteScale;
 use sparse::suite::{MatrixSpec, Scale};
 use transmuter::config::{MachineSpec, MemKind};
 use transmuter::workload::Workload;

@@ -130,8 +130,7 @@ pub fn compare(
     // Live SparseAdapt. The run starts from the kernel's Best Avg
     // configuration — the host picks the best-known static point at
     // dispatch time (§3.1), and SparseAdapt adapts from there.
-    let mut ctrl =
-        SparseAdaptController::new(ensemble.clone(), setup.policy, setup.spec);
+    let mut ctrl = SparseAdaptController::new(ensemble.clone(), setup.policy, setup.spec);
     let mut machine = Machine::new(setup.spec, best_avg_cfg);
     let live = machine.run_with_controller(workload, &mut ctrl);
 
@@ -218,8 +217,7 @@ mod tests {
         // The identity model never reconfigures, so live SparseAdapt
         // tracks the Best Avg configuration closely.
         assert_eq!(cmp.sparseadapt_reconfigs, 0);
-        let rel = (cmp.sparseadapt.energy_j - cmp.best_avg.energy_j).abs()
-            / cmp.best_avg.energy_j;
+        let rel = (cmp.sparseadapt.energy_j - cmp.best_avg.energy_j).abs() / cmp.best_avg.energy_j;
         assert!(rel < 0.05, "live vs stitched best-avg diverge by {rel}");
         assert_eq!(cmp.rows().len(), 9);
     }

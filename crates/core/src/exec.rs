@@ -1,0 +1,187 @@
+//! Shared work-stealing execution primitives for sweep-style workloads.
+//!
+//! Sweeps simulate many independent jobs whose costs vary wildly — a
+//! 250 MHz SPM configuration finishes long before a 1 GHz cache
+//! configuration chasing misses. Static strided chunking (worker `t`
+//! takes jobs `t, t+T, t+2T, …`) leaves cores idle at the tail, so the
+//! engine here hands out job indices from a shared atomic counter:
+//! whichever worker finishes early steals the next index. Results are
+//! gathered *by index*, so the output order — and therefore everything
+//! downstream — is identical to a serial run.
+//!
+//! [`Schedule::StaticStride`] is kept (and exercised by the perf
+//! harness, `sa-bench`'s `sweep_bench`) so the scheduling win stays
+//! measurable against the old policy.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scheduling policy for [`parallel_map_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// The pre-work-stealing policy: worker `t` owns jobs
+    /// `t, t+T, t+2T, …`. Kept for A/B timing.
+    StaticStride,
+    /// Workers pull the next unclaimed index from a shared atomic
+    /// counter.
+    WorkStealing,
+}
+
+/// The default worker count: one per available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Splits a thread budget across `jobs` concurrent outer jobs, returning
+/// `(outer, inner)`: run `outer` jobs at once, giving each `inner`
+/// threads for its own nested parallelism. Guarantees `outer >= 1`,
+/// `inner >= 1` and `outer * inner <= threads.max(1)`.
+pub fn split_threads(jobs: usize, threads: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let outer = jobs.clamp(1, threads);
+    (outer, (threads / outer).max(1))
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` on up to `threads` workers with
+/// work-stealing and returns the results in index order. Equivalent to
+/// `(0..n).map(f).collect()` — bit-identical results, different
+/// wall-clock.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    parallel_map_with(Schedule::WorkStealing, n, threads, f)
+}
+
+/// [`parallel_map`] with an explicit scheduling policy (for the perf
+/// harness; everything else should use [`parallel_map`]).
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map_with<T, F>(schedule: Schedule, n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let next = &next;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut produced: Vec<(usize, T)> = Vec::new();
+                    match schedule {
+                        Schedule::StaticStride => {
+                            let mut i = t;
+                            while i < n {
+                                produced.push((i, f(i)));
+                                i += threads;
+                            }
+                        }
+                        Schedule::WorkStealing => loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            produced.push((i, f(i)));
+                        },
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("parallel_map worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index produced exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for schedule in [Schedule::StaticStride, Schedule::WorkStealing] {
+            for threads in [1, 2, 3, 8, 64] {
+                let out = parallel_map_with(schedule, 37, threads, |i| i * i);
+                assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<usize> = parallel_map(0, 8, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = parallel_map(100, 7, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn uneven_costs_still_produce_ordered_results() {
+        // Job 0 is by far the slowest; stealing workers must not
+        // scramble the output order.
+        let out = parallel_map(16, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_threads_budget_is_sane() {
+        assert_eq!(split_threads(1, 8), (1, 8));
+        assert_eq!(split_threads(4, 8), (4, 2));
+        assert_eq!(split_threads(16, 8), (8, 1));
+        assert_eq!(split_threads(3, 8), (3, 2));
+        assert_eq!(split_threads(0, 8), (1, 8));
+        assert_eq!(split_threads(5, 0), (1, 1));
+        for jobs in 0..20 {
+            for threads in 0..20 {
+                let (o, i) = split_threads(jobs, threads);
+                assert!(o >= 1 && i >= 1);
+                assert!(o * i <= threads.max(1));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panics_propagate() {
+        parallel_map(8, 4, |i| {
+            assert!(i != 5, "boom");
+            i
+        });
+    }
+}

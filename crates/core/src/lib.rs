@@ -20,6 +20,10 @@
 //!   [`transmuter::machine::Controller`] that closes the loop.
 //! * [`stitch`] — per-configuration epoch traces and schedule
 //!   evaluation, the artifact's §A.7 methodology.
+//! * [`exec`] — the work-stealing sweep engine shared by every
+//!   parallel fan-out in the workspace.
+//! * [`trace_cache`] — the process-wide content-addressed cache of
+//!   simulation traces (with an optional on-disk layer).
 //! * [`schemes`] — the §5.3 comparison points: Ideal Static, Ideal
 //!   Greedy, Oracle (DAG shortest path), ProfileAdapt naïve/ideal.
 //! * [`eval`] — one-call comparison of every scheme on a workload.
@@ -49,12 +53,14 @@
 
 pub mod analysis;
 pub mod eval;
+pub mod exec;
 pub mod features;
 pub mod model;
 pub mod policy;
 pub mod runtime;
 pub mod schemes;
 pub mod stitch;
+pub mod trace_cache;
 
 pub use model::PredictiveEnsemble;
 pub use policy::ReconfigPolicy;

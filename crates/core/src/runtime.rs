@@ -71,8 +71,7 @@ impl SparseAdaptController {
 impl Controller for SparseAdaptController {
     fn on_epoch(&mut self, record: &EpochRecord) -> Option<TransmuterConfig> {
         let mut predicted = self.ensemble.predict(&record.telemetry, &record.config);
-        let raw: [usize; 6] =
-            std::array::from_fn(|i| ConfigParam::ALL[i].get_index(&predicted));
+        let raw: [usize; 6] = std::array::from_fn(|i| ConfigParam::ALL[i].get_index(&predicted));
         if self.debounce {
             // Two-in-a-row debounce: a dimension moves only when the
             // model asked for the same value at the previous epoch too.
@@ -124,7 +123,7 @@ mod tests {
         for p in ConfigParam::ALL {
             let mut d = Dataset::new(feature_names());
             let target = match p {
-                ConfigParam::Clock => 2,                                  // 125 MHz
+                ConfigParam::Clock => 2, // 125 MHz
                 _ => p.get_index(&TransmuterConfig::baseline()),
             };
             d.push(vec![0.0; FEATURE_COUNT], target);
@@ -156,11 +155,8 @@ mod tests {
     #[test]
     fn controller_downclocks_and_counts() {
         let spec = MachineSpec::default().with_epoch_ops(400);
-        let mut ctrl = SparseAdaptController::new(
-            clock_down_ensemble(),
-            ReconfigPolicy::Aggressive,
-            spec,
-        );
+        let mut ctrl =
+            SparseAdaptController::new(clock_down_ensemble(), ReconfigPolicy::Aggressive, spec);
         let mut m = Machine::new(spec, TransmuterConfig::baseline());
         let r = m.run_with_controller(&small_workload(), &mut ctrl);
         assert!(ctrl.reconfig_count() >= 1);
@@ -181,12 +177,9 @@ mod tests {
     #[test]
     fn without_debounce_switches_immediately() {
         let spec = MachineSpec::default().with_epoch_ops(400);
-        let mut ctrl = SparseAdaptController::new(
-            clock_down_ensemble(),
-            ReconfigPolicy::Aggressive,
-            spec,
-        )
-        .without_debounce();
+        let mut ctrl =
+            SparseAdaptController::new(clock_down_ensemble(), ReconfigPolicy::Aggressive, spec)
+                .without_debounce();
         let mut m = Machine::new(spec, TransmuterConfig::baseline());
         let r = m.run_with_controller(&small_workload(), &mut ctrl);
         assert_eq!(

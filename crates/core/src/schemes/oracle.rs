@@ -49,7 +49,7 @@ pub fn oracle(sweep: &SweepData, mode: OptMode) -> ScheduleOutcome {
                 let metrics = sweep.schedule_metrics(&schedule);
                 let better = best
                     .as_ref()
-                    .map_or(true, |b| mode.score(&metrics) > mode.score(&b.metrics));
+                    .is_none_or(|b| mode.score(&metrics) > mode.score(&b.metrics));
                 if better {
                     best = Some(ScheduleOutcome { schedule, metrics });
                 }

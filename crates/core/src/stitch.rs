@@ -8,17 +8,26 @@
 //! configuration per epoch, sum the per-epoch metrics, and add the
 //! §3.4 reconfiguration penalty wherever consecutive picks differ.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
-use transmuter::machine::{EpochRecord, Machine};
+use transmuter::machine::EpochRecord;
 use transmuter::metrics::Metrics;
 use transmuter::power::EnergyTable;
 use transmuter::reconfig;
 use transmuter::workload::Workload;
 
+use crate::exec;
+use crate::trace_cache::{simulate_trace, TraceCache};
+
 /// Per-configuration epoch traces of one workload.
+///
+/// Traces are `Arc`-shared with the [`crate::trace_cache`], so cloning a
+/// `SweepData` (or holding two sweeps over the same workload) costs
+/// pointer bumps, not trace copies.
 #[derive(Debug, Clone)]
 pub struct SweepData {
     /// The machine the sweep ran on.
@@ -28,14 +37,16 @@ pub struct SweepData {
     /// The sampled configurations.
     pub configs: Vec<TransmuterConfig>,
     /// `traces[c][e]` = epoch `e` under configuration `c`.
-    pub traces: Vec<Vec<EpochRecord>>,
+    pub traces: Vec<Arc<Vec<EpochRecord>>>,
     /// Workload name, for reports.
     pub workload_name: String,
 }
 
 impl SweepData {
-    /// Simulates `workload` under every configuration, in parallel
-    /// across `threads` OS threads.
+    /// Simulates `workload` under every configuration on a work-stealing
+    /// pool of up to `threads` OS threads, serving repeated
+    /// `(spec, workload, config)` triples from the process-wide
+    /// [`TraceCache`].
     ///
     /// # Panics
     ///
@@ -49,33 +60,70 @@ impl SweepData {
         threads: usize,
     ) -> SweepData {
         assert!(!configs.is_empty(), "need at least one configuration");
-        let threads = threads.max(1).min(configs.len());
-        let mut traces: Vec<Option<Vec<EpochRecord>>> = vec![None; configs.len()];
-        std::thread::scope(|scope| {
-            let chunks: Vec<Vec<usize>> = (0..threads)
-                .map(|t| (t..configs.len()).step_by(threads).collect())
-                .collect();
-            let mut handles = Vec::new();
-            for chunk in chunks {
-                let handle = scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|ci| {
-                            let mut m = Machine::new(spec, configs[ci]);
-                            (ci, m.run(workload).epochs)
-                        })
-                        .collect::<Vec<_>>()
-                });
-                handles.push(handle);
-            }
-            for h in handles {
-                for (ci, epochs) in h.join().expect("sweep worker panicked") {
-                    traces[ci] = Some(epochs);
-                }
-            }
+        let spec_fp = spec.fingerprint();
+        let wl_fp = workload.fingerprint();
+        let traces = exec::parallel_map(configs.len(), threads, |ci| {
+            TraceCache::global().get_or_simulate(
+                crate::trace_cache::TraceKey {
+                    spec: spec_fp,
+                    workload: wl_fp,
+                    config: configs[ci].fingerprint(),
+                },
+                || simulate_trace(spec, workload, configs[ci]),
+            )
         });
-        let traces: Vec<Vec<EpochRecord>> =
-            traces.into_iter().map(|t| t.expect("trace computed")).collect();
+        SweepData::assemble(spec, workload, configs, traces)
+    }
+
+    /// [`SweepData::simulate`] bypassing the trace cache — every
+    /// configuration is simulated from scratch. Used by determinism
+    /// tests and the perf harness, where a cache hit would defeat the
+    /// measurement.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SweepData::simulate`].
+    pub fn simulate_uncached(
+        spec: MachineSpec,
+        workload: &Workload,
+        configs: &[TransmuterConfig],
+        threads: usize,
+    ) -> SweepData {
+        Self::simulate_with_schedule(
+            spec,
+            workload,
+            configs,
+            threads,
+            exec::Schedule::WorkStealing,
+        )
+    }
+
+    /// Uncached sweep with an explicit scheduling policy, for the perf
+    /// harness's A/B comparison.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SweepData::simulate`].
+    pub fn simulate_with_schedule(
+        spec: MachineSpec,
+        workload: &Workload,
+        configs: &[TransmuterConfig],
+        threads: usize,
+        schedule: exec::Schedule,
+    ) -> SweepData {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        let traces = exec::parallel_map_with(schedule, configs.len(), threads, |ci| {
+            Arc::new(simulate_trace(spec, workload, configs[ci]))
+        });
+        SweepData::assemble(spec, workload, configs, traces)
+    }
+
+    fn assemble(
+        spec: MachineSpec,
+        workload: &Workload,
+        configs: &[TransmuterConfig],
+        traces: Vec<Arc<Vec<EpochRecord>>>,
+    ) -> SweepData {
         // Invariant: identical epoch structure across configurations.
         let reference = &traces[0];
         for (c, t) in traces.iter().enumerate().skip(1) {
@@ -84,7 +132,7 @@ impl SweepData {
                 reference.len(),
                 "config {c} produced a different epoch count"
             );
-            for (e, (a, b)) in t.iter().zip(reference).enumerate() {
+            for (e, (a, b)) in t.iter().zip(reference.iter()).enumerate() {
                 assert_eq!(
                     a.fp_ops, b.fp_ops,
                     "config {c} epoch {e} covers different ops"
@@ -113,7 +161,7 @@ impl SweepData {
     /// The whole-run metrics of one static configuration.
     pub fn static_metrics(&self, config_index: usize) -> Metrics {
         let mut m = Metrics::default();
-        for e in &self.traces[config_index] {
+        for e in self.traces[config_index].iter() {
             m.accumulate(&e.metrics);
         }
         m
@@ -256,6 +304,63 @@ mod tests {
         }
         assert!(flip.time_s > bare.time_s);
         assert!(flip.energy_j > bare.energy_j);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let mut configs = vec![
+            TransmuterConfig::baseline(),
+            TransmuterConfig::best_avg_cache(),
+            TransmuterConfig::maximum(),
+        ];
+        configs.extend(sample_configs(MemKind::Cache, 7, 9).into_iter().skip(3));
+        let wl = workload();
+        // Uncached on purpose: a cache hit would make this trivially true.
+        let serial = SweepData::simulate_uncached(spec, &wl, &configs, 1);
+        for threads in [2, 4, 16] {
+            let par = SweepData::simulate_uncached(spec, &wl, &configs, threads);
+            assert_eq!(serial.traces, par.traces, "threads={threads}");
+            for c in 0..configs.len() {
+                assert_eq!(serial.static_metrics(c), par.static_metrics(c));
+            }
+        }
+        // The old static-stride schedule must agree too.
+        let strided = SweepData::simulate_with_schedule(
+            spec,
+            &wl,
+            &configs,
+            4,
+            crate::exec::Schedule::StaticStride,
+        );
+        assert_eq!(serial.traces, strided.traces);
+    }
+
+    #[test]
+    fn repeated_sweeps_share_cached_traces() {
+        use crate::trace_cache::TraceCache;
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let configs = vec![
+            TransmuterConfig::baseline(),
+            TransmuterConfig::best_avg_cache(),
+        ];
+        let wl = workload();
+        let before = TraceCache::global().stats();
+        let a = SweepData::simulate(spec, &wl, &configs, 2);
+        let b = SweepData::simulate(spec, &wl, &configs, 2);
+        // The second sweep must not have re-simulated anything: it holds
+        // the *same* allocations the first sweep produced.
+        for (ta, tb) in a.traces.iter().zip(&b.traces) {
+            assert!(std::sync::Arc::ptr_eq(ta, tb), "trace was re-simulated");
+        }
+        let after = TraceCache::global().stats();
+        assert!(
+            after.hits >= before.hits + configs.len() as u64,
+            "expected at least {} cache hits, saw {} -> {}",
+            configs.len(),
+            before.hits,
+            after.hits
+        );
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Cross-experiment trace cache.
+//!
+//! Several experiments sweep the *same* workload on the *same* machine
+//! under overlapping configuration sets (e.g. the energy-efficient and
+//! performance-objective figures, or a sweep reused by both the schemes
+//! comparison and the analysis section). Simulating one
+//! `(spec, workload, config)` triple is expensive and perfectly
+//! deterministic, so the process-wide cache here makes every repeated
+//! triple simulate exactly once.
+//!
+//! Keys are content fingerprints ([`MachineSpec::fingerprint`],
+//! [`Workload::fingerprint`](transmuter::workload::Workload::fingerprint),
+//! [`TransmuterConfig::fingerprint`]), so equality is by value, not by
+//! identity. Values are `Arc<Vec<EpochRecord>>` — sharing a trace across
+//! sweeps costs one pointer clone.
+//!
+//! Concurrency: each key maps to an `Arc<OnceLock<...>>` slot. A second
+//! thread asking for an in-flight key blocks on `get_or_init` instead of
+//! duplicating the simulation, and the per-key slot keeps the outer map
+//! lock uncontended while simulations run.
+//!
+//! An optional disk layer ([`TraceCache::set_disk_dir`]) persists traces
+//! as JSON so repeated *processes* (e.g. successive `paper` invocations
+//! while iterating on report code) skip simulation too.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use transmuter::config::{MachineSpec, TransmuterConfig};
+use transmuter::machine::EpochRecord;
+use transmuter::workload::Workload;
+
+/// Identity of one simulated trace: machine × workload × configuration,
+/// all by content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// [`MachineSpec::fingerprint`] of the machine.
+    pub spec: u64,
+    /// [`Workload::fingerprint`](transmuter::workload::Workload::fingerprint)
+    /// of the workload.
+    pub workload: u64,
+    /// [`TransmuterConfig::fingerprint`] of the configuration.
+    pub config: u64,
+}
+
+impl TraceKey {
+    /// Builds the key for a triple.
+    pub fn new(spec: &MachineSpec, workload: &Workload, config: &TransmuterConfig) -> Self {
+        TraceKey {
+            spec: spec.fingerprint(),
+            workload: workload.fingerprint(),
+            config: config.fingerprint(),
+        }
+    }
+
+    fn file_name(&self) -> String {
+        format!(
+            "trace-{:016x}-{:016x}-{:016x}.json",
+            self.spec, self.workload, self.config
+        )
+    }
+}
+
+type Slot = Arc<OnceLock<Arc<Vec<EpochRecord>>>>;
+
+/// Counter snapshot from [`TraceCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory without simulating.
+    pub hits: u64,
+    /// Lookups that ran the simulation.
+    pub misses: u64,
+    /// Lookups answered by loading a trace from the disk layer.
+    pub disk_hits: u64,
+    /// Distinct traces currently held in memory.
+    pub entries: usize,
+}
+
+/// A content-addressed cache of simulation traces. Use
+/// [`TraceCache::global`] to share across every sweep in the process.
+#[derive(Debug, Default)]
+pub struct TraceCache {
+    slots: Mutex<HashMap<TraceKey, Slot>>,
+    disk_dir: Mutex<Option<PathBuf>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl TraceCache {
+    /// An empty cache (tests; production code wants [`TraceCache::global`]).
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The process-wide cache instance.
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// Enables (or disables, with `None`) the on-disk layer. The
+    /// directory is created if missing. Per-trace disk I/O errors are
+    /// treated as cache misses — the cache is best-effort by design —
+    /// but an unusable directory is reported once, since it silently
+    /// costs every future invocation a full re-simulation.
+    pub fn set_disk_dir(&self, dir: Option<PathBuf>) {
+        if let Some(d) = &dir {
+            if let Err(e) = std::fs::create_dir_all(d) {
+                eprintln!(
+                    "warning: trace cache dir {} is unusable ({e}); running without disk cache",
+                    d.display()
+                );
+            }
+        }
+        *self.disk_dir.lock().expect("disk_dir lock") = dir;
+    }
+
+    /// Returns the trace for `key`, simulating with `simulate` only if
+    /// no other lookup (past or concurrently in flight) has produced it.
+    pub fn get_or_simulate(
+        &self,
+        key: TraceKey,
+        simulate: impl FnOnce() -> Vec<EpochRecord>,
+    ) -> Arc<Vec<EpochRecord>> {
+        let slot: Slot = {
+            let mut slots = self.slots.lock().expect("trace cache lock");
+            slots.entry(key).or_default().clone()
+        };
+        let mut computed = false;
+        let trace = slot
+            .get_or_init(|| {
+                computed = true;
+                if let Some(t) = self.disk_load(&key) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return Arc::new(t);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let t = Arc::new(simulate());
+                self.disk_store(&key, &t);
+                t
+            })
+            .clone();
+        if !computed {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        trace
+    }
+
+    /// Convenience wrapper building the [`TraceKey`] from the triple.
+    pub fn get_or_simulate_for(
+        &self,
+        spec: &MachineSpec,
+        workload: &Workload,
+        config: &TransmuterConfig,
+        simulate: impl FnOnce() -> Vec<EpochRecord>,
+    ) -> Arc<Vec<EpochRecord>> {
+        self.get_or_simulate(TraceKey::new(spec, workload, config), simulate)
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            entries: self.slots.lock().expect("trace cache lock").len(),
+        }
+    }
+
+    /// Drops every in-memory trace and zeroes the counters (the disk
+    /// layer, if any, is left untouched).
+    pub fn clear(&self) {
+        self.slots.lock().expect("trace cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+    }
+
+    fn disk_path(&self, key: &TraceKey) -> Option<PathBuf> {
+        self.disk_dir
+            .lock()
+            .expect("disk_dir lock")
+            .as_ref()
+            .map(|d| d.join(key.file_name()))
+    }
+
+    fn disk_load(&self, key: &TraceKey) -> Option<Vec<EpochRecord>> {
+        let path = self.disk_path(key)?;
+        let text = std::fs::read_to_string(path).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    fn disk_store(&self, key: &TraceKey, trace: &[EpochRecord]) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        let Ok(json) = serde_json::to_string(&trace.to_vec()) else {
+            return;
+        };
+        // Write-then-rename so a concurrent process never reads a
+        // half-written file.
+        let tmp = path.with_extension("json.tmp");
+        if std::fs::write(&tmp, json).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Simulates one configuration of a workload on a fresh machine —
+/// the unit of work the cache memoises.
+pub fn simulate_trace(
+    spec: MachineSpec,
+    workload: &Workload,
+    config: TransmuterConfig,
+) -> Vec<EpochRecord> {
+    transmuter::machine::Machine::new(spec, config)
+        .run(workload)
+        .epochs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use transmuter::workload::{Op, Phase};
+
+    fn tiny_workload(tag: u64) -> Workload {
+        let streams = (0..16)
+            .map(|g| {
+                (0..50u64)
+                    .flat_map(|i| {
+                        [
+                            Op::Load {
+                                addr: tag * (1 << 20) + g as u64 * 4096 + i * 32,
+                                pc: 1,
+                            },
+                            Op::Flops(1),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload::new("tiny", vec![Phase::new("p", streams)])
+    }
+
+    #[test]
+    fn second_lookup_skips_simulation() {
+        let cache = TraceCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl = tiny_workload(1);
+        let cfg = TransmuterConfig::baseline();
+        let sims = AtomicUsize::new(0);
+        let run = || {
+            cache.get_or_simulate_for(&spec, &wl, &cfg, || {
+                sims.fetch_add(1, Ordering::Relaxed);
+                simulate_trace(spec, &wl, cfg)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(sims.load(Ordering::Relaxed), 1, "second lookup must hit");
+        assert!(Arc::ptr_eq(&a, &b), "hits share the same trace");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_triples_do_not_collide() {
+        let cache = TraceCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl1 = tiny_workload(1);
+        let wl2 = tiny_workload(2);
+        let cfg = TransmuterConfig::baseline();
+        let t1 = cache.get_or_simulate_for(&spec, &wl1, &cfg, || simulate_trace(spec, &wl1, cfg));
+        let t2 = cache.get_or_simulate_for(&spec, &wl2, &cfg, || simulate_trace(spec, &wl2, cfg));
+        assert!(!Arc::ptr_eq(&t1, &t2));
+        assert_eq!(cache.stats().misses, 2);
+        // Same triple again -> same Arc.
+        let t1b = cache.get_or_simulate_for(&spec, &wl1, &cfg, || unreachable!("cached"));
+        assert!(Arc::ptr_eq(&t1, &t1b));
+    }
+
+    #[test]
+    fn concurrent_misses_simulate_once() {
+        let cache = TraceCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl = tiny_workload(3);
+        let cfg = TransmuterConfig::baseline();
+        let sims = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.get_or_simulate_for(&spec, &wl, &cfg, || {
+                        sims.fetch_add(1, Ordering::Relaxed);
+                        simulate_trace(spec, &wl, cfg)
+                    });
+                });
+            }
+        });
+        assert_eq!(sims.load(Ordering::Relaxed), 1, "in-flight dedup failed");
+    }
+
+    #[test]
+    fn disk_layer_survives_a_clear() {
+        let dir = std::env::temp_dir().join(format!("sa-trace-cache-test-{}", std::process::id()));
+        let cache = TraceCache::new();
+        cache.set_disk_dir(Some(dir.clone()));
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl = tiny_workload(4);
+        let cfg = TransmuterConfig::baseline();
+        let first = cache.get_or_simulate_for(&spec, &wl, &cfg, || simulate_trace(spec, &wl, cfg));
+        // Forget the in-memory copy; the trace must come back from disk.
+        cache.clear();
+        let second = cache.get_or_simulate_for(&spec, &wl, &cfg, || {
+            unreachable!("disk layer should satisfy this lookup")
+        });
+        assert_eq!(*first, *second, "disk round-trip changed the trace");
+        assert_eq!(cache.stats().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

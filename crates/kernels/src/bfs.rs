@@ -150,7 +150,7 @@ pub fn build(a: &CscMatrix, source: u32, n_gpes: usize) -> BfsBuild {
         workload: Workload::new("bfs", phases),
         levels,
         edges_traversed: edges,
-        iterations: depth.saturating_sub(if frontier.is_empty() { 1 } else { 0 }).max(0),
+        iterations: depth.saturating_sub(if frontier.is_empty() { 1 } else { 0 }),
     }
 }
 
@@ -191,8 +191,13 @@ mod tests {
     #[test]
     fn source_level_zero_and_edge_count() {
         let a = rmat(64, 400, GenSeed(3)).to_csc();
-        let built = build(&a, 5, 8);
-        assert_eq!(built.levels[5], Some(0));
+        // Start somewhere with out-edges so the traversal examines at
+        // least one column entry (rmat leaves some columns empty).
+        let src = (0..64)
+            .find(|&k| a.col_nnz(k) > 0)
+            .expect("graph has edges");
+        let built = build(&a, src, 8);
+        assert_eq!(built.levels[src as usize], Some(0));
         // Every frontier vertex's whole column is examined.
         assert!(built.edges_traversed > 0);
     }

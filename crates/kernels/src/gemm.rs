@@ -147,7 +147,10 @@ mod tests {
             .collect();
         let max = *lens.iter().max().unwrap();
         let min = *lens.iter().min().unwrap();
-        assert!(max - min <= max / 8, "regular work should balance: {lens:?}");
+        assert!(
+            max - min <= max / 8,
+            "regular work should balance: {lens:?}"
+        );
     }
 
     #[test]

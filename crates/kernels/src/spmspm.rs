@@ -96,6 +96,8 @@ pub fn build_with_variant(
             let lo = a.col_offsets()[k as usize];
             let hi = a.col_offsets()[k as usize + 1];
             let blen = b.row_nnz(k) as u64;
+            // `p` indexes two parallel arrays; an iterator form hides that.
+            #[allow(clippy::needless_range_loop)]
             for p in lo..hi {
                 let r = a.row_indices()[p] as usize;
                 slot_base_for_p[p] = cursor[r];
@@ -176,6 +178,8 @@ pub fn build_with_variant(
             }
             let col_lo = a.col_offsets()[k as usize];
             let col_hi = a.col_offsets()[k as usize + 1];
+            // `p` is both an address operand and a `slot_base_for_p` index.
+            #[allow(clippy::needless_range_loop)]
             for p in col_lo..col_hi {
                 ops.push(Op::Load {
                     addr: la.idx_addr(p as u64),

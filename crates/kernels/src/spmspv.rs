@@ -64,12 +64,11 @@ pub fn build_with_variant(
     let ly = SparseVecLayout::with_capacity(&mut space, result.nnz().max(1) as u64);
 
     // One work item per selected column; cost = column nnz.
-    let selected: Vec<(usize, u32)> = x
+    let selected: Vec<(usize, u32)> = x.iter().enumerate().map(|(xi, (k, _))| (xi, k)).collect();
+    let costs: Vec<u64> = selected
         .iter()
-        .enumerate()
-        .map(|(xi, (k, _))| (xi, k))
+        .map(|&(_, k)| a.col_nnz(k) as u64 + 2)
         .collect();
-    let costs: Vec<u64> = selected.iter().map(|&(_, k)| a.col_nnz(k) as u64 + 2).collect();
     let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
 
     let spm = variant == MemKind::Spm;

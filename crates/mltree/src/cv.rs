@@ -91,7 +91,7 @@ pub fn grid_search(
     for params in grid {
         let acc = cross_validate(data, params, k);
         all.push((*params, acc));
-        if best.as_ref().map_or(true, |(_, b)| acc > *b) {
+        if best.as_ref().is_none_or(|(_, b)| acc > *b) {
             best = Some((*params, acc));
         }
     }

@@ -102,7 +102,11 @@ impl Dataset {
     ///
     /// Panics if `n` exceeds the feature count.
     pub fn project_prefix(&self, n: usize) -> Dataset {
-        assert!(n <= self.n_features(), "cannot keep {n} of {} features", self.n_features());
+        assert!(
+            n <= self.n_features(),
+            "cannot keep {n} of {} features",
+            self.n_features()
+        );
         Dataset {
             feature_names: self.feature_names[..n].to_vec(),
             features: self.features.iter().map(|r| r[..n].to_vec()).collect(),
@@ -161,15 +165,16 @@ impl Dataset {
                 continue;
             }
             let mut parts: Vec<&str> = line.split(',').collect();
-            let label: usize = parts
-                .pop()
-                .and_then(|s| s.trim().parse().ok())
-                .ok_or_else(|| {
-                    io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("bad label on line {}", lineno + 2),
-                    )
-                })?;
+            let label: usize =
+                parts
+                    .pop()
+                    .and_then(|s| s.trim().parse().ok())
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("bad label on line {}", lineno + 2),
+                        )
+                    })?;
             let row: Result<Vec<f64>, _> = parts.iter().map(|s| s.trim().parse()).collect();
             let row = row.map_err(|e| {
                 io::Error::new(

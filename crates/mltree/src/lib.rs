@@ -43,9 +43,9 @@ mod linear;
 mod tree;
 
 pub use dataset::Dataset;
+pub use explain::PathStep;
 pub use forest::{ForestParams, RandomForest};
 pub use linear::{LinearClassifier, LogisticRegression};
-pub use explain::PathStep;
 pub use tree::{Criterion, DecisionTree, NodeView, TreeParams};
 
 /// Common interface of every classifier in this crate.

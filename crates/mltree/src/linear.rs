@@ -26,7 +26,7 @@ impl LinearClassifier {
     pub fn fit(data: &Dataset) -> LinearClassifier {
         assert!(!data.is_empty(), "cannot fit on an empty dataset");
         let d = data.n_features() + 1; // + bias
-        // Accumulate X^T X and X^T y with an appended 1 for the bias.
+                                       // Accumulate X^T X and X^T y with an appended 1 for the bias.
         let mut xtx = vec![vec![0.0f64; d]; d];
         let mut xty = vec![0.0f64; d];
         for (x, y) in data.rows() {
@@ -81,6 +81,9 @@ fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
         }
         for row in col + 1..n {
             let f = a[row][col] / diag;
+            // Rows `row` and `col` are borrowed together; no iterator form
+            // without split_at_mut gymnastics.
+            #[allow(clippy::needless_range_loop)]
             for k in col..n {
                 a[row][k] -= f * a[col][k];
             }

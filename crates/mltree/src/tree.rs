@@ -216,19 +216,14 @@ impl DecisionTree {
                 if v_prev == v_next {
                     continue;
                 }
-                if cut < self.params.min_samples_leaf
-                    || n - cut < self.params.min_samples_leaf
-                {
+                if cut < self.params.min_samples_leaf || n - cut < self.params.min_samples_leaf {
                     continue;
                 }
                 let il = self.params.criterion.impurity(&left_counts, cut);
                 let ir = self.params.criterion.impurity(&right_counts, n - cut);
-                let weighted =
-                    (cut as f64 * il + (n - cut) as f64 * ir) / n as f64;
+                let weighted = (cut as f64 * il + (n - cut) as f64 * ir) / n as f64;
                 let gain = parent_impurity - weighted;
-                if gain > 1e-12
-                    && best.as_ref().map_or(true, |b| gain > b.gain + 1e-15)
-                {
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain + 1e-15) {
                     best = Some(Split {
                         feature: f,
                         threshold: (v_prev + v_next) / 2.0,

@@ -55,10 +55,16 @@ impl CooMatrix {
     ) -> Result<Self, FormatError> {
         for &(r, c, _) in &triplets {
             if r >= rows {
-                return Err(FormatError::IndexOutOfBounds { index: r, bound: rows });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                });
             }
             if c >= cols {
-                return Err(FormatError::IndexOutOfBounds { index: c, bound: cols });
+                return Err(FormatError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                });
             }
         }
         Ok(CooMatrix {

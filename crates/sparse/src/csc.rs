@@ -185,8 +185,8 @@ mod tests {
         // [0 1]
         // [0 2]
         // [7 0]
-        let m = CscMatrix::from_parts(3, 2, vec![0, 1, 3], vec![2, 0, 1], vec![7.0, 1.0, 2.0])
-            .unwrap();
+        let m =
+            CscMatrix::from_parts(3, 2, vec![0, 1, 3], vec![2, 0, 1], vec![7.0, 1.0, 2.0]).unwrap();
         assert_eq!(m.col_nnz(0), 1);
         assert_eq!(m.get(2, 0), Some(7.0));
         assert_eq!(m.get(0, 0), None);
@@ -205,8 +205,7 @@ mod tests {
 
     #[test]
     fn rejects_row_index_out_of_bounds() {
-        let err =
-            CscMatrix::from_parts(2, 1, vec![0, 1], vec![3], vec![1.0]).unwrap_err();
+        let err = CscMatrix::from_parts(2, 1, vec![0, 1], vec![3], vec![1.0]).unwrap_err();
         assert!(matches!(err, FormatError::IndexOutOfBounds { .. }));
     }
 }

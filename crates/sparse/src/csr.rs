@@ -63,11 +63,7 @@ impl CsrMatrix {
 
     /// Builds from triplets already sorted by `(row, col)` with no
     /// duplicates. Internal fast path for [`CooMatrix`] conversion.
-    pub(crate) fn from_sorted_triplets(
-        rows: u32,
-        cols: u32,
-        triplets: &[(u32, u32, f64)],
-    ) -> Self {
+    pub(crate) fn from_sorted_triplets(rows: u32, cols: u32, triplets: &[(u32, u32, f64)]) -> Self {
         let mut row_offsets = vec![0usize; rows as usize + 1];
         for &(r, _, _) in triplets {
             row_offsets[r as usize + 1] += 1;
@@ -285,15 +281,13 @@ mod tests {
 
     #[test]
     fn rejects_unsorted_indices() {
-        let err =
-            CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 1.0]).unwrap_err();
         assert_eq!(err, FormatError::UnsortedIndices { major: 0 });
     }
 
     #[test]
     fn rejects_bad_offsets() {
-        let err =
-            CsrMatrix::from_parts(2, 3, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
+        let err = CsrMatrix::from_parts(2, 3, vec![0, 2], vec![0, 1], vec![1.0, 1.0]).unwrap_err();
         assert!(matches!(err, FormatError::OffsetsLength { .. }));
     }
 

@@ -59,7 +59,10 @@ impl fmt::Display for FormatError {
                 )
             }
             FormatError::UnsortedIndices { major } => {
-                write!(f, "indices in major slice {major} are not strictly increasing")
+                write!(
+                    f,
+                    "indices in major slice {major} are not strictly increasing"
+                )
             }
         }
     }

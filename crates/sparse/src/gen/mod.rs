@@ -33,7 +33,9 @@ impl GenSeed {
     /// independent generators without correlation.
     pub fn derive(self, stream: u64) -> GenSeed {
         // SplitMix64 step: decorrelates nearby seeds.
-        let mut z = self.0.wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = self
+            .0
+            .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         GenSeed(z ^ (z >> 31))

@@ -63,8 +63,7 @@ mod tests {
         assert_eq!(m.col_nnz(0), 128);
         assert_eq!(m.col_nnz(16), 128);
         // Sparse columns are much thinner.
-        let sparse_avg: f64 =
-            (1..16).map(|c| m.col_nnz(c) as f64).sum::<f64>() / 15.0;
+        let sparse_avg: f64 = (1..16).map(|c| m.col_nnz(c) as f64).sum::<f64>() / 15.0;
         assert!(sparse_avg < 40.0, "sparse strip average {sparse_avg}");
     }
 

@@ -85,7 +85,7 @@ pub fn structured(dim: u32, nnz: usize, class: &PatternClass, seed: GenSeed) -> 
         }
         PatternClass::BlockDiagonal { blocks } => {
             let blocks = (*blocks).max(1);
-            let block = (dim + blocks - 1) / blocks;
+            let block = dim.div_ceil(blocks);
             sample_region(dim, nnz, seed, format!("{blocks} blocks"), move |rng| {
                 let b = rng.gen_range(0..blocks);
                 let base = b * block;

@@ -24,9 +24,7 @@ use crate::CooMatrix;
 pub fn parse_matrix_market(text: &str) -> io::Result<CooMatrix> {
     let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut lines = text.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty file".to_string()))?;
+    let header = lines.next().ok_or_else(|| bad("empty file".to_string()))?;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
         return Err(bad(format!("not a MatrixMarket header: {header}")));
@@ -109,12 +107,7 @@ pub fn parse_matrix_market(text: &str) -> io::Result<CooMatrix> {
 pub fn to_matrix_market(m: &CooMatrix) -> String {
     let mut out = String::from("%%MatrixMarket matrix coordinate real general\n");
     out.push_str("% written by sparseadapt-rs\n");
-    out.push_str(&format!(
-        "{} {} {}\n",
-        m.rows(),
-        m.cols(),
-        m.raw_nnz()
-    ));
+    out.push_str(&format!("{} {} {}\n", m.rows(), m.cols(), m.raw_nnz()));
     for &(r, c, v) in m.triplets() {
         out.push_str(&format!("{} {} {v}\n", r + 1, c + 1));
     }
@@ -199,7 +192,13 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_matrix_market("").is_err());
         assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1\n").is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1\n").is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n").is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1\n"
+        )
+        .is_err());
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n"
+        )
+        .is_err());
     }
 }

@@ -87,10 +87,9 @@ impl MatrixSpec {
 
 /// Deterministic hash of the suite id, for seed derivation.
 fn fxhash(s: &str) -> u64 {
-    s.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        })
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// The six synthetic matrices of Table 5 (top): U1–U3 uniform, P1–P3

@@ -49,7 +49,9 @@ fn main() -> std::io::Result<()> {
             }
             other => {
                 eprintln!("unknown flag {other}");
-                eprintln!("usage: train [--preset tiny|quick|paper] [--out DIR] [--grid] [--csv DIR]");
+                eprintln!(
+                    "usage: train [--preset tiny|quick|paper] [--out DIR] [--grid] [--csv DIR]"
+                );
                 std::process::exit(2);
             }
         }

@@ -121,30 +121,20 @@ impl TrainingData {
     }
 }
 
-/// Collects training data for one L1 kind over the preset's scenarios.
+/// Collects training data for one L1 kind over the preset's scenarios,
+/// on the shared work-stealing pool (scenario costs vary by an order of
+/// magnitude, so static chunking wastes the fast workers' tails). The
+/// merge is by scenario index, so example order is independent of the
+/// thread count.
 pub fn collect(l1_kind: MemKind, opts: &CollectOptions) -> TrainingData {
     let list = scenarios(opts.preset);
-    let threads = opts.threads.max(1).min(list.len());
-    let mut merged = TrainingData::default();
-    std::thread::scope(|scope| {
-        let chunks: Vec<Vec<TrainingScenario>> = (0..threads)
-            .map(|t| list.iter().skip(t).step_by(threads).copied().collect())
-            .collect();
-        let mut handles = Vec::new();
-        for chunk in chunks {
-            let opts = *opts;
-            handles.push(scope.spawn(move || {
-                let mut local = TrainingData::default();
-                for sc in chunk {
-                    local.merge(collect_scenario(l1_kind, &sc, &opts));
-                }
-                local
-            }));
-        }
-        for h in handles {
-            merged.merge(h.join().expect("collection worker panicked"));
-        }
+    let per_scenario = sparseadapt::exec::parallel_map(list.len(), opts.threads, |i| {
+        collect_scenario(l1_kind, &list[i], opts)
     });
+    let mut merged = TrainingData::default();
+    for data in per_scenario {
+        merged.merge(data);
+    }
     merged
 }
 
@@ -174,8 +164,14 @@ pub fn collect_scenario(
             let telemetry = searcher.trace(s)[e].telemetry;
             out.features.push(feature_vector(&telemetry, &s));
             for p in ConfigParam::ALL {
-                out.labels_ee.get_mut(&p).expect("init").push(p.get_index(&best_ee));
-                out.labels_pp.get_mut(&p).expect("init").push(p.get_index(&best_pp));
+                out.labels_ee
+                    .get_mut(&p)
+                    .expect("init")
+                    .push(p.get_index(&best_ee));
+                out.labels_pp
+                    .get_mut(&p)
+                    .expect("init")
+                    .push(p.get_index(&best_pp));
             }
         }
     }

@@ -13,17 +13,27 @@
 //! configuration-independent, making the per-epoch comparison sound).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
+use sparseadapt::trace_cache::{simulate_trace, TraceCache};
 use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
-use transmuter::machine::{EpochRecord, Machine};
+use transmuter::machine::EpochRecord;
 use transmuter::metrics::OptMode;
 use transmuter::workload::Workload;
 
 /// Lazily simulating, caching configuration evaluator for one workload.
+///
+/// Simulations route through the process-wide
+/// [`TraceCache`], so a configuration the evaluation
+/// already swept (or another searcher over the same workload already
+/// simulated) is never run twice; the local map only avoids re-hashing
+/// the workload on every lookup.
 pub struct ConfigSearcher<'w> {
     spec: MachineSpec,
     workload: &'w Workload,
-    cache: HashMap<TransmuterConfig, Vec<EpochRecord>>,
+    spec_fp: u64,
+    workload_fp: u64,
+    cache: HashMap<TransmuterConfig, Arc<Vec<EpochRecord>>>,
 }
 
 impl<'w> ConfigSearcher<'w> {
@@ -32,15 +42,26 @@ impl<'w> ConfigSearcher<'w> {
         ConfigSearcher {
             spec,
             workload,
+            spec_fp: spec.fingerprint(),
+            workload_fp: workload.fingerprint(),
             cache: HashMap::new(),
         }
     }
 
     /// The whole-run epoch trace under `cfg`, simulating on first use.
-    pub fn trace(&mut self, cfg: TransmuterConfig) -> &Vec<EpochRecord> {
-        self.cache
-            .entry(cfg)
-            .or_insert_with(|| Machine::new(self.spec, cfg).run(self.workload).epochs)
+    pub fn trace(&mut self, cfg: TransmuterConfig) -> &[EpochRecord] {
+        let (spec, workload) = (self.spec, self.workload);
+        let (spec_fp, workload_fp) = (self.spec_fp, self.workload_fp);
+        self.cache.entry(cfg).or_insert_with(|| {
+            TraceCache::global().get_or_simulate(
+                sparseadapt::trace_cache::TraceKey {
+                    spec: spec_fp,
+                    workload: workload_fp,
+                    config: cfg.fingerprint(),
+                },
+                || simulate_trace(spec, workload, cfg),
+            )
+        })
     }
 
     /// Number of epochs of this workload (from any cached trace; the

@@ -185,12 +185,24 @@ mod tests {
             grid: false,
             ..TrainOptions::default()
         };
-        let a = train_or_load(&dir, MemKind::Cache, OptMode::EnergyEfficient, &copts, &topts)
-            .unwrap();
+        let a = train_or_load(
+            &dir,
+            MemKind::Cache,
+            OptMode::EnergyEfficient,
+            &copts,
+            &topts,
+        )
+        .unwrap();
         assert!(model_path(&dir, MemKind::Cache, OptMode::EnergyEfficient).exists());
         // Second call loads the identical model.
-        let b = train_or_load(&dir, MemKind::Cache, OptMode::EnergyEfficient, &copts, &topts)
-            .unwrap();
+        let b = train_or_load(
+            &dir,
+            MemKind::Cache,
+            OptMode::EnergyEfficient,
+            &copts,
+            &topts,
+        )
+        .unwrap();
         assert_eq!(a, b);
         let _ = std::fs::remove_dir_all(&dir);
     }

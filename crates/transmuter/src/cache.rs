@@ -73,7 +73,10 @@ impl CacheBank {
     /// Panics if the geometry does not yield at least one set.
     pub fn new(capacity_kb: u32, line_bytes: u32, ways: u32) -> Self {
         let n_sets = (capacity_kb as usize * 1024) / (line_bytes as usize * ways as usize);
-        assert!(n_sets > 0, "bank too small for {ways} ways of {line_bytes}-byte lines");
+        assert!(
+            n_sets > 0,
+            "bank too small for {ways} ways of {line_bytes}-byte lines"
+        );
         assert!(n_sets.is_power_of_two(), "set count must be a power of two");
         CacheBank {
             capacity_kb,
@@ -132,9 +135,12 @@ impl CacheBank {
         let base = set * self.ways as usize;
         let ways = self.ways as usize;
 
-        // Hit?
-        for i in 0..ways {
-            let line = &mut self.sets[base + i];
+        // One pass over the set: detect a hit while tracking the victim
+        // (first invalid way, else LRU — ties keep the lowest index,
+        // matching the old two-pass `min_by_key` exactly).
+        let mut victim = 0usize;
+        let mut victim_key = (u8::MAX, u64::MAX);
+        for (i, line) in self.sets[base..base + ways].iter_mut().enumerate() {
             if line.valid && line.tag == tag {
                 line.lru = tick;
                 if write {
@@ -142,18 +148,12 @@ impl CacheBank {
                 }
                 return AccessOutcome::Hit;
             }
+            let key = if line.valid { (1, line.lru) } else { (0, 0) };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
         }
-        // Miss: pick invalid way or LRU victim.
-        let victim = (0..ways)
-            .min_by_key(|&i| {
-                let l = &self.sets[base + i];
-                if l.valid {
-                    (1, l.lru)
-                } else {
-                    (0, 0)
-                }
-            })
-            .expect("ways > 0");
         let old = self.sets[base + victim];
         let writeback = if old.valid && old.dirty {
             if !is_prefetch {

@@ -26,7 +26,9 @@ pub enum SharingMode {
 
 /// Global DVFS clock (§3.2.1): a divider chain f, f/2, …, f/32 from a
 /// 1 GHz system clock.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub enum ClockFreq {
     /// 31.25 MHz (f/32).
     Mhz31,
@@ -39,13 +41,8 @@ pub enum ClockFreq {
     /// 500 MHz (f/2).
     Mhz500,
     /// 1 GHz (f).
+    #[default]
     Mhz1000,
-}
-
-impl Default for ClockFreq {
-    fn default() -> Self {
-        ClockFreq::Mhz1000
-    }
 }
 
 impl ClockFreq {
@@ -86,7 +83,10 @@ impl ClockFreq {
 
     /// Ordinal index in [`ClockFreq::ALL`].
     pub fn index(self) -> usize {
-        ClockFreq::ALL.iter().position(|&c| c == self).expect("ALL is exhaustive")
+        ClockFreq::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("ALL is exhaustive")
     }
 }
 
@@ -227,6 +227,21 @@ impl TransmuterConfig {
         out
     }
 
+    /// A stable 64-bit fingerprint of this configuration point, suitable
+    /// for trace-cache keys and on-disk cache filenames (unlike `Hash`,
+    /// which std does not guarantee stable across releases).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::workload::Fnv::new();
+        h.write_u64(match self.l1_kind {
+            MemKind::Cache => 0,
+            MemKind::Spm => 1,
+        });
+        for param in ConfigParam::ALL {
+            h.write_u64(param.get_index(self) as u64);
+        }
+        h.finish()
+    }
+
     /// Compact short string for logs: `c-P/S-8/32-500-4` style.
     pub fn short(&self) -> String {
         format!(
@@ -323,13 +338,24 @@ impl ConfigParam {
     ///
     /// Panics if `idx >= self.value_count()`.
     pub fn set_index(self, cfg: &mut TransmuterConfig, idx: usize) {
-        assert!(idx < self.value_count(), "index {idx} out of range for {self:?}");
+        assert!(
+            idx < self.value_count(),
+            "index {idx} out of range for {self:?}"
+        );
         match self {
             ConfigParam::L1Sharing => {
-                cfg.l1_sharing = if idx == 1 { SharingMode::Private } else { SharingMode::Shared }
+                cfg.l1_sharing = if idx == 1 {
+                    SharingMode::Private
+                } else {
+                    SharingMode::Shared
+                }
             }
             ConfigParam::L2Sharing => {
-                cfg.l2_sharing = if idx == 1 { SharingMode::Private } else { SharingMode::Shared }
+                cfg.l2_sharing = if idx == 1 {
+                    SharingMode::Private
+                } else {
+                    SharingMode::Shared
+                }
             }
             ConfigParam::L1Capacity => cfg.l1_capacity_kb = CAPACITIES_KB[idx],
             ConfigParam::L2Capacity => cfg.l2_capacity_kb = CAPACITIES_KB[idx],
@@ -449,6 +475,19 @@ impl MachineSpec {
         };
         self
     }
+
+    /// A stable 64-bit fingerprint of every spec field, for trace-cache
+    /// keys (`mem_bw_gbps` is hashed by bit pattern).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::workload::Fnv::new();
+        h.write_u64(self.geometry.tiles as u64);
+        h.write_u64(self.geometry.gpes_per_tile as u64);
+        h.write_u64(self.mem_bw_gbps.to_bits());
+        h.write_u64(self.epoch_ops);
+        h.write_u64(self.line_bytes as u64);
+        h.write_u64(self.ways as u64);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -516,11 +555,39 @@ mod tests {
 
     #[test]
     fn table4_configs() {
-        assert_eq!(TransmuterConfig::baseline().short(), "c-SS-4k/4k-1000MHz-pf4");
-        assert_eq!(TransmuterConfig::maximum().short(), "c-SS-64k/64k-1000MHz-pf8");
+        assert_eq!(
+            TransmuterConfig::baseline().short(),
+            "c-SS-4k/4k-1000MHz-pf4"
+        );
+        assert_eq!(
+            TransmuterConfig::maximum().short(),
+            "c-SS-64k/64k-1000MHz-pf8"
+        );
         assert_eq!(
             TransmuterConfig::best_avg_spm().short(),
             "s-PP-4k/32k-500MHz-pf8"
+        );
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configs_and_specs() {
+        let space = TransmuterConfig::runtime_space(MemKind::Cache);
+        let fps: std::collections::HashSet<u64> =
+            space.iter().map(TransmuterConfig::fingerprint).collect();
+        assert_eq!(fps.len(), space.len(), "config fingerprint collision");
+        let mut spm = TransmuterConfig::baseline();
+        spm.l1_kind = MemKind::Spm;
+        assert_ne!(
+            spm.fingerprint(),
+            TransmuterConfig::baseline().fingerprint()
+        );
+
+        let spec = MachineSpec::default();
+        assert_eq!(spec.fingerprint(), MachineSpec::default().fingerprint());
+        assert_ne!(spec.fingerprint(), spec.with_epoch_ops(500).fingerprint());
+        assert_ne!(
+            spec.fingerprint(),
+            spec.with_bandwidth_gbps(2.0).fingerprint()
         );
     }
 

@@ -51,7 +51,9 @@ impl Controller for StaticController {
 }
 
 /// Everything recorded about one epoch of execution.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so sweep traces can live in the on-disk trace cache.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EpochRecord {
     /// Epoch index within the run.
     pub index: usize,
@@ -120,7 +122,6 @@ pub struct Machine {
     gpe_time_ps: Vec<u64>,
     gpe_epoch_ops: Vec<u64>,
     epoch_start_ps: u64,
-    spm_regions: Vec<Region>,
     lcp_factor: f64,
     lcp_ops_carry: f64,
 }
@@ -162,7 +163,6 @@ impl Machine {
             gpe_time_ps: vec![0; g.gpe_count()],
             gpe_epoch_ops: vec![0; g.gpe_count()],
             epoch_start_ps: 0,
-            spm_regions: Vec::new(),
             lcp_factor: 0.0,
             lcp_ops_carry: 0.0,
         }
@@ -198,11 +198,21 @@ impl Machine {
         controller: &mut dyn Controller,
     ) -> RunResult {
         let n = self.spec.geometry.gpe_count();
-        let mut records: Vec<EpochRecord> = Vec::new();
+        // Quota boundaries put roughly `epoch_ops * n` FP ops in each
+        // epoch, plus one partial epoch per phase barrier at worst.
+        let estimated_epochs = (workload.total_fp_ops() / (self.spec.epoch_ops * n as u64))
+            as usize
+            + workload.phases.len()
+            + 1;
+        let mut records: Vec<EpochRecord> = Vec::with_capacity(estimated_epochs);
         let mut pending_reconfig = (0.0f64, 0.0f64);
         let mut total_energy = 0.0f64;
         let mut total_flops = 0u64;
         let mut total_fp_ops = 0u64;
+        // Event heap over running GPEs, allocated once and reused across
+        // epoch rounds and phases (the inner loop is hot: one rebuild per
+        // epoch per phase).
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
 
         for phase in &workload.phases {
             assert_eq!(
@@ -213,7 +223,6 @@ impl Machine {
                 phase.streams.len(),
                 n
             );
-            self.spm_regions = phase.spm_regions.clone();
             self.lcp_factor = phase.lcp_ops_per_gpe_op;
 
             let mut cursors = vec![0usize; n];
@@ -230,16 +239,19 @@ impl Machine {
                 .collect();
 
             loop {
-                // Build the event heap over running GPEs.
-                let mut heap: BinaryHeap<Reverse<(u64, usize)>> = states
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, s)| **s == GpeState::Running)
-                    .map(|(g, _)| Reverse((self.gpe_time_ps[g], g)))
-                    .collect();
+                // Refill the event heap with the running GPEs.
+                heap.clear();
+                heap.extend(
+                    states
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| **s == GpeState::Running)
+                        .map(|(g, _)| Reverse((self.gpe_time_ps[g], g))),
+                );
 
                 while let Some(Reverse((t, g))) = heap.pop() {
-                    let new_t = self.step_gpe(g, t, &phase.streams[g], &mut cursors[g]);
+                    let new_t =
+                        self.step_gpe(g, t, &phase.streams[g], &phase.spm_regions, &mut cursors[g]);
                     self.gpe_time_ps[g] = new_t;
                     if cursors[g] >= phase.streams[g].len() {
                         states[g] = GpeState::Done;
@@ -250,13 +262,12 @@ impl Machine {
                     }
                 }
 
-                let any_paused = states.iter().any(|s| *s == GpeState::PausedAtQuota);
+                let any_paused = states.contains(&GpeState::PausedAtQuota);
                 if !any_paused {
                     break; // phase complete
                 }
                 // Epoch boundary.
-                let (rec, cost) =
-                    self.end_epoch(records.len(), controller, pending_reconfig);
+                let (rec, cost) = self.end_epoch(records.len(), controller, pending_reconfig);
                 total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
                 total_flops += rec.metrics.flops;
                 total_fp_ops += rec.fp_ops;
@@ -298,8 +309,17 @@ impl Machine {
 
     /// Executes ops for GPE `g` starting at time `t` until one memory
     /// access completes, the epoch quota is reached, or the stream ends.
-    /// Returns the new local time.
-    fn step_gpe(&mut self, g: usize, mut t: u64, stream: &[Op], cursor: &mut usize) -> u64 {
+    /// `spm` is the active phase's scratchpad map (borrowed from the
+    /// workload rather than cloned per phase). Returns the new local
+    /// time.
+    fn step_gpe(
+        &mut self,
+        g: usize,
+        mut t: u64,
+        stream: &[Op],
+        spm: &[Region],
+        cursor: &mut usize,
+    ) -> u64 {
         let period = self.cfg.clock.period_ps();
         while *cursor < stream.len() {
             match stream[*cursor] {
@@ -327,7 +347,7 @@ impl Machine {
                     self.gpe_epoch_ops[g] += 1;
                     self.charge_lcp(1);
                     self.dyn_energy_j += self.power.int_ops(1); // issue/AGU
-                    return self.mem_access(g, t, addr, false, pc);
+                    return self.mem_access(g, t, addr, false, pc, spm);
                 }
                 Op::Store { addr, pc } => {
                     *cursor += 1;
@@ -335,7 +355,7 @@ impl Machine {
                     self.gpe_epoch_ops[g] += 1;
                     self.charge_lcp(1);
                     self.dyn_energy_j += self.power.int_ops(1);
-                    return self.mem_access(g, t, addr, true, pc);
+                    return self.mem_access(g, t, addr, true, pc, spm);
                 }
             }
         }
@@ -354,11 +374,19 @@ impl Machine {
 
     /// Routes one demand access through the hierarchy; returns completion
     /// time.
-    fn mem_access(&mut self, g: usize, t: u64, addr: u64, write: bool, pc: u32) -> u64 {
+    fn mem_access(
+        &mut self,
+        g: usize,
+        t: u64,
+        addr: u64,
+        write: bool,
+        pc: u32,
+        spm: &[Region],
+    ) -> u64 {
         let period = self.cfg.clock.period_ps();
         match self.cfg.l1_kind {
             MemKind::Spm => {
-                if self.spm_regions.iter().any(|r| r.contains(addr)) {
+                if spm.iter().any(|r| r.contains(addr)) {
                     // Scratchpad hit: deterministic, tag-free.
                     self.raw.l1_accesses += 1;
                     self.dyn_energy_j += self.power.l1_access(&self.cfg);
@@ -465,10 +493,7 @@ impl Machine {
         if outcome.is_hit() {
             granted + L2_HIT_CYCLES * period
         } else {
-            if let crate::cache::AccessOutcome::Miss {
-                writeback: Some(_),
-            } = outcome
-            {
+            if let crate::cache::AccessOutcome::Miss { writeback: Some(_) } = outcome {
                 self.hbm.write(granted, self.spec.line_bytes);
                 self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
             }
@@ -483,9 +508,8 @@ impl Machine {
         let bank = self.l2_bank(g, addr);
         let granted = self.arbitrate_l2(bank, t);
         self.dyn_energy_j += self.power.l2_access(&self.cfg);
-        if let crate::cache::AccessOutcome::Miss {
-            writeback: Some(_),
-        } = self.l2[bank].access(addr, true)
+        if let crate::cache::AccessOutcome::Miss { writeback: Some(_) } =
+            self.l2[bank].access(addr, true)
         {
             self.hbm.write(granted, self.spec.line_bytes);
             self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
@@ -745,7 +769,9 @@ mod tests {
                 let mut x = 12345u64 + g as u64;
                 (0..3000)
                     .map(|_| {
-                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         Op::Load {
                             addr: (x >> 20) % (1 << 24),
                             pc: (x % 13) as u32,

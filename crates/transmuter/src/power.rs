@@ -262,7 +262,10 @@ mod tests {
         let hi = dynamic_scale(ClockFreq::Mhz1000);
         let lo = dynamic_scale(ClockFreq::Mhz125);
         assert!((hi - 1.0).abs() < 1e-9);
-        assert!(lo < 0.6, "125 MHz should scale dynamic energy well below nominal, got {lo}");
+        assert!(
+            lo < 0.6,
+            "125 MHz should scale dynamic energy well below nominal, got {lo}"
+        );
     }
 
     #[test]
@@ -294,7 +297,12 @@ mod tests {
                 let lhs = F_NOMINAL_MHZ / c.mhz();
                 let k_nom = (VDD_NOMINAL - V_THRESHOLD).powi(2) / VDD_NOMINAL;
                 let k_v = (v - V_THRESHOLD).powi(2) / v;
-                assert!((lhs - k_nom / k_v).abs() < 1e-6, "{c:?}: {} vs {}", lhs, k_nom / k_v);
+                assert!(
+                    (lhs - k_nom / k_v).abs() < 1e-6,
+                    "{c:?}: {} vs {}",
+                    lhs,
+                    k_nom / k_v
+                );
             }
         }
     }

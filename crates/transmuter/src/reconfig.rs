@@ -87,10 +87,8 @@ pub fn cost(
     if from == to {
         return ReconfigCost::zero();
     }
-    let flush_l1 = from.l1_sharing != to.l1_sharing
-        || to.l1_capacity_kb < from.l1_capacity_kb;
-    let flush_l2 = from.l2_sharing != to.l2_sharing
-        || to.l2_capacity_kb < from.l2_capacity_kb;
+    let flush_l1 = from.l1_sharing != to.l1_sharing || to.l1_capacity_kb < from.l1_capacity_kb;
+    let flush_l2 = from.l2_sharing != to.l2_sharing || to.l2_capacity_kb < from.l2_capacity_kb;
 
     // Fixed cost at the outgoing clock.
     let mut time_s = FIXED_RECONFIG_CYCLES as f64 * from.clock.period_ps() as f64 * 1e-12;
@@ -98,12 +96,10 @@ pub fn cost(
 
     let mut flush_bytes = 0u64;
     if flush_l1 {
-        flush_bytes +=
-            from.l1_capacity_kb as u64 * 1024 * spec.geometry.l1_bank_count() as u64;
+        flush_bytes += from.l1_capacity_kb as u64 * 1024 * spec.geometry.l1_bank_count() as u64;
     }
     if flush_l2 {
-        flush_bytes +=
-            from.l2_capacity_kb as u64 * 1024 * spec.geometry.l2_bank_count() as u64;
+        flush_bytes += from.l2_capacity_kb as u64 * 1024 * spec.geometry.l2_bank_count() as u64;
     }
     if flush_bytes > 0 {
         // Bandwidth-bound drain of (pessimistically) all-dirty lines.

@@ -185,6 +185,86 @@ impl Workload {
             })
             .sum()
     }
+
+    /// A stable 64-bit content fingerprint covering everything that can
+    /// influence a simulation: phase names, op streams (including
+    /// addresses and access-site ids), SPM maps, and LCP load factors.
+    ///
+    /// Used as a trace-cache key component, so two workloads with equal
+    /// fingerprints are treated as producing identical traces.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_str(&self.name);
+        h.write_u64(self.phases.len() as u64);
+        for phase in &self.phases {
+            h.write_str(&phase.name);
+            h.write_u64(phase.lcp_ops_per_gpe_op.to_bits());
+            h.write_u64(phase.spm_regions.len() as u64);
+            for r in &phase.spm_regions {
+                h.write_u64(r.base);
+                h.write_u64(r.bytes);
+            }
+            h.write_u64(phase.streams.len() as u64);
+            for stream in &phase.streams {
+                h.write_u64(stream.len() as u64);
+                for op in stream {
+                    match *op {
+                        Op::Flops(n) => {
+                            h.write_u64(1);
+                            h.write_u64(n as u64);
+                        }
+                        Op::IntOps(n) => {
+                            h.write_u64(2);
+                            h.write_u64(n as u64);
+                        }
+                        Op::Load { addr, pc } => {
+                            h.write_u64(3);
+                            h.write_u64(addr);
+                            h.write_u64(pc as u64);
+                        }
+                        Op::Store { addr, pc } => {
+                            h.write_u64(4);
+                            h.write_u64(addr);
+                            h.write_u64(pc as u64);
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a hasher used for content fingerprints (std's
+/// `DefaultHasher` is explicitly not stable across releases, and
+/// fingerprints may be persisted in on-disk trace-cache filenames).
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+        // Length-prefix-free delimiter so "ab"+"c" != "a"+"bc".
+        self.write_bytes(&[0xff]);
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -225,5 +305,25 @@ mod tests {
         assert_eq!(p.total_fp_ops(), 12);
         let w = Workload::new("w", vec![p]);
         assert_eq!(w.total_flops(), 10);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let mk = |addr| {
+            Workload::new(
+                "w",
+                vec![Phase::new("p", vec![vec![Op::Load { addr, pc: 7 }]])],
+            )
+        };
+        assert_eq!(mk(64).fingerprint(), mk(64).fingerprint());
+        assert_ne!(mk(64).fingerprint(), mk(96).fingerprint());
+        // Renames change the fingerprint too.
+        let mut renamed = mk(64);
+        renamed.name = "other".into();
+        assert_ne!(mk(64).fingerprint(), renamed.fingerprint());
+        // Moving a byte between adjacent strings must not collide.
+        let a = Workload::new("ab", vec![Phase::new("c", vec![])]);
+        let b = Workload::new("a", vec![Phase::new("bc", vec![])]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -158,7 +158,10 @@ fn occupancy_counter_tracks_cache_fill() {
     let r = run(spec, cfg, &wl);
     let first = r.epochs.first().unwrap().telemetry.l1_occupancy;
     let last = r.epochs.last().unwrap().telemetry.l1_occupancy;
-    assert!(last >= first, "occupancy should not shrink: {first} -> {last}");
+    assert!(
+        last >= first,
+        "occupancy should not shrink: {first} -> {last}"
+    );
     // A 2 kB set fills ~half of each 4 kB bank.
     assert!((0.3..=0.75).contains(&last), "final occupancy {last}");
 }

@@ -43,11 +43,8 @@ fn main() -> std::io::Result<()> {
         },
     )?;
 
-    let mut ctrl = SparseAdaptController::new(
-        ensemble,
-        ReconfigPolicy::Hybrid { tolerance: 0.2 },
-        spec,
-    );
+    let mut ctrl =
+        SparseAdaptController::new(ensemble, ReconfigPolicy::Hybrid { tolerance: 0.2 }, spec);
     let mut machine = Machine::new(spec, TransmuterConfig::best_avg_cache());
     let run = machine.run_with_controller(&built.workload, &mut ctrl);
 

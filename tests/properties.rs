@@ -1,9 +1,12 @@
 //! Property-based tests over the cross-crate invariants.
 
+use std::collections::HashSet;
+
 use kernels::{partition, spmspm, spmspv};
 use proptest::prelude::*;
 use sparse::gen::{rmat, structured, uniform_random, uniform_random_vector, GenSeed, PatternClass};
 use sparse::SparseVector;
+use transmuter::cache::{AccessOutcome, CacheBank};
 use transmuter::config::{ConfigParam, MachineSpec, MemKind, TransmuterConfig};
 use transmuter::machine::Machine;
 use transmuter::power::target_voltage;
@@ -155,6 +158,64 @@ proptest! {
             p.set_index(&mut rebuilt, p.get_index(&cfg));
         }
         prop_assert_eq!(rebuilt, cfg);
+    }
+
+    /// Cache-bank LRU/writeback invariants under arbitrary access
+    /// streams: the valid-line count never exceeds ways × sets, a
+    /// writeback is only ever reported for a line that is resident and
+    /// dirty (written since fill, not yet written back), and the bank's
+    /// dirty-line count always matches a reference model that tracks
+    /// dirtiness from the reported outcomes alone.
+    #[test]
+    fn cache_bank_lru_writeback_invariants(
+        capacity_pick in 0usize..4,
+        ways_pick in 0usize..3,
+        // (address, write?) — the vendored proptest has no bool
+        // strategy, so 0/1 stands in. `flush_at` past the op count
+        // means "never flush".
+        ops in prop::collection::vec((0u64..100_000, 0u8..2), 1..400),
+        flush_at in 0usize..800,
+    ) {
+        let capacity_kb = [1u32, 2, 4, 8][capacity_pick];
+        let ways = [2u32, 4, 8][ways_pick];
+        let line_bytes = 64u32;
+        let mut bank = CacheBank::new(capacity_kb, line_bytes, ways);
+        let total_lines = (capacity_kb as usize * 1024) / line_bytes as usize;
+
+        let line_base = |addr: u64| (addr / line_bytes as u64) * line_bytes as u64;
+        let mut dirty_model: HashSet<u64> = HashSet::new();
+        let mut writebacks_seen = 0u64;
+
+        for (i, &(addr, w)) in ops.iter().enumerate() {
+            let write = w == 1;
+            if flush_at == i {
+                bank.flush();
+                dirty_model.clear();
+                prop_assert_eq!(bank.dirty_lines(), 0);
+                prop_assert!(bank.occupancy() == 0.0);
+            }
+            let out = bank.access(addr, write);
+            if let AccessOutcome::Miss { writeback: Some(wb) } = out {
+                // Only a resident dirty line may be written back, and a
+                // victim never aliases the line being filled.
+                prop_assert!(dirty_model.remove(&wb),
+                    "writeback of {wb:#x}, which the model says is not dirty");
+                prop_assert!(wb != line_base(addr));
+                writebacks_seen += 1;
+            }
+            if write {
+                dirty_model.insert(line_base(addr));
+            }
+            // The line just touched is resident.
+            prop_assert!(bank.probe(addr));
+            // Valid lines never exceed ways × sets (occupancy ≤ 1).
+            prop_assert!(bank.occupancy() <= 1.0);
+            prop_assert_eq!(bank.dirty_lines(), dirty_model.len());
+        }
+        prop_assert_eq!(bank.stats().writebacks, writebacks_seen);
+        // Dirty lines are a subset of valid lines.
+        let valid = (bank.occupancy() * (total_lines as f64)).round() as usize;
+        prop_assert!(bank.dirty_lines() <= valid);
     }
 
     /// Sparse vectors survive dense round-trips.

@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the subset of the criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are deliberately simple — each benchmark runs
+//! `sample_size` timed iterations after one warm-up iteration, and
+//! reports min / median / max wall-clock per iteration. Good enough to
+//! spot multi-percent regressions by eye; use the dedicated harness
+//! binaries for recorded measurements.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value sink preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark driver (a small subset of criterion's).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_bench(&id, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; matches the upstream API).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up iteration outside the measurement.
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        println!("{id:<40} (no measurement — closure never called iter)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<40} [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a shared
+/// configuration, mirroring criterion's two macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),* $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),*
+        );
+    };
+}
+
+/// Declares the benchmark `main` running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        // 1 warm-up + 3 timed.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn groups_inherit_and_override_sample_size() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_function("inner", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 6);
+    }
+}

@@ -1,0 +1,382 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors a
+//! small value-tree serialization framework under the `serde` name:
+//! [`Serialize`] turns a value into a [`Value`] tree, [`Deserialize`]
+//! rebuilds it, and the sibling `serde_json` crate maps [`Value`] to and
+//! from JSON text. The derive macros (re-exported from `serde_derive`)
+//! follow serde's external-tagging conventions, so JSON produced by the
+//! real serde_json — e.g. the pre-trained models under `models/` — parses
+//! unchanged.
+//!
+//! This is deliberately a subset: no zero-copy, no custom
+//! `#[serde(...)]` attributes, no non-string map keys. Everything the
+//! workspace serializes fits.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A parsed/serializable data tree (the subset of the JSON data model the
+/// workspace needs, with integers kept exact).
+///
+/// Integers are split into [`Value::UInt`] and [`Value::Int`] so `u64`
+/// round-trips without passing through `f64` (which would lose precision
+/// above 2^53 — epoch op counts and byte addresses can exceed that).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    UInt(u64),
+    /// A negative integer (parsers only produce this for values < 0).
+    Int(i64),
+    /// A number with a fractional part or exponent.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "map",
+        }
+    }
+}
+
+/// Looks up `key` in an object's entries; [`Value::Null`] when absent
+/// (which mirrors serde's treatment of missing `Option` fields and gives
+/// a clear "expected X, found null" error for required ones).
+pub fn obj_get<'a>(obj: &'a [(String, Value)], key: &str) -> &'a Value {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&Value::Null)
+}
+
+/// A deserialization error: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// `expected <what> for <ty>`-style error.
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} for {ty}"))
+    }
+
+    /// Unknown enum variant error.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError(format!("unknown variant `{variant}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruction from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw = match *v {
+                    Value::UInt(u) => u,
+                    Value::Int(i) if i >= 0 => i as u64,
+                    _ => return Err(DeError::expected(stringify!($t), v.kind())),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::expected(concat!("in-range ", stringify!($t)), "integer"))
+            }
+        }
+    )*};
+}
+
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let raw: i64 = match *v {
+                    Value::Int(i) => i,
+                    Value::UInt(u) => i64::try_from(u)
+                        .map_err(|_| DeError::expected("in-range integer", "integer"))?,
+                    _ => return Err(DeError::expected(stringify!($t), v.kind())),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| DeError::expected(concat!("in-range ", stringify!($t)), "integer"))
+            }
+        }
+    )*};
+}
+
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Float(f) => Ok(f),
+            // JSON cannot distinguish `3` from `3.0`, so accept integers.
+            Value::UInt(u) => Ok(u as f64),
+            Value::Int(i) => Ok(i as f64),
+            // serde_json writes non-finite floats as null.
+            Value::Null => Ok(f64::NAN),
+            _ => Err(DeError::expected("number", v.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("bool", v.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", v.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("array", v.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Obj(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            _ => Err(DeError::expected("map", v.kind())),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Arr(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v.as_arr() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(DeError::expected("2-element array", v.kind())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()), Ok(42));
+        assert_eq!(i64::from_value(&(-7i64).to_value()), Ok(-7));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        // u64 values above 2^53 must stay exact.
+        let big = (1u64 << 60) + 3;
+        assert_eq!(u64::from_value(&big.to_value()), Ok(big));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+        let none: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&none.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(5u32).to_value()),
+            Ok(Some(5))
+        );
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u32);
+        m.insert("b".to_string(), 2u32);
+        assert_eq!(BTreeMap::<String, u32>::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn missing_fields_read_as_null() {
+        let obj = vec![("present".to_string(), Value::UInt(1))];
+        assert_eq!(obj_get(&obj, "present"), &Value::UInt(1));
+        assert_eq!(obj_get(&obj, "absent"), &Value::Null);
+        assert!(u32::from_value(obj_get(&obj, "absent")).is_err());
+        assert_eq!(Option::<u32>::from_value(obj_get(&obj, "absent")), Ok(None));
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(bool::from_value(&Value::UInt(1)).is_err());
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container cannot reach crates.io, so this crate derives the
+//! workspace's `serde` value-tree traits without `syn`/`quote`: the input
+//! item is parsed directly from the `proc_macro::TokenTree` stream and the
+//! impl is emitted as a string, then re-parsed into a `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - enums with unit, tuple, and struct variants
+//!
+//! The generated representation follows serde's external tagging, so JSON
+//! written by the real serde_json (e.g. the pre-trained models under
+//! `models/`) round-trips: `Unit` → `"Unit"`, `Newtype(x)` → `{"Newtype": x}`,
+//! `Tuple(a, b)` → `{"Tuple": [a, b]}`, `Struct { f }` → `{"Struct": {"f": f}}`.
+//!
+//! Not supported (panics at compile time, which is the right failure mode
+//! for a derive): generics, tuple/unit structs, and `#[serde(...)]`
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the workspace `serde::Serialize` (value-tree) trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl should parse")
+}
+
+/// Derives the workspace `serde::Deserialize` (value-tree) trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl should parse")
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    /// Tuple variant with this many fields.
+    Tuple(usize),
+    /// Struct variant: field names in declaration order.
+    Struct(Vec<String>),
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips outer attributes (`#[...]`, including doc comments) and a
+/// `pub` / `pub(...)` visibility prefix.
+fn skip_attrs_and_vis(it: &mut TokenIter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                match it.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    t => panic!("serde_derive: expected [...] after '#', got {t:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+
+    let kw = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected type name, got {t:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` is not supported");
+        }
+    }
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        t => panic!("serde_derive stub: `{name}` must have a braced body (got {t:?}); tuple/unit structs are not supported"),
+    };
+
+    let shape = match kw.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+/// Parses `name: Type, ...` out of a braced field list, ignoring
+/// attributes, visibility, and the types themselves (only names matter
+/// for the generated code).
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        match it.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            t => panic!("serde_derive: expected field name, got {t:?}"),
+        }
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            t => panic!("serde_derive: expected ':' after field name, got {t:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket
+        // depth 0 (commas inside e.g. `BTreeMap<String, V>` are nested).
+        let mut depth = 0i32;
+        loop {
+            match it.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    it.next();
+                    match c {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                Some(_) => {
+                    it.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = ts.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde_derive: expected variant name, got {t:?}"),
+        };
+        let payload = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Some((true, g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Some((false, g.stream()))
+            }
+            _ => None,
+        };
+        let kind = match payload {
+            Some((true, body)) => {
+                it.next();
+                VariantKind::Struct(parse_named_fields(body))
+            }
+            Some((false, body)) => {
+                it.next();
+                VariantKind::Tuple(count_tuple_fields(body))
+            }
+            None => VariantKind::Unit,
+        };
+        // Skip to the separating comma (tolerating an explicit
+        // discriminant, `= expr`, should one ever appear).
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => continue,
+                None => break,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false;
+    for tt in ts {
+        pending = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Obj(vec![{}])", pushes.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => serde::Value::Str(\"{vname}\".to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => serde::Value::Obj(vec![(\"{vname}\".to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => serde::Value::Obj(vec![(\"{vname}\".to_string(), serde::Value::Arr(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let pairs: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => serde::Value::Obj(vec![(\"{vname}\".to_string(), serde::Value::Obj(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        {body}\n    }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: serde::Deserialize::from_value(serde::obj_get(obj, \"{f}\"))?,")
+                })
+                .collect();
+            format!(
+                "let obj = v.as_obj().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}\"))?;\n        Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => Ok({name}::{vname}(serde::Deserialize::from_value(_inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Deserialize::from_value(&arr[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n                    let arr = _inner.as_arr().ok_or_else(|| serde::DeError::expected(\"array\", \"{name}::{vname}\"))?;\n                    if arr.len() != {n} {{ return Err(serde::DeError::expected(\"{n}-element array\", \"{name}::{vname}\")); }}\n                    Ok({name}::{vname}({}))\n                }}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: serde::Deserialize::from_value(serde::obj_get(obj, \"{f}\"))?,"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n                    let obj = _inner.as_obj().ok_or_else(|| serde::DeError::expected(\"map\", \"{name}::{vname}\"))?;\n                    Ok({name}::{vname} {{ {} }})\n                }}",
+                                inits.join(" ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n            serde::Value::Str(s) => match s.as_str() {{\n                {unit}\n                other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n            }},\n            serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n                let tag = pairs[0].0.as_str();\n                let _inner = &pairs[0].1;\n                match tag {{\n                    {tagged}\n                    other => Err(serde::DeError::unknown_variant(other, \"{name}\")),\n                }}\n            }}\n            _ => Err(serde::DeError::expected(\"string or single-key map\", \"{name}\")),\n        }}",
+                unit = unit_arms.join("\n                "),
+                tagged = tagged_arms.join("\n                "),
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{\n        {body}\n    }}\n}}"
+    )
+}

@@ -1,0 +1,488 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Maps the vendored `serde` crate's [`serde::Value`] tree to and from
+//! JSON text. Output conventions match the real serde_json closely enough
+//! that the pre-trained model files under `models/` (written by the real
+//! crate) parse, and files written here are plain interoperable JSON:
+//! floats print via Rust's shortest round-trip formatting, non-finite
+//! floats become `null`, and object order is preserved.
+
+#![forbid(unsafe_code)]
+
+use serde::Value;
+use std::fmt;
+
+/// A JSON parse/serialize error with a byte offset when parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    /// Byte offset in the input, when the error came from the parser.
+    offset: Option<usize>,
+}
+
+impl Error {
+    fn parse(msg: impl Into<String>, offset: usize) -> Self {
+        Error {
+            msg: msg.into(),
+            offset: Some(offset),
+        }
+    }
+
+    fn de(e: serde::DeError) -> Self {
+        Error {
+            msg: e.0,
+            offset: None,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "{} at byte {}", self.msg, off),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to two-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value_str(s)?;
+    T::from_value(&value).map_err(Error::de)
+}
+
+/// Parses JSON text into a raw [`Value`] tree.
+pub fn parse_value_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // `{:?}` is Rust's shortest round-trip float formatting and
+                // always keeps a fractional part (`2.0`, not `2`), so the
+                // value re-parses as a float.
+                out.push_str(&format!("{f:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Obj(pairs) => {
+            out.push('{');
+            for (i, (k, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            if !pairs.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(Error::parse(
+                format!("unexpected character `{}`", b as char),
+                self.pos,
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // The input is a &str, so byte runs between structural
+                // characters are valid UTF-8.
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::parse("invalid UTF-8", start))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                _ => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let c = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: expect \uXXXX low half.
+                    if !self.eat_keyword("\\u") {
+                        return Err(Error::parse("expected low surrogate", self.pos));
+                    }
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err(Error::parse("invalid low surrogate", self.pos));
+                    }
+                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    char::from_u32(code)
+                } else {
+                    char::from_u32(hi)
+                };
+                out.push(c.ok_or_else(|| Error::parse("invalid \\u escape", self.pos))?);
+            }
+            _ => return Err(Error::parse("invalid escape", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+            let digit = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a') as u32 + 10,
+                b'A'..=b'F' => (b - b'A') as u32 + 10,
+                _ => return Err(Error::parse("invalid hex digit", self.pos)),
+            };
+            v = v * 16 + digit;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse("invalid number", start))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::Int)
+                // Fall back to f64 for magnitudes beyond i64, as serde_json
+                // does without arbitrary_precision.
+                .or_else(|_| {
+                    text.parse::<f64>()
+                        .map(Value::Float)
+                        .map_err(|_| Error::parse("invalid number", start))
+                })
+        } else {
+            text.parse::<u64>().map(Value::UInt).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error::parse("invalid number", start))
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse_value_str("null").unwrap(), Value::Null);
+        assert_eq!(parse_value_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value_str(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(parse_value_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value_str("2.5e3").unwrap(), Value::Float(2500.0));
+        assert_eq!(
+            parse_value_str("\"a\\nb\\u0041\"").unwrap(),
+            Value::Str("a\nbA".to_string())
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(
+            parse_value_str("\"\\ud83d\\ude00\"").unwrap(),
+            Value::Str("\u{1F600}".to_string())
+        );
+    }
+
+    #[test]
+    fn nested_structure_round_trips() {
+        let text = r#"{"trees":{"clock":{"nodes":[{"Split":{"feature":13,"threshold":0.0119,"left":1,"right":64}},{"Leaf":{"class":1}}],"ok":true}},"n":-3}"#;
+        let v = parse_value_str(text).unwrap();
+        let mut compact = String::new();
+        write_value(&mut compact, &v, None, 0);
+        assert_eq!(parse_value_str(&compact).unwrap(), v);
+        assert_eq!(compact, text);
+    }
+
+    #[test]
+    fn floats_keep_fractional_form() {
+        let v = Value::Float(2.0);
+        let mut out = String::new();
+        write_value(&mut out, &v, None, 0);
+        assert_eq!(out, "2.0");
+        assert_eq!(parse_value_str(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn big_u64_is_exact() {
+        let big = (1u64 << 60) + 3;
+        let text = big.to_string();
+        assert_eq!(parse_value_str(&text).unwrap(), Value::UInt(big));
+    }
+
+    #[test]
+    fn pretty_output_reparses() {
+        let v = parse_value_str(r#"{"a":[1,2],"b":{"c":null}}"#).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &v, Some(2), 0);
+        assert!(out.contains('\n'));
+        assert_eq!(parse_value_str(&out).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_value_str("[1, ]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "{err}");
+    }
+}
