@@ -37,6 +37,10 @@ struct ScenarioTiming {
     static_stride_s: f64,
     /// N threads, work stealing (the new scheduler), cache bypassed.
     work_stealing_s: f64,
+    /// N threads, work stealing, but through the frozen pre-SoA
+    /// reference simulation path (AoS op vectors, per-event heap churn,
+    /// unbatched HBM) — the PR-1 inner loop kept verbatim for A/B.
+    legacy_aos_s: f64,
     /// N threads, work stealing, first pass through the trace cache.
     cached_first_s: f64,
     /// Same sweep again — every config is a cache hit.
@@ -48,6 +52,17 @@ struct ScenarioTiming {
     /// static_stride_s / cached_second_s: what a repeated sweep costs
     /// after this change relative to a cold static-stride sweep.
     resweep_speedup: f64,
+    /// legacy_aos_s / work_stealing_s: the SoA + batched-HBM inner-loop
+    /// win on an uncached sweep, identical outputs on both sides.
+    soa_speedup: f64,
+    /// One trace of this sweep serialized as pretty-free JSON (the old
+    /// disk-cache format).
+    trace_json_bytes: usize,
+    /// The same trace in the binary `trace_bin` format (the new
+    /// disk-cache format).
+    trace_bin_bytes: usize,
+    /// trace_bin_bytes / trace_json_bytes.
+    bin_to_json_ratio: f64,
 }
 
 #[derive(Serialize)]
@@ -63,6 +78,8 @@ struct Report {
     geomean_schedule_speedup: f64,
     geomean_thread_speedup: f64,
     geomean_resweep_speedup: f64,
+    geomean_soa_speedup: f64,
+    geomean_bin_to_json_ratio: f64,
     notes: Vec<String>,
 }
 
@@ -70,6 +87,22 @@ fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let t = Instant::now();
     let r = f();
     (t.elapsed().as_secs_f64(), r)
+}
+
+/// Best-of-`reps` wall clock. The minimum is the standard
+/// noise-robust estimator for a deterministic computation: scheduler
+/// preemption and interrupts only ever add time, so the smallest
+/// observation is the closest to the true cost.
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let (mut best, mut out) = time(&mut f);
+    for _ in 1..reps {
+        let (t, r) = time(&mut f);
+        if t < best {
+            best = t;
+            out = r;
+        }
+    }
+    (best, out)
 }
 
 fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
@@ -87,17 +120,34 @@ fn bench_scenario(
     workload: &Workload,
     configs: &[transmuter::config::TransmuterConfig],
     threads: usize,
+    reps: usize,
 ) -> ScenarioTiming {
     // Warm-up pass so page faults and lazy allocations don't land on
     // the first measured variant.
     SweepData::simulate_uncached(spec, workload, configs, threads);
 
-    let (serial_s, _) = time(|| SweepData::simulate_uncached(spec, workload, configs, 1));
-    let (static_stride_s, _) = time(|| {
+    let (serial_s, _) = time_min(reps, || {
+        SweepData::simulate_uncached(spec, workload, configs, 1)
+    });
+    let (static_stride_s, _) = time_min(reps, || {
         SweepData::simulate_with_schedule(spec, workload, configs, threads, Schedule::StaticStride)
     });
-    let (work_stealing_s, sweep) =
-        time(|| SweepData::simulate_uncached(spec, workload, configs, threads));
+    let (work_stealing_s, sweep) = time_min(reps, || {
+        SweepData::simulate_uncached(spec, workload, configs, threads)
+    });
+    let (legacy_aos_s, legacy) = time_min(reps, || {
+        SweepData::simulate_reference(spec, workload, configs, threads)
+    });
+    for (c, (a, b)) in sweep.traces.iter().zip(legacy.traces.iter()).enumerate() {
+        assert_eq!(
+            **a, **b,
+            "SoA and legacy paths diverged on config {c}: the A/B is void"
+        );
+    }
+    let trace_json_bytes = serde_json::to_string(&*sweep.traces[0])
+        .expect("trace serializes")
+        .len();
+    let trace_bin_bytes = sparseadapt::trace_bin::encode_trace(&sweep.traces[0]).len();
     TraceCache::global().clear();
     let (cached_first_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
     let (cached_second_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
@@ -109,26 +159,39 @@ fn bench_scenario(
         serial_s,
         static_stride_s,
         work_stealing_s,
+        legacy_aos_s,
         cached_first_s,
         cached_second_s,
         schedule_speedup: static_stride_s / work_stealing_s,
         thread_speedup: serial_s / work_stealing_s,
         resweep_speedup: static_stride_s / cached_second_s,
+        soa_speedup: legacy_aos_s / work_stealing_s,
+        trace_json_bytes,
+        trace_bin_bytes,
+        bin_to_json_ratio: trace_bin_bytes as f64 / trace_json_bytes as f64,
     }
 }
 
 fn main() {
     let mut threads = exec::default_threads();
     let mut sampled = 16usize;
+    let mut reps = 3usize;
     let mut out = String::from("BENCH_sweep.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
             "--configs" => sampled = args.next().and_then(|v| v.parse().ok()).unwrap_or(sampled),
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(reps)
+                    .max(1)
+            }
             "--out" => out = args.next().unwrap_or(out),
             other => {
-                eprintln!("usage: sweep_bench [--threads N] [--configs S] [--out FILE]");
+                eprintln!("usage: sweep_bench [--threads N] [--configs S] [--reps R] [--out FILE]");
                 eprintln!("unknown flag '{other}'");
                 std::process::exit(2);
             }
@@ -137,7 +200,7 @@ fn main() {
     let harness = sa_bench::Harness::default().with_threads(threads);
     let seed = harness.seed;
     eprintln!(
-        "# sweep_bench scale={:?} threads={threads} configs={sampled}",
+        "# sweep_bench scale={:?} threads={threads} configs={sampled} reps={reps}",
         harness.scale
     );
 
@@ -157,10 +220,16 @@ fn main() {
         let spec = kernel.spec(harness.scale);
         let wl = sa_bench::experiments::suite_workload(&harness, mspec, kernel, MemKind::Cache);
         eprintln!("# scenario {} ({:?})", mspec.id, kernel);
-        let t = bench_scenario(mspec.id, spec, &wl, &configs, threads);
+        let t = bench_scenario(mspec.id, spec, &wl, &configs, threads, reps);
         eprintln!(
-            "#   serial {:.2}s | static {:.2}s | steal {:.2}s | cached 2nd {:.4}s",
-            t.serial_s, t.static_stride_s, t.work_stealing_s, t.cached_second_s
+            "#   serial {:.2}s | static {:.2}s | steal {:.2}s | legacy {:.2}s (soa {:.2}x) | cached 2nd {:.4}s | bin/json {:.3}",
+            t.serial_s,
+            t.static_stride_s,
+            t.work_stealing_s,
+            t.legacy_aos_s,
+            t.soa_speedup,
+            t.cached_second_s,
+            t.bin_to_json_ratio
         );
         scenarios.push(t);
     }
@@ -168,9 +237,20 @@ fn main() {
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut notes = vec![
         "serial_s is one thread; *_stride/*_stealing are N threads, trace cache bypassed".into(),
+        format!(
+            "every timing is the minimum over {reps} repetitions (best-of-N; OS noise only ever \
+             adds time to a deterministic computation)"
+        ),
         "cached_second_s repeats an identical sweep; every config is a trace-cache hit".into(),
         "resweep_speedup is the repeated-sweep cost after this change vs a cold static-stride sweep, \
          the situation `paper all` hits whenever two experiments share a (spec, workload, config) triple"
+            .into(),
+        "legacy_aos_s runs the frozen pre-SoA inner loop (AoS op vectors, per-event heap \
+         traffic, unbatched HBM, allocating prefetch); soa_speedup is the inner-loop win with \
+         bit-identical traces asserted on every config"
+            .into(),
+        "trace_*_bytes compare one trace serialized in the old JSON disk format vs the new \
+         trace_bin binary format"
             .into(),
     ];
     if host_cpus <= 1 {
@@ -189,15 +269,19 @@ fn main() {
         geomean_schedule_speedup: geomean(scenarios.iter().map(|s| s.schedule_speedup)),
         geomean_thread_speedup: geomean(scenarios.iter().map(|s| s.thread_speedup)),
         geomean_resweep_speedup: geomean(scenarios.iter().map(|s| s.resweep_speedup)),
+        geomean_soa_speedup: geomean(scenarios.iter().map(|s| s.soa_speedup)),
+        geomean_bin_to_json_ratio: geomean(scenarios.iter().map(|s| s.bin_to_json_ratio)),
         scenarios,
         notes,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write benchmark report");
     eprintln!(
-        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x -> {out}",
+        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x, soa {:.2}x, bin/json {:.3} -> {out}",
         report.geomean_schedule_speedup,
         report.geomean_thread_speedup,
-        report.geomean_resweep_speedup
+        report.geomean_resweep_speedup,
+        report.geomean_soa_speedup,
+        report.geomean_bin_to_json_ratio
     );
 }

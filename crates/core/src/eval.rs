@@ -179,7 +179,7 @@ mod tests {
     }
 
     fn workload() -> Workload {
-        let streams = (0..16)
+        let streams: Vec<Vec<Op>> = (0..16)
             .map(|g| {
                 (0..400u64)
                     .flat_map(|i| {

@@ -23,7 +23,8 @@
 //! * [`exec`] — the work-stealing sweep engine shared by every
 //!   parallel fan-out in the workspace.
 //! * [`trace_cache`] — the process-wide content-addressed cache of
-//!   simulation traces (with an optional on-disk layer).
+//!   simulation traces, with a bounded in-memory layer and an optional
+//!   on-disk layer in the [`trace_bin`] binary format.
 //! * [`schemes`] — the §5.3 comparison points: Ideal Static, Ideal
 //!   Greedy, Oracle (DAG shortest path), ProfileAdapt naïve/ideal.
 //! * [`eval`] — one-call comparison of every scheme on a workload.
@@ -60,6 +61,7 @@ pub mod policy;
 pub mod runtime;
 pub mod schemes;
 pub mod stitch;
+pub mod trace_bin;
 pub mod trace_cache;
 
 pub use model::PredictiveEnsemble;

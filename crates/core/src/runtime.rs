@@ -134,7 +134,7 @@ mod tests {
     }
 
     fn small_workload() -> Workload {
-        let streams = (0..16)
+        let streams: Vec<Vec<Op>> = (0..16)
             .map(|g| {
                 (0..600u64)
                     .flat_map(|i| {

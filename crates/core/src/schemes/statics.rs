@@ -32,7 +32,7 @@ mod tests {
     use transmuter::workload::{Op, Phase, Workload};
 
     fn sweep() -> SweepData {
-        let streams = (0..16)
+        let streams: Vec<Vec<Op>> = (0..16)
             .map(|g| {
                 (0..300u64)
                     .flat_map(|i| {

@@ -118,6 +118,32 @@ impl SweepData {
         SweepData::assemble(spec, workload, configs, traces)
     }
 
+    /// Uncached sweep through the frozen pre-SoA reference simulation
+    /// path — the legacy baseline in `sweep_bench`'s A/B comparison.
+    /// Produces bit-identical traces to [`SweepData::simulate_uncached`],
+    /// only slower.
+    ///
+    /// # Panics
+    ///
+    /// As for [`SweepData::simulate`].
+    pub fn simulate_reference(
+        spec: MachineSpec,
+        workload: &Workload,
+        configs: &[TransmuterConfig],
+        threads: usize,
+    ) -> SweepData {
+        assert!(!configs.is_empty(), "need at least one configuration");
+        let traces =
+            exec::parallel_map_with(exec::Schedule::WorkStealing, configs.len(), threads, |ci| {
+                Arc::new(crate::trace_cache::simulate_trace_reference(
+                    spec,
+                    workload,
+                    configs[ci],
+                ))
+            });
+        SweepData::assemble(spec, workload, configs, traces)
+    }
+
     fn assemble(
         spec: MachineSpec,
         workload: &Workload,
@@ -242,7 +268,7 @@ mod tests {
     use transmuter::workload::{Op, Phase};
 
     fn workload() -> Workload {
-        let streams = (0..16)
+        let streams: Vec<Vec<Op>> = (0..16)
             .map(|g| {
                 (0..400u64)
                     .flat_map(|i| {

@@ -19,9 +19,19 @@
 //! duplicating the simulation, and the per-key slot keeps the outer map
 //! lock uncontended while simulations run.
 //!
+//! Memory: the resident set is bounded. [`TraceCache::set_memory_cap`]
+//! sets a byte budget; once completed traces exceed it, the
+//! least-recently-used ones are evicted (in-flight simulations are never
+//! evicted — that would break the dedup guarantee). An evicted triple
+//! simply re-simulates — or reloads from disk — on its next use, and
+//! determinism makes the replacement bit-identical.
+//!
 //! An optional disk layer ([`TraceCache::set_disk_dir`]) persists traces
-//! as JSON so repeated *processes* (e.g. successive `paper` invocations
-//! while iterating on report code) skip simulation too.
+//! in the compact [`crate::trace_bin`] binary format so repeated
+//! *processes* (e.g. successive `paper` invocations while iterating on
+//! report code) skip simulation too. Traces written by older versions as
+//! JSON are still readable: a lookup that misses on `.bin` falls back to
+//! the legacy `.json` file and migrates it to binary in passing.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -31,6 +41,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use transmuter::config::{MachineSpec, TransmuterConfig};
 use transmuter::machine::EpochRecord;
 use transmuter::workload::Workload;
+
+use crate::trace_bin;
 
 /// Identity of one simulated trace: machine × workload × configuration,
 /// all by content fingerprint.
@@ -57,6 +69,15 @@ impl TraceKey {
 
     fn file_name(&self) -> String {
         format!(
+            "trace-{:016x}-{:016x}-{:016x}.bin",
+            self.spec, self.workload, self.config
+        )
+    }
+
+    /// Name used by the pre-binary JSON disk layer; still read as a
+    /// fallback so existing caches keep their value.
+    fn legacy_file_name(&self) -> String {
+        format!(
             "trace-{:016x}-{:016x}-{:016x}.json",
             self.spec, self.workload, self.config
         )
@@ -64,6 +85,32 @@ impl TraceKey {
 }
 
 type Slot = Arc<OnceLock<Arc<Vec<EpochRecord>>>>;
+
+struct Entry {
+    slot: Slot,
+    /// Logical timestamp of the most recent lookup (LRU order).
+    last_use: u64,
+    /// Accounted size once the slot is filled; 0 while in flight.
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<TraceKey, Entry>,
+    /// Monotonic lookup counter driving LRU order.
+    clock: u64,
+    /// Total accounted bytes of completed traces.
+    resident: usize,
+    /// Byte budget; `None` = unbounded.
+    cap: Option<usize>,
+}
+
+/// Approximate heap footprint of a resident trace, used for the memory
+/// cap. Epoch records are flat (no nested allocations), so the vector
+/// storage is the whole cost.
+fn trace_bytes(trace: &[EpochRecord]) -> usize {
+    std::mem::size_of_val(trace)
+}
 
 /// Counter snapshot from [`TraceCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -74,19 +121,32 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lookups answered by loading a trace from the disk layer.
     pub disk_hits: u64,
+    /// Traces dropped to stay under the memory cap.
+    pub evictions: u64,
     /// Distinct traces currently held in memory.
     pub entries: usize,
+    /// Accounted bytes of completed in-memory traces.
+    pub resident_bytes: usize,
 }
 
 /// A content-addressed cache of simulation traces. Use
 /// [`TraceCache::global`] to share across every sweep in the process.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct TraceCache {
-    slots: Mutex<HashMap<TraceKey, Slot>>,
+    inner: Mutex<Inner>,
     disk_dir: Mutex<Option<PathBuf>>,
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TraceCache {
@@ -118,6 +178,20 @@ impl TraceCache {
         *self.disk_dir.lock().expect("disk_dir lock") = dir;
     }
 
+    /// Bounds the resident set to `cap` bytes (`None` = unbounded, the
+    /// default). Takes effect immediately: if the cache is already over
+    /// the new budget, least-recently-used traces are evicted now.
+    pub fn set_memory_cap(&self, cap: Option<usize>) {
+        let mut inner = self.inner.lock().expect("trace cache lock");
+        inner.cap = cap;
+        self.enforce_cap(&mut inner);
+    }
+
+    /// Accounted bytes of completed in-memory traces.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace cache lock").resident
+    }
+
     /// Returns the trace for `key`, simulating with `simulate` only if
     /// no other lookup (past or concurrently in flight) has produced it.
     pub fn get_or_simulate(
@@ -126,8 +200,16 @@ impl TraceCache {
         simulate: impl FnOnce() -> Vec<EpochRecord>,
     ) -> Arc<Vec<EpochRecord>> {
         let slot: Slot = {
-            let mut slots = self.slots.lock().expect("trace cache lock");
-            slots.entry(key).or_default().clone()
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            let entry = inner.map.entry(key).or_insert_with(|| Entry {
+                slot: Slot::default(),
+                last_use: clock,
+                bytes: 0,
+            });
+            entry.last_use = clock;
+            entry.slot.clone()
         };
         let mut computed = false;
         let trace = slot
@@ -143,10 +225,48 @@ impl TraceCache {
                 t
             })
             .clone();
-        if !computed {
+        if computed {
+            // Account the new trace and trim to the cap. The entry may
+            // have been replaced if an eviction raced us; the Arc::ptr_eq
+            // check makes sure we only bill the slot we actually filled.
+            let bytes = trace_bytes(&trace);
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            let ours = match inner.map.get_mut(&key) {
+                Some(entry) if Arc::ptr_eq(&entry.slot, &slot) && entry.bytes == 0 => {
+                    entry.bytes = bytes;
+                    true
+                }
+                _ => false,
+            };
+            if ours {
+                inner.resident += bytes;
+                self.enforce_cap(&mut inner);
+            }
+        } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         trace
+    }
+
+    /// Evicts least-recently-used *completed* traces until the resident
+    /// set fits the cap. In-flight entries (empty slots) are exempt:
+    /// evicting one would let a concurrent lookup start a duplicate
+    /// simulation.
+    fn enforce_cap(&self, inner: &mut Inner) {
+        let Some(cap) = inner.cap else { return };
+        while inner.resident > cap {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, e)| e.bytes > 0 && e.slot.get().is_some())
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.resident -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Convenience wrapper building the [`TraceKey`] from the triple.
@@ -162,49 +282,65 @@ impl TraceCache {
 
     /// Snapshot of the hit/miss counters.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("trace cache lock");
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
-            entries: self.slots.lock().expect("trace cache lock").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.resident,
         }
     }
 
     /// Drops every in-memory trace and zeroes the counters (the disk
     /// layer, if any, is left untouched).
     pub fn clear(&self) {
-        self.slots.lock().expect("trace cache lock").clear();
+        let mut inner = self.inner.lock().expect("trace cache lock");
+        inner.map.clear();
+        inner.resident = 0;
+        inner.clock = 0;
+        drop(inner);
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.disk_hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
-    fn disk_path(&self, key: &TraceKey) -> Option<PathBuf> {
+    fn disk_paths(&self, key: &TraceKey) -> Option<(PathBuf, PathBuf)> {
         self.disk_dir
             .lock()
             .expect("disk_dir lock")
             .as_ref()
-            .map(|d| d.join(key.file_name()))
+            .map(|d| (d.join(key.file_name()), d.join(key.legacy_file_name())))
     }
 
     fn disk_load(&self, key: &TraceKey) -> Option<Vec<EpochRecord>> {
-        let path = self.disk_path(key)?;
-        let text = std::fs::read_to_string(path).ok()?;
-        serde_json::from_str(&text).ok()
+        let (bin_path, json_path) = self.disk_paths(key)?;
+        if let Ok(bytes) = std::fs::read(&bin_path) {
+            if let Ok(trace) = trace_bin::decode_trace(&bytes) {
+                return Some(trace);
+            }
+            // Corrupt or stale-version file: fall through and re-derive.
+        }
+        // Legacy JSON fallback; migrate to binary so the next process
+        // gets the fast path.
+        let text = std::fs::read_to_string(json_path).ok()?;
+        let trace: Vec<EpochRecord> = serde_json::from_str(&text).ok()?;
+        self.disk_store(key, &trace);
+        Some(trace)
     }
 
     fn disk_store(&self, key: &TraceKey, trace: &[EpochRecord]) {
-        let Some(path) = self.disk_path(key) else {
+        let Some((bin_path, _)) = self.disk_paths(key) else {
             return;
         };
-        let Ok(json) = serde_json::to_string(&trace.to_vec()) else {
-            return;
-        };
+        let bytes = trace_bin::encode_trace(trace);
         // Write-then-rename so a concurrent process never reads a
         // half-written file.
-        let tmp = path.with_extension("json.tmp");
-        if std::fs::write(&tmp, json).is_ok() {
-            let _ = std::fs::rename(&tmp, &path);
+        let tmp = bin_path.with_extension("bin.tmp");
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, &bin_path);
         }
     }
 }
@@ -221,6 +357,20 @@ pub fn simulate_trace(
         .epochs
 }
 
+/// [`simulate_trace`] through the frozen pre-SoA reference path
+/// ([`transmuter::machine::Machine::run_reference`]). Bit-identical to
+/// [`simulate_trace`] by contract; exists for differential testing and
+/// as the honest legacy baseline in `sweep_bench`'s A/B mode.
+pub fn simulate_trace_reference(
+    spec: MachineSpec,
+    workload: &Workload,
+    config: TransmuterConfig,
+) -> Vec<EpochRecord> {
+    transmuter::machine::Machine::new(spec, config)
+        .run_reference(workload)
+        .epochs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -228,7 +378,7 @@ mod tests {
     use transmuter::workload::{Op, Phase};
 
     fn tiny_workload(tag: u64) -> Workload {
-        let streams = (0..16)
+        let streams: Vec<Vec<Op>> = (0..16)
             .map(|g| {
                 (0..50u64)
                     .flat_map(|i| {
@@ -265,6 +415,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "hits share the same trace");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert_eq!(s.resident_bytes, trace_bytes(&a));
     }
 
     #[test]
@@ -320,5 +471,170 @@ mod tests {
         assert_eq!(*first, *second, "disk round-trip changed the trace");
         assert_eq!(cache.stats().disk_hits, 1);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn legacy_json_traces_are_read_and_migrated() {
+        let dir = std::env::temp_dir().join(format!(
+            "sa-trace-cache-json-migrate-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl = tiny_workload(5);
+        let cfg = TransmuterConfig::baseline();
+        let trace = simulate_trace(spec, &wl, cfg);
+        let key = TraceKey::new(&spec, &wl, &cfg);
+        // Plant a pre-binary-era JSON trace only.
+        std::fs::write(
+            dir.join(key.legacy_file_name()),
+            serde_json::to_string(&trace).expect("json"),
+        )
+        .expect("write json");
+        let cache = TraceCache::new();
+        cache.set_disk_dir(Some(dir.clone()));
+        let loaded = cache.get_or_simulate_for(&spec, &wl, &cfg, || {
+            unreachable!("JSON fallback should satisfy this lookup")
+        });
+        assert_eq!(*loaded, trace);
+        assert_eq!(cache.stats().disk_hits, 1);
+        // The lookup migrated the trace to the binary format.
+        let bin = std::fs::read(dir.join(key.file_name())).expect("migrated .bin");
+        assert_eq!(trace_bin::decode_trace(&bin).expect("decode"), trace);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_binary_trace_falls_back_to_resimulation() {
+        let dir =
+            std::env::temp_dir().join(format!("sa-trace-cache-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let wl = tiny_workload(6);
+        let cfg = TransmuterConfig::baseline();
+        let key = TraceKey::new(&spec, &wl, &cfg);
+        std::fs::write(dir.join(key.file_name()), b"not a trace").expect("write");
+        let cache = TraceCache::new();
+        cache.set_disk_dir(Some(dir.clone()));
+        let sims = AtomicUsize::new(0);
+        let got = cache.get_or_simulate_for(&spec, &wl, &cfg, || {
+            sims.fetch_add(1, Ordering::Relaxed);
+            simulate_trace(spec, &wl, cfg)
+        });
+        assert_eq!(sims.load(Ordering::Relaxed), 1, "corrupt file must miss");
+        assert_eq!(*got, simulate_trace(spec, &wl, cfg));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn memory_cap_evicts_lru_and_rebuilds_identically() {
+        let cache = TraceCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let cfg = TransmuterConfig::baseline();
+        let wls: Vec<Workload> = (10..14).map(tiny_workload).collect();
+        let one = trace_bytes(&simulate_trace(spec, &wls[0], cfg));
+        assert!(one > 0);
+        // Room for two traces.
+        cache.set_memory_cap(Some(2 * one));
+        let originals: Vec<_> = wls
+            .iter()
+            .map(|wl| cache.get_or_simulate_for(&spec, wl, &cfg, || simulate_trace(spec, wl, cfg)))
+            .collect();
+        let s = cache.stats();
+        assert!(
+            s.resident_bytes <= 2 * one,
+            "cap violated: {} > {}",
+            s.resident_bytes,
+            2 * one
+        );
+        assert_eq!(s.evictions, 2, "two of four traces must have been evicted");
+        // The oldest workload was evicted; looking it up re-simulates and
+        // the deterministic simulator reproduces the trace exactly.
+        let sims = AtomicUsize::new(0);
+        let again = cache.get_or_simulate_for(&spec, &wls[0], &cfg, || {
+            sims.fetch_add(1, Ordering::Relaxed);
+            simulate_trace(spec, &wls[0], cfg)
+        });
+        assert_eq!(sims.load(Ordering::Relaxed), 1, "evicted entry must miss");
+        assert_eq!(*again, *originals[0], "re-simulation must be identical");
+        // The most recent trace survived the whole time.
+        let kept = cache.get_or_simulate_for(&spec, &wls[3], &cfg, || {
+            unreachable!("most recent trace should still be resident")
+        });
+        assert!(Arc::ptr_eq(&kept, &originals[3]));
+    }
+
+    #[test]
+    fn concurrent_lookups_with_cap_do_not_deadlock() {
+        // Eight threads hammer six keys under a cap that holds only two
+        // traces, forcing constant eviction and re-simulation while
+        // in-flight dedup is active. The test passes by terminating with
+        // correct traces and the cap intact.
+        let cache = TraceCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(100);
+        let cfg = TransmuterConfig::baseline();
+        let wls: Vec<Workload> = (20..26).map(tiny_workload).collect();
+        let expected: Vec<Vec<EpochRecord>> =
+            wls.iter().map(|wl| simulate_trace(spec, wl, cfg)).collect();
+        let one = trace_bytes(&expected[0]);
+        cache.set_memory_cap(Some(2 * one));
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let cache = &cache;
+                let wls = &wls;
+                let expected = &expected;
+                scope.spawn(move || {
+                    for i in 0..12 {
+                        let k = (t + i) % wls.len();
+                        let got = cache.get_or_simulate_for(&spec, &wls[k], &cfg, || {
+                            simulate_trace(spec, &wls[k], cfg)
+                        });
+                        assert_eq!(*got, expected[k]);
+                    }
+                });
+            }
+        });
+        assert!(cache.resident_bytes() <= 2 * one);
+    }
+
+    // --- property tests -------------------------------------------------
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Under any interleaving of lookups across workloads and
+        /// configurations, and any cap size: the byte budget holds after
+        /// every single operation, and every returned trace — fresh,
+        /// cached, or re-simulated after eviction — equals an uncached
+        /// reference simulation.
+        #[test]
+        fn cap_holds_under_arbitrary_lookup_sequences(
+            ops in proptest::collection::vec((0usize..5, 0usize..3), 1..=24),
+            cap_traces in 1usize..4,
+        ) {
+            let cache = TraceCache::new();
+            let spec = MachineSpec::default().with_epoch_ops(100);
+            let wls: Vec<Workload> = (30..35).map(tiny_workload).collect();
+            let mut cfgs = [TransmuterConfig::baseline(); 3];
+            cfgs[1] = TransmuterConfig::best_avg_cache();
+            cfgs[2].prefetch_degree = 0;
+            let one = trace_bytes(&simulate_trace(spec, &wls[0], cfgs[0]));
+            let cap = cap_traces * one;
+            cache.set_memory_cap(Some(cap));
+            for &(w, c) in &ops {
+                let got = cache.get_or_simulate_for(&spec, &wls[w], &cfgs[c], || {
+                    simulate_trace(spec, &wls[w], cfgs[c])
+                });
+                prop_assert_eq!(&*got, &simulate_trace(spec, &wls[w], cfgs[c]));
+                let resident = cache.resident_bytes();
+                prop_assert!(resident <= cap, "cap {} exceeded: {}", cap, resident);
+            }
+            // Internal accounting agrees with a recount of what is held.
+            let s = cache.stats();
+            prop_assert_eq!(s.resident_bytes, cache.resident_bytes());
+            prop_assert!(s.entries <= wls.len() * cfgs.len());
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! early, a huge scattered frontier at the peak, then a tail.
 
 use sparse::{CscMatrix, SparseVector};
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::layout::{CscLayout, DenseLayout, SparseVecLayout};
 use crate::partition::{assign_greedy, group_by_worker};
@@ -83,55 +83,37 @@ pub fn build(a: &CscMatrix, source: u32, n_gpes: usize) -> BfsBuild {
         let costs: Vec<u64> = frontier.iter().map(|&k| a.col_nnz(k) as u64 + 1).collect();
         let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
         let mut next: Vec<u32> = Vec::new();
-        let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+        let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
         let mut next_write_cursor = 0u64;
         // Process groups in GPE order but discoveries must be globally
         // deterministic: collect per-GPE discoveries, then merge sorted.
         let mut per_gpe_discoveries: Vec<Vec<u32>> = vec![Vec::new(); n_gpes];
         for (g, items) in groups.iter().enumerate() {
-            let mut ops = Vec::new();
+            let mut ops = OpStream::new();
             for &it in items {
                 let k = frontier[it];
-                ops.push(Op::Load {
-                    addr: frontier_buf.pair_addr(it as u64),
-                    pc: pc::X_PAIR,
-                });
-                ops.push(Op::Load {
-                    addr: la.colptr_addr(k as u64),
-                    pc: pc::A_COLPTR,
-                });
-                ops.push(Op::Load {
-                    addr: la.colptr_addr(k as u64 + 1),
-                    pc: pc::A_COLPTR,
-                });
+                ops.push_load(frontier_buf.pair_addr(it as u64), pc::X_PAIR);
+                ops.push_load(la.colptr_addr(k as u64), pc::A_COLPTR);
+                ops.push_load(la.colptr_addr(k as u64 + 1), pc::A_COLPTR);
                 let lo = a.col_offsets()[k as usize];
                 let hi = a.col_offsets()[k as usize + 1];
                 edges += (hi - lo) as u64;
                 for p in lo..hi {
                     let r = a.row_indices()[p];
-                    ops.push(Op::Load {
-                        addr: la.idx_addr(p as u64),
-                        pc: pc::A_IDX,
-                    });
+                    ops.push_load(la.idx_addr(p as u64), pc::A_IDX);
                     // Semiring op (select-first) counted as one FP op.
-                    ops.push(Op::Flops(1));
+                    ops.push_flops(1);
                     // Visited check.
-                    ops.push(Op::Load {
-                        addr: level_arr.addr(r as u64),
-                        pc: pc::STATE_R,
-                    });
-                    ops.push(Op::IntOps(1));
+                    ops.push_load(level_arr.addr(r as u64), pc::STATE_R);
+                    ops.push_int_ops(1);
                     if levels[r as usize].is_none() {
                         levels[r as usize] = Some(depth);
                         per_gpe_discoveries[g].push(r);
-                        ops.push(Op::Store {
-                            addr: level_arr.addr(r as u64),
-                            pc: pc::STATE_W,
-                        });
-                        ops.push(Op::Store {
-                            addr: next_buf.pair_addr(next_write_cursor % n as u64),
-                            pc: pc::OUT_VAL,
-                        });
+                        ops.push_store(level_arr.addr(r as u64), pc::STATE_W);
+                        ops.push_store(
+                            next_buf.pair_addr(next_write_cursor % n as u64),
+                            pc::OUT_VAL,
+                        );
                         next_write_cursor += 1;
                     }
                 }

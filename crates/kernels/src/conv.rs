@@ -4,7 +4,7 @@
 //! Like [`crate::gemm`], it exists to reproduce the paper's observation
 //! that dynamic reconfiguration is an overkill for regular kernels.
 
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::partition::{assign_greedy, group_by_worker};
 use crate::pc;
@@ -54,31 +54,22 @@ pub fn build(image: &[f64], h: u32, w: u32, kernel: &[f64; 9], n_gpes: usize) ->
 
     let costs = vec![ow as u64; oh];
     let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
-    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     for items in &groups {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &oy in items {
             // Kernel weights stay in registers after one load per row.
             for kidx in 0..9u64 {
-                ops.push(Op::Load {
-                    addr: lker.addr(kidx, 8),
-                    pc: pc::B_VAL,
-                });
+                ops.push_load(lker.addr(kidx, 8), pc::B_VAL);
             }
             for ox in 0..ow {
                 for ky in 0..3 {
                     for kx in 0..3 {
-                        ops.push(Op::Load {
-                            addr: limg.addr(((oy + ky) * w + ox + kx) as u64, 8),
-                            pc: pc::A_VAL,
-                        });
-                        ops.push(Op::Flops(2));
+                        ops.push_load(limg.addr(((oy + ky) * w + ox + kx) as u64, 8), pc::A_VAL);
+                        ops.push_flops(2);
                     }
                 }
-                ops.push(Op::Store {
-                    addr: lout.addr((oy * ow + ox) as u64, 8),
-                    pc: pc::OUT_VAL,
-                });
+                ops.push_store(lout.addr((oy * ow + ox) as u64, 8), pc::OUT_VAL);
             }
         }
         streams.push(ops);

@@ -10,7 +10,7 @@
 //! The loop order is `i, k, j` (B streamed row-wise), the classic
 //! cache-friendly order for row-major operands.
 
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::partition::{assign_greedy, group_by_worker};
 use crate::pc;
@@ -56,31 +56,22 @@ pub fn build(a: &[f64], b: &[f64], dim: u32, n_gpes: usize) -> GemmBuild {
     // One work item per output row; cost is uniform — that's the point.
     let costs = vec![n as u64; n];
     let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
-    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     // Model register blocking: one load of A[i][k] per k, one streaming
     // load of each B[k][j] line-element, FMA per element, and a final
     // store pass of the output row.
     for items in &groups {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &i in items {
             for k in 0..n {
-                ops.push(Op::Load {
-                    addr: la.addr((i * n + k) as u64, 8),
-                    pc: pc::A_VAL,
-                });
+                ops.push_load(la.addr((i * n + k) as u64, 8), pc::A_VAL);
                 for j in 0..n {
-                    ops.push(Op::Load {
-                        addr: lb.addr((k * n + j) as u64, 8),
-                        pc: pc::B_VAL,
-                    });
-                    ops.push(Op::Flops(2)); // multiply-add
+                    ops.push_load(lb.addr((k * n + j) as u64, 8), pc::B_VAL);
+                    ops.push_flops(2); // multiply-add
                 }
             }
             for j in 0..n {
-                ops.push(Op::Store {
-                    addr: lc.addr((i * n + j) as u64, 8),
-                    pc: pc::OUT_VAL,
-                });
+                ops.push_store(lc.addr((i * n + j) as u64, 8), pc::OUT_VAL);
             }
         }
         streams.push(ops);
@@ -143,7 +134,7 @@ mod tests {
         let lens: Vec<usize> = built.workload.phases[0]
             .streams
             .iter()
-            .map(Vec::len)
+            .map(OpStream::len)
             .collect();
         let max = *lens.iter().max().unwrap();
         let min = *lens.iter().min().unwrap();

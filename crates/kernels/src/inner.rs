@@ -10,7 +10,7 @@
 //! badly at low densities and wins as operands densify.
 
 use sparse::{CooMatrix, CscMatrix, CsrMatrix};
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::layout::{CscLayout, CsrLayout};
 use crate::partition::{assign_greedy, group_by_worker};
@@ -83,9 +83,9 @@ pub fn build(a: &CsrMatrix, b: &CscMatrix, n_gpes: usize) -> InnerBuild {
     for r in 0..rows as usize {
         out_base[r + 1] = out_base[r] + result.row_nnz(r as u32) as u64;
     }
-    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     for (g, items) in groups.iter().enumerate() {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &ri in items {
             let i = ri as u32;
             let (ka, _) = a.row(i);
@@ -93,14 +93,8 @@ pub fn build(a: &CsrMatrix, b: &CscMatrix, n_gpes: usize) -> InnerBuild {
                 continue;
             }
             let a_lo = a.row_offsets()[ri] as u64;
-            ops.push(Op::Load {
-                addr: la.rowptr_addr(i as u64),
-                pc: pc::A_COLPTR,
-            });
-            ops.push(Op::Load {
-                addr: la.rowptr_addr(i as u64 + 1),
-                pc: pc::A_COLPTR,
-            });
+            ops.push_load(la.rowptr_addr(i as u64), pc::A_COLPTR);
+            ops.push_load(la.rowptr_addr(i as u64 + 1), pc::A_COLPTR);
             let mut out_written = 0u64;
             for j in 0..cols {
                 let (kb, _) = b.col(j);
@@ -108,42 +102,27 @@ pub fn build(a: &CsrMatrix, b: &CscMatrix, n_gpes: usize) -> InnerBuild {
                     continue;
                 }
                 let b_lo = b.col_offsets()[j as usize] as u64;
-                ops.push(Op::Load {
-                    addr: lb.colptr_addr(j as u64),
-                    pc: pc::B_ROWPTR,
-                });
+                ops.push_load(lb.colptr_addr(j as u64), pc::B_ROWPTR);
                 // Merge walk: each step loads one index from either
                 // stream; matches additionally load both values and FMA.
                 let (mut p, mut q) = (0usize, 0usize);
                 let mut matched = false;
                 while p < ka.len() && q < kb.len() {
                     merge_steps += 1;
-                    ops.push(Op::IntOps(1)); // comparison
+                    ops.push_int_ops(1); // comparison
                     match ka[p].cmp(&kb[q]) {
                         std::cmp::Ordering::Less => {
-                            ops.push(Op::Load {
-                                addr: la.idx_addr(a_lo + p as u64),
-                                pc: pc::A_IDX,
-                            });
+                            ops.push_load(la.idx_addr(a_lo + p as u64), pc::A_IDX);
                             p += 1;
                         }
                         std::cmp::Ordering::Greater => {
-                            ops.push(Op::Load {
-                                addr: lb.idx_addr(b_lo + q as u64),
-                                pc: pc::B_IDX,
-                            });
+                            ops.push_load(lb.idx_addr(b_lo + q as u64), pc::B_IDX);
                             q += 1;
                         }
                         std::cmp::Ordering::Equal => {
-                            ops.push(Op::Load {
-                                addr: la.val_addr(a_lo + p as u64),
-                                pc: pc::A_VAL,
-                            });
-                            ops.push(Op::Load {
-                                addr: lb.val_addr(b_lo + q as u64),
-                                pc: pc::B_VAL,
-                            });
-                            ops.push(Op::Flops(2));
+                            ops.push_load(la.val_addr(a_lo + p as u64), pc::A_VAL);
+                            ops.push_load(lb.val_addr(b_lo + q as u64), pc::B_VAL);
+                            ops.push_flops(2);
                             matched = true;
                             p += 1;
                             q += 1;
@@ -155,14 +134,8 @@ pub fn build(a: &CsrMatrix, b: &CscMatrix, n_gpes: usize) -> InnerBuild {
                     // Guard against numeric cancellation: only rows
                     // recorded in the functional result get stores.
                     if out_written < result.row_nnz(i) as u64 {
-                        ops.push(Op::Store {
-                            addr: lc.idx_addr(slot),
-                            pc: pc::OUT_IDX,
-                        });
-                        ops.push(Op::Store {
-                            addr: lc.val_addr(slot),
-                            pc: pc::OUT_VAL,
-                        });
+                        ops.push_store(lc.idx_addr(slot), pc::OUT_IDX);
+                        ops.push_store(lc.val_addr(slot), pc::OUT_VAL);
                         out_written += 1;
                     }
                 }
@@ -205,13 +178,17 @@ mod tests {
         let a_csr = m.to_csr();
         let inner = build(&a_csr, &a_csr.transpose().to_csc(), 8);
         let outer = spmspm::build(&m.to_csc(), &a_csr.transpose(), 8);
-        let inner_ops: usize = inner.workload.phases[0].streams.iter().map(Vec::len).sum();
+        let inner_ops: usize = inner.workload.phases[0]
+            .streams
+            .iter()
+            .map(OpStream::len)
+            .sum();
         let outer_ops: usize = outer
             .workload
             .phases
             .iter()
             .flat_map(|p| p.streams.iter())
-            .map(Vec::len)
+            .map(OpStream::len)
             .sum();
         assert!(
             inner_ops > outer_ops,

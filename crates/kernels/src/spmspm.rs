@@ -16,7 +16,7 @@
 
 use sparse::{CooMatrix, CscMatrix, CsrMatrix};
 use transmuter::config::MemKind;
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::layout::{CscLayout, CsrLayout, IDX_BYTES, VAL_BYTES};
 use crate::partition::{assign_greedy, group_by_worker};
@@ -138,42 +138,24 @@ pub fn build_with_variant(
     // we model the scratchpad as a dedicated staging region.
     let spm_stage = space.alloc(64 * 1024);
 
-    let mut mul_streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut mul_streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     for items in &groups {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &ki in items {
             let k = ki as u32;
-            ops.push(Op::Load {
-                addr: la.colptr_addr(k as u64),
-                pc: pc::A_COLPTR,
-            });
-            ops.push(Op::Load {
-                addr: la.colptr_addr(k as u64 + 1),
-                pc: pc::A_COLPTR,
-            });
-            ops.push(Op::Load {
-                addr: lb.rowptr_addr(k as u64),
-                pc: pc::B_ROWPTR,
-            });
-            ops.push(Op::Load {
-                addr: lb.rowptr_addr(k as u64 + 1),
-                pc: pc::B_ROWPTR,
-            });
+            ops.push_load(la.colptr_addr(k as u64), pc::A_COLPTR);
+            ops.push_load(la.colptr_addr(k as u64 + 1), pc::A_COLPTR);
+            ops.push_load(lb.rowptr_addr(k as u64), pc::B_ROWPTR);
+            ops.push_load(lb.rowptr_addr(k as u64 + 1), pc::B_ROWPTR);
             let lo_b = b.row_offsets()[k as usize] as u64;
             let blen = b.row_nnz(k) as u64;
             if spm && blen > 0 {
                 // Copy the B-row slice into scratchpad: one streaming
                 // load per element (through L2/memory), one int op each.
                 for q in 0..blen {
-                    ops.push(Op::Load {
-                        addr: lb.idx_addr(lo_b + q),
-                        pc: pc::B_IDX,
-                    });
-                    ops.push(Op::Load {
-                        addr: lb.val_addr(lo_b + q),
-                        pc: pc::B_VAL,
-                    });
-                    ops.push(Op::IntOps(1));
+                    ops.push_load(lb.idx_addr(lo_b + q), pc::B_IDX);
+                    ops.push_load(lb.val_addr(lo_b + q), pc::B_VAL);
+                    ops.push_int_ops(1);
                 }
             }
             let col_lo = a.col_offsets()[k as usize];
@@ -181,47 +163,23 @@ pub fn build_with_variant(
             // `p` is both an address operand and a `slot_base_for_p` index.
             #[allow(clippy::needless_range_loop)]
             for p in col_lo..col_hi {
-                ops.push(Op::Load {
-                    addr: la.idx_addr(p as u64),
-                    pc: pc::A_IDX,
-                });
-                ops.push(Op::Load {
-                    addr: la.val_addr(p as u64),
-                    pc: pc::A_VAL,
-                });
-                ops.push(Op::IntOps(2)); // slot address computation
+                ops.push_load(la.idx_addr(p as u64), pc::A_IDX);
+                ops.push_load(la.val_addr(p as u64), pc::A_VAL);
+                ops.push_int_ops(2); // slot address computation
                 let slot0 = slot_base_for_p[p];
                 for q in 0..blen {
                     if spm {
                         // B slice is staged in scratchpad (wrapping within
                         // the staging window).
-                        ops.push(Op::Load {
-                            addr: spm_stage.base + (q * 16) % spm_stage.bytes,
-                            pc: pc::B_IDX,
-                        });
-                        ops.push(Op::Load {
-                            addr: spm_stage.base + (q * 16 + 8) % spm_stage.bytes,
-                            pc: pc::B_VAL,
-                        });
+                        ops.push_load(spm_stage.base + (q * 16) % spm_stage.bytes, pc::B_IDX);
+                        ops.push_load(spm_stage.base + (q * 16 + 8) % spm_stage.bytes, pc::B_VAL);
                     } else {
-                        ops.push(Op::Load {
-                            addr: lb.idx_addr(lo_b + q),
-                            pc: pc::B_IDX,
-                        });
-                        ops.push(Op::Load {
-                            addr: lb.val_addr(lo_b + q),
-                            pc: pc::B_VAL,
-                        });
+                        ops.push_load(lb.idx_addr(lo_b + q), pc::B_IDX);
+                        ops.push_load(lb.val_addr(lo_b + q), pc::B_VAL);
                     }
-                    ops.push(Op::Flops(1));
-                    ops.push(Op::Store {
-                        addr: partial_idx.addr(slot0 + q, IDX_BYTES),
-                        pc: pc::PARTIAL_IDX_W,
-                    });
-                    ops.push(Op::Store {
-                        addr: partial_val.addr(slot0 + q, VAL_BYTES),
-                        pc: pc::PARTIAL_VAL_W,
-                    });
+                    ops.push_flops(1);
+                    ops.push_store(partial_idx.addr(slot0 + q, IDX_BYTES), pc::PARTIAL_IDX_W);
+                    ops.push_store(partial_val.addr(slot0 + q, VAL_BYTES), pc::PARTIAL_VAL_W);
                 }
             }
         }
@@ -240,9 +198,9 @@ pub fn build_with_variant(
         })
         .collect();
     let merge_groups = group_by_worker(&assign_greedy(&merge_costs, n_gpes), n_gpes);
-    let mut merge_streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut merge_streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     for items in &merge_groups {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &ri in items {
             let r = ri as u32;
             let cnt = row_count[ri];
@@ -250,34 +208,28 @@ pub fn build_with_variant(
                 continue;
             }
             for j in 0..cnt {
-                ops.push(Op::Load {
-                    addr: partial_idx.addr(row_base[ri] + j, IDX_BYTES),
-                    pc: pc::PARTIAL_IDX_R,
-                });
-                ops.push(Op::Load {
-                    addr: partial_val.addr(row_base[ri] + j, VAL_BYTES),
-                    pc: pc::PARTIAL_VAL_R,
-                });
+                ops.push_load(
+                    partial_idx.addr(row_base[ri] + j, IDX_BYTES),
+                    pc::PARTIAL_IDX_R,
+                );
+                ops.push_load(
+                    partial_val.addr(row_base[ri] + j, VAL_BYTES),
+                    pc::PARTIAL_VAL_R,
+                );
             }
             // Mergesort bookkeeping: n log n comparisons/moves.
             let sort_ops = (cnt * log2_ceil(cnt)) as u32;
             if sort_ops > 0 {
-                ops.push(Op::IntOps(sort_ops));
+                ops.push_int_ops(sort_ops);
             }
             let out_cnt = result.row_nnz(r) as u64;
             let adds = cnt.saturating_sub(out_cnt) as u32;
             if adds > 0 {
-                ops.push(Op::Flops(adds));
+                ops.push_flops(adds);
             }
             for o in 0..out_cnt {
-                ops.push(Op::Store {
-                    addr: lc.idx_addr(out_base[ri] + o),
-                    pc: pc::OUT_IDX,
-                });
-                ops.push(Op::Store {
-                    addr: lc.val_addr(out_base[ri] + o),
-                    pc: pc::OUT_VAL,
-                });
+                ops.push_store(lc.idx_addr(out_base[ri] + o), pc::OUT_IDX);
+                ops.push_store(lc.val_addr(out_base[ri] + o), pc::OUT_VAL);
             }
         }
         merge_streams.push(ops);
@@ -340,11 +292,7 @@ mod tests {
         let mul_flops: u64 = built.workload.phases[0]
             .streams
             .iter()
-            .flatten()
-            .map(|op| match op {
-                Op::Flops(n) => *n as u64,
-                _ => 0,
-            })
+            .map(OpStream::flops)
             .sum();
         assert_eq!(mul_flops, built.partial_products);
         let merge_flops = built.workload.total_flops() - mul_flops;

@@ -14,7 +14,7 @@
 
 use sparse::{CscMatrix, SparseVector};
 use transmuter::config::MemKind;
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::layout::{CscLayout, DenseLayout, SparseVecLayout};
 use crate::partition::{assign_greedy, group_by_worker};
@@ -73,46 +73,25 @@ pub fn build_with_variant(
 
     let spm = variant == MemKind::Spm;
     let mut elements = 0u64;
-    let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+    let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
     for items in &groups {
-        let mut ops = Vec::new();
+        let mut ops = OpStream::new();
         for &it in items {
             let (xi, k) = selected[it];
             // Load the x pair and the column extent.
-            ops.push(Op::Load {
-                addr: lx.pair_addr(xi as u64),
-                pc: pc::X_PAIR,
-            });
-            ops.push(Op::Load {
-                addr: la.colptr_addr(k as u64),
-                pc: pc::A_COLPTR,
-            });
-            ops.push(Op::Load {
-                addr: la.colptr_addr(k as u64 + 1),
-                pc: pc::A_COLPTR,
-            });
+            ops.push_load(lx.pair_addr(xi as u64), pc::X_PAIR);
+            ops.push_load(la.colptr_addr(k as u64), pc::A_COLPTR);
+            ops.push_load(la.colptr_addr(k as u64 + 1), pc::A_COLPTR);
             let lo = a.col_offsets()[k as usize];
             let hi = a.col_offsets()[k as usize + 1];
             for p in lo..hi {
                 let r = a.row_indices()[p] as u64;
-                ops.push(Op::Load {
-                    addr: la.idx_addr(p as u64),
-                    pc: pc::A_IDX,
-                });
-                ops.push(Op::Load {
-                    addr: la.val_addr(p as u64),
-                    pc: pc::A_VAL,
-                });
+                ops.push_load(la.idx_addr(p as u64), pc::A_IDX);
+                ops.push_load(la.val_addr(p as u64), pc::A_VAL);
                 // acc[r] += a * x_k : read-modify-write plus mul+add.
-                ops.push(Op::Load {
-                    addr: acc.addr(r),
-                    pc: pc::ACC_R,
-                });
-                ops.push(Op::Flops(2));
-                ops.push(Op::Store {
-                    addr: acc.addr(r),
-                    pc: pc::ACC_W,
-                });
+                ops.push_load(acc.addr(r), pc::ACC_R);
+                ops.push_flops(2);
+                ops.push_store(acc.addr(r), pc::ACC_W);
             }
             elements += (hi - lo) as u64;
         }
@@ -128,15 +107,9 @@ pub fn build_with_variant(
     for (g, items) in gather_groups.iter().enumerate() {
         for &it in items {
             let r = out_rows[it] as u64;
-            streams[g].push(Op::Load {
-                addr: acc.addr(r),
-                pc: pc::ACC_R,
-            });
-            streams[g].push(Op::IntOps(1));
-            streams[g].push(Op::Store {
-                addr: ly.pair_addr(it as u64),
-                pc: pc::OUT_VAL,
-            });
+            streams[g].push_load(acc.addr(r), pc::ACC_R);
+            streams[g].push_int_ops(1);
+            streams[g].push_store(ly.pair_addr(it as u64), pc::OUT_VAL);
         }
     }
 

@@ -7,7 +7,7 @@
 //! well-defined.
 
 use sparse::CscMatrix;
-use transmuter::workload::{AddressSpace, Op, Phase, Workload};
+use transmuter::workload::{AddressSpace, OpStream, Phase, Workload};
 
 use crate::layout::{CscLayout, DenseLayout, SparseVecLayout};
 use crate::partition::{assign_greedy, group_by_worker};
@@ -100,24 +100,15 @@ pub fn build(a: &CscMatrix, source: u32, n_gpes: usize) -> SsspBuild {
         let costs: Vec<u64> = frontier.iter().map(|&k| a.col_nnz(k) as u64 + 1).collect();
         let groups = group_by_worker(&assign_greedy(&costs, n_gpes), n_gpes);
         let mut per_gpe_updates: Vec<Vec<u32>> = vec![Vec::new(); n_gpes];
-        let mut streams: Vec<Vec<Op>> = Vec::with_capacity(n_gpes);
+        let mut streams: Vec<OpStream> = Vec::with_capacity(n_gpes);
         let mut next_write_cursor = 0u64;
         for (g, items) in groups.iter().enumerate() {
-            let mut ops = Vec::new();
+            let mut ops = OpStream::new();
             for &it in items {
                 let u = frontier[it];
-                ops.push(Op::Load {
-                    addr: frontier_buf.pair_addr(it as u64),
-                    pc: pc::X_PAIR,
-                });
-                ops.push(Op::Load {
-                    addr: la.colptr_addr(u as u64),
-                    pc: pc::A_COLPTR,
-                });
-                ops.push(Op::Load {
-                    addr: la.colptr_addr(u as u64 + 1),
-                    pc: pc::A_COLPTR,
-                });
+                ops.push_load(frontier_buf.pair_addr(it as u64), pc::X_PAIR);
+                ops.push_load(la.colptr_addr(u as u64), pc::A_COLPTR);
+                ops.push_load(la.colptr_addr(u as u64 + 1), pc::A_COLPTR);
                 let du = dist[u as usize];
                 let lo = a.col_offsets()[u as usize];
                 let hi = a.col_offsets()[u as usize + 1];
@@ -125,32 +116,20 @@ pub fn build(a: &CscMatrix, source: u32, n_gpes: usize) -> SsspBuild {
                 for p in lo..hi {
                     let v = a.row_indices()[p];
                     let w = a.values()[p];
-                    ops.push(Op::Load {
-                        addr: la.idx_addr(p as u64),
-                        pc: pc::A_IDX,
-                    });
-                    ops.push(Op::Load {
-                        addr: la.val_addr(p as u64),
-                        pc: pc::A_VAL,
-                    });
-                    ops.push(Op::Load {
-                        addr: dist_arr.addr(v as u64),
-                        pc: pc::STATE_R,
-                    });
+                    ops.push_load(la.idx_addr(p as u64), pc::A_IDX);
+                    ops.push_load(la.val_addr(p as u64), pc::A_VAL);
+                    ops.push_load(dist_arr.addr(v as u64), pc::STATE_R);
                     // add + min over the min-plus semiring.
-                    ops.push(Op::Flops(2));
+                    ops.push_flops(2);
                     let alt = du + w;
                     if alt < dist[v as usize] {
                         dist[v as usize] = alt;
                         per_gpe_updates[g].push(v);
-                        ops.push(Op::Store {
-                            addr: dist_arr.addr(v as u64),
-                            pc: pc::STATE_W,
-                        });
-                        ops.push(Op::Store {
-                            addr: next_buf.pair_addr(next_write_cursor % n as u64),
-                            pc: pc::OUT_VAL,
-                        });
+                        ops.push_store(dist_arr.addr(v as u64), pc::STATE_W);
+                        ops.push_store(
+                            next_buf.pair_addr(next_write_cursor % n as u64),
+                            pc::OUT_VAL,
+                        );
                         next_write_cursor += 1;
                     }
                 }

@@ -27,16 +27,19 @@
 //! ```
 //! use transmuter::config::{MachineSpec, TransmuterConfig};
 //! use transmuter::machine::Machine;
-//! use transmuter::workload::{Op, Phase, Workload};
+//! use transmuter::workload::{OpStream, Phase, Workload};
 //!
 //! // A toy workload: each of the 16 GPEs streams over 1 kB of data.
 //! let spec = MachineSpec::default();
-//! let streams = (0..spec.geometry.gpe_count())
+//! let streams: Vec<OpStream> = (0..spec.geometry.gpe_count())
 //!     .map(|g| {
 //!         let base = g as u64 * 4096;
-//!         (0..128u64)
-//!             .flat_map(|i| [Op::Load { addr: base + i * 8, pc: 1 }, Op::Flops(2)])
-//!             .collect()
+//!         let mut ops = OpStream::with_capacity(256);
+//!         for i in 0..128u64 {
+//!             ops.push_load(base + i * 8, 1);
+//!             ops.push_flops(2);
+//!         }
+//!         ops
 //!     })
 //!     .collect();
 //! let wl = Workload::new("toy", vec![Phase::new("stream", streams)]);

@@ -25,9 +25,9 @@ use crate::counters::{RawEpochCounters, Telemetry};
 use crate::hbm::Hbm;
 use crate::metrics::Metrics;
 use crate::power::{EnergyTable, PowerModel};
-use crate::prefetch::StridePrefetcher;
+use crate::prefetch::{PrefetchBuf, StridePrefetcher};
 use crate::reconfig::{self, ReconfigCost};
-use crate::workload::{Op, Region, Workload};
+use crate::workload::{Op, OpStream, OpTag, Region, Workload};
 
 /// L2 hit latency in core cycles (beyond crossbar arbitration).
 const L2_HIT_CYCLES: u64 = 4;
@@ -100,6 +100,20 @@ enum GpeState {
     Running,
     PausedAtQuota,
     Done,
+}
+
+/// Which simulation inner loop to run. Both produce bit-identical epoch
+/// records; the reference path exists so the differential test suite and
+/// the `sweep_bench` A/B mode can hold the optimised path to account.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimPath {
+    /// Struct-of-arrays op streams, run-ahead event draining, and
+    /// timestamp-batched HBM arbitration.
+    Soa,
+    /// The pre-SoA baseline: streams decoded to `Vec<Op>`, one heap
+    /// push/pop per event, immediate per-op HBM occupancy, and the
+    /// allocating prefetcher interface.
+    Reference,
 }
 
 /// The simulated Transmuter machine.
@@ -197,6 +211,33 @@ impl Machine {
         workload: &Workload,
         controller: &mut dyn Controller,
     ) -> RunResult {
+        self.run_impl(workload, controller, SimPath::Soa)
+    }
+
+    /// Runs a workload through the legacy (pre-SoA, per-event) inner
+    /// loop. Produces results bit-identical to [`Machine::run`]; exists
+    /// for differential testing and as the honest baseline in
+    /// `sweep_bench`'s A/B mode.
+    pub fn run_reference(&mut self, workload: &Workload) -> RunResult {
+        self.run_reference_with_controller(workload, &mut StaticController)
+    }
+
+    /// [`Machine::run_reference`] with a reconfiguration controller.
+    pub fn run_reference_with_controller(
+        &mut self,
+        workload: &Workload,
+        controller: &mut dyn Controller,
+    ) -> RunResult {
+        self.run_impl(workload, controller, SimPath::Reference)
+    }
+
+    fn run_impl(
+        &mut self,
+        workload: &Workload,
+        controller: &mut dyn Controller,
+        path: SimPath,
+    ) -> RunResult {
+        self.hbm.set_batched(path == SimPath::Soa);
         let n = self.spec.geometry.gpe_count();
         // Quota boundaries put roughly `epoch_ops * n` FP ops in each
         // epoch, plus one partial epoch per phase barrier at worst.
@@ -224,6 +265,13 @@ impl Machine {
                 n
             );
             self.lcp_factor = phase.lcp_ops_per_gpe_op;
+            // The reference path replays the exact pre-SoA loop over
+            // decoded array-of-structs streams.
+            let ref_streams: Vec<Vec<Op>> = if path == SimPath::Reference {
+                phase.streams.iter().map(|s| s.iter().collect()).collect()
+            } else {
+                Vec::new()
+            };
 
             let mut cursors = vec![0usize; n];
             let mut states: Vec<GpeState> = phase
@@ -249,16 +297,62 @@ impl Machine {
                         .map(|(g, _)| Reverse((self.gpe_time_ps[g], g))),
                 );
 
-                while let Some(Reverse((t, g))) = heap.pop() {
-                    let new_t =
-                        self.step_gpe(g, t, &phase.streams[g], &phase.spm_regions, &mut cursors[g]);
-                    self.gpe_time_ps[g] = new_t;
-                    if cursors[g] >= phase.streams[g].len() {
-                        states[g] = GpeState::Done;
-                    } else if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
-                        states[g] = GpeState::PausedAtQuota;
-                    } else {
-                        heap.push(Reverse((new_t, g)));
+                match path {
+                    SimPath::Soa => {
+                        while let Some(Reverse((mut t, g))) = heap.pop() {
+                            let stream = &phase.streams[g];
+                            loop {
+                                let new_t = self.step_gpe(
+                                    g,
+                                    t,
+                                    stream,
+                                    &phase.spm_regions,
+                                    &mut cursors[g],
+                                );
+                                self.gpe_time_ps[g] = new_t;
+                                if cursors[g] >= stream.len() {
+                                    states[g] = GpeState::Done;
+                                    break;
+                                }
+                                if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
+                                    states[g] = GpeState::PausedAtQuota;
+                                    break;
+                                }
+                                // Run ahead without heap churn while this
+                                // GPE is still the globally earliest
+                                // event. `(new_t, g) <= peek` is exactly
+                                // the condition under which pushing
+                                // `(new_t, g)` and popping would return
+                                // it again, so this skips the push/pop
+                                // pair without reordering anything.
+                                match heap.peek() {
+                                    Some(&Reverse(next)) if next < (new_t, g) => {
+                                        heap.push(Reverse((new_t, g)));
+                                        break;
+                                    }
+                                    _ => t = new_t,
+                                }
+                            }
+                        }
+                    }
+                    SimPath::Reference => {
+                        while let Some(Reverse((t, g))) = heap.pop() {
+                            let new_t = self.step_gpe_reference(
+                                g,
+                                t,
+                                &ref_streams[g],
+                                &phase.spm_regions,
+                                &mut cursors[g],
+                            );
+                            self.gpe_time_ps[g] = new_t;
+                            if cursors[g] >= ref_streams[g].len() {
+                                states[g] = GpeState::Done;
+                            } else if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
+                                states[g] = GpeState::PausedAtQuota;
+                            } else {
+                                heap.push(Reverse((new_t, g)));
+                            }
+                        }
                     }
                 }
 
@@ -316,6 +410,62 @@ impl Machine {
         &mut self,
         g: usize,
         mut t: u64,
+        stream: &OpStream,
+        spm: &[Region],
+        cursor: &mut usize,
+    ) -> u64 {
+        let period = self.cfg.clock.period_ps();
+        let (tags, addrs, auxs) = stream.as_lanes();
+        while *cursor < tags.len() {
+            let i = *cursor;
+            match tags[i] {
+                OpTag::Flops => {
+                    let n = auxs[i] as u64;
+                    t += n * period;
+                    self.raw.gpe_flops += n;
+                    self.gpe_epoch_ops[g] += n;
+                    self.dyn_energy_j += self.power.fp_ops(n);
+                    self.charge_lcp(n);
+                    *cursor += 1;
+                    if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
+                        return t;
+                    }
+                }
+                OpTag::IntOps => {
+                    let n = auxs[i] as u64;
+                    t += n * period;
+                    self.raw.gpe_int_ops += n;
+                    self.dyn_energy_j += self.power.int_ops(n);
+                    self.charge_lcp(n);
+                    *cursor += 1;
+                }
+                OpTag::Load => {
+                    *cursor += 1;
+                    self.raw.gpe_loads += 1;
+                    self.gpe_epoch_ops[g] += 1;
+                    self.charge_lcp(1);
+                    self.dyn_energy_j += self.power.int_ops(1); // issue/AGU
+                    return self.mem_access(g, t, addrs[i], false, auxs[i], spm);
+                }
+                OpTag::Store => {
+                    *cursor += 1;
+                    self.raw.gpe_stores += 1;
+                    self.gpe_epoch_ops[g] += 1;
+                    self.charge_lcp(1);
+                    self.dyn_energy_j += self.power.int_ops(1);
+                    return self.mem_access(g, t, addrs[i], true, auxs[i], spm);
+                }
+            }
+        }
+        t
+    }
+
+    /// The pre-SoA [`Machine::step_gpe`], kept verbatim over decoded
+    /// `&[Op]` streams for the reference path.
+    fn step_gpe_reference(
+        &mut self,
+        g: usize,
+        mut t: u64,
         stream: &[Op],
         spm: &[Region],
         cursor: &mut usize,
@@ -347,7 +497,7 @@ impl Machine {
                     self.gpe_epoch_ops[g] += 1;
                     self.charge_lcp(1);
                     self.dyn_energy_j += self.power.int_ops(1); // issue/AGU
-                    return self.mem_access(g, t, addr, false, pc, spm);
+                    return self.mem_access_reference(g, t, addr, false, pc, spm);
                 }
                 Op::Store { addr, pc } => {
                     *cursor += 1;
@@ -355,7 +505,7 @@ impl Machine {
                     self.gpe_epoch_ops[g] += 1;
                     self.charge_lcp(1);
                     self.dyn_energy_j += self.power.int_ops(1);
-                    return self.mem_access(g, t, addr, true, pc, spm);
+                    return self.mem_access_reference(g, t, addr, true, pc, spm);
                 }
             }
         }
@@ -375,6 +525,72 @@ impl Machine {
     /// Routes one demand access through the hierarchy; returns completion
     /// time.
     fn mem_access(
+        &mut self,
+        g: usize,
+        t: u64,
+        addr: u64,
+        write: bool,
+        pc: u32,
+        spm: &[Region],
+    ) -> u64 {
+        let period = self.cfg.clock.period_ps();
+        match self.cfg.l1_kind {
+            MemKind::Spm => {
+                if spm.iter().any(|r| r.contains(addr)) {
+                    // Scratchpad hit: deterministic, tag-free.
+                    self.raw.l1_accesses += 1;
+                    self.dyn_energy_j += self.power.l1_access(&self.cfg);
+                    match self.cfg.l1_sharing {
+                        SharingMode::Private => t + period,
+                        SharingMode::Shared => {
+                            let bank = self.l1_bank_shared(g, addr);
+                            self.arbitrate_l1(bank, t)
+                        }
+                    }
+                } else {
+                    // Bypass to L2.
+                    self.l2_path(g, t + period, addr, write)
+                }
+            }
+            MemKind::Cache => {
+                let bank = match self.cfg.l1_sharing {
+                    SharingMode::Private => g,
+                    SharingMode::Shared => self.l1_bank_shared(g, addr),
+                };
+                let hit_done = match self.cfg.l1_sharing {
+                    SharingMode::Private => t + period,
+                    SharingMode::Shared => self.arbitrate_l1(bank, t),
+                };
+                self.dyn_energy_j += self.power.l1_access(&self.cfg);
+                let outcome = self.l1[bank].access(addr, write);
+                // Prefetcher observes every demand access. The fixed
+                // stack buffer keeps this allocation-free on the hot
+                // path.
+                let mut prefetches = PrefetchBuf::new();
+                self.l1_pf[bank].observe_into(pc, addr, &mut prefetches);
+                let done = if outcome.is_hit() {
+                    hit_done
+                } else {
+                    if let crate::cache::AccessOutcome::Miss {
+                        writeback: Some(wb),
+                    } = outcome
+                    {
+                        self.l2_writeback(g, hit_done, wb);
+                    }
+                    self.l2_path(g, hit_done, addr, false)
+                };
+                for &pf_addr in prefetches.as_slice() {
+                    self.issue_prefetch(g, bank, hit_done, pf_addr);
+                }
+                done
+            }
+        }
+    }
+
+    /// The pre-SoA [`Machine::mem_access`], using the allocating
+    /// prefetcher interface — kept so the reference path's performance
+    /// profile matches the historical baseline exactly.
+    fn mem_access_reference(
         &mut self,
         g: usize,
         t: u64,
@@ -493,11 +709,14 @@ impl Machine {
         if outcome.is_hit() {
             granted + L2_HIT_CYCLES * period
         } else {
-            if let crate::cache::AccessOutcome::Miss { writeback: Some(_) } = outcome {
-                self.hbm.write(granted, self.spec.line_bytes);
+            if let crate::cache::AccessOutcome::Miss {
+                writeback: Some(wb),
+            } = outcome
+            {
+                self.hbm.write(granted, wb, self.spec.line_bytes);
                 self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
             }
-            let mem_done = self.hbm.read(granted, self.spec.line_bytes);
+            let mem_done = self.hbm.read(granted, addr, self.spec.line_bytes);
             self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
             mem_done + period // return crossing
         }
@@ -508,10 +727,11 @@ impl Machine {
         let bank = self.l2_bank(g, addr);
         let granted = self.arbitrate_l2(bank, t);
         self.dyn_energy_j += self.power.l2_access(&self.cfg);
-        if let crate::cache::AccessOutcome::Miss { writeback: Some(_) } =
-            self.l2[bank].access(addr, true)
+        if let crate::cache::AccessOutcome::Miss {
+            writeback: Some(wb),
+        } = self.l2[bank].access(addr, true)
         {
-            self.hbm.write(granted, self.spec.line_bytes);
+            self.hbm.write(granted, wb, self.spec.line_bytes);
             self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
         }
     }
@@ -533,10 +753,10 @@ impl Machine {
             self.dyn_energy_j += self.power.l1_access(&self.cfg);
         } else {
             // Off-chip prefetch: posted bandwidth consumption.
-            self.hbm.prefetch_read(t, self.spec.line_bytes);
+            self.hbm.prefetch_read(t, addr, self.spec.line_bytes);
             self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
-            if self.l2[l2_bank].install_prefetch(addr).is_some() {
-                self.hbm.write(t, self.spec.line_bytes);
+            if let Some(wb) = self.l2[l2_bank].install_prefetch(addr) {
+                self.hbm.write(t, wb, self.spec.line_bytes);
                 self.dyn_energy_j += self.power.hbm(self.spec.line_bytes as u64);
             }
             self.raw.l2_prefetches += 1;
@@ -697,7 +917,7 @@ mod tests {
     use crate::workload::Phase;
 
     fn streaming_workload(n_gpes: usize, loads_per_gpe: u64, stride: u64) -> Workload {
-        let streams = (0..n_gpes)
+        let streams: Vec<Vec<Op>> = (0..n_gpes)
             .map(|g| {
                 let base = g as u64 * (loads_per_gpe * stride + 4096);
                 (0..loads_per_gpe)
@@ -764,7 +984,7 @@ mod tests {
         let spec = MachineSpec::default().with_bandwidth_gbps(0.5);
         // Pointer-chase-like random strides to stay memory bound.
         let n = spec.geometry.gpe_count();
-        let streams = (0..n)
+        let streams: Vec<Vec<Op>> = (0..n)
             .map(|g| {
                 let mut x = 12345u64 + g as u64;
                 (0..3000)
@@ -907,6 +1127,15 @@ mod tests {
         let t = r.epochs.last().unwrap().telemetry;
         assert_eq!(t.mem_read_util, 0.0);
         assert_eq!(t.l1_miss_rate, 0.0);
+    }
+
+    #[test]
+    fn reference_path_is_bit_identical_to_soa_path() {
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let wl = streaming_workload(16, 600, 8);
+        let r_soa = Machine::new(spec, TransmuterConfig::baseline()).run(&wl);
+        let r_ref = Machine::new(spec, TransmuterConfig::baseline()).run_reference(&wl);
+        assert_eq!(r_soa, r_ref);
     }
 
     #[test]

@@ -23,6 +23,54 @@ const CONF_ISSUE: u8 = 2;
 /// Number of direct-mapped table entries.
 const TABLE_SIZE: usize = 64;
 
+/// A fixed-capacity buffer of prefetch addresses, so the hot demand-miss
+/// path can collect prefetch candidates without touching the heap.
+#[derive(Debug, Clone)]
+pub struct PrefetchBuf {
+    addrs: [u64; PrefetchBuf::CAPACITY],
+    len: usize,
+}
+
+impl PrefetchBuf {
+    /// Maximum prefetch degree the buffer can hold; the prefetcher's
+    /// constructor enforces this bound on the degree.
+    pub const CAPACITY: usize = 32;
+
+    /// An empty buffer.
+    pub fn new() -> Self {
+        PrefetchBuf {
+            addrs: [0; PrefetchBuf::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Number of queued addresses.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if nothing was queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The queued addresses.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.addrs[..self.len]
+    }
+
+    fn push(&mut self, addr: u64) {
+        self.addrs[self.len] = addr;
+        self.len += 1;
+    }
+}
+
+impl Default for PrefetchBuf {
+    fn default() -> Self {
+        PrefetchBuf::new()
+    }
+}
+
 /// PC-indexed stride prefetcher.
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
@@ -33,7 +81,12 @@ pub struct StridePrefetcher {
 
 impl StridePrefetcher {
     /// Creates a prefetcher with the given degree (0 disables it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds [`PrefetchBuf::CAPACITY`].
     pub fn new(degree: u8, line_bytes: u32) -> Self {
+        assert!(degree as usize <= PrefetchBuf::CAPACITY);
         StridePrefetcher {
             table: vec![StrideEntry::default(); TABLE_SIZE],
             degree,
@@ -48,16 +101,32 @@ impl StridePrefetcher {
 
     /// Changes the degree (a super-fine-grained reconfiguration); the
     /// stride table survives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the degree exceeds [`PrefetchBuf::CAPACITY`].
     pub fn set_degree(&mut self, degree: u8) {
+        assert!(degree as usize <= PrefetchBuf::CAPACITY);
         self.degree = degree;
     }
 
     /// Observes a demand access and returns the line-aligned addresses to
     /// prefetch (empty when the degree is 0 or no stable stride exists).
+    ///
+    /// Allocating wrapper over [`StridePrefetcher::observe_into`], kept
+    /// for the reference simulation path and tests.
     pub fn observe(&mut self, pc: u32, addr: u64) -> Vec<u64> {
+        let mut buf = PrefetchBuf::new();
+        self.observe_into(pc, addr, &mut buf);
+        buf.as_slice().to_vec()
+    }
+
+    /// Observes a demand access, appending the line-aligned addresses to
+    /// prefetch into `out` (nothing when the degree is 0 or no stable
+    /// stride exists).
+    pub fn observe_into(&mut self, pc: u32, addr: u64, out: &mut PrefetchBuf) {
         let slot = (pc as usize) % TABLE_SIZE;
         let e = &mut self.table[slot];
-        let mut out = Vec::new();
         if e.valid && e.pc == pc {
             let new_stride = addr as i64 - e.last_addr as i64;
             if new_stride == e.stride && new_stride != 0 {
@@ -100,7 +169,6 @@ impl StridePrefetcher {
                 valid: true,
             };
         }
-        out
     }
 }
 
@@ -150,6 +218,28 @@ mod tests {
             total += p.observe(1, a).len();
         }
         assert_eq!(total, 0, "no stable stride should mean no prefetches");
+    }
+
+    #[test]
+    fn observe_into_matches_allocating_observe() {
+        let mut a = StridePrefetcher::new(8, 32);
+        let mut b = StridePrefetcher::new(8, 32);
+        let mut x = 99u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Mix strided and noisy sites.
+            let (pc, addr) = if i % 3 == 0 {
+                (5u32, i * 8)
+            } else {
+                ((x % 17) as u32, x >> 30)
+            };
+            let alloc = a.observe(pc, addr);
+            let mut buf = PrefetchBuf::new();
+            b.observe_into(pc, addr, &mut buf);
+            assert_eq!(alloc.as_slice(), buf.as_slice(), "diverged at access {i}");
+        }
     }
 
     #[test]

@@ -38,6 +38,226 @@ pub enum Op {
     },
 }
 
+/// Compact 1-byte discriminant for the struct-of-arrays op layout.
+///
+/// The numeric values are *not* the fingerprint codes — fingerprints keep
+/// the historical codes (1..=4, see [`Workload::fingerprint`]) so SoA
+/// conversion never invalidates on-disk trace caches.
+#[repr(u8)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpTag {
+    /// [`Op::Flops`]; the op's payload is in the `aux` lane.
+    Flops = 0,
+    /// [`Op::IntOps`]; payload in the `aux` lane.
+    IntOps = 1,
+    /// [`Op::Load`]; address in the `addr` lane, access-site id in `aux`.
+    Load = 2,
+    /// [`Op::Store`]; address in the `addr` lane, access-site id in `aux`.
+    Store = 3,
+}
+
+/// A per-GPE op stream in struct-of-arrays layout.
+///
+/// The array-of-structs form (`Vec<Op>`) spends 16 bytes per op: the
+/// enum needs an 8-byte-aligned discriminant to carry a `u64` address.
+/// Splitting the stream into parallel lanes — a 1-byte tag, a `u64`
+/// address (zero for compute ops) and a `u32` auxiliary word (batch
+/// count for compute ops, access-site id for memory ops) — costs 13
+/// bytes per op and, more importantly, lets the simulator's dispatch
+/// loop walk a dense tag array that prefetches perfectly.
+///
+/// The lanes always have equal length; every mutator maintains that
+/// invariant, so [`OpStream::as_lanes`] can be consumed without bounds
+/// re-checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStream {
+    tags: Vec<OpTag>,
+    addrs: Vec<u64>,
+    auxs: Vec<u32>,
+}
+
+impl OpStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        OpStream::default()
+    }
+
+    /// An empty stream with room for `n` ops in every lane.
+    pub fn with_capacity(n: usize) -> Self {
+        OpStream {
+            tags: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+            auxs: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of ops in the stream.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// `true` if the stream holds no ops.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Appends a batch of `n` floating-point operations.
+    pub fn push_flops(&mut self, n: u32) {
+        self.tags.push(OpTag::Flops);
+        self.addrs.push(0);
+        self.auxs.push(n);
+    }
+
+    /// Appends a batch of `n` integer operations.
+    pub fn push_int_ops(&mut self, n: u32) {
+        self.tags.push(OpTag::IntOps);
+        self.addrs.push(0);
+        self.auxs.push(n);
+    }
+
+    /// Appends a load of `addr` from access site `pc`.
+    pub fn push_load(&mut self, addr: u64, pc: u32) {
+        self.tags.push(OpTag::Load);
+        self.addrs.push(addr);
+        self.auxs.push(pc);
+    }
+
+    /// Appends a store to `addr` from access site `pc`.
+    pub fn push_store(&mut self, addr: u64, pc: u32) {
+        self.tags.push(OpTag::Store);
+        self.addrs.push(addr);
+        self.auxs.push(pc);
+    }
+
+    /// Appends one [`Op`] (enum-typed convenience over the typed pushes).
+    pub fn push(&mut self, op: Op) {
+        match op {
+            Op::Flops(n) => self.push_flops(n),
+            Op::IntOps(n) => self.push_int_ops(n),
+            Op::Load { addr, pc } => self.push_load(addr, pc),
+            Op::Store { addr, pc } => self.push_store(addr, pc),
+        }
+    }
+
+    /// Reconstructs the `i`-th op as an [`Op`] value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> Op {
+        match self.tags[i] {
+            OpTag::Flops => Op::Flops(self.auxs[i]),
+            OpTag::IntOps => Op::IntOps(self.auxs[i]),
+            OpTag::Load => Op::Load {
+                addr: self.addrs[i],
+                pc: self.auxs[i],
+            },
+            OpTag::Store => Op::Store {
+                addr: self.addrs[i],
+                pc: self.auxs[i],
+            },
+        }
+    }
+
+    /// Raw access to the parallel lanes `(tags, addrs, auxs)`; all three
+    /// slices have equal length.
+    pub fn as_lanes(&self) -> (&[OpTag], &[u64], &[u32]) {
+        (&self.tags, &self.addrs, &self.auxs)
+    }
+
+    /// Iterates the ops, materialising each as an [`Op`].
+    pub fn iter(&self) -> OpStreamIter<'_> {
+        OpStreamIter { stream: self, i: 0 }
+    }
+
+    /// Pure floating-point operations in the stream.
+    pub fn flops(&self) -> u64 {
+        self.tags
+            .iter()
+            .zip(&self.auxs)
+            .filter(|(t, _)| **t == OpTag::Flops)
+            .map(|(_, &n)| n as u64)
+            .sum()
+    }
+
+    /// FP ops in the paper's epoch currency: flops plus one per memory
+    /// access (integer ops are free).
+    pub fn fp_ops(&self) -> u64 {
+        self.tags
+            .iter()
+            .zip(&self.auxs)
+            .map(|(t, &n)| match t {
+                OpTag::Flops => n as u64,
+                OpTag::Load | OpTag::Store => 1,
+                OpTag::IntOps => 0,
+            })
+            .sum()
+    }
+}
+
+impl From<Vec<Op>> for OpStream {
+    fn from(ops: Vec<Op>) -> Self {
+        let mut s = OpStream::with_capacity(ops.len());
+        for op in ops {
+            s.push(op);
+        }
+        s
+    }
+}
+
+impl FromIterator<Op> for OpStream {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        let mut s = OpStream::new();
+        s.extend(iter);
+        s
+    }
+}
+
+impl Extend<Op> for OpStream {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        for op in iter {
+            self.push(op);
+        }
+    }
+}
+
+/// Iterator over an [`OpStream`], yielding owned [`Op`] values (they are
+/// reconstructed from the lanes, so there is no `&Op` to hand out).
+#[derive(Debug, Clone)]
+pub struct OpStreamIter<'a> {
+    stream: &'a OpStream,
+    i: usize,
+}
+
+impl Iterator for OpStreamIter<'_> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.i >= self.stream.len() {
+            return None;
+        }
+        let op = self.stream.get(self.i);
+        self.i += 1;
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.stream.len() - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for OpStreamIter<'_> {}
+
+impl<'a> IntoIterator for &'a OpStream {
+    type Item = Op;
+    type IntoIter = OpStreamIter<'a>;
+
+    fn into_iter(self) -> OpStreamIter<'a> {
+        self.iter()
+    }
+}
+
 /// A contiguous region of the modelled address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Region {
@@ -102,7 +322,7 @@ pub struct Phase {
     pub name: String,
     /// One op stream per GPE; the vector length must equal the machine's
     /// GPE count.
-    pub streams: Vec<Vec<Op>>,
+    pub streams: Vec<OpStream>,
     /// Address regions the kernel maps into scratchpad when the L1 is in
     /// SPM mode. Accesses outside these regions bypass to L2.
     pub spm_regions: Vec<Region>,
@@ -114,10 +334,13 @@ pub struct Phase {
 
 impl Phase {
     /// A phase with no SPM mapping and the default LCP load.
-    pub fn new(name: &str, streams: Vec<Vec<Op>>) -> Self {
+    ///
+    /// Accepts either [`OpStream`]s directly or legacy `Vec<Op>` streams
+    /// (converted into SoA form on the way in).
+    pub fn new<S: Into<OpStream>>(name: &str, streams: Vec<S>) -> Self {
         Phase {
             name: name.to_string(),
-            streams,
+            streams: streams.into_iter().map(Into::into).collect(),
             spm_regions: Vec::new(),
             lcp_ops_per_gpe_op: 0.05,
         }
@@ -138,15 +361,7 @@ impl Phase {
     /// Total FP ops (including loads and stores — the paper's epoch
     /// currency) across all streams.
     pub fn total_fp_ops(&self) -> u64 {
-        self.streams
-            .iter()
-            .flatten()
-            .map(|op| match op {
-                Op::Flops(n) => *n as u64,
-                Op::Load { .. } | Op::Store { .. } => 1,
-                Op::IntOps(_) => 0,
-            })
-            .sum()
+        self.streams.iter().map(OpStream::fp_ops).sum()
     }
 }
 
@@ -178,11 +393,7 @@ impl Workload {
     pub fn total_flops(&self) -> u64 {
         self.phases
             .iter()
-            .flat_map(|p| p.streams.iter().flatten())
-            .map(|op| match op {
-                Op::Flops(n) => *n as u64,
-                _ => 0,
-            })
+            .flat_map(|p| p.streams.iter().map(OpStream::flops))
             .sum()
     }
 
@@ -207,25 +418,29 @@ impl Workload {
             h.write_u64(phase.streams.len() as u64);
             for stream in &phase.streams {
                 h.write_u64(stream.len() as u64);
-                for op in stream {
-                    match *op {
-                        Op::Flops(n) => {
+                // Byte-identical to the historical AoS hash: the codes
+                // below predate `OpTag` and are pinned forever because
+                // fingerprints name on-disk trace-cache files.
+                let (tags, addrs, auxs) = stream.as_lanes();
+                for i in 0..tags.len() {
+                    match tags[i] {
+                        OpTag::Flops => {
                             h.write_u64(1);
-                            h.write_u64(n as u64);
+                            h.write_u64(auxs[i] as u64);
                         }
-                        Op::IntOps(n) => {
+                        OpTag::IntOps => {
                             h.write_u64(2);
-                            h.write_u64(n as u64);
+                            h.write_u64(auxs[i] as u64);
                         }
-                        Op::Load { addr, pc } => {
+                        OpTag::Load => {
                             h.write_u64(3);
-                            h.write_u64(addr);
-                            h.write_u64(pc as u64);
+                            h.write_u64(addrs[i]);
+                            h.write_u64(auxs[i] as u64);
                         }
-                        Op::Store { addr, pc } => {
+                        OpTag::Store => {
                             h.write_u64(4);
-                            h.write_u64(addr);
-                            h.write_u64(pc as u64);
+                            h.write_u64(addrs[i]);
+                            h.write_u64(auxs[i] as u64);
                         }
                     }
                 }
@@ -322,8 +537,61 @@ mod tests {
         renamed.name = "other".into();
         assert_ne!(mk(64).fingerprint(), renamed.fingerprint());
         // Moving a byte between adjacent strings must not collide.
-        let a = Workload::new("ab", vec![Phase::new("c", vec![])]);
-        let b = Workload::new("a", vec![Phase::new("bc", vec![])]);
+        let a = Workload::new("ab", vec![Phase::new("c", Vec::<OpStream>::new())]);
+        let b = Workload::new("a", vec![Phase::new("bc", Vec::<OpStream>::new())]);
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn op_stream_round_trips_ops() {
+        let ops = vec![
+            Op::Flops(10),
+            Op::IntOps(3),
+            Op::Load { addr: 64, pc: 7 },
+            Op::Store { addr: 96, pc: 8 },
+        ];
+        let stream = OpStream::from(ops.clone());
+        assert_eq!(stream.len(), 4);
+        assert_eq!(stream.iter().collect::<Vec<_>>(), ops);
+        assert_eq!(stream.get(2), ops[2]);
+        assert_eq!(stream.flops(), 10);
+        assert_eq!(stream.fp_ops(), 12);
+        // Typed pushes build the same stream as enum pushes.
+        let mut typed = OpStream::new();
+        typed.push_flops(10);
+        typed.push_int_ops(3);
+        typed.push_load(64, 7);
+        typed.push_store(96, 8);
+        assert_eq!(typed, stream);
+    }
+
+    #[test]
+    fn soa_fingerprint_matches_legacy_aos_hash() {
+        // The SoA stream must hash exactly as the historical Vec<Op>
+        // encoding did: per op, code(1..=4) then the payload words.
+        let w = Workload::new(
+            "w",
+            vec![Phase::new(
+                "p",
+                vec![vec![
+                    Op::Flops(5),
+                    Op::IntOps(2),
+                    Op::Load { addr: 4096, pc: 3 },
+                    Op::Store { addr: 8192, pc: 4 },
+                ]],
+            )],
+        );
+        let mut h = Fnv::new();
+        h.write_str("w");
+        h.write_u64(1); // phases
+        h.write_str("p");
+        h.write_u64(0.05f64.to_bits());
+        h.write_u64(0); // spm regions
+        h.write_u64(1); // streams
+        h.write_u64(4); // ops
+        for word in [1u64, 5, 2, 2, 3, 4096, 3, 4, 8192, 4] {
+            h.write_u64(word);
+        }
+        assert_eq!(w.fingerprint(), h.finish());
     }
 }

@@ -12,7 +12,7 @@ fn run(spec: MachineSpec, cfg: TransmuterConfig, wl: &Workload) -> transmuter::R
 
 /// Each GPE loops over a private working set of `set_bytes`.
 fn looping_workload(set_bytes: u64, iters: u64) -> Workload {
-    let streams = (0..16)
+    let streams: Vec<Vec<Op>> = (0..16)
         .map(|g| {
             let base = g as u64 * (set_bytes + 4096);
             let elems = set_bytes / 8;
