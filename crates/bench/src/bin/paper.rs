@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! Usage: paper [--threads N] [--cache-dir DIR] [--serial] [experiment ...|all]
+//! Usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES]
+//!              [--serial] [experiment ...|all]
 //! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
 //!              sec7 insights ablation
 //! Scale via SA_SCALE = quick | half | paper (default quick).
@@ -9,13 +10,17 @@
 //!
 //! `--threads N` caps the worker pool (default: available parallelism).
 //! `--cache-dir DIR` persists simulated traces to disk so later runs —
-//! even across processes — reuse them. `--serial` runs experiments one
-//! after another at full thread count instead of fanning out; use it
-//! when per-experiment progress output matters more than wall clock.
+//! even across processes — reuse them. `--cache-mem-cap BYTES` bounds
+//! the in-memory trace cache (LRU eviction beyond the cap) for
+//! memory-constrained hosts. `--serial` runs experiments one after
+//! another at full thread count instead of fanning out; use it when
+//! per-experiment progress output matters more than wall clock.
 //!
-//! With `all` (the default), experiments themselves run concurrently:
-//! the thread budget is split so each experiment gets an inner slice of
-//! the pool while several experiments proceed at once, all sharing the
+//! With `all` (the default), experiments themselves run concurrently.
+//! The thread budget is apportioned by each experiment's measured cost
+//! weight ([`sa_bench::experiment_weight`]), so sweep-heavy experiments
+//! (fig6/fig9/fig12-class) get proportionally more of the pool than the
+//! near-instant report-only ones, while all of them share the
 //! process-wide trace and model caches.
 //!
 //! Models are trained on first use and cached under `models/<scale>/`;
@@ -101,13 +106,15 @@ fn run_one(harness: &Harness, which: &str) -> bool {
 struct Cli {
     threads: Option<usize>,
     cache_dir: Option<std::path::PathBuf>,
+    cache_mem_cap: Option<usize>,
     serial: bool,
     experiments: Vec<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
-        "usage: paper [--threads N] [--cache-dir DIR] [--serial] [experiment ...|all]\n\
+        "usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES] [--serial] \
+         [experiment ...|all]\n\
          experiments: {} all",
         ALL.join(" ")
     );
@@ -118,6 +125,7 @@ fn parse_cli() -> Cli {
     let mut cli = Cli {
         threads: None,
         cache_dir: None,
+        cache_mem_cap: None,
         serial: false,
         experiments: Vec::new(),
     };
@@ -142,6 +150,17 @@ fn parse_cli() -> Cli {
                 });
                 cli.cache_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--cache-mem-cap" => {
+                let cap = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--cache-mem-cap needs a positive byte count");
+                        usage_and_exit(2)
+                    });
+                cli.cache_mem_cap = Some(cap);
+            }
             "--serial" => cli.serial = true,
             "--help" | "-h" => usage_and_exit(0),
             other if other.starts_with('-') => {
@@ -162,6 +181,9 @@ fn main() {
     }
     if let Some(dir) = &cli.cache_dir {
         sparseadapt::trace_cache::TraceCache::global().set_disk_dir(Some(dir.clone()));
+    }
+    if cli.cache_mem_cap.is_some() {
+        sparseadapt::trace_cache::TraceCache::global().set_memory_cap(cli.cache_mem_cap);
     }
     let list: Vec<String> =
         if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {
@@ -186,14 +208,30 @@ fn main() {
             run_one(&harness, exp);
         }
     } else {
-        // Fan out across experiments: split the thread budget so `outer`
-        // experiments run concurrently, each with an `inner` slice of the
-        // pool. All of them share the process-wide trace and model caches,
-        // so overlapping sweeps (e.g. fig6 and fig8 on the same suite)
+        // Fan out across experiments, cost-weighted: `outer` experiments
+        // run concurrently and the thread budget is apportioned by each
+        // one's measured weight, so sweep-heavy experiments hold larger
+        // inner pools than the near-instant report-only ones. Heavy
+        // experiments also start first, shortening the makespan tail.
+        // All of them share the process-wide trace and model caches, so
+        // overlapping sweeps (e.g. fig6 and fig8 on the same suite)
         // simulate each (spec, workload, config) triple exactly once.
-        let (outer, inner) = sparseadapt::exec::split_threads(list.len(), harness.threads);
-        let per_exp = harness.with_threads(inner);
-        sparseadapt::exec::parallel_map(list.len(), outer, |i| run_one(&per_exp, &list[i]));
+        let mut order: Vec<usize> = (0..list.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(sa_bench::experiment_weight(&list[i])));
+        let ordered: Vec<&String> = order.iter().map(|&i| &list[i]).collect();
+        let weights: Vec<u64> = ordered
+            .iter()
+            .map(|e| sa_bench::experiment_weight(e))
+            .collect();
+        let (outer, _) = sparseadapt::exec::split_threads(list.len(), harness.threads);
+        // With `outer` experiments in flight at a time, apportioning
+        // threads * len / outer across all of them keeps the expected
+        // concurrent thread usage near the budget.
+        let budget = (harness.threads * list.len()).div_ceil(outer);
+        let shares = sparseadapt::exec::weighted_shares(&weights, budget);
+        sparseadapt::exec::parallel_map(list.len(), outer, |i| {
+            run_one(&harness.with_threads(shares[i]), ordered[i])
+        });
     }
     let stats = sparseadapt::trace_cache::TraceCache::global().stats();
     eprintln!(

@@ -25,6 +25,8 @@
 //! * [`trace_cache`] — the process-wide content-addressed cache of
 //!   simulation traces, with a bounded in-memory layer and an optional
 //!   on-disk layer in the [`trace_bin`] binary format.
+//! * [`service`] — the serializable request/response model of the
+//!   serving layer (the `serve` daemon's domain types).
 //! * [`schemes`] — the §5.3 comparison points: Ideal Static, Ideal
 //!   Greedy, Oracle (DAG shortest path), ProfileAdapt naïve/ideal.
 //! * [`eval`] — one-call comparison of every scheme on a workload.
@@ -32,21 +34,50 @@
 //!
 //! # Example: closing the loop live
 //!
-//! ```no_run
+//! The controller needs a trained ensemble (production code loads one
+//! with [`PredictiveEnsemble::load`] or trains via the `trainer` crate);
+//! here a minimal ensemble is fitted inline so the example runs as-is.
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use mltree::{Dataset, DecisionTree, TreeParams};
+//! use sparseadapt::features::{feature_names, feature_vector};
 //! use sparseadapt::model::PredictiveEnsemble;
 //! use sparseadapt::policy::ReconfigPolicy;
 //! use sparseadapt::runtime::SparseAdaptController;
-//! use transmuter::config::{MachineSpec, TransmuterConfig};
+//! use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
+//! use transmuter::counters::Telemetry;
 //! use transmuter::machine::Machine;
-//! # fn workload() -> transmuter::workload::Workload { unimplemented!() }
+//! use transmuter::workload::{Op, Phase, Workload};
 //!
-//! let spec = MachineSpec::default();
-//! let ensemble = PredictiveEnsemble::load(std::path::Path::new("model.json"))?;
+//! // A tiny workload: 16 GPE streams of strided loads and FLOPs.
+//! let streams: Vec<Vec<Op>> = (0..16)
+//!     .map(|g| {
+//!         (0..64u64)
+//!             .flat_map(|i| {
+//!                 [Op::Load { addr: g as u64 * 4096 + i * 32, pc: 1 }, Op::Flops(1)]
+//!             })
+//!             .collect()
+//!     })
+//!     .collect();
+//! let workload = Workload::new("tiny", vec![Phase::new("phase0", streams)]);
+//!
+//! // Fit a one-example-per-dimension ensemble that recommends the
+//! // baseline configuration whatever the counters say.
+//! let mut trees = BTreeMap::new();
+//! for p in ConfigParam::ALL {
+//!     let mut data = Dataset::new(feature_names());
+//!     let cfg = TransmuterConfig::baseline();
+//!     data.push(feature_vector(&Telemetry::default(), &cfg), p.get_index(&cfg));
+//!     trees.insert(p, DecisionTree::fit(&data, &TreeParams::default()));
+//! }
+//! let ensemble = PredictiveEnsemble::new(trees);
+//!
+//! let spec = MachineSpec::default().with_epoch_ops(100);
 //! let mut ctrl = SparseAdaptController::new(ensemble, ReconfigPolicy::Conservative, spec);
 //! let mut machine = Machine::new(spec, TransmuterConfig::baseline());
-//! let result = machine.run_with_controller(&workload(), &mut ctrl);
-//! println!("{:.2} GFLOPS/W", result.metrics().gflops_per_watt());
-//! # Ok::<(), std::io::Error>(())
+//! let result = machine.run_with_controller(&workload, &mut ctrl);
+//! assert!(result.metrics().gflops_per_watt() > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -60,6 +91,7 @@ pub mod model;
 pub mod policy;
 pub mod runtime;
 pub mod schemes;
+pub mod service;
 pub mod stitch;
 pub mod trace_bin;
 pub mod trace_cache;

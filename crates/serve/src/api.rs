@@ -1,0 +1,295 @@
+//! The daemon's wire types: requests that name workloads by suite id.
+//!
+//! Pure-domain shapes (telemetry in, configuration out, trace
+//! summaries) live in [`sparseadapt::service`]; this module adds the
+//! serving-layer vocabulary — kernel and matrix *names*, named
+//! configuration presets — because resolving those names into concrete
+//! workloads is the bench harness's business and should not leak into
+//! the core crate.
+
+use serde::{Deserialize, Serialize};
+use sparse::suite::MatrixSpec;
+use sparseadapt::service::TraceSummary;
+use sparseadapt::ReconfigPolicy;
+use transmuter::config::{MemKind, TransmuterConfig};
+use transmuter::counters::Telemetry;
+use transmuter::metrics::OptMode;
+
+use sa_bench::experiments::Kernel;
+
+/// `POST /v1/simulate`: run (or fetch from the trace cache) one
+/// `(kernel, matrix, config)` simulation and return its summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateRequest {
+    /// Kernel name: `"spmspm"` or `"spmspv"` (case-insensitive).
+    pub kernel: String,
+    /// Suite matrix id (`"R01"`…`"R16"`, or a synthetic id).
+    pub matrix: String,
+    /// L1 memory kind; defaults to `Cache`.
+    pub l1_kind: Option<MemKind>,
+    /// Full explicit configuration. Takes precedence over
+    /// `config_name`.
+    pub config: Option<TransmuterConfig>,
+    /// Named preset: `"baseline"`, `"best_avg_cache"`, `"best_avg_spm"`,
+    /// or `"maximum"`. Defaults to `"baseline"` when neither field is
+    /// given.
+    pub config_name: Option<String>,
+}
+
+/// The answer to a [`SimulateRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulateResponse {
+    /// Kernel, canonical lower-case name.
+    pub kernel: String,
+    /// Matrix id as resolved from the suite.
+    pub matrix: String,
+    /// The concrete configuration that ran.
+    pub config: TransmuterConfig,
+    /// Whole-trace figures of merit.
+    pub summary: TraceSummary,
+    /// `true` when the trace came from the cache (memory or disk)
+    /// rather than a fresh simulation.
+    pub cached: bool,
+    /// Server-side wall time for this request, milliseconds.
+    pub sim_ms: f64,
+}
+
+/// `POST /v1/recommend`: ask the adaptive policy what the next epoch
+/// should run as. Extends [`sparseadapt::service::RecommendRequest`]
+/// with the model-selection fields (which trained ensemble to consult).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendApiRequest {
+    /// Kernel name (selects epoch sizing): `"spmspm"` or `"spmspv"`.
+    pub kernel: String,
+    /// L1 kind the model was trained for; defaults to `Cache`.
+    pub l1_kind: Option<MemKind>,
+    /// Optimisation objective; defaults to `EnergyEfficient`.
+    pub mode: Option<OptMode>,
+    /// Normalised counter snapshot from the epoch that just finished.
+    pub telemetry: Telemetry,
+    /// Configuration the epoch ran under.
+    pub current: TransmuterConfig,
+    /// Hysteresis policy; `None` returns the raw model output.
+    pub policy: Option<ReconfigPolicy>,
+    /// Elapsed time of the previous epoch in seconds.
+    pub last_epoch_time_s: Option<f64>,
+}
+
+/// `POST /v1/sweep`: launch an asynchronous configuration sweep; the
+/// response is a job id to poll at `GET /v1/jobs/<id>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepRequest {
+    /// Kernel name: `"spmspm"` or `"spmspv"`.
+    pub kernel: String,
+    /// Suite matrix id.
+    pub matrix: String,
+    /// L1 memory kind; defaults to `Cache`.
+    pub l1_kind: Option<MemKind>,
+    /// Number of sampled configurations; defaults to the harness's
+    /// scale default.
+    pub sampled: Option<u64>,
+    /// Sampling seed; defaults to the harness seed.
+    pub seed: Option<u64>,
+}
+
+/// One configuration with its whole-trace scores, for sweep results.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfigScore {
+    /// The configuration.
+    pub config: TransmuterConfig,
+    /// Whole-trace GFLOPS under it.
+    pub gflops: f64,
+    /// Whole-trace GFLOPS/W under it.
+    pub gflops_per_watt: f64,
+}
+
+/// The finished result of a sweep job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Kernel, canonical lower-case name.
+    pub kernel: String,
+    /// Matrix id.
+    pub matrix: String,
+    /// Configurations swept.
+    pub configs: u64,
+    /// The best configuration by raw GFLOPS.
+    pub best_perf: ConfigScore,
+    /// The best configuration by GFLOPS/W.
+    pub best_eff: ConfigScore,
+    /// Server-side wall time of the sweep, milliseconds.
+    pub wall_ms: f64,
+}
+
+/// A [`SimulateRequest`] with every name resolved against the suite —
+/// the canonical form used for coalescing keys and execution.
+#[derive(Debug, Clone)]
+pub struct ResolvedSim {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// The suite matrix.
+    pub matrix: MatrixSpec,
+    /// L1 memory kind.
+    pub l1_kind: MemKind,
+    /// The concrete configuration.
+    pub config: TransmuterConfig,
+}
+
+/// Parses a kernel name.
+pub fn parse_kernel(name: &str) -> Result<Kernel, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "spmspm" => Ok(Kernel::SpMSpM),
+        "spmspv" => Ok(Kernel::SpMSpV),
+        other => Err(format!(
+            "unknown kernel '{other}' (expected 'spmspm' or 'spmspv')"
+        )),
+    }
+}
+
+/// Canonical lower-case name of a kernel (inverse of [`parse_kernel`]).
+pub fn kernel_name(kernel: Kernel) -> &'static str {
+    match kernel {
+        Kernel::SpMSpM => "spmspm",
+        Kernel::SpMSpV => "spmspv",
+    }
+}
+
+/// Resolves a named configuration preset.
+pub fn config_by_name(name: &str) -> Result<TransmuterConfig, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "baseline" => Ok(TransmuterConfig::baseline()),
+        "best_avg_cache" => Ok(TransmuterConfig::best_avg_cache()),
+        "best_avg_spm" => Ok(TransmuterConfig::best_avg_spm()),
+        "maximum" => Ok(TransmuterConfig::maximum()),
+        other => Err(format!(
+            "unknown config_name '{other}' (expected baseline, best_avg_cache, best_avg_spm, or maximum)"
+        )),
+    }
+}
+
+fn resolve_matrix(id: &str) -> Result<MatrixSpec, String> {
+    sparse::suite::spec_by_id(id).ok_or_else(|| format!("unknown matrix id '{id}'"))
+}
+
+impl SimulateRequest {
+    /// Resolves every name against the suite; the resolved form keeps
+    /// the configuration concrete, so `{"config_name": "baseline"}` and
+    /// the equivalent explicit `config` coalesce to the same key.
+    pub fn resolve(&self) -> Result<ResolvedSim, String> {
+        let kernel = parse_kernel(&self.kernel)?;
+        let matrix = resolve_matrix(&self.matrix)?;
+        let l1_kind = self.l1_kind.unwrap_or_default();
+        let mut config = match (&self.config, &self.config_name) {
+            (Some(c), _) => *c,
+            (None, Some(name)) => config_by_name(name)?,
+            (None, None) => TransmuterConfig::baseline(),
+        };
+        // The compile-time L1 kind lives on the config; keep the two
+        // fields coherent rather than letting them silently disagree.
+        config.l1_kind = l1_kind;
+        Ok(ResolvedSim {
+            kernel,
+            matrix,
+            l1_kind,
+            config,
+        })
+    }
+}
+
+impl ResolvedSim {
+    /// The coalescing/dedup key: everything that determines the
+    /// response except server-side timing.
+    pub fn key(&self) -> String {
+        format!(
+            "sim/{}/{}/{:?}/{:016x}",
+            kernel_name(self.kernel),
+            self.matrix.id,
+            self.l1_kind,
+            self.config.fingerprint()
+        )
+    }
+}
+
+impl SweepRequest {
+    /// Resolves the kernel/matrix names (configuration is sampled, not
+    /// named, so the resolved form carries the baseline placeholder).
+    pub fn resolve(&self) -> Result<ResolvedSim, String> {
+        let kernel = parse_kernel(&self.kernel)?;
+        let matrix = resolve_matrix(&self.matrix)?;
+        let l1_kind = self.l1_kind.unwrap_or_default();
+        let mut config = TransmuterConfig::baseline();
+        config.l1_kind = l1_kind;
+        Ok(ResolvedSim {
+            kernel,
+            matrix,
+            l1_kind,
+            config,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_request_round_trips_and_resolves() {
+        let req = SimulateRequest {
+            kernel: "SpMSpV".to_string(),
+            matrix: "R09".to_string(),
+            l1_kind: Some(MemKind::Spm),
+            config: None,
+            config_name: Some("best_avg_spm".to_string()),
+        };
+        let json = serde_json::to_string(&req).expect("serializes");
+        let back: SimulateRequest = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, req);
+        let resolved = back.resolve().expect("resolves");
+        assert_eq!(resolved.kernel, Kernel::SpMSpV);
+        assert_eq!(resolved.matrix.id, "R09");
+        assert_eq!(resolved.config.l1_kind, MemKind::Spm);
+    }
+
+    #[test]
+    fn missing_optional_fields_default() {
+        // Sparse hand-written JSON, as a curl user would send it.
+        let req: SimulateRequest =
+            serde_json::from_str(r#"{"kernel": "spmspm", "matrix": "R01"}"#).expect("parses");
+        let resolved = req.resolve().expect("resolves");
+        assert_eq!(resolved.l1_kind, MemKind::Cache);
+        assert_eq!(resolved.config, TransmuterConfig::baseline());
+    }
+
+    #[test]
+    fn named_and_explicit_configs_coalesce_to_one_key() {
+        let named = SimulateRequest {
+            kernel: "spmspm".to_string(),
+            matrix: "R01".to_string(),
+            l1_kind: None,
+            config: None,
+            config_name: Some("baseline".to_string()),
+        };
+        let explicit = SimulateRequest {
+            config: Some(TransmuterConfig::baseline()),
+            config_name: None,
+            ..named.clone()
+        };
+        assert_eq!(
+            named.resolve().unwrap().key(),
+            explicit.resolve().unwrap().key()
+        );
+    }
+
+    #[test]
+    fn bad_names_produce_errors_not_panics() {
+        assert!(parse_kernel("gemm").is_err());
+        assert!(config_by_name("fastest").is_err());
+        let req = SimulateRequest {
+            kernel: "spmspm".to_string(),
+            matrix: "R99".to_string(),
+            l1_kind: None,
+            config: None,
+            config_name: None,
+        };
+        assert!(req.resolve().is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The `loadgen` load-testing client.
+//!
+//! ```text
+//! Usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N]
+//!                [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F]
+//! ```
+//!
+//! Runs a cold pass (every unique request once, empty-cache latencies)
+//! then a warm phase (concurrent closed-loop or rate-paced traffic),
+//! prints the report, and optionally writes it to `--out`
+//! (`BENCH_serve.json`). Exits non-zero when any response falls outside
+//! {2xx, 429} or when `--guard` detects a warm-p99 regression.
+
+use std::path::PathBuf;
+
+use serve::loadgen::{check_guard, run, LoadgenConfig};
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N] \
+         [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F]"
+    );
+    std::process::exit(code);
+}
+
+fn parse_config() -> LoadgenConfig {
+    let mut config = LoadgenConfig::default();
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage_and_exit(2)
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = need(&mut args, "--addr"),
+            "--duration" => {
+                config.duration_s = need(&mut args, "--duration")
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--duration needs a positive number of seconds");
+                        usage_and_exit(2)
+                    })
+            }
+            "--concurrency" => {
+                config.concurrency = need(&mut args, "--concurrency")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--concurrency needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--rps" => {
+                config.target_rps = Some(
+                    need(&mut args, "--rps")
+                        .parse()
+                        .ok()
+                        .filter(|&r: &f64| r > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("--rps needs a positive rate");
+                            usage_and_exit(2)
+                        }),
+                )
+            }
+            "--out" => config.out = Some(PathBuf::from(need(&mut args, "--out"))),
+            "--guard" => config.guard = Some(PathBuf::from(need(&mut args, "--guard"))),
+            "--guard-factor" => {
+                config.guard_factor = need(&mut args, "--guard-factor")
+                    .parse()
+                    .ok()
+                    .filter(|&f: &f64| f > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--guard-factor needs a positive factor");
+                        usage_and_exit(2)
+                    })
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage_and_exit(2)
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(path) = &config.out {
+        if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+            eprintln!("loadgen: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "# cold {:.1} req/s (p99 {:.1} ms) -> warm {:.1} req/s (p99 {:.2} ms), {:.1}x; \
+         server hit ratio {:.3}",
+        report.cold.rps,
+        report.cold.p99_ms,
+        report.warm.rps,
+        report.warm.p99_ms,
+        report.warm_over_cold_rps,
+        report.server_hit_ratio,
+    );
+    if report.cold_cache_hits > 0 {
+        eprintln!(
+            "# warning: {} cold-pass responses were already cached — start a fresh daemon \
+             for a true cold baseline",
+            report.cold_cache_hits
+        );
+    }
+    let mut failed = false;
+    if report.cold.errors + report.warm.errors > 0 {
+        eprintln!(
+            "loadgen: {} responses outside {{2xx, 429}}",
+            report.cold.errors + report.warm.errors
+        );
+        failed = true;
+    }
+    if let Some(guard) = &config.guard {
+        if let Err(e) = check_guard(&report, guard, config.guard_factor) {
+            eprintln!("loadgen: guard: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,90 @@
+//! The `sparseadapt-serve` daemon binary.
+//!
+//! ```text
+//! Usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--cache-dir DIR] [--cache-mem-cap BYTES]
+//! Scale via SA_SCALE = quick | half | paper (default quick).
+//! ```
+
+use serve::{start, ServeConfig};
+
+fn usage_and_exit(code: i32) -> ! {
+    eprintln!(
+        "usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
+         [--cache-dir DIR] [--cache-mem-cap BYTES]"
+    );
+    std::process::exit(code);
+}
+
+fn parse_config() -> ServeConfig {
+    let mut config = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a value");
+            usage_and_exit(2)
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = need(&mut args, "--addr"),
+            "--workers" => {
+                config.workers = need(&mut args, "--workers").parse().unwrap_or_else(|_| {
+                    eprintln!("--workers needs an integer");
+                    usage_and_exit(2)
+                })
+            }
+            "--queue-cap" => {
+                config.queue_cap = need(&mut args, "--queue-cap")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--queue-cap needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(need(&mut args, "--cache-dir")))
+            }
+            "--cache-mem-cap" => {
+                config.cache_mem_cap = Some(
+                    need(&mut args, "--cache-mem-cap")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--cache-mem-cap needs a byte count");
+                            usage_and_exit(2)
+                        }),
+                )
+            }
+            "--help" | "-h" => usage_and_exit(0),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                usage_and_exit(2)
+            }
+        }
+    }
+    config
+}
+
+fn main() {
+    let config = parse_config();
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "# sparseadapt-serve listening on {} — {} workers, queue cap {} (scale {:?})",
+        handle.addr,
+        handle.state.pool.workers(),
+        handle.state.pool.queue_cap(),
+        handle.state.harness.scale,
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,186 @@
+//! In-flight request coalescing.
+//!
+//! Identical simulation requests arriving while the first copy is still
+//! computing should cost one simulation and produce byte-identical
+//! responses. The trace cache already deduplicates the *simulation*;
+//! coalescing one level up also deduplicates workload construction,
+//! summarization, and serialization, and — more importantly — means the
+//! duplicate request never occupies a second pool worker for the full
+//! duration: it parks on the leader's slot instead.
+//!
+//! The map only holds keys while they are in flight: the last waiter to
+//! leave removes the slot, so completed requests go back through the
+//! normal (trace-cache-accelerated) path and the map cannot grow with
+//! the request history.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct Slot<V> {
+    state: Mutex<Option<V>>,
+    ready: Condvar,
+    /// Requests sharing this slot (leader + waiters), for removal.
+    members: AtomicU64,
+}
+
+/// Coalesces concurrent computations by key. `V` is cloned to each
+/// waiter — responses are `Arc`-able strings, so clones are cheap.
+pub struct Coalescer<K, V> {
+    inflight: Mutex<HashMap<K, Arc<Slot<V>>>>,
+    coalesced: AtomicU64,
+    led: AtomicU64,
+}
+
+impl<K, V> Default for Coalescer<K, V> {
+    fn default() -> Self {
+        Coalescer {
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
+            led: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> Coalescer<K, V> {
+    /// An empty coalescer.
+    pub fn new() -> Self {
+        Coalescer::default()
+    }
+
+    /// Requests that piggybacked on another request's computation.
+    pub fn coalesced_total(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests that actually ran their computation.
+    pub fn led_total(&self) -> u64 {
+        self.led.load(Ordering::Relaxed)
+    }
+
+    /// Keys currently in flight.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().expect("coalescer lock").len()
+    }
+
+    /// Returns `compute()`'s value for `key`, running `compute` only if
+    /// no other call for the same key is currently in flight; otherwise
+    /// blocks until the in-flight leader finishes and shares its value.
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let (slot, leader) = {
+            let mut map = self.inflight.lock().expect("coalescer lock");
+            match map.get(&key) {
+                Some(slot) => {
+                    slot.members.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(slot), false)
+                }
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(None),
+                        ready: Condvar::new(),
+                        members: AtomicU64::new(1),
+                    });
+                    map.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+
+        let value = if leader {
+            self.led.fetch_add(1, Ordering::Relaxed);
+            let value = compute();
+            let mut state = slot.state.lock().expect("slot lock");
+            *state = Some(value.clone());
+            drop(state);
+            slot.ready.notify_all();
+            value
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            let mut state = slot.state.lock().expect("slot lock");
+            while state.is_none() {
+                state = slot.ready.wait(state).expect("slot lock");
+            }
+            state.clone().expect("checked above")
+        };
+
+        // Last member out retires the slot so the key can lead again.
+        if slot.members.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut map = self.inflight.lock().expect("coalescer lock");
+            if let Some(current) = map.get(&key) {
+                if Arc::ptr_eq(current, &slot) {
+                    map.remove(&key);
+                }
+            }
+        }
+        value
+    }
+}
+
+impl<K, V> std::fmt::Debug for Coalescer<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Coalescer")
+            .field("coalesced", &self.coalesced.load(Ordering::Relaxed))
+            .field("led", &self.led.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+
+    #[test]
+    fn concurrent_identical_keys_compute_once() {
+        let c = Coalescer::<u32, u64>::new();
+        let runs = AtomicUsize::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let v = c.get_or_compute(7, || {
+                        runs.fetch_add(1, Ordering::Relaxed);
+                        // Hold the slot long enough for every sibling to
+                        // arrive while the computation is in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        42
+                    });
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "one leader only");
+        assert_eq!(c.coalesced_total(), 7);
+        assert_eq!(c.led_total(), 1);
+        assert_eq!(c.inflight_len(), 0, "slot retired after the last waiter");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_share() {
+        let c = Coalescer::<u32, u32>::new();
+        std::thread::scope(|scope| {
+            for k in 0..4u32 {
+                let c = &c;
+                scope.spawn(move || {
+                    assert_eq!(c.get_or_compute(k, || k * 10), k * 10);
+                });
+            }
+        });
+        assert_eq!(c.led_total(), 4);
+        assert_eq!(c.coalesced_total(), 0);
+    }
+
+    #[test]
+    fn sequential_repeats_each_lead() {
+        // No concurrency -> no coalescing; the trace cache handles the
+        // repeat, not the coalescer.
+        let c = Coalescer::<&'static str, u8>::new();
+        assert_eq!(c.get_or_compute("k", || 1), 1);
+        assert_eq!(c.get_or_compute("k", || 2), 2);
+        assert_eq!(c.led_total(), 2);
+        assert_eq!(c.coalesced_total(), 0);
+        assert_eq!(c.inflight_len(), 0);
+    }
+}

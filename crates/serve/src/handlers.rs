@@ -1,0 +1,289 @@
+//! One function per endpoint: parse, resolve, admit, execute, render.
+//!
+//! POST routes (simulation work) go through the bounded pool via
+//! [`crate::queue`]; GET routes (metrics, job polls, health) answer
+//! inline from the connection thread because they only read counters.
+//! `POST /v1/simulate` additionally coalesces: concurrent identical
+//! requests share one admitted job and receive byte-identical bodies.
+
+use std::cell::Cell;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use sparseadapt::service::{self, summarize_trace};
+use sparseadapt::stitch::{sample_configs, SweepData};
+use sparseadapt::trace_cache::{simulate_trace, TraceCache, TraceKey};
+
+use crate::api::{
+    kernel_name, parse_kernel, ConfigScore, RecommendApiRequest, ResolvedSim, SimulateRequest,
+    SimulateResponse, SweepRequest, SweepResult,
+};
+use crate::http::Response;
+use crate::metrics::QueueGauges;
+use crate::queue::{self, AdmitError};
+use crate::server::AppState;
+
+/// The maximum `sampled` a sweep request may ask for — bounds one job's
+/// memory and wall time regardless of what the client sends.
+pub const MAX_SWEEP_SAMPLED: u64 = 4096;
+
+fn error_body(status: u16, message: &str) -> String {
+    String::from_utf8(Response::error(status, message).body).expect("error envelope is UTF-8")
+}
+
+fn with_retry_after(state: &AppState, resp: Response) -> Response {
+    let retry = queue::retry_after_s(&state.pool);
+    resp.with_header("retry-after", retry.to_string())
+}
+
+fn admit_error_response(state: &AppState, err: AdmitError) -> Response {
+    match err {
+        AdmitError::Full => with_retry_after(
+            state,
+            Response::error(429, "admission queue full; retry later"),
+        ),
+        AdmitError::Crashed => Response::error(500, "worker crashed while serving the request"),
+    }
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request: {e}")))
+}
+
+/// `GET /healthz`.
+pub fn healthz() -> Response {
+    Response::json(200, "{\"ok\": true}")
+}
+
+/// `GET /metrics`.
+pub fn metrics(state: &AppState) -> Response {
+    let gauges = QueueGauges {
+        queue_depth: state.pool.queue_depth(),
+        in_flight: state.pool.in_flight(),
+        queue_cap: state.pool.queue_cap(),
+        workers: state.pool.workers(),
+    };
+    let snap = state.metrics.snapshot(gauges, TraceCache::global().stats());
+    Response::json(
+        200,
+        serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes"),
+    )
+}
+
+/// `GET /v1/jobs`.
+pub fn jobs(state: &AppState) -> Response {
+    Response::json(200, state.jobs.render_all())
+}
+
+/// `GET /v1/jobs/<id>`.
+pub fn job(state: &AppState, id_str: &str) -> Response {
+    let Ok(id) = id_str.parse::<u64>() else {
+        return Response::error(400, "job id must be an integer");
+    };
+    match state.jobs.render(id) {
+        Some(doc) => Response::json(200, doc),
+        None => Response::error(404, &format!("no such job {id}")),
+    }
+}
+
+/// `POST /v1/simulate`: coalesced, admitted, cache-backed simulation.
+pub fn simulate(state: &Arc<AppState>, body: &[u8]) -> Response {
+    let req: SimulateRequest = match parse_body(body) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    let resolved = match req.resolve() {
+        Ok(r) => r,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let key = resolved.key();
+    let led = Cell::new(false);
+    let (status, body) = state.coalescer.get_or_compute(key, || {
+        led.set(true);
+        let st = Arc::clone(state);
+        let r = resolved.clone();
+        match queue::run_admitted(&state.pool, move || run_simulate(&st, &r)) {
+            Ok(out) => out,
+            Err(AdmitError::Full) => (429, error_body(429, "admission queue full; retry later")),
+            Err(AdmitError::Crashed) => (500, error_body(500, "worker crashed while simulating")),
+        }
+    });
+    if !led.get() {
+        state.metrics.record_coalesced();
+    }
+    let resp = Response::json(status, body);
+    if status == 429 {
+        with_retry_after(state, resp)
+    } else {
+        resp
+    }
+}
+
+/// Executes one resolved simulation on a pool worker.
+fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
+    let started = Instant::now();
+    let spec = r.kernel.spec(state.harness.scale);
+    let (workload, workload_fp) = state.suite_workload(r);
+    let ran = AtomicBool::new(false);
+    // TraceKey is assembled from the memoized fingerprint rather than
+    // get_or_simulate_for: re-hashing the op stream on every warm
+    // request would dwarf the cache lookup it keys.
+    let key = TraceKey {
+        spec: spec.fingerprint(),
+        workload: workload_fp,
+        config: r.config.fingerprint(),
+    };
+    let trace = TraceCache::global().get_or_simulate(key, || {
+        ran.store(true, Ordering::Relaxed);
+        simulate_trace(spec, &workload, r.config)
+    });
+    let response = SimulateResponse {
+        kernel: kernel_name(r.kernel).to_string(),
+        matrix: r.matrix.id.to_string(),
+        config: r.config,
+        summary: summarize_trace(&trace),
+        cached: !ran.load(Ordering::Relaxed),
+        sim_ms: started.elapsed().as_secs_f64() * 1e3,
+    };
+    (
+        200,
+        serde_json::to_string(&response).expect("simulate response serializes"),
+    )
+}
+
+/// `POST /v1/recommend`: model inference on a pool worker.
+pub fn recommend(state: &Arc<AppState>, body: &[u8]) -> Response {
+    let req: RecommendApiRequest = match parse_body(body) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    let kernel = match parse_kernel(&req.kernel) {
+        Ok(k) => k,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let l1_kind = req.l1_kind.unwrap_or_default();
+    let mode = req.mode.unwrap_or_default();
+    let harness = state.harness;
+    let admitted = queue::run_admitted(&state.pool, move || {
+        let ensemble = sa_bench::models::ensemble(harness.scale, l1_kind, mode, harness.threads);
+        let spec = kernel.spec(harness.scale);
+        let core_req = service::RecommendRequest {
+            telemetry: req.telemetry,
+            current: req.current,
+            policy: req.policy,
+            last_epoch_time_s: req.last_epoch_time_s,
+        };
+        let resp = service::recommend(&ensemble, &spec, &core_req);
+        serde_json::to_string(&resp).expect("recommend response serializes")
+    });
+    match admitted {
+        Ok(body) => Response::json(200, body),
+        Err(err) => admit_error_response(state, err),
+    }
+}
+
+/// `POST /v1/sweep`: launch an asynchronous sweep job; 202 + job id.
+pub fn sweep(state: &Arc<AppState>, body: &[u8]) -> Response {
+    let req: SweepRequest = match parse_body(body) {
+        Ok(req) => req,
+        Err(resp) => return resp,
+    };
+    let resolved = match req.resolve() {
+        Ok(r) => r,
+        Err(msg) => return Response::error(400, &msg),
+    };
+    let sampled = req
+        .sampled
+        .unwrap_or(state.harness.sampled_configs as u64)
+        .clamp(1, MAX_SWEEP_SAMPLED) as usize;
+    let seed = req.seed.unwrap_or(state.harness.seed);
+    let desc = format!(
+        "sweep {}/{} l1={:?} sampled={sampled}",
+        kernel_name(resolved.kernel),
+        resolved.matrix.id,
+        resolved.l1_kind
+    );
+    let id = state.jobs.create(&desc);
+    let job_state = Arc::clone(state);
+    let submitted = queue::submit_detached(&state.pool, move || {
+        job_state.jobs.mark_running(id);
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_sweep(&job_state, &resolved, sampled, seed)
+        }));
+        match out {
+            Ok(Ok(json)) => job_state.jobs.finish(id, json),
+            Ok(Err(msg)) => job_state.jobs.fail(id, msg),
+            Err(_) => job_state.jobs.fail(id, "sweep panicked".to_string()),
+        }
+    });
+    match submitted {
+        Ok(()) => {
+            let body = serde_json::to_string(&serde::Value::Obj(vec![
+                ("job_id".to_string(), serde::Value::UInt(id)),
+                ("status".to_string(), serde::Value::Str("queued".into())),
+                (
+                    "poll".to_string(),
+                    serde::Value::Str(format!("/v1/jobs/{id}")),
+                ),
+            ]))
+            .expect("accepted envelope serializes");
+            Response::json(202, body)
+        }
+        Err(_) => {
+            state
+                .jobs
+                .fail(id, "rejected by admission control".to_string());
+            with_retry_after(
+                state,
+                Response::error(429, "admission queue full; retry later"),
+            )
+        }
+    }
+}
+
+/// Executes a sweep job: sample configurations, simulate each (through
+/// the shared sweep pool and trace cache), score, pick winners.
+fn run_sweep(
+    state: &AppState,
+    r: &ResolvedSim,
+    sampled: usize,
+    seed: u64,
+) -> Result<String, String> {
+    let started = Instant::now();
+    let spec = r.kernel.spec(state.harness.scale);
+    let (workload, _) = state.suite_workload(r);
+    let configs = sample_configs(r.l1_kind, sampled, seed);
+    let data = SweepData::simulate(spec, &workload, &configs, state.harness.threads);
+    let mut best_perf: Option<ConfigScore> = None;
+    let mut best_eff: Option<ConfigScore> = None;
+    for (config, trace) in data.configs.iter().zip(&data.traces) {
+        let s = summarize_trace(trace);
+        let score = ConfigScore {
+            config: *config,
+            gflops: s.gflops,
+            gflops_per_watt: s.gflops_per_watt,
+        };
+        if best_perf.as_ref().is_none_or(|b| score.gflops > b.gflops) {
+            best_perf = Some(score.clone());
+        }
+        if best_eff
+            .as_ref()
+            .is_none_or(|b| score.gflops_per_watt > b.gflops_per_watt)
+        {
+            best_eff = Some(score);
+        }
+    }
+    let result = SweepResult {
+        kernel: kernel_name(r.kernel).to_string(),
+        matrix: r.matrix.id.to_string(),
+        configs: data.configs.len() as u64,
+        best_perf: best_perf.ok_or("sweep produced no configurations")?,
+        best_eff: best_eff.ok_or("sweep produced no configurations")?,
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    };
+    serde_json::to_string(&result).map_err(|e| format!("result serialization failed: {e}"))
+}

@@ -1,0 +1,440 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net`.
+//!
+//! The workspace vendors its few dependencies as std-only subsets, so
+//! the daemon speaks exactly the slice of HTTP/1.1 it needs: request
+//! line + headers + `Content-Length` bodies in, fixed-length responses
+//! with keep-alive out. No chunked transfer, no TLS, no HTTP/2 — a
+//! reverse proxy owns those concerns in any real deployment.
+//!
+//! The same parsing core serves both sides: the server reads requests
+//! ([`read_request`]) and the `loadgen` client reads responses
+//! ([`read_response`]).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request/status line plus headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed request head plus body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Raw query string (without the `?`), empty if none.
+    pub query: String,
+    /// Header `(name, value)` pairs; names are lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A response about to be written (or, on the client side, just read).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond `Content-Length`/`Content-Type`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON error response in the daemon's uniform error envelope.
+    pub fn error(status: u16, message: &str) -> Response {
+        let body = serde_json::to_string(&serde::Value::Obj(vec![
+            ("error".to_string(), serde::Value::Str(message.to_string())),
+            ("status".to_string(), serde::Value::UInt(status as u64)),
+        ]))
+        .expect("error envelope serializes");
+        Response::json(status, body)
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// First value of a header, by lower-case name (client side).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// The canonical reason phrase for the codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Outcome of trying to read one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request was parsed.
+    Request(Request),
+    /// The peer closed the connection cleanly between requests.
+    Closed,
+    /// The bytes did not form a parseable/acceptable request; the given
+    /// response should be written before closing.
+    Malformed(Response),
+}
+
+fn head_line(reader: &mut BufReader<&TcpStream>, budget: &mut usize) -> io::Result<Option<String>> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *budget = budget.saturating_sub(n);
+    if *budget == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "header section too large",
+        ));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+/// Reads and parses one request. `reader` must wrap the connection's
+/// stream and is reused across keep-alive requests so buffered bytes
+/// are not lost between them.
+///
+/// # Errors
+///
+/// Propagates socket errors (including read timeouts, which the caller
+/// uses as a poll tick).
+pub fn read_request(reader: &mut BufReader<&TcpStream>) -> io::Result<ReadOutcome> {
+    let mut budget = MAX_HEAD_BYTES;
+    let request_line = match head_line(reader, &mut budget) {
+        Ok(None) => return Ok(ReadOutcome::Closed),
+        Ok(Some(line)) if line.is_empty() => return Ok(ReadOutcome::Closed),
+        Ok(Some(line)) => line,
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+            return Ok(ReadOutcome::Malformed(Response::error(
+                400,
+                "header section too large",
+            )))
+        }
+        Err(e) => return Err(e),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(ReadOutcome::Malformed(Response::error(
+            400,
+            "malformed request line",
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(ReadOutcome::Malformed(Response::error(
+            400,
+            "unsupported HTTP version",
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match head_line(reader, &mut budget) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return Ok(ReadOutcome::Malformed(Response::error(
+                    400,
+                    "connection closed mid-headers",
+                )))
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return Ok(ReadOutcome::Malformed(Response::error(
+                    400,
+                    "header section too large",
+                )))
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(ReadOutcome::Malformed(Response::error(
+                400,
+                "malformed header line",
+            )));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    let body = match content_length {
+        None => Vec::new(),
+        Some(Err(_)) => {
+            return Ok(ReadOutcome::Malformed(Response::error(
+                400,
+                "unparseable content-length",
+            )))
+        }
+        Some(Ok(len)) if len > MAX_BODY_BYTES => {
+            return Ok(ReadOutcome::Malformed(Response::error(
+                413,
+                "request body too large",
+            )))
+        }
+        Some(Ok(len)) => {
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+    };
+
+    Ok(ReadOutcome::Request(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+    }))
+}
+
+/// Writes `response`, marking the connection keep-alive or close.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(
+    stream: &mut &TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One write for head + body: two small writes on a Nagle-enabled
+    // socket stall the second behind the peer's delayed ACK, turning a
+    // microsecond handler into a tens-of-ms request.
+    let mut wire = Vec::with_capacity(head.len() + response.body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(&response.body);
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Client side: writes a request with an optional JSON body.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> io::Result<()> {
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: sparseadapt-serve\r\ncontent-length: {}\r\n{}\r\n",
+        body.len(),
+        if body.is_empty() {
+            ""
+        } else {
+            "content-type: application/json\r\n"
+        },
+    );
+    // Single write for the same delayed-ACK reason as `write_response`.
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body.as_bytes());
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Client side: reads one response off the connection.
+///
+/// # Errors
+///
+/// Propagates socket errors; malformed responses surface as
+/// `InvalidData`.
+pub fn read_response(reader: &mut BufReader<&TcpStream>) -> io::Result<Response> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut budget = MAX_HEAD_BYTES;
+    let status_line = head_line(reader, &mut budget)?.ok_or_else(|| bad("connection closed"))?;
+    let mut parts = status_line.split_whitespace();
+    let status = match (parts.next(), parts.next()) {
+        (Some(v), Some(code)) if v.starts_with("HTTP/1.") => {
+            code.parse::<u16>().map_err(|_| bad("bad status code"))?
+        }
+        _ => return Err(bad("malformed status line")),
+    };
+    let mut headers = Vec::new();
+    loop {
+        let line = head_line(reader, &mut budget)?.ok_or_else(|| bad("closed mid-headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| bad("missing content-length"))?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> ReadOutcome {
+        // Requests are parsed off real sockets so the reader-over-stream
+        // plumbing (not just the parser) is what's under test.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(raw.as_bytes()).expect("write");
+        });
+        let (stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(&stream);
+        let out = read_request(&mut reader).expect("read");
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let out = round_trip(
+            "POST /v1/simulate?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody",
+        );
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected a request, got {out:?}");
+        };
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/simulate");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.header("host"), Some("h"));
+        assert_eq!(req.body, b"body");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let out = round_trip("GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n");
+        let ReadOutcome::Request(req) = out else {
+            panic!("expected a request");
+        };
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn malformed_request_line_yields_400() {
+        let ReadOutcome::Malformed(resp) = round_trip("NONSENSE\r\n\r\n") else {
+            panic!("expected malformed");
+        };
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn oversized_body_yields_413() {
+        let raw = format!(
+            "POST /v1/simulate HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let ReadOutcome::Malformed(resp) = round_trip(&raw) else {
+            panic!("expected malformed");
+        };
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn response_round_trips_between_writer_and_client_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let resp = Response::json(200, "{\"ok\":true}").with_header("retry-after", "1");
+            write_response(&mut (&stream), &resp, true).expect("write");
+        });
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(&stream);
+        let resp = read_response(&mut reader).expect("read");
+        server.join().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body, b"{\"ok\":true}");
+    }
+}

@@ -1,0 +1,41 @@
+//! `sparseadapt-serve`: the simulator as a service.
+//!
+//! A std-only HTTP/1.1 daemon that exposes the SparseAdapt stack over
+//! three POST endpoints — run a simulation, query the adaptive policy,
+//! launch an asynchronous configuration sweep — plus `/metrics`,
+//! `/healthz`, and job polling. Everything rides the workspace's
+//! existing machinery: the bounded [`sparseadapt::exec::Pool`] is the
+//! admission queue, the process-wide
+//! [`sparseadapt::trace_cache::TraceCache`] deduplicates repeat
+//! simulations, and the bench harness builds workloads from suite ids.
+//!
+//! Module map:
+//! - [`http`] — hand-rolled HTTP/1.1 subset (server and client side)
+//! - [`api`] — wire types naming kernels/matrices/config presets
+//! - [`router`] / [`handlers`] — endpoint dispatch and execution
+//! - [`queue`] — admission control over the bounded pool (429 + Retry-After)
+//! - [`coalesce`] — in-flight dedup of identical simulate requests
+//! - [`jobs`] — async sweep-job registry behind 202 + `GET /v1/jobs/<id>`
+//! - [`metrics`] — counters, latency histogram, `/metrics` document
+//! - [`server`] — listener, connection threads, shutdown
+//! - [`loadgen`] — the load-testing client (cold/warm phases, exact
+//!   percentiles, p99 regression guard)
+//!
+//! See `DESIGN.md` §"Serving layer" for the API schema and the
+//! backpressure model, and `README.md` for a curl quickstart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod coalesce;
+pub mod handlers;
+pub mod http;
+pub mod jobs;
+pub mod loadgen;
+pub mod metrics;
+pub mod queue;
+pub mod router;
+pub mod server;
+
+pub use server::{start, ServeConfig, ServerHandle};

@@ -1,0 +1,507 @@
+//! The load-testing client behind the `loadgen` binary.
+//!
+//! Two phases against a live daemon:
+//!
+//! 1. **Cold**: every unique request in the mix once, sequentially, on
+//!    a fresh connection — measures uncached simulation latency.
+//! 2. **Warm**: `concurrency` closed-loop (or rate-paced) connections
+//!    cycling through the same mix for `duration_s` — every simulate
+//!    now hits the trace cache, so the throughput delta against the
+//!    cold phase is the cache's measured payoff.
+//!
+//! Latencies are recorded per request and percentiles computed exactly
+//! from the raw samples (the server's `/metrics` histogram is
+//! bucket-resolution; this client is the precise instrument).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use serde::{Serialize, Value};
+use sparseadapt::ReconfigPolicy;
+use transmuter::config::TransmuterConfig;
+use transmuter::counters::Telemetry;
+
+use crate::api::{RecommendApiRequest, SimulateRequest};
+use crate::http::{read_response, write_request};
+
+/// Client-side settings.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Warm-phase duration, seconds.
+    pub duration_s: f64,
+    /// Concurrent warm-phase connections.
+    pub concurrency: usize,
+    /// Total target request rate; `None` runs closed-loop (as fast as
+    /// responses come back).
+    pub target_rps: Option<f64>,
+    /// Where to write the JSON report; `None` prints to stdout only.
+    pub out: Option<PathBuf>,
+    /// Baseline report to guard against (p99 regression).
+    pub guard: Option<PathBuf>,
+    /// Fail when warm p99 exceeds `guard_factor` × the baseline's.
+    pub guard_factor: f64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            duration_s: 5.0,
+            concurrency: 4,
+            target_rps: None,
+            out: None,
+            guard: None,
+            guard_factor: 4.0,
+        }
+    }
+}
+
+/// Aggregated latency/throughput figures of one phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct PhaseStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// 200/202 responses.
+    pub ok: u64,
+    /// 429 responses (admission control working as designed).
+    pub rejected_429: u64,
+    /// Anything else (connection failures, 4xx/5xx): a test failure.
+    pub errors: u64,
+    /// Phase wall time, seconds.
+    pub wall_s: f64,
+    /// Answered requests per second.
+    pub rps: f64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Exact percentiles from raw samples, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Worst observed latency, ms.
+    pub max_ms: f64,
+}
+
+/// The whole `BENCH_serve.json` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Daemon address the run hit.
+    pub addr: String,
+    /// Warm-phase connections.
+    pub concurrency: usize,
+    /// Requested rate (0 = closed loop).
+    pub target_rps: f64,
+    /// Unique requests in the mix.
+    pub mix_size: usize,
+    /// Cold pass (empty trace cache, sequential).
+    pub cold: PhaseStats,
+    /// Cold-pass simulate responses that reported `cached: true`. Zero
+    /// against a fresh daemon; anything else means the server's trace
+    /// cache was already warm and `warm_over_cold_rps` understates the
+    /// cache payoff.
+    pub cold_cache_hits: u64,
+    /// Warm pass (cache-served, concurrent).
+    pub warm: PhaseStats,
+    /// `warm.rps / cold.rps` — the cache's measured speedup.
+    pub warm_over_cold_rps: f64,
+    /// Server-reported trace-cache hit ratio after the run.
+    pub server_hit_ratio: f64,
+    /// Server-reported coalesced request count after the run.
+    pub server_coalesced_total: u64,
+}
+
+/// One prepared request: method, target, body.
+#[derive(Debug, Clone)]
+pub struct PreparedRequest {
+    /// HTTP method.
+    pub method: &'static str,
+    /// Request target (path).
+    pub target: &'static str,
+    /// JSON body.
+    pub body: String,
+}
+
+/// The default mix: six simulate requests (two SpMSpV suite matrices ×
+/// three named configurations) plus two recommend requests. Small
+/// enough that the cold pass stays in CI budget, varied enough that the
+/// warm phase exercises distinct cache keys.
+pub fn default_mix() -> Vec<PreparedRequest> {
+    let mut mix = Vec::new();
+    for matrix in ["R09", "R10"] {
+        for config_name in ["baseline", "best_avg_cache", "maximum"] {
+            let req = SimulateRequest {
+                kernel: "spmspv".to_string(),
+                matrix: matrix.to_string(),
+                l1_kind: None,
+                config: None,
+                config_name: Some(config_name.to_string()),
+            };
+            mix.push(PreparedRequest {
+                method: "POST",
+                target: "/v1/simulate",
+                body: serde_json::to_string(&req).expect("mix serializes"),
+            });
+        }
+    }
+    for policy in [None, Some(ReconfigPolicy::hybrid40())] {
+        let req = RecommendApiRequest {
+            kernel: "spmspv".to_string(),
+            l1_kind: None,
+            mode: None,
+            telemetry: Telemetry::default(),
+            current: TransmuterConfig::baseline(),
+            policy,
+            last_epoch_time_s: Some(0.01),
+        };
+        mix.push(PreparedRequest {
+            method: "POST",
+            target: "/v1/recommend",
+            body: serde_json::to_string(&req).expect("mix serializes"),
+        });
+    }
+    mix
+}
+
+#[derive(Default)]
+struct PhaseAccumulator {
+    latencies_ms: Mutex<Vec<f64>>,
+    ok: AtomicU64,
+    rejected_429: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl PhaseAccumulator {
+    fn record(&self, status: Option<u16>, latency_ms: f64) {
+        self.latencies_ms
+            .lock()
+            .expect("latency lock")
+            .push(latency_ms);
+        match status {
+            Some(200) | Some(202) => self.ok.fetch_add(1, Ordering::Relaxed),
+            Some(429) => self.rejected_429.fetch_add(1, Ordering::Relaxed),
+            _ => self.errors.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn stats(&self, wall_s: f64) -> PhaseStats {
+        let mut lat = self.latencies_ms.lock().expect("latency lock").clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let requests = lat.len() as u64;
+        let pct = |p: f64| -> f64 {
+            if lat.is_empty() {
+                return 0.0;
+            }
+            let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+            lat[rank - 1]
+        };
+        PhaseStats {
+            requests,
+            ok: self.ok.load(Ordering::Relaxed),
+            rejected_429: self.rejected_429.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            wall_s,
+            rps: if wall_s > 0.0 {
+                requests as f64 / wall_s
+            } else {
+                0.0
+            },
+            mean_ms: if lat.is_empty() {
+                0.0
+            } else {
+                lat.iter().sum::<f64>() / lat.len() as f64
+            },
+            p50_ms: pct(0.50),
+            p95_ms: pct(0.95),
+            p99_ms: pct(0.99),
+            max_ms: lat.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    // Request latency is the measurement; Nagle batching would be noise.
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+fn issue(stream: &mut TcpStream, req: &PreparedRequest) -> Result<(u16, Vec<u8>), std::io::Error> {
+    write_request(stream, req.method, req.target, Some(&req.body))?;
+    let mut reader = BufReader::new(&*stream);
+    let resp = read_response(&mut reader)?;
+    Ok((resp.status, resp.body))
+}
+
+/// Runs one GET and returns the body (used for the final `/metrics`
+/// scrape).
+fn get(addr: &str, target: &str) -> Result<Vec<u8>, String> {
+    let mut stream = connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write_request(&mut stream, "GET", target, None).map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(&stream);
+    let resp = read_response(&mut reader).map_err(|e| e.to_string())?;
+    Ok(resp.body)
+}
+
+/// Whether a simulate response body carries `"cached": true`.
+fn response_says_cached(body: &[u8]) -> bool {
+    std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| serde_json::parse_value_str(text).ok())
+        .map(|value| {
+            matches!(value, Value::Obj(ref pairs)
+                if pairs.iter().any(|(k, v)| k == "cached" && *v == Value::Bool(true)))
+        })
+        .unwrap_or(false)
+}
+
+fn scrape_cache_stats(addr: &str) -> (f64, u64) {
+    let Ok(body) = get(addr, "/metrics") else {
+        return (0.0, 0);
+    };
+    let Ok(text) = String::from_utf8(body) else {
+        return (0.0, 0);
+    };
+    let Ok(value) = serde_json::parse_value_str(&text) else {
+        return (0.0, 0);
+    };
+    let field = |path: &[&str]| -> Option<Value> {
+        let mut cur = value.clone();
+        for key in path {
+            let Value::Obj(pairs) = cur else { return None };
+            cur = pairs.into_iter().find(|(k, _)| k == key)?.1;
+        }
+        Some(cur)
+    };
+    let hit_ratio = match field(&["trace_cache", "hit_ratio"]) {
+        Some(Value::Float(f)) => f,
+        Some(Value::UInt(u)) => u as f64,
+        Some(Value::Int(i)) => i as f64,
+        _ => 0.0,
+    };
+    let coalesced = match field(&["coalesced_total"]) {
+        Some(Value::UInt(u)) => u,
+        Some(Value::Int(i)) => i.max(0) as u64,
+        _ => 0,
+    };
+    (hit_ratio, coalesced)
+}
+
+/// Runs the cold pass then the warm phase; returns the report.
+///
+/// # Errors
+///
+/// Returns a message on connection failure or a mix that cannot be
+/// issued at all.
+pub fn run(cfg: &LoadgenConfig) -> Result<Report, String> {
+    let mix = default_mix();
+
+    // Cold pass: sequential, one connection per request so cold
+    // latencies are independent measurements.
+    let cold_acc = PhaseAccumulator::default();
+    let mut cold_cache_hits = 0u64;
+    let cold_started = Instant::now();
+    for req in &mix {
+        let started = Instant::now();
+        let outcome = connect(&cfg.addr)
+            .ok()
+            .and_then(|mut s| issue(&mut s, req).ok());
+        let Some((status, body)) = outcome else {
+            return Err(format!("cold pass: {} {} failed", req.method, req.target));
+        };
+        cold_acc.record(Some(status), started.elapsed().as_secs_f64() * 1e3);
+        if status == 200 && req.target == "/v1/simulate" && response_says_cached(&body) {
+            cold_cache_hits += 1;
+        }
+    }
+    let cold = cold_acc.stats(cold_started.elapsed().as_secs_f64());
+
+    // Warm phase: `concurrency` connections cycling through the mix.
+    let warm_acc = PhaseAccumulator::default();
+    let next = AtomicUsize::new(0);
+    let deadline = Instant::now() + Duration::from_secs_f64(cfg.duration_s);
+    let per_conn_interval = cfg
+        .target_rps
+        .map(|rps| Duration::from_secs_f64(cfg.concurrency as f64 / rps.max(0.001)));
+    let warm_started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.concurrency.max(1) {
+            let warm_acc = &warm_acc;
+            let next = &next;
+            let mix = &mix;
+            let addr = cfg.addr.clone();
+            scope.spawn(move || {
+                let Ok(mut stream) = connect(&addr) else {
+                    return;
+                };
+                let mut slot = Instant::now();
+                while Instant::now() < deadline {
+                    if let Some(interval) = per_conn_interval {
+                        let now = Instant::now();
+                        if slot > now {
+                            std::thread::sleep(slot - now);
+                        }
+                        slot += interval;
+                    }
+                    let req = &mix[next.fetch_add(1, Ordering::Relaxed) % mix.len()];
+                    let started = Instant::now();
+                    match issue(&mut stream, req) {
+                        Ok((status, _)) => {
+                            warm_acc.record(Some(status), started.elapsed().as_secs_f64() * 1e3);
+                        }
+                        Err(_) => {
+                            warm_acc.record(None, started.elapsed().as_secs_f64() * 1e3);
+                            // Reconnect once; give up on repeat failure.
+                            match connect(&addr) {
+                                Ok(s) => stream = s,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let warm = warm_acc.stats(warm_started.elapsed().as_secs_f64());
+
+    let (server_hit_ratio, server_coalesced_total) = scrape_cache_stats(&cfg.addr);
+    let warm_over_cold_rps = if cold.rps > 0.0 {
+        warm.rps / cold.rps
+    } else {
+        0.0
+    };
+    Ok(Report {
+        addr: cfg.addr.clone(),
+        concurrency: cfg.concurrency,
+        target_rps: cfg.target_rps.unwrap_or(0.0),
+        mix_size: mix.len(),
+        cold,
+        cold_cache_hits,
+        warm,
+        warm_over_cold_rps,
+        server_hit_ratio,
+        server_coalesced_total,
+    })
+}
+
+/// Checks the p99 regression guard: warm p99 must stay within
+/// `guard_factor` × the baseline report's warm p99.
+///
+/// # Errors
+///
+/// Returns a message describing the breach (or an unreadable baseline).
+pub fn check_guard(report: &Report, baseline_path: &PathBuf, factor: f64) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("guard baseline {}: {e}", baseline_path.display()))?;
+    let value = serde_json::parse_value_str(&text)
+        .map_err(|e| format!("guard baseline {}: {e}", baseline_path.display()))?;
+    let Value::Obj(pairs) = value else {
+        return Err("guard baseline is not a JSON object".to_string());
+    };
+    let warm = pairs
+        .iter()
+        .find(|(k, _)| k == "warm")
+        .map(|(_, v)| v.clone())
+        .ok_or("guard baseline has no warm phase")?;
+    let Value::Obj(warm_pairs) = warm else {
+        return Err("guard baseline warm phase is not an object".to_string());
+    };
+    let baseline_p99 = warm_pairs
+        .iter()
+        .find(|(k, _)| k == "p99_ms")
+        .and_then(|(_, v)| match v {
+            Value::Float(f) => Some(*f),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        })
+        .ok_or("guard baseline has no warm.p99_ms")?;
+    let limit = baseline_p99 * factor;
+    if report.warm.p99_ms > limit {
+        return Err(format!(
+            "warm p99 {:.2} ms exceeds guard {:.2} ms ({factor}x baseline {:.2} ms)",
+            report.warm.p99_ms, limit, baseline_p99
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_varied_and_parseable() {
+        let mix = default_mix();
+        assert_eq!(mix.len(), 8);
+        assert!(mix.iter().any(|r| r.target == "/v1/simulate"));
+        assert!(mix.iter().any(|r| r.target == "/v1/recommend"));
+        for req in &mix {
+            // Every body must be valid JSON the server can parse back.
+            serde_json::parse_value_str(&req.body).expect("mix body is JSON");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_on_raw_samples() {
+        let acc = PhaseAccumulator::default();
+        for i in 1..=100 {
+            acc.record(Some(200), i as f64);
+        }
+        let s = acc.stats(10.0);
+        assert_eq!(s.requests, 100);
+        assert_eq!(s.ok, 100);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert_eq!(s.rps, 10.0);
+    }
+
+    #[test]
+    fn guard_detects_regression_and_tolerates_headroom() {
+        let dir = std::env::temp_dir().join("sa_serve_guard_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("baseline.json");
+        std::fs::write(&path, r#"{"warm": {"p99_ms": 10.0}}"#).expect("write baseline");
+        let mut report = synthetic_report();
+        report.warm.p99_ms = 25.0;
+        assert!(check_guard(&report, &path, 4.0).is_ok());
+        report.warm.p99_ms = 45.0;
+        assert!(check_guard(&report, &path, 4.0).is_err());
+    }
+
+    fn synthetic_report() -> Report {
+        let phase = PhaseStats {
+            requests: 1,
+            ok: 1,
+            rejected_429: 0,
+            errors: 0,
+            wall_s: 1.0,
+            rps: 1.0,
+            mean_ms: 1.0,
+            p50_ms: 1.0,
+            p95_ms: 1.0,
+            p99_ms: 1.0,
+            max_ms: 1.0,
+        };
+        Report {
+            addr: "127.0.0.1:0".to_string(),
+            concurrency: 1,
+            target_rps: 0.0,
+            mix_size: 1,
+            cold: phase.clone(),
+            cold_cache_hits: 0,
+            warm: phase,
+            warm_over_cold_rps: 1.0,
+            server_hit_ratio: 0.0,
+            server_coalesced_total: 0,
+        }
+    }
+}

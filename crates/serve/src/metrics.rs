@@ -1,0 +1,333 @@
+//! Server observability: request counters, a latency histogram, queue
+//! and cache gauges, rendered as JSON at `/metrics`.
+//!
+//! Counters are lock-free atomics on the hot path; the per-route
+//! breakdown uses a small mutexed map keyed by `(route, status)` — at
+//! daemon request rates the map lock is uncontended next to the
+//! simulation work behind it.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::Serialize;
+use sparseadapt::trace_cache::CacheStats;
+
+/// Upper edges of the latency histogram buckets, in milliseconds.
+/// Roughly ×2 per step: sub-millisecond cache hits through multi-second
+/// cold sweeps land in distinct buckets, plus a +Inf overflow bucket.
+pub const LATENCY_BUCKETS_MS: [f64; 14] = [
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 4096.0,
+];
+
+/// A fixed-bucket latency histogram (milliseconds).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    counts: [AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    sum_ms: AtomicU64, // microseconds, to keep the atomic integral
+    observations: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn observe_ms(&self, ms: f64) {
+        let idx = LATENCY_BUCKETS_MS
+            .iter()
+            .position(|&edge| ms <= edge)
+            .unwrap_or(LATENCY_BUCKETS_MS.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ms
+            .fetch_add((ms * 1000.0).round() as u64, Ordering::Relaxed);
+        self.observations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.observations.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count = self.observations.load(Ordering::Relaxed);
+        let sum_ms = self.sum_ms.load(Ordering::Relaxed) as f64 / 1000.0;
+        HistogramSnapshot {
+            bucket_upper_ms: LATENCY_BUCKETS_MS.to_vec(),
+            counts,
+            count,
+            sum_ms,
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                sum_ms / count as f64
+            },
+            p50_ms: percentile_from_counts(&self.counts, count, 0.50),
+            p95_ms: percentile_from_counts(&self.counts, count, 0.95),
+            p99_ms: percentile_from_counts(&self.counts, count, 0.99),
+        }
+    }
+}
+
+/// Estimates a percentile from bucket counts: the upper edge of the
+/// bucket containing the target rank (the overflow bucket reports the
+/// largest finite edge). Coarse by construction — `loadgen` computes
+/// exact percentiles client-side from raw samples; this one exists so
+/// `/metrics` can answer without the server retaining per-request state.
+fn percentile_from_counts(
+    counts: &[AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
+    total: u64,
+    p: f64,
+) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (p * total as f64).ceil() as u64;
+    let mut seen = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        seen += c.load(Ordering::Relaxed);
+        if seen >= rank {
+            return LATENCY_BUCKETS_MS
+                .get(i)
+                .copied()
+                .unwrap_or(LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]);
+        }
+    }
+    LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]
+}
+
+/// JSON shape of one histogram in `/metrics`.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramSnapshot {
+    /// Upper bucket edges, ms; one extra overflow bucket follows.
+    pub bucket_upper_ms: Vec<f64>,
+    /// Per-bucket counts (`bucket_upper_ms.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed latencies, ms.
+    pub sum_ms: f64,
+    /// Mean latency, ms.
+    pub mean_ms: f64,
+    /// Bucket-resolution p50, ms.
+    pub p50_ms: f64,
+    /// Bucket-resolution p95, ms.
+    pub p95_ms: f64,
+    /// Bucket-resolution p99, ms.
+    pub p99_ms: f64,
+}
+
+/// All counters the server keeps about itself.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    by_route: Mutex<BTreeMap<(String, u16), u64>>,
+    total: AtomicU64,
+    rejected_429: AtomicU64,
+    latency: LatencyHistogram,
+    coalesced: AtomicU64,
+    started: Option<Instant>,
+}
+
+/// Queue-side gauges sampled at render time.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueueGauges {
+    /// Jobs admitted and waiting for a worker.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Admission-queue capacity.
+    pub queue_cap: usize,
+    /// Worker threads.
+    pub workers: usize,
+}
+
+/// The `/metrics` document.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Requests answered, any route, any status.
+    pub requests_total: u64,
+    /// Requests rejected with 429 by admission control.
+    pub rejected_429_total: u64,
+    /// Requests whose response was shared from a concurrent identical
+    /// request ("coalesced waiters").
+    pub coalesced_total: u64,
+    /// Per-`route status` request counts (e.g. `"POST /v1/simulate 200"`).
+    pub requests_by_route: BTreeMap<String, u64>,
+    /// End-to-end request latency histogram (admission wait included).
+    pub latency: HistogramSnapshot,
+    /// Admission queue gauges.
+    pub queue: QueueGauges,
+    /// Process-wide trace cache counters.
+    pub trace_cache: TraceCacheSnapshot,
+}
+
+/// JSON shape of the trace-cache stats (mirrors
+/// [`sparseadapt::trace_cache::CacheStats`] plus the derived hit ratio).
+#[derive(Debug, Clone, Serialize)]
+pub struct TraceCacheSnapshot {
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups that simulated.
+    pub misses: u64,
+    /// Lookups answered from the disk layer.
+    pub disk_hits: u64,
+    /// Traces evicted by the memory cap.
+    pub evictions: u64,
+    /// Traces resident in memory.
+    pub entries: usize,
+    /// Bytes resident in memory.
+    pub resident_bytes: usize,
+    /// `(hits + disk_hits) / (hits + disk_hits + misses)`, 0 when idle.
+    pub hit_ratio: f64,
+}
+
+impl From<CacheStats> for TraceCacheSnapshot {
+    fn from(s: CacheStats) -> Self {
+        let answered = s.hits + s.disk_hits + s.misses;
+        TraceCacheSnapshot {
+            hits: s.hits,
+            misses: s.misses,
+            disk_hits: s.disk_hits,
+            evictions: s.evictions,
+            entries: s.entries,
+            resident_bytes: s.resident_bytes,
+            hit_ratio: if answered == 0 {
+                0.0
+            } else {
+                (s.hits + s.disk_hits) as f64 / answered as f64
+            },
+        }
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh counters; the uptime clock starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Some(Instant::now()),
+            ..ServerMetrics::default()
+        }
+    }
+
+    /// Records one answered request.
+    pub fn record(&self, route: &str, status: u16, latency_ms: f64) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if status == 429 {
+            self.rejected_429.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.observe_ms(latency_ms);
+        let mut map = self.by_route.lock().expect("metrics lock");
+        *map.entry((route.to_string(), status)).or_insert(0) += 1;
+    }
+
+    /// Records a request whose response was coalesced off a concurrent
+    /// identical request.
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests rejected by admission control so far.
+    pub fn rejected_429_total(&self) -> u64 {
+        self.rejected_429.load(Ordering::Relaxed)
+    }
+
+    /// Builds the `/metrics` document from the counters plus the gauges
+    /// sampled now.
+    pub fn snapshot(&self, queue: QueueGauges, cache: CacheStats) -> MetricsSnapshot {
+        let by_route = self
+            .by_route
+            .lock()
+            .expect("metrics lock")
+            .iter()
+            .map(|((route, status), n)| (format!("{route} {status}"), *n))
+            .collect();
+        MetricsSnapshot {
+            uptime_s: self.started.map_or(0.0, |t| t.elapsed().as_secs_f64()),
+            requests_total: self.total.load(Ordering::Relaxed),
+            rejected_429_total: self.rejected_429.load(Ordering::Relaxed),
+            coalesced_total: self.coalesced.load(Ordering::Relaxed),
+            requests_by_route: by_route,
+            latency: self.latency.snapshot(),
+            queue,
+            trace_cache: cache.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gauges() -> QueueGauges {
+        QueueGauges {
+            queue_depth: 3,
+            in_flight: 2,
+            queue_cap: 64,
+            workers: 4,
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        for _ in 0..98 {
+            h.observe_ms(0.2); // bucket 0 (<= 0.25)
+        }
+        h.observe_ms(30.0); // <= 32
+        h.observe_ms(2000.0); // <= 4096
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.counts[0], 98);
+        assert_eq!(s.p50_ms, 0.25);
+        assert_eq!(s.p95_ms, 0.25);
+        assert_eq!(s.p99_ms, 32.0);
+        assert!((s.mean_ms - s.sum_ms / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_latencies() {
+        let h = LatencyHistogram::default();
+        h.observe_ms(1e6);
+        let s = h.snapshot();
+        assert_eq!(*s.counts.last().unwrap(), 1);
+        assert_eq!(s.p99_ms, LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]);
+    }
+
+    #[test]
+    fn snapshot_aggregates_routes_and_429s() {
+        let m = ServerMetrics::new();
+        m.record("POST /v1/simulate", 200, 5.0);
+        m.record("POST /v1/simulate", 200, 7.0);
+        m.record("POST /v1/simulate", 429, 0.1);
+        m.record("GET /metrics", 200, 0.2);
+        m.record_coalesced();
+        let s = m.snapshot(gauges(), CacheStats::default());
+        assert_eq!(s.requests_total, 4);
+        assert_eq!(s.rejected_429_total, 1);
+        assert_eq!(s.coalesced_total, 1);
+        assert_eq!(s.requests_by_route["POST /v1/simulate 200"], 2);
+        assert_eq!(s.requests_by_route["POST /v1/simulate 429"], 1);
+        assert_eq!(s.requests_by_route["GET /metrics 200"], 1);
+        assert_eq!(s.latency.count, 4);
+        // The snapshot serializes (the /metrics handler relies on it).
+        let json = serde_json::to_string(&s).expect("serializes");
+        assert!(json.contains("\"hit_ratio\""));
+    }
+
+    #[test]
+    fn hit_ratio_is_derived_from_cache_stats() {
+        let cache = CacheStats {
+            hits: 6,
+            misses: 2,
+            disk_hits: 2,
+            ..CacheStats::default()
+        };
+        let snap: TraceCacheSnapshot = cache.into();
+        assert!((snap.hit_ratio - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,36 @@
+//! Maps `(method, path)` to a handler and a normalized route label.
+//!
+//! The label (e.g. `"GET /v1/jobs/:id"`) is what the per-route metrics
+//! key on, so unbounded path segments (job ids) collapse to one
+//! counter instead of one counter per id.
+
+use std::sync::Arc;
+
+use crate::handlers;
+use crate::http::{Request, Response};
+use crate::server::AppState;
+
+/// Dispatches one request. Returns the normalized route label (for
+/// metrics) and the response.
+pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("GET /healthz", handlers::healthz()),
+        ("GET", "/metrics") => ("GET /metrics", handlers::metrics(state)),
+        ("GET", "/v1/jobs") => ("GET /v1/jobs", handlers::jobs(state)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => (
+            "GET /v1/jobs/:id",
+            handlers::job(state, &path["/v1/jobs/".len()..]),
+        ),
+        ("POST", "/v1/simulate") => ("POST /v1/simulate", handlers::simulate(state, &req.body)),
+        ("POST", "/v1/recommend") => ("POST /v1/recommend", handlers::recommend(state, &req.body)),
+        ("POST", "/v1/sweep") => ("POST /v1/sweep", handlers::sweep(state, &req.body)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep",
+        ) => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed for this path"),
+        ),
+        _ => ("not_found", Response::error(404, "no such endpoint")),
+    }
+}

@@ -1,0 +1,250 @@
+//! The daemon: listener, connection threads, shared state, shutdown.
+//!
+//! Thread model: one accept loop, one thread per live connection
+//! (clients are expected in the tens, not thousands), and a bounded
+//! [`sparseadapt::exec::Pool`] that owns *all* simulation work. The
+//! connection threads only parse, route, and block on the pool — the
+//! pool's worker count and queue capacity are therefore the knobs that
+//! bound CPU and memory under load, and a full queue turns into an
+//! HTTP 429 at the edge (see [`crate::queue`]).
+//!
+//! Shutdown is cooperative: a shared flag checked by the accept loop
+//! and by every connection thread on its read-timeout tick, so tests
+//! can boot and tear down servers in-process.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sa_bench::Harness;
+use sparseadapt::exec::Pool;
+use sparseadapt::trace_cache::TraceCache;
+use transmuter::workload::Workload;
+
+use crate::api::{kernel_name, ResolvedSim};
+use crate::coalesce::Coalescer;
+use crate::http::{read_request, write_response, ReadOutcome};
+use crate::jobs::JobRegistry;
+use crate::metrics::ServerMetrics;
+use crate::router;
+
+/// How often blocked reads wake up to check the shutdown flag.
+const POLL_TICK: Duration = Duration::from_millis(200);
+
+/// Boot-time settings of the daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Pool worker threads (0 = one per available CPU).
+    pub workers: usize,
+    /// Admission queue capacity; beyond it, requests get 429.
+    pub queue_cap: usize,
+    /// Optional on-disk trace cache directory.
+    pub cache_dir: Option<PathBuf>,
+    /// Optional in-memory trace cache cap, bytes.
+    pub cache_mem_cap: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 0,
+            queue_cap: 64,
+            cache_dir: None,
+            cache_mem_cap: None,
+        }
+    }
+}
+
+/// Everything the handlers share.
+#[derive(Debug)]
+pub struct AppState {
+    /// The bounded worker pool all POST work runs on.
+    pub pool: Pool,
+    /// Request counters and latency histogram.
+    pub metrics: ServerMetrics,
+    /// In-flight coalescer for identical simulate requests. The value
+    /// is `(status, body)` so waiters receive byte-identical responses.
+    pub coalescer: Coalescer<String, (u16, String)>,
+    /// Async sweep jobs.
+    pub jobs: JobRegistry,
+    /// Scale/threads/seed settings shared with the bench harness.
+    pub harness: Harness,
+    /// Memoized suite workloads with their content fingerprints.
+    /// Construction (op-stream generation) and fingerprinting both walk
+    /// every op, so each costs more than a cached simulation lookup —
+    /// warm requests must repeat neither. Bounded by the suite size
+    /// (tens of entries), so no eviction.
+    workloads: Mutex<HashMap<String, (Arc<Workload>, u64)>>,
+}
+
+impl AppState {
+    /// The suite workload for a resolved request plus its
+    /// [`Workload::fingerprint`], built and hashed at most once per
+    /// `(kernel, matrix, l1_kind)` for the server's lifetime.
+    ///
+    /// Two threads may race to construct the same workload; the result
+    /// is deterministic, and the first insert wins, so callers always
+    /// converge on one shared instance (one trace-cache fingerprint).
+    pub fn suite_workload(&self, r: &ResolvedSim) -> (Arc<Workload>, u64) {
+        let key = format!("{}/{}/{:?}", kernel_name(r.kernel), r.matrix.id, r.l1_kind);
+        if let Some(entry) = self.workloads.lock().expect("workload memo lock").get(&key) {
+            return entry.clone();
+        }
+        let built = Arc::new(sa_bench::experiments::suite_workload(
+            &self.harness,
+            &r.matrix,
+            r.kernel,
+            r.l1_kind,
+        ));
+        let fingerprint = built.fingerprint();
+        self.workloads
+            .lock()
+            .expect("workload memo lock")
+            .entry(key)
+            .or_insert((built, fingerprint))
+            .clone()
+    }
+}
+
+/// A running server; dropping it (or calling [`ServerHandle::shutdown`])
+/// stops the accept loop and lets connection threads drain.
+#[derive(Debug)]
+pub struct ServerHandle {
+    /// The bound address (with the concrete port when 0 was asked).
+    pub addr: SocketAddr,
+    /// Shared state, exposed so tests can read counters directly.
+    pub state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Signals shutdown and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds, spawns the accept loop, and returns immediately.
+///
+/// # Errors
+///
+/// Propagates bind failures.
+pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    if let Some(dir) = &config.cache_dir {
+        TraceCache::global().set_disk_dir(Some(dir.clone()));
+    }
+    if config.cache_mem_cap.is_some() {
+        TraceCache::global().set_memory_cap(config.cache_mem_cap);
+    }
+    let workers = if config.workers == 0 {
+        sparseadapt::exec::default_threads()
+    } else {
+        config.workers
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let state = Arc::new(AppState {
+        pool: Pool::new(workers, config.queue_cap),
+        metrics: ServerMetrics::new(),
+        coalescer: Coalescer::new(),
+        jobs: JobRegistry::new(),
+        harness: Harness::default(),
+        workloads: Mutex::new(HashMap::new()),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || accept_loop(&listener, &state, &stop))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        state,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, stop: &Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let state = Arc::clone(state);
+                let stop = Arc::clone(stop);
+                // Connection threads are detached; each exits on peer
+                // close or on the next poll tick after shutdown.
+                std::thread::spawn(move || serve_connection(&stream, &state, &stop));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn serve_connection(stream: &TcpStream, state: &Arc<AppState>, stop: &Arc<AtomicBool>) {
+    if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
+        return;
+    }
+    // Responses are small and latency-sensitive; never trade them for
+    // Nagle batching.
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(req)) => {
+                let started = Instant::now();
+                let keep_alive = req.keep_alive();
+                let (label, response) = router::route(state, &req);
+                state.metrics.record(
+                    label,
+                    response.status,
+                    started.elapsed().as_secs_f64() * 1e3,
+                );
+                if write_response(&mut &*stream, &response, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Malformed(response)) => {
+                let _ = write_response(&mut &*stream, &response, false);
+                return;
+            }
+            // Read-timeout tick: loop back to check the shutdown flag.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}

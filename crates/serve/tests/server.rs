@@ -1,0 +1,273 @@
+//! End-to-end test of the daemon over real sockets.
+//!
+//! One sequential `#[test]` (not several): the trace cache and model
+//! memo are process-wide, so concurrent test functions would race on
+//! cache counters and make the coalescing/caching assertions flaky.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::Barrier;
+
+use serve::http::{read_response, write_request, Response};
+use serve::{start, ServeConfig};
+
+fn post(addr: &std::net::SocketAddr, target: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "POST", target, Some(body)).expect("write");
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader).expect("read")
+}
+
+fn get(addr: &std::net::SocketAddr, target: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write_request(&mut stream, "GET", target, None).expect("write");
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader).expect("read")
+}
+
+fn body_str(resp: &Response) -> &str {
+    std::str::from_utf8(&resp.body).expect("UTF-8 body")
+}
+
+/// Digs a field out of a JSON object tree.
+fn field(value: &serde::Value, path: &[&str]) -> Option<serde::Value> {
+    let mut cur = value.clone();
+    for key in path {
+        let serde::Value::Obj(pairs) = cur else {
+            return None;
+        };
+        cur = pairs.into_iter().find(|(k, _)| k == key)?.1;
+    }
+    Some(cur)
+}
+
+fn parse(resp: &Response) -> serde::Value {
+    serde_json::parse_value_str(body_str(resp)).expect("response is JSON")
+}
+
+fn as_u64(v: &serde::Value) -> u64 {
+    match v {
+        serde::Value::UInt(u) => *u,
+        serde::Value::Int(i) => u64::try_from(*i).expect("non-negative"),
+        other => panic!("expected integer, got {other:?}"),
+    }
+}
+
+fn as_f64(v: &serde::Value) -> f64 {
+    match v {
+        serde::Value::Float(f) => *f,
+        serde::Value::UInt(u) => *u as f64,
+        serde::Value::Int(i) => *i as f64,
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemon_end_to_end() {
+    let server = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 4,
+        queue_cap: 16,
+        cache_dir: None,
+        cache_mem_cap: None,
+    })
+    .expect("server boots");
+    let addr = server.addr;
+
+    // -- health and routing basics ------------------------------------
+    let health = get(&addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(body_str(&health).contains("true"));
+    assert_eq!(get(&addr, "/nope").status, 404);
+    assert_eq!(post(&addr, "/healthz", "{}").status, 405);
+    assert_eq!(post(&addr, "/v1/simulate", "not json").status, 400);
+    assert_eq!(
+        post(
+            &addr,
+            "/v1/simulate",
+            r#"{"kernel": "gemm", "matrix": "R01"}"#
+        )
+        .status,
+        400
+    );
+
+    // -- simulate: cold then cached -----------------------------------
+    let sim_body = r#"{"kernel": "spmspv", "matrix": "R09", "config_name": "baseline"}"#;
+    let first = post(&addr, "/v1/simulate", sim_body);
+    assert_eq!(first.status, 200, "body: {}", body_str(&first));
+    let first_doc = parse(&first);
+    assert!(as_f64(&field(&first_doc, &["summary", "gflops"]).expect("gflops")) > 0.0);
+    assert!(as_u64(&field(&first_doc, &["summary", "epochs"]).expect("epochs")) > 0);
+
+    let second = post(&addr, "/v1/simulate", sim_body);
+    assert_eq!(second.status, 200);
+    let second_doc = parse(&second);
+    assert_eq!(
+        field(&second_doc, &["cached"]),
+        Some(serde::Value::Bool(true)),
+        "repeat of an identical request must be served from the trace cache"
+    );
+    // Identical inputs -> identical physics, whatever the cache did.
+    assert_eq!(
+        field(&first_doc, &["summary"]),
+        field(&second_doc, &["summary"])
+    );
+
+    // -- coalescing: two identical concurrent requests, one simulation -
+    // A fresh (matrix, config) pair so the simulation is cold and slow
+    // enough for the second request to arrive while it's in flight.
+    let coalesce_body = r#"{"kernel": "spmspv", "matrix": "R10", "config_name": "best_avg_cache"}"#;
+    let led_before = server.state.coalescer.led_total();
+    let barrier = Barrier::new(2);
+    let (resp_a, resp_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| {
+            barrier.wait();
+            post(&addr, "/v1/simulate", coalesce_body)
+        });
+        let b = scope.spawn(|| {
+            barrier.wait();
+            post(&addr, "/v1/simulate", coalesce_body)
+        });
+        (a.join().expect("thread a"), b.join().expect("thread b"))
+    });
+    assert_eq!(resp_a.status, 200);
+    assert_eq!(resp_b.status, 200);
+    assert_eq!(
+        resp_a.body, resp_b.body,
+        "coalesced requests must share one byte-identical response"
+    );
+    assert_eq!(
+        server.state.coalescer.led_total() - led_before,
+        1,
+        "two identical concurrent requests must run exactly one computation"
+    );
+    assert!(server.state.coalescer.coalesced_total() >= 1);
+
+    // -- recommend ----------------------------------------------------
+    let rec_body = format!(
+        r#"{{"kernel": "spmspv", "telemetry": {}, "current": {}, "policy": null, "last_epoch_time_s": 0.01}}"#,
+        serde_json::to_string(&transmuter::counters::Telemetry::default()).unwrap(),
+        serde_json::to_string(&transmuter::config::TransmuterConfig::baseline()).unwrap(),
+    );
+    let rec = post(&addr, "/v1/recommend", &rec_body);
+    assert_eq!(rec.status, 200, "body: {}", body_str(&rec));
+    let rec_doc = parse(&rec);
+    assert!(field(&rec_doc, &["predicted"]).is_some());
+    assert!(field(&rec_doc, &["chosen", "clock"]).is_some());
+    assert!(matches!(
+        field(&rec_doc, &["changed"]),
+        Some(serde::Value::Arr(_))
+    ));
+
+    // -- async sweep job ----------------------------------------------
+    let sweep = post(
+        &addr,
+        "/v1/sweep",
+        r#"{"kernel": "spmspv", "matrix": "R09", "sampled": 3}"#,
+    );
+    assert_eq!(sweep.status, 202, "body: {}", body_str(&sweep));
+    let job_id = as_u64(&field(&parse(&sweep), &["job_id"]).expect("job_id"));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let result = loop {
+        let poll = get(&addr, &format!("/v1/jobs/{job_id}"));
+        assert_eq!(poll.status, 200);
+        let doc = parse(&poll);
+        match field(&doc, &["status"]) {
+            Some(serde::Value::Str(s)) if s == "done" => break doc,
+            Some(serde::Value::Str(s)) if s == "failed" => {
+                panic!("sweep failed: {}", body_str(&poll))
+            }
+            _ => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "sweep did not finish in time"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    };
+    assert_eq!(
+        as_u64(&field(&result, &["result", "configs"]).expect("configs")),
+        3
+    );
+    assert!(
+        as_f64(&field(&result, &["result", "best_perf", "gflops"]).expect("best gflops")) > 0.0
+    );
+    let listing = get(&addr, "/v1/jobs");
+    assert_eq!(listing.status, 200);
+    assert!(body_str(&listing).contains("\"jobs\""));
+    assert_eq!(get(&addr, "/v1/jobs/999999").status, 404);
+
+    // -- /metrics -----------------------------------------------------
+    let metrics = get(&addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    let m = parse(&metrics);
+    assert!(as_u64(&field(&m, &["requests_total"]).expect("requests_total")) >= 8);
+    assert!(as_u64(&field(&m, &["coalesced_total"]).expect("coalesced_total")) >= 1);
+    assert!(as_u64(&field(&m, &["latency", "count"]).expect("latency count")) >= 8);
+    assert!(as_u64(&field(&m, &["trace_cache", "hits"]).expect("cache hits")) >= 1);
+    assert!(as_f64(&field(&m, &["trace_cache", "hit_ratio"]).expect("hit ratio")) > 0.0);
+    assert_eq!(
+        as_u64(&field(&m, &["queue", "workers"]).expect("workers")),
+        4
+    );
+    let by_route = field(&m, &["requests_by_route"]).expect("by-route map");
+    let serde::Value::Obj(routes) = by_route else {
+        panic!("requests_by_route should be an object");
+    };
+    assert!(routes.iter().any(|(k, _)| k == "POST /v1/simulate 200"));
+
+    server.shutdown();
+
+    // -- admission control: tiny pool, concurrent distinct requests ----
+    let small = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_cap: 1,
+        cache_dir: None,
+        cache_mem_cap: None,
+    })
+    .expect("second server boots");
+    let small_addr = small.addr;
+    // Distinct cold simulations (fresh matrices) so nothing coalesces
+    // or cache-hits: with one worker and one queue slot, at least one
+    // of six concurrent requests must bounce with 429.
+    let bodies: Vec<String> = ["R11", "R12", "R13", "R14", "R15", "R16"]
+        .iter()
+        .map(|m| format!(r#"{{"kernel": "spmspv", "matrix": "{m}", "config_name": "maximum"}}"#))
+        .collect();
+    let gate = Barrier::new(bodies.len());
+    let statuses: Vec<(u16, Option<String>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .iter()
+            .map(|body| {
+                let gate = &gate;
+                scope.spawn(move || {
+                    gate.wait();
+                    let resp = post(&small_addr, "/v1/simulate", body);
+                    let retry = resp.header("retry-after").map(|v| v.to_string());
+                    (resp.status, retry)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("request thread"))
+            .collect()
+    });
+    assert!(
+        statuses.iter().all(|(s, _)| *s == 200 || *s == 429),
+        "statuses: {statuses:?}"
+    );
+    let rejected: Vec<_> = statuses.iter().filter(|(s, _)| *s == 429).collect();
+    assert!(
+        !rejected.is_empty(),
+        "a saturated 1-worker/1-slot pool must reject some of 6 concurrent requests"
+    );
+    assert!(
+        rejected.iter().all(|(_, retry)| retry.is_some()),
+        "429 responses must carry Retry-After"
+    );
+    assert!(small.state.metrics.rejected_429_total() >= 1);
+    small.shutdown();
+}
