@@ -6,6 +6,21 @@
 //! configuration presets — because resolving those names into concrete
 //! workloads is the bench harness's business and should not leak into
 //! the core crate.
+//!
+//! # Wire versions
+//!
+//! Two dialects share one set of typed handlers:
+//!
+//! - `/v1/*` — the original PR-3 surface: bare response documents,
+//!   kept as a compatibility shim. Deprecated; see DESIGN.md §7 for
+//!   the removal policy.
+//! - `/v2/*` — the versioned envelope `{"v": 2, "data": ...}` on
+//!   success and `{"v": 2, "data": null, "error": {...}}` on failure.
+//!   The router may additionally mark a failed-over response with
+//!   `"rerouted": true` in the envelope.
+//!
+//! Errors everywhere (both dialects, router and shards alike) use one
+//! structured shape, [`ApiError`]: `{code, message, retry_after_ms?}`.
 
 use serde::{Deserialize, Serialize};
 use sparse::suite::MatrixSpec;
@@ -118,6 +133,163 @@ pub struct SweepResult {
     pub best_eff: ConfigScore,
     /// Server-side wall time of the sweep, milliseconds.
     pub wall_ms: f64,
+}
+
+/// `202 Accepted` document for a sweep launch: where to poll.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepAccepted {
+    /// The job id to poll.
+    pub job_id: u64,
+    /// Always `"queued"` at accept time.
+    pub status: String,
+    /// Poll path, versioned to match the request's dialect.
+    pub poll: String,
+}
+
+/// The envelope version served under `/v2/*`.
+pub const API_VERSION: u64 = 2;
+
+/// Machine-readable error codes carried in [`ApiError::code`]. One code
+/// per failure *class*, not per site — clients branch on these instead
+/// of sniffing HTTP status codes.
+pub mod code {
+    /// Unparseable or unresolvable request (400).
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// No such endpoint or job (404).
+    pub const NOT_FOUND: &str = "not_found";
+    /// Wrong verb for the path (405).
+    pub const METHOD_NOT_ALLOWED: &str = "method_not_allowed";
+    /// Body over [`crate::http::MAX_BODY_BYTES`] (413).
+    pub const PAYLOAD_TOO_LARGE: &str = "payload_too_large";
+    /// Admission queue full — back off and retry (429).
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The admitted job died without answering (500).
+    pub const WORKER_CRASHED: &str = "worker_crashed";
+    /// Any other server-side failure (500).
+    pub const INTERNAL: &str = "internal";
+    /// Every shard behind the router was unreachable (503).
+    pub const SHARD_UNAVAILABLE: &str = "shard_unavailable";
+}
+
+/// The one structured error shape used across every 4xx/5xx the daemon
+/// and the router emit: `{"code": ..., "message": ...}` plus
+/// `retry_after_ms` when the client should back off (429/503).
+#[derive(Debug, Clone, PartialEq, Eq, Deserialize)]
+pub struct ApiError {
+    /// Machine-readable class from [`code`].
+    pub code: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// Suggested backoff before retrying, when the failure is load-
+    /// or availability-shaped. Omitted from the wire when absent.
+    pub retry_after_ms: Option<u64>,
+}
+
+// Manual impl (not derived) so `retry_after_ms` is omitted — not
+// `null` — when absent: the field is the *optional* part of the shape.
+impl Serialize for ApiError {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("code".to_string(), serde::Value::Str(self.code.clone())),
+            (
+                "message".to_string(),
+                serde::Value::Str(self.message.clone()),
+            ),
+        ];
+        if let Some(ms) = self.retry_after_ms {
+            fields.push(("retry_after_ms".to_string(), serde::Value::UInt(ms)));
+        }
+        serde::Value::Obj(fields)
+    }
+}
+
+impl ApiError {
+    /// An error with the given code and message.
+    pub fn new(code: &str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            code: code.to_string(),
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Attaches a backoff hint.
+    pub fn with_retry_after_ms(mut self, ms: u64) -> ApiError {
+        self.retry_after_ms = Some(ms);
+        self
+    }
+
+    /// The default code for a transport-level status (used where the
+    /// failure is detected before any handler runs, e.g. malformed
+    /// HTTP).
+    pub fn for_status(status: u16, message: &str) -> ApiError {
+        let c = match status {
+            400 => code::BAD_REQUEST,
+            404 => code::NOT_FOUND,
+            405 => code::METHOD_NOT_ALLOWED,
+            413 => code::PAYLOAD_TOO_LARGE,
+            429 => code::QUEUE_FULL,
+            503 => code::SHARD_UNAVAILABLE,
+            _ => code::INTERNAL,
+        };
+        ApiError::new(c, message)
+    }
+
+    /// Serialized wire form.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("error shape serializes")
+    }
+
+    /// `Retry-After` header value (whole seconds, rounded up), when a
+    /// backoff hint is present.
+    pub fn retry_after_s(&self) -> Option<u64> {
+        self.retry_after_ms.map(|ms| ms.div_ceil(1000).max(1))
+    }
+}
+
+/// Which wire dialect a request arrived on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiVersion {
+    /// Bare documents (compatibility shim).
+    V1,
+    /// `{"v": 2, ...}` envelope.
+    V2,
+}
+
+impl ApiVersion {
+    /// Wraps a success payload (already-serialized JSON) for this
+    /// dialect. The payload is spliced, not re-parsed: all typed
+    /// serialization is deterministic, so identical requests produce
+    /// byte-identical envelopes.
+    pub fn ok_body(self, data_json: &str) -> String {
+        match self {
+            ApiVersion::V1 => data_json.to_string(),
+            ApiVersion::V2 => format!("{{\"v\": {API_VERSION}, \"data\": {data_json}}}"),
+        }
+    }
+
+    /// Wraps an already-serialized [`ApiError`] for this dialect.
+    pub fn err_body_json(self, err_json: &str) -> String {
+        match self {
+            ApiVersion::V1 => err_json.to_string(),
+            ApiVersion::V2 => {
+                format!("{{\"v\": {API_VERSION}, \"data\": null, \"error\": {err_json}}}")
+            }
+        }
+    }
+
+    /// Wraps an [`ApiError`] for this dialect.
+    pub fn err_body(self, err: &ApiError) -> String {
+        self.err_body_json(&err.to_json())
+    }
+
+    /// The job-poll path prefix for this dialect.
+    pub fn jobs_prefix(self) -> &'static str {
+        match self {
+            ApiVersion::V1 => "/v1/jobs",
+            ApiVersion::V2 => "/v2/jobs",
+        }
+    }
 }
 
 /// A [`SimulateRequest`] with every name resolved against the suite —

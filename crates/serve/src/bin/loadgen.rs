@@ -3,13 +3,17 @@
 //! ```text
 //! Usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N]
 //!                [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F]
+//!                [--replay FILE]
 //! ```
 //!
 //! Runs a cold pass (every unique request once, empty-cache latencies)
 //! then a warm phase (concurrent closed-loop or rate-paced traffic),
 //! prints the report, and optionally writes it to `--out`
-//! (`BENCH_serve.json`). Exits non-zero when any response falls outside
-//! {2xx, 429} or when `--guard` detects a warm-p99 regression.
+//! (`BENCH_serve.json`). With `--replay FILE` the fixed mix is replaced
+//! by a recorded JSONL trace (as written by `serve --router --record`):
+//! each request fires at its recorded timestamp offset. Exits non-zero
+//! when any response falls outside {2xx, 429-class rejections} or when
+//! `--guard` detects a warm-p99 regression.
 
 use std::path::PathBuf;
 
@@ -18,7 +22,7 @@ use serve::loadgen::{check_guard, run, LoadgenConfig};
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N] \
-         [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F]"
+         [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F] [--replay FILE]"
     );
     std::process::exit(code);
 }
@@ -68,6 +72,7 @@ fn parse_config() -> LoadgenConfig {
                 )
             }
             "--out" => config.out = Some(PathBuf::from(need(&mut args, "--out"))),
+            "--replay" => config.replay = Some(PathBuf::from(need(&mut args, "--replay"))),
             "--guard" => config.guard = Some(PathBuf::from(need(&mut args, "--guard"))),
             "--guard-factor" => {
                 config.guard_factor = need(&mut args, "--guard-factor")

@@ -1,23 +1,51 @@
-//! The `sparseadapt-serve` daemon binary.
+//! The `sparseadapt-serve` daemon binary — single daemon or cluster.
 //!
 //! ```text
 //! Usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!              [--cache-dir DIR] [--cache-mem-cap BYTES]
+//!              [--addr-file PATH]
+//!              [--router --shards N [--vnodes N] [--record FILE]]
 //! Scale via SA_SCALE = quick | half | paper (default quick).
 //! ```
+//!
+//! Without `--router` the process is one daemon shard. With `--router`
+//! it spawns `--shards` copies of itself on ephemeral ports (sharing
+//! `--cache-dir` as the cluster's disk tier), then fronts them with a
+//! consistent-hash router on `--addr`; `--record` appends every routed
+//! POST to a JSONL log that `loadgen --replay` can play back.
 
+use std::path::PathBuf;
+
+use serve::shard::{spawn_shards, start_router, RouterConfig, ShardSpawn};
 use serve::{start, ServeConfig};
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-dir DIR] [--cache-mem-cap BYTES]"
+         [--cache-dir DIR] [--cache-mem-cap BYTES] [--addr-file PATH] \
+         [--router --shards N [--vnodes N] [--record FILE]]"
     );
     std::process::exit(code);
 }
 
-fn parse_config() -> ServeConfig {
-    let mut config = ServeConfig::default();
+/// Everything the command line can say; `router` switches which half is
+/// used.
+struct Cli {
+    config: ServeConfig,
+    router: bool,
+    shards: usize,
+    vnodes: usize,
+    record: Option<PathBuf>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        config: ServeConfig::default(),
+        router: false,
+        shards: 3,
+        vnodes: 0,
+        record: None,
+    };
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -27,15 +55,15 @@ fn parse_config() -> ServeConfig {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--addr" => config.addr = need(&mut args, "--addr"),
+            "--addr" => cli.config.addr = need(&mut args, "--addr"),
             "--workers" => {
-                config.workers = need(&mut args, "--workers").parse().unwrap_or_else(|_| {
+                cli.config.workers = need(&mut args, "--workers").parse().unwrap_or_else(|_| {
                     eprintln!("--workers needs an integer");
                     usage_and_exit(2)
                 })
             }
             "--queue-cap" => {
-                config.queue_cap = need(&mut args, "--queue-cap")
+                cli.config.queue_cap = need(&mut args, "--queue-cap")
                     .parse()
                     .ok()
                     .filter(|&n| n > 0)
@@ -45,10 +73,10 @@ fn parse_config() -> ServeConfig {
                     })
             }
             "--cache-dir" => {
-                config.cache_dir = Some(std::path::PathBuf::from(need(&mut args, "--cache-dir")))
+                cli.config.cache_dir = Some(PathBuf::from(need(&mut args, "--cache-dir")))
             }
             "--cache-mem-cap" => {
-                config.cache_mem_cap = Some(
+                cli.config.cache_mem_cap = Some(
                     need(&mut args, "--cache-mem-cap")
                         .parse()
                         .unwrap_or_else(|_| {
@@ -57,6 +85,27 @@ fn parse_config() -> ServeConfig {
                         }),
                 )
             }
+            "--addr-file" => {
+                cli.config.addr_file = Some(PathBuf::from(need(&mut args, "--addr-file")))
+            }
+            "--router" => cli.router = true,
+            "--shards" => {
+                cli.shards = need(&mut args, "--shards")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--shards needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--vnodes" => {
+                cli.vnodes = need(&mut args, "--vnodes").parse().unwrap_or_else(|_| {
+                    eprintln!("--vnodes needs an integer");
+                    usage_and_exit(2)
+                })
+            }
+            "--record" => cli.record = Some(PathBuf::from(need(&mut args, "--record"))),
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -64,11 +113,19 @@ fn parse_config() -> ServeConfig {
             }
         }
     }
-    config
+    cli
 }
 
 fn main() {
-    let config = parse_config();
+    let cli = parse_cli();
+    if cli.router {
+        run_router(cli);
+    } else {
+        run_daemon(cli.config);
+    }
+}
+
+fn run_daemon(config: ServeConfig) {
     let handle = match start(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -84,6 +141,67 @@ fn main() {
         handle.state.harness.scale,
     );
     // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+fn run_router(cli: Cli) {
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("serve: cannot locate own binary for shard spawning: {e}");
+            std::process::exit(1);
+        }
+    };
+    let run_dir = std::env::temp_dir().join(format!("sparseadapt-cluster-{}", std::process::id()));
+    let shards = match spawn_shards(&ShardSpawn {
+        exe,
+        count: cli.shards,
+        workers: cli.config.workers,
+        queue_cap: cli.config.queue_cap,
+        cache_dir: cli.config.cache_dir.clone(),
+        cache_mem_cap: cli.config.cache_mem_cap,
+        run_dir,
+    }) {
+        Ok(shards) => shards,
+        Err(e) => {
+            eprintln!("serve: shard spawn failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let handle = match start_router(RouterConfig {
+        addr: cli.config.addr,
+        shards: shards.iter().map(|s| s.addr).collect(),
+        vnodes: cli.vnodes,
+        record: cli.record,
+    }) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve: router bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &cli.config.addr_file {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, handle.addr.to_string()).is_err()
+            || std::fs::rename(&tmp, path).is_err()
+        {
+            eprintln!("serve: cannot publish router address to {}", path.display());
+        }
+    }
+    eprintln!(
+        "# sparseadapt-serve router on {} — {} shards: {}",
+        handle.addr,
+        shards.len(),
+        shards
+            .iter()
+            .map(|s| s.addr.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    // Serve until killed; `shards` stays in scope so children outlive
+    // the loop (and are reaped if the router exits cleanly).
     loop {
         std::thread::park();
     }

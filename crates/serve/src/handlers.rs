@@ -5,6 +5,15 @@
 //! inline from the connection thread because they only read counters.
 //! `POST /v1/simulate` additionally coalesces: concurrent identical
 //! requests share one admitted job and receive byte-identical bodies.
+//!
+//! Every handler is *version-aware*: `/v1/*` and `/v2/*` both land
+//! here, carrying an [`ApiVersion`]. Handlers compute one typed payload
+//! (serialized once), and the version only decides the final wrapping —
+//! bare document for v1, `{"v": 2, "data": ...}` envelope for v2 — so
+//! the two dialects cannot drift apart. Errors are structured
+//! [`ApiError`]s in both dialects. Coalescing happens on the *inner*
+//! payload, so a v1 and a v2 request for the same simulation share one
+//! computation.
 
 use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
@@ -17,8 +26,8 @@ use sparseadapt::stitch::{sample_configs, SweepData};
 use sparseadapt::trace_cache::{simulate_trace, TraceCache, TraceKey};
 
 use crate::api::{
-    kernel_name, parse_kernel, ConfigScore, RecommendApiRequest, ResolvedSim, SimulateRequest,
-    SimulateResponse, SweepRequest, SweepResult,
+    code, kernel_name, parse_kernel, ApiError, ApiVersion, ConfigScore, RecommendApiRequest,
+    ResolvedSim, SimulateRequest, SimulateResponse, SweepAccepted, SweepRequest, SweepResult,
 };
 use crate::http::Response;
 use crate::metrics::QueueGauges;
@@ -29,29 +38,44 @@ use crate::server::AppState;
 /// memory and wall time regardless of what the client sends.
 pub const MAX_SWEEP_SAMPLED: u64 = 4096;
 
-fn error_body(status: u16, message: &str) -> String {
-    String::from_utf8(Response::error(status, message).body).expect("error envelope is UTF-8")
+/// The queue-full rejection, with a backoff hint derived from current
+/// queue depth.
+fn queue_full(state: &AppState) -> ApiError {
+    ApiError::new(code::QUEUE_FULL, "admission queue full; retry later")
+        .with_retry_after_ms(queue::retry_after_s(&state.pool) * 1000)
 }
 
-fn with_retry_after(state: &AppState, resp: Response) -> Response {
-    let retry = queue::retry_after_s(&state.pool);
-    resp.with_header("retry-after", retry.to_string())
+fn crashed(what: &str) -> ApiError {
+    ApiError::new(code::WORKER_CRASHED, format!("worker crashed while {what}"))
 }
 
-fn admit_error_response(state: &AppState, err: AdmitError) -> Response {
-    match err {
-        AdmitError::Full => with_retry_after(
-            state,
-            Response::error(429, "admission queue full; retry later"),
-        ),
-        AdmitError::Crashed => Response::error(500, "worker crashed while serving the request"),
+/// Renders a `(status, inner-json)` pair — the unit the coalescer
+/// caches — into a response for the request's dialect. `inner` is the
+/// data document below 400 and a serialized [`ApiError`] at/above it.
+fn finish(version: ApiVersion, status: u16, inner: &str) -> Response {
+    if status < 400 {
+        return Response::json(status, version.ok_body(inner));
+    }
+    let retry = serde_json::from_str::<ApiError>(inner)
+        .ok()
+        .and_then(|e| e.retry_after_s());
+    let resp = Response::json(status, version.err_body_json(inner));
+    match retry {
+        Some(s) => resp.with_header("retry-after", s.to_string()),
+        None => resp,
     }
 }
 
-fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, Response> {
-    let text =
-        std::str::from_utf8(body).map_err(|_| Response::error(400, "request body is not UTF-8"))?;
-    serde_json::from_str(text).map_err(|e| Response::error(400, &format!("bad request: {e}")))
+/// Renders a handler-level error for the request's dialect.
+fn error_response(version: ApiVersion, status: u16, err: &ApiError) -> Response {
+    finish(version, status, &err.to_json())
+}
+
+fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(code::BAD_REQUEST, "request body is not UTF-8"))?;
+    serde_json::from_str(text)
+        .map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))
 }
 
 /// `GET /healthz`.
@@ -74,53 +98,57 @@ pub fn metrics(state: &AppState) -> Response {
     )
 }
 
-/// `GET /v1/jobs`.
-pub fn jobs(state: &AppState) -> Response {
-    Response::json(200, state.jobs.render_all())
+/// `GET /v1/jobs` and `GET /v2/jobs`.
+pub fn jobs(state: &AppState, version: ApiVersion) -> Response {
+    finish(version, 200, &state.jobs.render_all())
 }
 
-/// `GET /v1/jobs/<id>`.
-pub fn job(state: &AppState, id_str: &str) -> Response {
+/// `GET /v1/jobs/<id>` and `GET /v2/jobs/<id>`.
+pub fn job(state: &AppState, id_str: &str, version: ApiVersion) -> Response {
     let Ok(id) = id_str.parse::<u64>() else {
-        return Response::error(400, "job id must be an integer");
+        return error_response(
+            version,
+            400,
+            &ApiError::new(code::BAD_REQUEST, "job id must be an integer"),
+        );
     };
     match state.jobs.render(id) {
-        Some(doc) => Response::json(200, doc),
-        None => Response::error(404, &format!("no such job {id}")),
+        Some(doc) => finish(version, 200, &doc),
+        None => error_response(
+            version,
+            404,
+            &ApiError::new(code::NOT_FOUND, format!("no such job {id}")),
+        ),
     }
 }
 
-/// `POST /v1/simulate`: coalesced, admitted, cache-backed simulation.
-pub fn simulate(state: &Arc<AppState>, body: &[u8]) -> Response {
+/// `POST /v{1,2}/simulate`: coalesced, admitted, cache-backed
+/// simulation.
+pub fn simulate(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
     let req: SimulateRequest = match parse_body(body) {
         Ok(req) => req,
-        Err(resp) => return resp,
+        Err(err) => return error_response(version, 400, &err),
     };
     let resolved = match req.resolve() {
         Ok(r) => r,
-        Err(msg) => return Response::error(400, &msg),
+        Err(msg) => return error_response(version, 400, &ApiError::new(code::BAD_REQUEST, msg)),
     };
     let key = resolved.key();
     let led = Cell::new(false);
-    let (status, body) = state.coalescer.get_or_compute(key, || {
+    let (status, inner) = state.coalescer.get_or_compute(key, || {
         led.set(true);
         let st = Arc::clone(state);
         let r = resolved.clone();
         match queue::run_admitted(&state.pool, move || run_simulate(&st, &r)) {
             Ok(out) => out,
-            Err(AdmitError::Full) => (429, error_body(429, "admission queue full; retry later")),
-            Err(AdmitError::Crashed) => (500, error_body(500, "worker crashed while simulating")),
+            Err(AdmitError::Full) => (429, queue_full(state).to_json()),
+            Err(AdmitError::Crashed) => (500, crashed("simulating").to_json()),
         }
     });
     if !led.get() {
         state.metrics.record_coalesced();
     }
-    let resp = Response::json(status, body);
-    if status == 429 {
-        with_retry_after(state, resp)
-    } else {
-        resp
-    }
+    finish(version, status, &inner)
 }
 
 /// Executes one resolved simulation on a pool worker.
@@ -155,15 +183,15 @@ fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
     )
 }
 
-/// `POST /v1/recommend`: model inference on a pool worker.
-pub fn recommend(state: &Arc<AppState>, body: &[u8]) -> Response {
+/// `POST /v{1,2}/recommend`: model inference on a pool worker.
+pub fn recommend(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
     let req: RecommendApiRequest = match parse_body(body) {
         Ok(req) => req,
-        Err(resp) => return resp,
+        Err(err) => return error_response(version, 400, &err),
     };
     let kernel = match parse_kernel(&req.kernel) {
         Ok(k) => k,
-        Err(msg) => return Response::error(400, &msg),
+        Err(msg) => return error_response(version, 400, &ApiError::new(code::BAD_REQUEST, msg)),
     };
     let l1_kind = req.l1_kind.unwrap_or_default();
     let mode = req.mode.unwrap_or_default();
@@ -181,20 +209,21 @@ pub fn recommend(state: &Arc<AppState>, body: &[u8]) -> Response {
         serde_json::to_string(&resp).expect("recommend response serializes")
     });
     match admitted {
-        Ok(body) => Response::json(200, body),
-        Err(err) => admit_error_response(state, err),
+        Ok(inner) => finish(version, 200, &inner),
+        Err(AdmitError::Full) => error_response(version, 429, &queue_full(state)),
+        Err(AdmitError::Crashed) => error_response(version, 500, &crashed("recommending")),
     }
 }
 
-/// `POST /v1/sweep`: launch an asynchronous sweep job; 202 + job id.
-pub fn sweep(state: &Arc<AppState>, body: &[u8]) -> Response {
+/// `POST /v{1,2}/sweep`: launch an asynchronous sweep job; 202 + job id.
+pub fn sweep(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
     let req: SweepRequest = match parse_body(body) {
         Ok(req) => req,
-        Err(resp) => return resp,
+        Err(err) => return error_response(version, 400, &err),
     };
     let resolved = match req.resolve() {
         Ok(r) => r,
-        Err(msg) => return Response::error(400, &msg),
+        Err(msg) => return error_response(version, 400, &ApiError::new(code::BAD_REQUEST, msg)),
     };
     let sampled = req
         .sampled
@@ -222,25 +251,19 @@ pub fn sweep(state: &Arc<AppState>, body: &[u8]) -> Response {
     });
     match submitted {
         Ok(()) => {
-            let body = serde_json::to_string(&serde::Value::Obj(vec![
-                ("job_id".to_string(), serde::Value::UInt(id)),
-                ("status".to_string(), serde::Value::Str("queued".into())),
-                (
-                    "poll".to_string(),
-                    serde::Value::Str(format!("/v1/jobs/{id}")),
-                ),
-            ]))
-            .expect("accepted envelope serializes");
-            Response::json(202, body)
+            let accepted = SweepAccepted {
+                job_id: id,
+                status: "queued".to_string(),
+                poll: format!("{}/{id}", version.jobs_prefix()),
+            };
+            let inner = serde_json::to_string(&accepted).expect("accepted document serializes");
+            finish(version, 202, &inner)
         }
         Err(_) => {
             state
                 .jobs
                 .fail(id, "rejected by admission control".to_string());
-            with_retry_after(
-                state,
-                Response::error(429, "admission queue full; retry later"),
-            )
+            error_response(version, 429, &queue_full(state))
         }
     }
 }

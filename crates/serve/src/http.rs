@@ -70,14 +70,25 @@ impl Response {
         }
     }
 
-    /// A JSON error response in the daemon's uniform error envelope.
+    /// A JSON error response in the daemon's uniform structured error
+    /// shape (`{code, message, retry_after_ms?}`), the code inferred
+    /// from the status. Used where failures are detected before any
+    /// versioned handler runs (malformed HTTP, unknown routes); handler
+    /// errors construct [`crate::api::ApiError`] directly.
     pub fn error(status: u16, message: &str) -> Response {
-        let body = serde_json::to_string(&serde::Value::Obj(vec![
-            ("error".to_string(), serde::Value::Str(message.to_string())),
-            ("status".to_string(), serde::Value::UInt(status as u64)),
-        ]))
-        .expect("error envelope serializes");
-        Response::json(status, body)
+        let err = crate::api::ApiError::for_status(status, message);
+        Response::from_api_error(status, &err)
+    }
+
+    /// A JSON error response from a structured [`crate::api::ApiError`],
+    /// attaching a `Retry-After` header when the error carries a
+    /// backoff hint.
+    pub fn from_api_error(status: u16, err: &crate::api::ApiError) -> Response {
+        let resp = Response::json(status, err.to_json());
+        match err.retry_after_s() {
+            Some(s) => resp.with_header("retry-after", s.to_string()),
+            None => resp,
+        }
     }
 
     /// Adds a header.

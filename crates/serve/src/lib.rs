@@ -18,6 +18,8 @@
 //! - [`jobs`] — async sweep-job registry behind 202 + `GET /v1/jobs/<id>`
 //! - [`metrics`] — counters, latency histogram, `/metrics` document
 //! - [`server`] — listener, connection threads, shutdown
+//! - [`shard`] — cluster mode: consistent-hash router, health checks,
+//!   failover, merged metrics, shard process spawning
 //! - [`loadgen`] — the load-testing client (cold/warm phases, exact
 //!   percentiles, p99 regression guard)
 //!
@@ -37,5 +39,7 @@ pub mod metrics;
 pub mod queue;
 pub mod router;
 pub mod server;
+pub mod shard;
 
 pub use server::{start, ServeConfig, ServerHandle};
+pub use shard::{start_router, RouterConfig, RouterHandle};

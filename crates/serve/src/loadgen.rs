@@ -12,6 +12,18 @@
 //! Latencies are recorded per request and percentiles computed exactly
 //! from the raw samples (the server's `/metrics` histogram is
 //! bucket-resolution; this client is the precise instrument).
+//!
+//! A third mode, `--replay FILE`, substitutes a recorded trace for the
+//! fixed mix: JSONL records (as produced by the router's `--record`
+//! flag) carry relative timestamps and request bodies, and the replay
+//! fires each request at its recorded offset — reproducing a captured
+//! arrival process instead of a synthetic closed loop.
+//!
+//! Outcome classification reads the daemon's structured error shape
+//! (`{code, message, retry_after_ms?}`): a `queue_full` code counts as
+//! admission backpressure wherever it appears, anything else as an
+//! error — the status code is only the fallback for bodies that don't
+//! parse.
 
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -20,12 +32,12 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use sparseadapt::ReconfigPolicy;
 use transmuter::config::TransmuterConfig;
 use transmuter::counters::Telemetry;
 
-use crate::api::{RecommendApiRequest, SimulateRequest};
+use crate::api::{ApiError, RecommendApiRequest, SimulateRequest};
 use crate::http::{read_response, write_request};
 
 /// Client-side settings.
@@ -46,6 +58,8 @@ pub struct LoadgenConfig {
     pub guard: Option<PathBuf>,
     /// Fail when warm p99 exceeds `guard_factor` × the baseline's.
     pub guard_factor: f64,
+    /// Recorded-trace replay log (JSONL); replaces the cold/warm mix.
+    pub replay: Option<PathBuf>,
 }
 
 impl Default for LoadgenConfig {
@@ -58,6 +72,7 @@ impl Default for LoadgenConfig {
             out: None,
             guard: None,
             guard_factor: 4.0,
+            replay: None,
         }
     }
 }
@@ -121,11 +136,48 @@ pub struct Report {
 #[derive(Debug, Clone)]
 pub struct PreparedRequest {
     /// HTTP method.
-    pub method: &'static str,
+    pub method: String,
     /// Request target (path).
-    pub target: &'static str,
+    pub target: String,
     /// JSON body.
     pub body: String,
+}
+
+/// One line of a replay log, as written by the router's `--record`
+/// flag: a relative timestamp plus the request it saw.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplayRecord {
+    /// Milliseconds since the recording started.
+    pub ts_ms: u64,
+    /// HTTP method.
+    pub method: String,
+    /// Request target (path).
+    pub target: String,
+    /// JSON body, verbatim.
+    pub body: String,
+}
+
+/// Parses a JSONL replay log. Blank lines are skipped; records are
+/// sorted by timestamp so a log stitched from several sources still
+/// replays in arrival order.
+///
+/// # Errors
+///
+/// Returns a message naming the first unparseable line.
+pub fn load_replay(path: &PathBuf) -> Result<Vec<ReplayRecord>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("replay {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: ReplayRecord = serde_json::from_str(line)
+            .map_err(|e| format!("replay {} line {}: {e}", path.display(), lineno + 1))?;
+        records.push(record);
+    }
+    records.sort_by_key(|r| r.ts_ms);
+    Ok(records)
 }
 
 /// The default mix: six simulate requests (two SpMSpV suite matrices ×
@@ -144,8 +196,8 @@ pub fn default_mix() -> Vec<PreparedRequest> {
                 config_name: Some(config_name.to_string()),
             };
             mix.push(PreparedRequest {
-                method: "POST",
-                target: "/v1/simulate",
+                method: "POST".to_string(),
+                target: "/v1/simulate".to_string(),
                 body: serde_json::to_string(&req).expect("mix serializes"),
             });
         }
@@ -161,8 +213,8 @@ pub fn default_mix() -> Vec<PreparedRequest> {
             last_epoch_time_s: Some(0.01),
         };
         mix.push(PreparedRequest {
-            method: "POST",
-            target: "/v1/recommend",
+            method: "POST".to_string(),
+            target: "/v1/recommend".to_string(),
             body: serde_json::to_string(&req).expect("mix serializes"),
         });
     }
@@ -178,15 +230,27 @@ struct PhaseAccumulator {
 }
 
 impl PhaseAccumulator {
-    fn record(&self, status: Option<u16>, latency_ms: f64) {
+    /// Classifies one exchange. The structured error body is the
+    /// primary signal — a `queue_full` code is admission backpressure
+    /// regardless of transport details — and the status code is the
+    /// fallback for responses whose body doesn't parse as an
+    /// [`ApiError`] (connection failures pass `None`, `None`).
+    fn record(&self, status: Option<u16>, body: Option<&[u8]>, latency_ms: f64) {
         self.latencies_ms
             .lock()
             .expect("latency lock")
             .push(latency_ms);
         match status {
             Some(200) | Some(202) => self.ok.fetch_add(1, Ordering::Relaxed),
-            Some(429) => self.rejected_429.fetch_add(1, Ordering::Relaxed),
-            _ => self.errors.fetch_add(1, Ordering::Relaxed),
+            Some(s) => match body.and_then(parse_api_error) {
+                Some(err) if err.code == crate::api::code::QUEUE_FULL => {
+                    self.rejected_429.fetch_add(1, Ordering::Relaxed)
+                }
+                Some(_) => self.errors.fetch_add(1, Ordering::Relaxed),
+                None if s == 429 => self.rejected_429.fetch_add(1, Ordering::Relaxed),
+                None => self.errors.fetch_add(1, Ordering::Relaxed),
+            },
+            None => self.errors.fetch_add(1, Ordering::Relaxed),
         };
     }
 
@@ -233,7 +297,7 @@ fn connect(addr: &str) -> std::io::Result<TcpStream> {
 }
 
 fn issue(stream: &mut TcpStream, req: &PreparedRequest) -> Result<(u16, Vec<u8>), std::io::Error> {
-    write_request(stream, req.method, req.target, Some(&req.body))?;
+    write_request(stream, &req.method, &req.target, Some(&req.body))?;
     let mut reader = BufReader::new(&*stream);
     let resp = read_response(&mut reader)?;
     Ok((resp.status, resp.body))
@@ -249,15 +313,40 @@ fn get(addr: &str, target: &str) -> Result<Vec<u8>, String> {
     Ok(resp.body)
 }
 
-/// Whether a simulate response body carries `"cached": true`.
+/// Extracts the structured [`ApiError`] from an error body, looking
+/// both at the bare v1 shape and inside the v2 envelope's `"error"`
+/// field.
+fn parse_api_error(body: &[u8]) -> Option<ApiError> {
+    let text = std::str::from_utf8(body).ok()?;
+    let Value::Obj(pairs) = serde_json::parse_value_str(text).ok()? else {
+        return None;
+    };
+    let err_value = match serde::obj_get(&pairs, "error") {
+        Value::Obj(_) => serde::obj_get(&pairs, "error").clone(),
+        _ => Value::Obj(pairs),
+    };
+    serde::Deserialize::from_value(&err_value).ok()
+}
+
+/// Whether a simulate response body carries `"cached": true`, looking
+/// through the v2 envelope's `"data"` field when present.
 fn response_says_cached(body: &[u8]) -> bool {
+    fn cached_in(pairs: &[(String, Value)]) -> bool {
+        if pairs
+            .iter()
+            .any(|(k, v)| k == "cached" && *v == Value::Bool(true))
+        {
+            return true;
+        }
+        match serde::obj_get(pairs, "data") {
+            Value::Obj(inner) => cached_in(inner),
+            _ => false,
+        }
+    }
     std::str::from_utf8(body)
         .ok()
         .and_then(|text| serde_json::parse_value_str(text).ok())
-        .map(|value| {
-            matches!(value, Value::Obj(ref pairs)
-                if pairs.iter().any(|(k, v)| k == "cached" && *v == Value::Bool(true)))
-        })
+        .map(|value| matches!(value, Value::Obj(ref pairs) if cached_in(pairs)))
         .unwrap_or(false)
 }
 
@@ -279,27 +368,114 @@ fn scrape_cache_stats(addr: &str) -> (f64, u64) {
         }
         Some(cur)
     };
-    let hit_ratio = match field(&["trace_cache", "hit_ratio"]) {
+    // A router's /metrics nests the cluster-wide view under "merged";
+    // a plain daemon answers with the fields at the top level.
+    let hit_ratio = match field(&["merged", "trace_cache", "hit_ratio"])
+        .or_else(|| field(&["trace_cache", "hit_ratio"]))
+    {
         Some(Value::Float(f)) => f,
         Some(Value::UInt(u)) => u as f64,
         Some(Value::Int(i)) => i as f64,
         _ => 0.0,
     };
-    let coalesced = match field(&["coalesced_total"]) {
-        Some(Value::UInt(u)) => u,
-        Some(Value::Int(i)) => i.max(0) as u64,
-        _ => 0,
-    };
+    let coalesced =
+        match field(&["merged", "coalesced_total"]).or_else(|| field(&["coalesced_total"])) {
+            Some(Value::UInt(u)) => u,
+            Some(Value::Int(i)) => i.max(0) as u64,
+            _ => 0,
+        };
     (hit_ratio, coalesced)
 }
 
-/// Runs the cold pass then the warm phase; returns the report.
+/// Runs the configured load: recorded-trace replay when `replay` is
+/// set, otherwise the cold pass followed by the warm phase.
 ///
 /// # Errors
 ///
-/// Returns a message on connection failure or a mix that cannot be
-/// issued at all.
+/// Returns a message on connection failure, an unreadable replay log,
+/// or a mix that cannot be issued at all.
 pub fn run(cfg: &LoadgenConfig) -> Result<Report, String> {
+    match &cfg.replay {
+        Some(path) => run_replay(cfg, path),
+        None => run_mix(cfg),
+    }
+}
+
+/// Replays a recorded trace: each record fires at its recorded offset
+/// (closed-loop workers pull the schedule; a late start never reorders
+/// arrivals). The replay fills the report's warm phase; there is no
+/// cold pass — the recording *is* the arrival process.
+fn run_replay(cfg: &LoadgenConfig, path: &PathBuf) -> Result<Report, String> {
+    let records = load_replay(path)?;
+    if records.is_empty() {
+        return Err(format!("replay {}: no records", path.display()));
+    }
+    let acc = PhaseAccumulator::default();
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.concurrency.max(1) {
+            let acc = &acc;
+            let next = &next;
+            let records = &records;
+            let addr = cfg.addr.clone();
+            scope.spawn(move || {
+                let Ok(mut stream) = connect(&addr) else {
+                    return;
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(record) = records.get(i) else {
+                        return;
+                    };
+                    let due = Duration::from_millis(record.ts_ms);
+                    let elapsed = started.elapsed();
+                    if due > elapsed {
+                        std::thread::sleep(due - elapsed);
+                    }
+                    let req = PreparedRequest {
+                        method: record.method.clone(),
+                        target: record.target.clone(),
+                        body: record.body.clone(),
+                    };
+                    let issued = Instant::now();
+                    match issue(&mut stream, &req) {
+                        Ok((status, body)) => acc.record(
+                            Some(status),
+                            Some(&body),
+                            issued.elapsed().as_secs_f64() * 1e3,
+                        ),
+                        Err(_) => {
+                            acc.record(None, None, issued.elapsed().as_secs_f64() * 1e3);
+                            match connect(&addr) {
+                                Ok(s) => stream = s,
+                                Err(_) => return,
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let warm = acc.stats(started.elapsed().as_secs_f64());
+    let (server_hit_ratio, server_coalesced_total) = scrape_cache_stats(&cfg.addr);
+    let empty = PhaseAccumulator::default().stats(0.0);
+    Ok(Report {
+        addr: cfg.addr.clone(),
+        concurrency: cfg.concurrency,
+        target_rps: 0.0,
+        mix_size: records.len(),
+        cold: empty,
+        cold_cache_hits: 0,
+        warm,
+        warm_over_cold_rps: 0.0,
+        server_hit_ratio,
+        server_coalesced_total,
+    })
+}
+
+/// The default two-phase run: cold pass, then the warm closed loop.
+fn run_mix(cfg: &LoadgenConfig) -> Result<Report, String> {
     let mix = default_mix();
 
     // Cold pass: sequential, one connection per request so cold
@@ -315,7 +491,11 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, String> {
         let Some((status, body)) = outcome else {
             return Err(format!("cold pass: {} {} failed", req.method, req.target));
         };
-        cold_acc.record(Some(status), started.elapsed().as_secs_f64() * 1e3);
+        cold_acc.record(
+            Some(status),
+            Some(&body),
+            started.elapsed().as_secs_f64() * 1e3,
+        );
         if status == 200 && req.target == "/v1/simulate" && response_says_cached(&body) {
             cold_cache_hits += 1;
         }
@@ -352,11 +532,15 @@ pub fn run(cfg: &LoadgenConfig) -> Result<Report, String> {
                     let req = &mix[next.fetch_add(1, Ordering::Relaxed) % mix.len()];
                     let started = Instant::now();
                     match issue(&mut stream, req) {
-                        Ok((status, _)) => {
-                            warm_acc.record(Some(status), started.elapsed().as_secs_f64() * 1e3);
+                        Ok((status, body)) => {
+                            warm_acc.record(
+                                Some(status),
+                                Some(&body),
+                                started.elapsed().as_secs_f64() * 1e3,
+                            );
                         }
                         Err(_) => {
-                            warm_acc.record(None, started.elapsed().as_secs_f64() * 1e3);
+                            warm_acc.record(None, None, started.elapsed().as_secs_f64() * 1e3);
                             // Reconnect once; give up on repeat failure.
                             match connect(&addr) {
                                 Ok(s) => stream = s,
@@ -452,7 +636,7 @@ mod tests {
     fn percentiles_are_exact_on_raw_samples() {
         let acc = PhaseAccumulator::default();
         for i in 1..=100 {
-            acc.record(Some(200), i as f64);
+            acc.record(Some(200), None, i as f64);
         }
         let s = acc.stats(10.0);
         assert_eq!(s.requests, 100);
@@ -462,6 +646,63 @@ mod tests {
         assert_eq!(s.p99_ms, 99.0);
         assert_eq!(s.max_ms, 100.0);
         assert_eq!(s.rps, 10.0);
+    }
+
+    #[test]
+    fn structured_errors_classify_by_code_not_status() {
+        let acc = PhaseAccumulator::default();
+        // A queue_full body counts as backpressure even off a 503 (a
+        // router may relay a shard's rejection with its own status).
+        let full = br#"{"code": "queue_full", "message": "busy", "retry_after_ms": 1000}"#;
+        acc.record(Some(503), Some(full), 1.0);
+        // The v2 envelope carries the same error one level down.
+        let enveloped =
+            br#"{"v": 2, "data": null, "error": {"code": "queue_full", "message": "busy"}}"#;
+        acc.record(Some(429), Some(enveloped), 1.0);
+        // A structured non-queue error is an error even on 429.
+        let bad = br#"{"code": "bad_request", "message": "nope"}"#;
+        acc.record(Some(429), Some(bad), 1.0);
+        // Unparseable body falls back to the status code.
+        acc.record(Some(429), Some(b"busy"), 1.0);
+        acc.record(Some(500), Some(b"boom"), 1.0);
+        let s = acc.stats(1.0);
+        assert_eq!(s.rejected_429, 3);
+        assert_eq!(s.errors, 2);
+    }
+
+    #[test]
+    fn cached_flag_is_found_through_the_v2_envelope() {
+        assert!(response_says_cached(br#"{"cached": true}"#));
+        assert!(response_says_cached(
+            br#"{"v": 2, "data": {"kernel": "spmspv", "cached": true}}"#
+        ));
+        assert!(!response_says_cached(
+            br#"{"v": 2, "data": {"cached": false}}"#
+        ));
+        assert!(!response_says_cached(b"not json"));
+    }
+
+    #[test]
+    fn replay_log_round_trips_and_sorts_by_timestamp() {
+        let dir = std::env::temp_dir().join("sa_serve_replay_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("replay.jsonl");
+        let lines = [
+            r#"{"ts_ms": 20, "method": "POST", "target": "/v1/recommend", "body": "{}"}"#,
+            "",
+            r#"{"ts_ms": 5, "method": "POST", "target": "/v1/simulate", "body": "{\"kernel\": \"spmspv\"}"}"#,
+        ];
+        std::fs::write(&path, lines.join("\n")).expect("write log");
+        let records = load_replay(&path).expect("parses");
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].ts_ms, 5);
+        assert_eq!(records[0].target, "/v1/simulate");
+        assert_eq!(records[1].ts_ms, 20);
+        // A body with nested JSON survives the round trip verbatim.
+        assert_eq!(records[0].body, "{\"kernel\": \"spmspv\"}");
+
+        std::fs::write(&path, "not json\n").expect("write bad log");
+        assert!(load_replay(&path).is_err());
     }
 
     #[test]

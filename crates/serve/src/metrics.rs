@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sparseadapt::trace_cache::CacheStats;
 
 /// Upper edges of the latency histogram buckets, in milliseconds.
@@ -57,7 +57,6 @@ impl LatencyHistogram {
         let sum_ms = self.sum_ms.load(Ordering::Relaxed) as f64 / 1000.0;
         HistogramSnapshot {
             bucket_upper_ms: LATENCY_BUCKETS_MS.to_vec(),
-            counts,
             count,
             sum_ms,
             mean_ms: if count == 0 {
@@ -65,9 +64,10 @@ impl LatencyHistogram {
             } else {
                 sum_ms / count as f64
             },
-            p50_ms: percentile_from_counts(&self.counts, count, 0.50),
-            p95_ms: percentile_from_counts(&self.counts, count, 0.95),
-            p99_ms: percentile_from_counts(&self.counts, count, 0.99),
+            p50_ms: percentile_from_counts(&counts, count, 0.50),
+            p95_ms: percentile_from_counts(&counts, count, 0.95),
+            p99_ms: percentile_from_counts(&counts, count, 0.99),
+            counts,
         }
     }
 }
@@ -77,18 +77,14 @@ impl LatencyHistogram {
 /// largest finite edge). Coarse by construction — `loadgen` computes
 /// exact percentiles client-side from raw samples; this one exists so
 /// `/metrics` can answer without the server retaining per-request state.
-fn percentile_from_counts(
-    counts: &[AtomicU64; LATENCY_BUCKETS_MS.len() + 1],
-    total: u64,
-    p: f64,
-) -> f64 {
+fn percentile_from_counts(counts: &[u64], total: u64, p: f64) -> f64 {
     if total == 0 {
         return 0.0;
     }
     let rank = (p * total as f64).ceil() as u64;
     let mut seen = 0u64;
     for (i, c) in counts.iter().enumerate() {
-        seen += c.load(Ordering::Relaxed);
+        seen += c;
         if seen >= rank {
             return LATENCY_BUCKETS_MS
                 .get(i)
@@ -99,8 +95,10 @@ fn percentile_from_counts(
     LATENCY_BUCKETS_MS[LATENCY_BUCKETS_MS.len() - 1]
 }
 
-/// JSON shape of one histogram in `/metrics`.
-#[derive(Debug, Clone, Serialize)]
+/// JSON shape of one histogram in `/metrics`. `Deserialize` so the
+/// cluster router can scrape shard `/metrics` documents and merge them
+/// ([`merge_snapshots`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Upper bucket edges, ms; one extra overflow bucket follows.
     pub bucket_upper_ms: Vec<f64>,
@@ -132,7 +130,7 @@ pub struct ServerMetrics {
 }
 
 /// Queue-side gauges sampled at render time.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct QueueGauges {
     /// Jobs admitted and waiting for a worker.
     pub queue_depth: usize,
@@ -145,7 +143,7 @@ pub struct QueueGauges {
 }
 
 /// The `/metrics` document.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Seconds since the server started.
     pub uptime_s: f64,
@@ -168,7 +166,7 @@ pub struct MetricsSnapshot {
 
 /// JSON shape of the trace-cache stats (mirrors
 /// [`sparseadapt::trace_cache::CacheStats`] plus the derived hit ratio).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TraceCacheSnapshot {
     /// Lookups answered from memory.
     pub hits: u64,
@@ -176,6 +174,11 @@ pub struct TraceCacheSnapshot {
     pub misses: u64,
     /// Lookups answered from the disk layer.
     pub disk_hits: u64,
+    /// Traces published to the shared disk tier.
+    pub disk_writes: u64,
+    /// Disk publishes skipped because another process held the entry's
+    /// write lock.
+    pub disk_write_skips: u64,
     /// Traces evicted by the memory cap.
     pub evictions: u64,
     /// Traces resident in memory.
@@ -193,6 +196,8 @@ impl From<CacheStats> for TraceCacheSnapshot {
             hits: s.hits,
             misses: s.misses,
             disk_hits: s.disk_hits,
+            disk_writes: s.disk_writes,
+            disk_write_skips: s.disk_write_skips,
             evictions: s.evictions,
             entries: s.entries,
             resident_bytes: s.resident_bytes,
@@ -203,6 +208,62 @@ impl From<CacheStats> for TraceCacheSnapshot {
             },
         }
     }
+}
+
+/// Merges per-shard `/metrics` documents into one cluster-wide view:
+/// counters and histogram buckets sum, derived statistics (mean,
+/// bucket-resolution percentiles, hit ratio) are recomputed from the
+/// summed buckets, and `uptime_s` takes the oldest shard. Gauges
+/// (queue depth, resident bytes) sum across shards — they describe
+/// total cluster capacity in flight, not any single process.
+pub fn merge_snapshots(snaps: &[MetricsSnapshot]) -> Option<MetricsSnapshot> {
+    let first = snaps.first()?;
+    let mut merged = first.clone();
+    for s in &snaps[1..] {
+        merged.uptime_s = merged.uptime_s.max(s.uptime_s);
+        merged.requests_total += s.requests_total;
+        merged.rejected_429_total += s.rejected_429_total;
+        merged.coalesced_total += s.coalesced_total;
+        for (route, n) in &s.requests_by_route {
+            *merged.requests_by_route.entry(route.clone()).or_insert(0) += n;
+        }
+        let h = &mut merged.latency;
+        for (mine, theirs) in h.counts.iter_mut().zip(&s.latency.counts) {
+            *mine += theirs;
+        }
+        h.count += s.latency.count;
+        h.sum_ms += s.latency.sum_ms;
+        merged.queue.queue_depth += s.queue.queue_depth;
+        merged.queue.in_flight += s.queue.in_flight;
+        merged.queue.queue_cap += s.queue.queue_cap;
+        merged.queue.workers += s.queue.workers;
+        let c = &mut merged.trace_cache;
+        c.hits += s.trace_cache.hits;
+        c.misses += s.trace_cache.misses;
+        c.disk_hits += s.trace_cache.disk_hits;
+        c.disk_writes += s.trace_cache.disk_writes;
+        c.disk_write_skips += s.trace_cache.disk_write_skips;
+        c.evictions += s.trace_cache.evictions;
+        c.entries += s.trace_cache.entries;
+        c.resident_bytes += s.trace_cache.resident_bytes;
+    }
+    let h = &mut merged.latency;
+    h.mean_ms = if h.count == 0 {
+        0.0
+    } else {
+        h.sum_ms / h.count as f64
+    };
+    h.p50_ms = percentile_from_counts(&h.counts, h.count, 0.50);
+    h.p95_ms = percentile_from_counts(&h.counts, h.count, 0.95);
+    h.p99_ms = percentile_from_counts(&h.counts, h.count, 0.99);
+    let c = &mut merged.trace_cache;
+    let answered = c.hits + c.disk_hits + c.misses;
+    c.hit_ratio = if answered == 0 {
+        0.0
+    } else {
+        (c.hits + c.disk_hits) as f64 / answered as f64
+    };
+    Some(merged)
 }
 
 impl ServerMetrics {
@@ -317,6 +378,44 @@ mod tests {
         // The snapshot serializes (the /metrics handler relies on it).
         let json = serde_json::to_string(&s).expect("serializes");
         assert!(json.contains("\"hit_ratio\""));
+    }
+
+    #[test]
+    fn merged_snapshots_sum_counters_and_recompute_percentiles() {
+        let a = ServerMetrics::new();
+        for _ in 0..90 {
+            a.record("POST /v1/simulate", 200, 0.2);
+        }
+        let b = ServerMetrics::new();
+        for _ in 0..10 {
+            b.record("POST /v1/simulate", 200, 30.0);
+        }
+        b.record("POST /v1/simulate", 429, 0.1);
+        let snaps = [
+            a.snapshot(gauges(), CacheStats::default()),
+            b.snapshot(gauges(), CacheStats::default()),
+        ];
+        let m = merge_snapshots(&snaps).expect("non-empty");
+        assert_eq!(m.requests_total, 101);
+        assert_eq!(m.rejected_429_total, 1);
+        assert_eq!(m.requests_by_route["POST /v1/simulate 200"], 100);
+        assert_eq!(m.latency.count, 101);
+        // 90 of 101 at <=0.25ms, so p50 sits in the first bucket and p95
+        // lands where shard b's slow requests are.
+        assert_eq!(m.latency.p50_ms, 0.25);
+        assert_eq!(m.latency.p95_ms, 32.0);
+        assert_eq!(m.queue.workers, 8);
+        // The merged document round-trips through JSON the same way a
+        // scraped shard document does.
+        let json = serde_json::to_string(&m).expect("serializes");
+        let back: MetricsSnapshot = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.requests_total, 101);
+        assert_eq!(back.latency.counts, m.latency.counts);
+    }
+
+    #[test]
+    fn merging_nothing_yields_none() {
+        assert!(merge_snapshots(&[]).is_none());
     }
 
     #[test]

@@ -3,9 +3,14 @@
 //! The label (e.g. `"GET /v1/jobs/:id"`) is what the per-route metrics
 //! key on, so unbounded path segments (job ids) collapse to one
 //! counter instead of one counter per id.
+//!
+//! `/v1/*` and `/v2/*` dispatch to the same handlers; the
+//! [`ApiVersion`] argument selects the response dialect (bare v1
+//! document vs. the v2 `{"v": 2, "data": ...}` envelope).
 
 use std::sync::Arc;
 
+use crate::api::ApiVersion;
 use crate::handlers;
 use crate::http::{Request, Response};
 use crate::server::AppState;
@@ -13,20 +18,42 @@ use crate::server::AppState;
 /// Dispatches one request. Returns the normalized route label (for
 /// metrics) and the response.
 pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
+    use ApiVersion::{V1, V2};
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => ("GET /healthz", handlers::healthz()),
         ("GET", "/metrics") => ("GET /metrics", handlers::metrics(state)),
-        ("GET", "/v1/jobs") => ("GET /v1/jobs", handlers::jobs(state)),
+        ("GET", "/v1/jobs") => ("GET /v1/jobs", handlers::jobs(state, V1)),
+        ("GET", "/v2/jobs") => ("GET /v2/jobs", handlers::jobs(state, V2)),
         ("GET", path) if path.starts_with("/v1/jobs/") => (
             "GET /v1/jobs/:id",
-            handlers::job(state, &path["/v1/jobs/".len()..]),
+            handlers::job(state, &path["/v1/jobs/".len()..], V1),
         ),
-        ("POST", "/v1/simulate") => ("POST /v1/simulate", handlers::simulate(state, &req.body)),
-        ("POST", "/v1/recommend") => ("POST /v1/recommend", handlers::recommend(state, &req.body)),
-        ("POST", "/v1/sweep") => ("POST /v1/sweep", handlers::sweep(state, &req.body)),
+        ("GET", path) if path.starts_with("/v2/jobs/") => (
+            "GET /v2/jobs/:id",
+            handlers::job(state, &path["/v2/jobs/".len()..], V2),
+        ),
+        ("POST", "/v1/simulate") => (
+            "POST /v1/simulate",
+            handlers::simulate(state, &req.body, V1),
+        ),
+        ("POST", "/v2/simulate") => (
+            "POST /v2/simulate",
+            handlers::simulate(state, &req.body, V2),
+        ),
+        ("POST", "/v1/recommend") => (
+            "POST /v1/recommend",
+            handlers::recommend(state, &req.body, V1),
+        ),
+        ("POST", "/v2/recommend") => (
+            "POST /v2/recommend",
+            handlers::recommend(state, &req.body, V2),
+        ),
+        ("POST", "/v1/sweep") => ("POST /v1/sweep", handlers::sweep(state, &req.body, V1)),
+        ("POST", "/v2/sweep") => ("POST /v2/sweep", handlers::sweep(state, &req.body, V2)),
         (
             _,
-            "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep",
+            "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep",
         ) => (
             "method_not_allowed",
             Response::error(405, "method not allowed for this path"),

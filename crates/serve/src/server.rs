@@ -28,10 +28,16 @@ use transmuter::workload::Workload;
 
 use crate::api::{kernel_name, ResolvedSim};
 use crate::coalesce::Coalescer;
-use crate::http::{read_request, write_response, ReadOutcome};
+use crate::http::{read_request, write_response, ReadOutcome, Request, Response};
 use crate::jobs::JobRegistry;
 use crate::metrics::ServerMetrics;
 use crate::router;
+
+/// A boxed request handler driving one listener: the closure owns
+/// routing *and* metrics recording, so the same accept loop serves both
+/// the daemon ([`start`]) and the cluster router
+/// ([`crate::shard::start_router`]).
+pub(crate) type RouteFn = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(200);
@@ -49,6 +55,12 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Optional in-memory trace cache cap, bytes.
     pub cache_mem_cap: Option<usize>,
+    /// Optional path the daemon writes its bound address to once the
+    /// listener is up. This is the rendezvous for spawned shards: the
+    /// router starts children on port 0 and reads the concrete address
+    /// from here (written via temp-file + rename so readers never see a
+    /// partial write).
+    pub addr_file: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +71,7 @@ impl Default for ServeConfig {
             queue_cap: 64,
             cache_dir: None,
             cache_mem_cap: None,
+            addr_file: None,
         }
     }
 }
@@ -166,6 +179,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    if let Some(path) = &config.addr_file {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, addr.to_string())?;
+        std::fs::rename(&tmp, path)?;
+    }
 
     let state = Arc::new(AppState {
         pool: Pool::new(workers, config.queue_cap),
@@ -177,11 +195,20 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     });
     let stop = Arc::new(AtomicBool::new(false));
 
-    let accept = {
+    let route: RouteFn = {
         let state = Arc::clone(&state);
-        let stop = Arc::clone(&stop);
-        std::thread::spawn(move || accept_loop(&listener, &state, &stop))
+        Arc::new(move |req| {
+            let started = Instant::now();
+            let (label, response) = router::route(&state, req);
+            state.metrics.record(
+                label,
+                response.status,
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+            response
+        })
     };
+    let accept = spawn_accept_loop(listener, Arc::clone(&stop), route);
 
     Ok(ServerHandle {
         addr,
@@ -191,15 +218,25 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, stop: &Arc<AtomicBool>) {
+/// Runs the accept loop on its own thread: one detached connection
+/// thread per peer, every request answered by `route`.
+pub(crate) fn spawn_accept_loop(
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+    route: RouteFn,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || accept_loop(&listener, &route, &stop))
+}
+
+fn accept_loop(listener: &TcpListener, route: &RouteFn, stop: &Arc<AtomicBool>) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
-                let state = Arc::clone(state);
+                let route = Arc::clone(route);
                 let stop = Arc::clone(stop);
                 // Connection threads are detached; each exits on peer
                 // close or on the next poll tick after shutdown.
-                std::thread::spawn(move || serve_connection(&stream, &state, &stop));
+                std::thread::spawn(move || serve_connection(&stream, &route, &stop));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -209,7 +246,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<AppState>, stop: &Arc<AtomicB
     }
 }
 
-fn serve_connection(stream: &TcpStream, state: &Arc<AppState>, stop: &Arc<AtomicBool>) {
+fn serve_connection(stream: &TcpStream, route: &RouteFn, stop: &Arc<AtomicBool>) {
     if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
         return;
     }
@@ -223,14 +260,8 @@ fn serve_connection(stream: &TcpStream, state: &Arc<AppState>, stop: &Arc<Atomic
         }
         match read_request(&mut reader) {
             Ok(ReadOutcome::Request(req)) => {
-                let started = Instant::now();
                 let keep_alive = req.keep_alive();
-                let (label, response) = router::route(state, &req);
-                state.metrics.record(
-                    label,
-                    response.status,
-                    started.elapsed().as_secs_f64() * 1e3,
-                );
+                let response = route(&req);
                 if write_response(&mut &*stream, &response, keep_alive).is_err() || !keep_alive {
                     return;
                 }

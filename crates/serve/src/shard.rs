@@ -1,0 +1,848 @@
+//! Cluster mode: a consistent-hash router in front of N daemon shards.
+//!
+//! The SparseAdapt premise is that reconfiguration is cheap once the
+//! expensive simulation is cached; one process caps out at one LRU and
+//! one worker pool. Cluster mode scales past that while keeping the
+//! cache economics: the router hashes each request's *workload key*
+//! (kernel/matrix/L1 kind) onto a [`Ring`] of shards, so every shard's
+//! in-memory LRU and memoized suite workloads stay hot for a disjoint
+//! key range, and the shards mount one shared on-disk trace-cache tier
+//! (see `sparseadapt::trace_cache` for the cross-process locking) so a
+//! cold miss on one shard can still hit bytes another shard published.
+//!
+//! Robustness machinery, in the shape an inference stack needs it:
+//! - background health checks driven off each shard's `/healthz`;
+//! - bounded retry-with-backoff on connect/transport failure;
+//! - failover to the next ring node, marked `"rerouted": true` in the
+//!   v2 response envelope (and an `x-sparseadapt-rerouted` header in
+//!   both dialects, since the bare v1 body has nowhere to put it);
+//! - `GET /metrics` scrapes every shard and merges the histograms
+//!   ([`crate::metrics::merge_snapshots`]) into one cluster document.
+//!
+//! Job ids are allocated per shard, so `GET /vN/jobs/<id>` fans out to
+//! every shard and the first `200` wins; the listing merges all
+//! registries with a `"shard"` field injected per entry.
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use serde::Value;
+use sparseadapt::exec::parallel_map;
+
+use crate::api::{code, ApiError, ApiVersion};
+use crate::http::{read_response, write_request, Request, Response};
+use crate::metrics::{merge_snapshots, MetricsSnapshot, QueueGauges, ServerMetrics};
+use crate::server::{spawn_accept_loop, RouteFn};
+
+/// Virtual nodes per shard on the hash ring. More vnodes smooth the
+/// key distribution and shrink the fraction of keys that move when the
+/// shard count changes; 64 keeps the ring a few KiB while holding the
+/// imbalance under ~20% for small clusters.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// How long a shard gets to accept a proxied connection.
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+/// How long a shard gets to answer a proxied request. Generous: a cold
+/// simulate holds the connection for the whole simulation.
+const PROXY_READ_TIMEOUT: Duration = Duration::from_secs(120);
+/// Transport attempts per shard before failing over to the next ring
+/// node.
+const ATTEMPTS_PER_SHARD: u32 = 2;
+/// Backoff between same-shard retries (doubled on each attempt).
+const RETRY_BACKOFF: Duration = Duration::from_millis(40);
+/// Health-check cadence and per-probe read timeout.
+const HEALTH_PERIOD: Duration = Duration::from_millis(300);
+const HEALTH_READ_TIMEOUT: Duration = Duration::from_secs(1);
+
+/// 64-bit FNV-1a. Inlined rather than shared with the workload
+/// fingerprinting: ring placement is a wire-level contract of its own
+/// and must not drift if the simulator's hashing ever changes.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Avalanche finalizer (the 64-bit murmur3 fmix). FNV-1a alone mixes
+/// short, similar strings ("shard-0/vnode-1", "shard-0/vnode-2")
+/// poorly, which clumps vnodes on the ring and blows the rebalance
+/// bound; the finalizer spreads them uniformly.
+fn mix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^= h >> 33;
+    h
+}
+
+/// Position of a ring point or key on the u64 ring.
+fn ring_hash(bytes: &[u8]) -> u64 {
+    mix(fnv1a(bytes))
+}
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring
+// ---------------------------------------------------------------------------
+
+/// A consistent-hash ring over `shards` backends with virtual nodes.
+///
+/// Construction is deterministic in `(shards, vnodes)`: every router
+/// (and every test) building a ring over the same shard count assigns
+/// every key identically, with no coordination.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(position, shard)` points, sorted by position.
+    points: Vec<(u64, usize)>,
+    shards: usize,
+}
+
+impl Ring {
+    /// Builds the ring. `shards` must be at least 1.
+    pub fn new(shards: usize, vnodes: usize) -> Ring {
+        assert!(shards >= 1, "a ring needs at least one shard");
+        let mut points = Vec::with_capacity(shards * vnodes.max(1));
+        for shard in 0..shards {
+            for vnode in 0..vnodes.max(1) {
+                let h = ring_hash(format!("shard-{shard}/vnode-{vnode}").as_bytes());
+                points.push((h, shard));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, shards }
+    }
+
+    /// Number of shards on the ring.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The owning shard for a key.
+    pub fn assign(&self, key: &str) -> usize {
+        self.order(key)[0]
+    }
+
+    /// All shards in failover preference order for a key: the owner
+    /// first, then successive distinct ring successors. Every shard
+    /// appears exactly once.
+    pub fn order(&self, key: &str) -> Vec<usize> {
+        let h = ring_hash(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen = vec![false; self.shards];
+        let mut out = Vec::with_capacity(self.shards);
+        for i in 0..self.points.len() {
+            let (_, shard) = self.points[(start + i) % self.points.len()];
+            if !seen[shard] {
+                seen[shard] = true;
+                out.push(shard);
+                if out.len() == self.shards {
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The routing key of a request body: the workload identity
+/// (`kernel/matrix/l1_kind`) when the body parses as a simulate-shaped
+/// document, so simulate and sweep requests for one workload land on
+/// one shard (sharing its memoized workload and hot LRU entries); a
+/// content hash otherwise, so even unparseable bodies route
+/// deterministically and the shard — not the router — owns rejecting
+/// them.
+pub fn routing_key(body: &[u8]) -> String {
+    if let Ok(text) = std::str::from_utf8(body) {
+        if let Ok(Value::Obj(fields)) = serde_json::parse_value_str(text) {
+            let kernel = serde::obj_get(&fields, "kernel");
+            let matrix = serde::obj_get(&fields, "matrix");
+            if let (Value::Str(k), Value::Str(m)) = (kernel, matrix) {
+                let l1 = match serde::obj_get(&fields, "l1_kind") {
+                    Value::Str(s) => s.as_str(),
+                    _ => "default",
+                };
+                return format!("{k}/{m}/{l1}");
+            }
+        }
+    }
+    format!("raw/{:016x}", fnv1a(body))
+}
+
+// ---------------------------------------------------------------------------
+// Router state
+// ---------------------------------------------------------------------------
+
+/// One backend shard as the router sees it.
+#[derive(Debug)]
+struct ShardSlot {
+    addr: SocketAddr,
+    healthy: AtomicBool,
+}
+
+/// Shared state of a running router.
+#[derive(Debug)]
+pub struct RouterState {
+    shards: Vec<ShardSlot>,
+    ring: Ring,
+    /// The router's own request counters/latency histogram (its view of
+    /// end-to-end cluster latency, shard time included).
+    pub metrics: ServerMetrics,
+    rerouted: AtomicU64,
+    record: Option<Mutex<std::fs::File>>,
+    started: Instant,
+}
+
+impl RouterState {
+    /// Shard addresses, in ring index order.
+    pub fn shard_addrs(&self) -> Vec<SocketAddr> {
+        self.shards.iter().map(|s| s.addr).collect()
+    }
+
+    /// Requests that were answered by a shard other than their ring
+    /// owner (failover).
+    pub fn rerouted_total(&self) -> u64 {
+        self.rerouted.load(Ordering::Relaxed)
+    }
+
+    /// Shards whose last health probe succeeded.
+    pub fn healthy_shards(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Relaxed))
+            .count()
+    }
+
+    /// Appends one request to the record log (JSONL, the format
+    /// `loadgen --replay` consumes). Relative timestamps let a replay
+    /// reproduce the arrival process without caring when the recording
+    /// was made.
+    fn record(&self, method: &str, target: &str, body: &str) {
+        let Some(file) = &self.record else { return };
+        let line = serde_json::to_string(&Value::Obj(vec![
+            (
+                "ts_ms".to_string(),
+                Value::UInt(self.started.elapsed().as_millis() as u64),
+            ),
+            ("method".to_string(), Value::Str(method.to_string())),
+            ("target".to_string(), Value::Str(target.to_string())),
+            ("body".to_string(), Value::Str(body.to_string())),
+        ]))
+        .expect("record line serializes");
+        let mut f = file.lock().expect("record file lock");
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+/// Boot-time settings of the router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend shard addresses, in ring index order.
+    pub shards: Vec<SocketAddr>,
+    /// Virtual nodes per shard ([`DEFAULT_VNODES`] when 0).
+    pub vnodes: usize,
+    /// Optional JSONL request log (`loadgen --replay` input).
+    pub record: Option<PathBuf>,
+}
+
+/// A running router; dropping it (or [`RouterHandle::shutdown`]) stops
+/// the accept loop and the health checker. Shard processes are owned by
+/// the caller (see [`spawn_shards`]), not by this handle.
+#[derive(Debug)]
+pub struct RouterHandle {
+    /// The bound address.
+    pub addr: SocketAddr,
+    /// Shared state, exposed so tests can read counters directly.
+    pub state: Arc<RouterState>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// Signals shutdown and joins the router threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.health.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Binds the router, starts the health checker, returns immediately.
+///
+/// # Errors
+///
+/// Propagates bind and record-file-open failures; rejects an empty
+/// shard list.
+pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
+    if config.shards.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "router needs at least one shard",
+        ));
+    }
+    let record = match &config.record {
+        Some(path) => Some(Mutex::new(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        )),
+        None => None,
+    };
+    let vnodes = if config.vnodes == 0 {
+        DEFAULT_VNODES
+    } else {
+        config.vnodes
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let state = Arc::new(RouterState {
+        ring: Ring::new(config.shards.len(), vnodes),
+        shards: config
+            .shards
+            .iter()
+            // Optimistically healthy until the first probe says
+            // otherwise, so a burst right after boot is not refused.
+            .map(|&addr| ShardSlot {
+                addr,
+                healthy: AtomicBool::new(true),
+            })
+            .collect(),
+        metrics: ServerMetrics::new(),
+        rerouted: AtomicU64::new(0),
+        record,
+        started: Instant::now(),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let route: RouteFn = {
+        let state = Arc::clone(&state);
+        Arc::new(move |req| {
+            let started = Instant::now();
+            let (label, response) = route_router(&state, req);
+            state.metrics.record(
+                label,
+                response.status,
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+            response
+        })
+    };
+    let accept = spawn_accept_loop(listener, Arc::clone(&stop), route);
+    let health = {
+        let state = Arc::clone(&state);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || health_loop(&state, &stop))
+    };
+
+    Ok(RouterHandle {
+        addr,
+        state,
+        stop,
+        accept: Some(accept),
+        health: Some(health),
+    })
+}
+
+fn health_loop(state: &RouterState, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        for shard in &state.shards {
+            let up = forward(shard.addr, "GET", "/healthz", None, HEALTH_READ_TIMEOUT)
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            shard.healthy.store(up, Ordering::Relaxed);
+        }
+        std::thread::sleep(HEALTH_PERIOD);
+    }
+}
+
+/// One client-side HTTP exchange with a shard.
+fn forward(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+    read_timeout: Duration,
+) -> io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.set_write_timeout(Some(CONNECT_TIMEOUT))?;
+    let _ = stream.set_nodelay(true);
+    write_request(&mut stream, method, target, body)?;
+    let mut reader = BufReader::new(&stream);
+    read_response(&mut reader)
+}
+
+/// Strips hop-by-hop headers a proxied response must not carry twice
+/// (the router's writer emits its own `content-length`/`connection`).
+fn sanitize(mut resp: Response) -> Response {
+    resp.headers
+        .retain(|(n, _)| n != "content-length" && n != "connection");
+    resp
+}
+
+/// Marks a failed-over response: an `x-sparseadapt-rerouted` header in
+/// both dialects, plus a `"rerouted": true` field spliced into the v2
+/// envelope (the bare v1 body has no envelope to carry it).
+fn mark_rerouted(mut resp: Response, version: ApiVersion) -> Response {
+    if version == ApiVersion::V2 {
+        if let Ok(text) = std::str::from_utf8(&resp.body) {
+            if let Some(rest) = text.trim_start().strip_prefix('{') {
+                resp.body = format!("{{\"rerouted\": true,{rest}").into_bytes();
+            }
+        }
+    }
+    resp.with_header("x-sparseadapt-rerouted", "1")
+}
+
+fn version_of(path: &str) -> ApiVersion {
+    if path.starts_with("/v2/") {
+        ApiVersion::V2
+    } else {
+        ApiVersion::V1
+    }
+}
+
+/// Dispatches one router request. Mirrors [`crate::router::route`]'s
+/// label contract so the router's `/metrics` breakdown reads the same
+/// way a shard's does.
+fn route_router(state: &Arc<RouterState>, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => ("GET /healthz", router_healthz(state)),
+        ("GET", "/metrics") => ("GET /metrics", router_metrics(state)),
+        ("GET", "/v1/jobs") => ("GET /v1/jobs", jobs_list(state, ApiVersion::V1)),
+        ("GET", "/v2/jobs") => ("GET /v2/jobs", jobs_list(state, ApiVersion::V2)),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            ("GET /v1/jobs/:id", jobs_get(state, req))
+        }
+        ("GET", path) if path.starts_with("/v2/jobs/") => {
+            ("GET /v2/jobs/:id", jobs_get(state, req))
+        }
+        ("POST", "/v1/simulate") => ("POST /v1/simulate", proxy_post(state, req)),
+        ("POST", "/v2/simulate") => ("POST /v2/simulate", proxy_post(state, req)),
+        ("POST", "/v1/recommend") => ("POST /v1/recommend", proxy_post(state, req)),
+        ("POST", "/v2/recommend") => ("POST /v2/recommend", proxy_post(state, req)),
+        ("POST", "/v1/sweep") => ("POST /v1/sweep", proxy_post(state, req)),
+        ("POST", "/v2/sweep") => ("POST /v2/sweep", proxy_post(state, req)),
+        (
+            _,
+            "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep",
+        ) => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed for this path"),
+        ),
+        _ => ("not_found", Response::error(404, "no such endpoint")),
+    }
+}
+
+fn router_healthz(state: &RouterState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"ok\": true, \"role\": \"router\", \"shards\": {}, \"healthy\": {}}}",
+            state.shards.len(),
+            state.healthy_shards()
+        ),
+    )
+}
+
+/// Forwards a POST to its ring owner, with bounded retry on transport
+/// failure and failover to successive ring nodes. Shard-produced HTTP
+/// errors (400/429/…) are *not* failed over: they are deterministic
+/// answers, and retrying them elsewhere would just double the load.
+fn proxy_post(state: &Arc<RouterState>, req: &Request) -> Response {
+    let body = String::from_utf8_lossy(&req.body).into_owned();
+    state.record(&req.method, &req.path, &body);
+    let version = version_of(&req.path);
+    let order = state.ring.order(&routing_key(&req.body));
+    // Healthy shards first, but never refuse outright on stale health
+    // state: an unhealthy-marked shard is still attempted last.
+    let (up, down): (Vec<usize>, Vec<usize>) = order
+        .iter()
+        .partition(|&&i| state.shards[i].healthy.load(Ordering::Relaxed));
+    let owner = order[0];
+    for &idx in up.iter().chain(&down) {
+        let shard = &state.shards[idx];
+        for attempt in 0..ATTEMPTS_PER_SHARD {
+            if attempt > 0 {
+                std::thread::sleep(RETRY_BACKOFF * attempt);
+            }
+            match forward(
+                shard.addr,
+                &req.method,
+                &req.path,
+                Some(&body),
+                PROXY_READ_TIMEOUT,
+            ) {
+                Ok(resp) => {
+                    shard.healthy.store(true, Ordering::Relaxed);
+                    let resp = sanitize(resp);
+                    if idx == owner {
+                        return resp;
+                    }
+                    state.rerouted.fetch_add(1, Ordering::Relaxed);
+                    return mark_rerouted(resp, version);
+                }
+                Err(_) => shard.healthy.store(false, Ordering::Relaxed),
+            }
+        }
+    }
+    let err = ApiError::new(
+        code::SHARD_UNAVAILABLE,
+        "no shard reachable for this request",
+    )
+    .with_retry_after_ms(1000);
+    let resp = Response::json(503, version.err_body(&err));
+    match err.retry_after_s() {
+        Some(s) => resp.with_header("retry-after", s.to_string()),
+        None => resp,
+    }
+}
+
+/// Fans a `GET` out to every shard in parallel (reusing the exec
+/// layer's work distribution) and returns the raw per-shard responses;
+/// `None` for shards that failed transport.
+fn fan_out_get(state: &RouterState, target: &str) -> Vec<Option<Response>> {
+    let n = state.shards.len();
+    parallel_map(n, n, |i| {
+        forward(
+            state.shards[i].addr,
+            "GET",
+            target,
+            None,
+            PROXY_READ_TIMEOUT,
+        )
+        .ok()
+    })
+}
+
+/// `GET /vN/jobs/<id>`: ids are per-shard, so ask everyone; the first
+/// shard that knows the id answers.
+fn jobs_get(state: &RouterState, req: &Request) -> Response {
+    let version = version_of(&req.path);
+    for resp in fan_out_get(state, &req.path).into_iter().flatten() {
+        if resp.status == 200 {
+            return sanitize(resp);
+        }
+    }
+    let err = ApiError::new(code::NOT_FOUND, "no shard knows this job id");
+    Response::json(404, version.err_body(&err))
+}
+
+/// `GET /vN/jobs`: merge every shard's registry, tagging each entry
+/// with its shard index (ids alone are ambiguous cluster-wide).
+fn jobs_list(state: &RouterState, version: ApiVersion) -> Response {
+    // Shards are always asked in the bare v1 dialect; the router wraps
+    // the merged document for the client's dialect.
+    let mut merged: Vec<Value> = Vec::new();
+    for (idx, resp) in fan_out_get(state, "/v1/jobs").into_iter().enumerate() {
+        let Some(resp) = resp.filter(|r| r.status == 200) else {
+            continue;
+        };
+        let Ok(text) = std::str::from_utf8(&resp.body) else {
+            continue;
+        };
+        let Ok(Value::Obj(fields)) = serde_json::parse_value_str(text) else {
+            continue;
+        };
+        if let Some(jobs) = serde::obj_get(&fields, "jobs").as_arr() {
+            for job in jobs {
+                let mut entry = match job {
+                    Value::Obj(pairs) => pairs.clone(),
+                    other => vec![("job".to_string(), other.clone())],
+                };
+                entry.push(("shard".to_string(), Value::UInt(idx as u64)));
+                merged.push(Value::Obj(entry));
+            }
+        }
+    }
+    let doc = serde_json::to_string(&Value::Obj(vec![("jobs".to_string(), Value::Arr(merged))]))
+        .expect("merged job list serializes");
+    Response::json(200, version.ok_body(&doc))
+}
+
+/// `GET /metrics`: scrape every shard, merge the histograms, and report
+/// the router's own counters alongside the per-shard documents.
+fn router_metrics(state: &RouterState) -> Response {
+    let scraped = fan_out_get(state, "/metrics");
+    let mut shard_docs: Vec<String> = Vec::with_capacity(scraped.len());
+    let mut snaps: Vec<MetricsSnapshot> = Vec::with_capacity(scraped.len());
+    for (idx, resp) in scraped.into_iter().enumerate() {
+        let body = resp
+            .filter(|r| r.status == 200)
+            .and_then(|r| String::from_utf8(r.body).ok());
+        let parsed = body.as_deref().and_then(|b| serde_json::from_str(b).ok());
+        let addr = state.shards[idx].addr;
+        let healthy = state.shards[idx].healthy.load(Ordering::Relaxed);
+        match (&body, &parsed) {
+            (Some(b), Some(_)) => shard_docs.push(format!(
+                "{{\"addr\": \"{addr}\", \"healthy\": {healthy}, \"metrics\": {b}}}"
+            )),
+            _ => shard_docs.push(format!(
+                "{{\"addr\": \"{addr}\", \"healthy\": {healthy}, \"metrics\": null}}"
+            )),
+        }
+        if let Some(snap) = parsed {
+            snaps.push(snap);
+        }
+    }
+    let merged_doc = merge_snapshots(&snaps)
+        .map(|m| serde_json::to_string(&m).expect("merged snapshot serializes"))
+        .unwrap_or_else(|| "null".to_string());
+    let own = state.metrics.snapshot(
+        QueueGauges {
+            queue_depth: 0,
+            in_flight: 0,
+            queue_cap: 0,
+            workers: 0,
+        },
+        sparseadapt::trace_cache::CacheStats::default(),
+    );
+    let own_doc = serde_json::to_string(&own).expect("router snapshot serializes");
+    Response::json(
+        200,
+        format!(
+            "{{\"role\": \"router\", \"shard_count\": {}, \"healthy_shards\": {}, \
+             \"rerouted_total\": {}, \"router\": {own_doc}, \"merged\": {merged_doc}, \
+             \"shards\": [{}]}}",
+            state.shards.len(),
+            state.healthy_shards(),
+            state.rerouted_total(),
+            shard_docs.join(", "),
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Shard process spawning
+// ---------------------------------------------------------------------------
+
+/// Settings for spawning backend shard processes.
+#[derive(Debug, Clone)]
+pub struct ShardSpawn {
+    /// Path to the `serve` binary (usually `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Number of shards.
+    pub count: usize,
+    /// Worker threads per shard (0 = per-shard default).
+    pub workers: usize,
+    /// Admission queue capacity per shard.
+    pub queue_cap: usize,
+    /// Shared on-disk trace-cache tier, mounted by every shard.
+    pub cache_dir: Option<PathBuf>,
+    /// Per-shard in-memory cache cap, bytes.
+    pub cache_mem_cap: Option<usize>,
+    /// Directory for the address rendezvous files.
+    pub run_dir: PathBuf,
+}
+
+/// A spawned shard process; killed (and reaped) on drop.
+#[derive(Debug)]
+pub struct ShardChild {
+    /// The shard's bound address.
+    pub addr: SocketAddr,
+    child: std::process::Child,
+}
+
+impl ShardChild {
+    /// Kills the shard process immediately (failover testing).
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardChild {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+/// Spawns `count` shard daemons on ephemeral ports and waits for each
+/// to publish its bound address via `--addr-file`.
+///
+/// # Errors
+///
+/// Fails if a child cannot be spawned or does not publish its address
+/// within the boot timeout (the children spawned so far are killed by
+/// their `Drop`).
+pub fn spawn_shards(spawn: &ShardSpawn) -> io::Result<Vec<ShardChild>> {
+    std::fs::create_dir_all(&spawn.run_dir)?;
+    let mut children = Vec::with_capacity(spawn.count);
+    for i in 0..spawn.count {
+        let addr_file = spawn.run_dir.join(format!("shard-{i}.addr"));
+        let _ = std::fs::remove_file(&addr_file);
+        let mut cmd = std::process::Command::new(&spawn.exe);
+        cmd.arg("--addr")
+            .arg("127.0.0.1:0")
+            .arg("--addr-file")
+            .arg(&addr_file)
+            .arg("--workers")
+            .arg(spawn.workers.to_string())
+            .arg("--queue-cap")
+            .arg(spawn.queue_cap.to_string())
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null());
+        if let Some(dir) = &spawn.cache_dir {
+            cmd.arg("--cache-dir").arg(dir);
+        }
+        if let Some(cap) = spawn.cache_mem_cap {
+            cmd.arg("--cache-mem-cap").arg(cap.to_string());
+        }
+        let child = cmd.spawn()?;
+        let addr = wait_for_addr(&addr_file, Duration::from_secs(10))?;
+        children.push(ShardChild { addr, child });
+    }
+    Ok(children)
+}
+
+/// Polls an address rendezvous file until the shard publishes its bound
+/// address (written atomically, so a read never sees a partial write).
+fn wait_for_addr(path: &Path, timeout: Duration) -> io::Result<SocketAddr> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse::<SocketAddr>() {
+                return Ok(addr);
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("shard did not publish its address at {}", path.display()),
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("spmspm/R{:02}/Csr{i}", i % 40))
+            .collect()
+    }
+
+    #[test]
+    fn assignment_is_deterministic_across_ring_instances() {
+        let a = Ring::new(3, DEFAULT_VNODES);
+        let b = Ring::new(3, DEFAULT_VNODES);
+        for key in keys(500) {
+            assert_eq!(a.assign(&key), b.assign(&key));
+            assert_eq!(a.order(&key), b.order(&key));
+        }
+    }
+
+    #[test]
+    fn order_covers_every_shard_once_starting_with_the_owner() {
+        let ring = Ring::new(5, DEFAULT_VNODES);
+        for key in keys(100) {
+            let order = ring.order(&key);
+            assert_eq!(order[0], ring.assign(&key));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_a_reasonable_share() {
+        let ring = Ring::new(3, DEFAULT_VNODES);
+        let mut counts = [0usize; 3];
+        let all = keys(2000);
+        for key in &all {
+            counts[ring.assign(key)] += 1;
+        }
+        for (shard, &n) in counts.iter().enumerate() {
+            let share = n as f64 / all.len() as f64;
+            assert!(
+                (0.15..=0.55).contains(&share),
+                "shard {shard} owns {share:.2} of keys"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_a_bounded_fraction_of_keys() {
+        let before = Ring::new(3, DEFAULT_VNODES);
+        let after = Ring::new(4, DEFAULT_VNODES);
+        let all = keys(2000);
+        let moved = all
+            .iter()
+            .filter(|k| before.assign(k) != after.assign(k))
+            .count();
+        let fraction = moved as f64 / all.len() as f64;
+        // Ideal is 1/4; vnode granularity wobbles around it but must
+        // stay far below the ~2/3 a naive `hash % n` reshuffle causes.
+        assert!(
+            fraction < 0.45,
+            "adding a shard moved {fraction:.2} of keys"
+        );
+        assert!(fraction > 0.05, "suspiciously few keys moved: {fraction}");
+    }
+
+    #[test]
+    fn routing_key_prefers_workload_identity() {
+        let body = br#"{"kernel": "spmspm", "matrix": "R01", "config_name": "baseline"}"#;
+        assert_eq!(routing_key(body), "spmspm/R01/default");
+        let with_l1 = br#"{"kernel": "spmspv", "matrix": "R02", "l1_kind": "Spad"}"#;
+        assert_eq!(routing_key(with_l1), "spmspv/R02/Spad");
+        // A sweep for the same workload routes to the same shard.
+        let sweep = br#"{"kernel": "spmspm", "matrix": "R01", "sampled": 16}"#;
+        assert_eq!(routing_key(sweep), "spmspm/R01/default");
+    }
+
+    #[test]
+    fn unparseable_bodies_fall_back_to_a_content_hash() {
+        let a = routing_key(b"not json");
+        let b = routing_key(b"not json");
+        let c = routing_key(b"different");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.starts_with("raw/"));
+    }
+
+    #[test]
+    fn rerouted_marker_splices_into_the_v2_envelope() {
+        let resp = Response::json(200, "{\"v\": 2, \"data\": {\"x\": 1}}");
+        let marked = mark_rerouted(resp, ApiVersion::V2);
+        let body = std::str::from_utf8(&marked.body).unwrap();
+        assert!(body.starts_with("{\"rerouted\": true,"));
+        assert!(body.contains("\"data\""));
+        assert_eq!(marked.header("x-sparseadapt-rerouted"), Some("1"));
+        // v1 has no envelope: body untouched, header still present.
+        let v1 = mark_rerouted(Response::json(200, "{\"x\": 1}"), ApiVersion::V1);
+        assert_eq!(v1.body, b"{\"x\": 1}");
+        assert_eq!(v1.header("x-sparseadapt-rerouted"), Some("1"));
+    }
+}

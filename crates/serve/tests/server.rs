@@ -68,8 +68,7 @@ fn daemon_end_to_end() {
         addr: "127.0.0.1:0".to_string(),
         workers: 4,
         queue_cap: 16,
-        cache_dir: None,
-        cache_mem_cap: None,
+        ..ServeConfig::default()
     })
     .expect("server boots");
     let addr = server.addr;
@@ -80,7 +79,23 @@ fn daemon_end_to_end() {
     assert!(body_str(&health).contains("true"));
     assert_eq!(get(&addr, "/nope").status, 404);
     assert_eq!(post(&addr, "/healthz", "{}").status, 405);
-    assert_eq!(post(&addr, "/v1/simulate", "not json").status, 400);
+    // Errors are one structured shape: bare in /v1, enveloped in /v2.
+    let bad = post(&addr, "/v1/simulate", "not json");
+    assert_eq!(bad.status, 400);
+    assert_eq!(
+        field(&parse(&bad), &["code"]),
+        Some(serde::Value::Str("bad_request".to_string()))
+    );
+    let bad_v2 = post(&addr, "/v2/simulate", "not json");
+    assert_eq!(bad_v2.status, 400);
+    let bad_v2_doc = parse(&bad_v2);
+    assert_eq!(field(&bad_v2_doc, &["v"]), Some(serde::Value::UInt(2)));
+    assert_eq!(field(&bad_v2_doc, &["data"]), Some(serde::Value::Null));
+    assert_eq!(
+        field(&bad_v2_doc, &["error", "code"]),
+        Some(serde::Value::Str("bad_request".to_string()))
+    );
+    assert!(field(&bad_v2_doc, &["error", "message"]).is_some());
     assert_eq!(
         post(
             &addr,
@@ -113,28 +128,48 @@ fn daemon_end_to_end() {
         field(&second_doc, &["summary"])
     );
 
+    // -- /v2: same handlers, versioned envelope -----------------------
+    let v2 = post(&addr, "/v2/simulate", sim_body);
+    assert_eq!(v2.status, 200);
+    let v2_doc = parse(&v2);
+    assert_eq!(field(&v2_doc, &["v"]), Some(serde::Value::UInt(2)));
+    assert_eq!(
+        field(&v2_doc, &["data", "cached"]),
+        Some(serde::Value::Bool(true)),
+        "/v2 must reach the same typed handler and cache as /v1"
+    );
+    assert_eq!(
+        field(&v2_doc, &["data", "summary"]),
+        field(&first_doc, &["summary"]),
+        "the envelope must wrap the exact document /v1 serves"
+    );
+
     // -- coalescing: two identical concurrent requests, one simulation -
     // A fresh (matrix, config) pair so the simulation is cold and slow
-    // enough for the second request to arrive while it's in flight.
+    // enough for the second request to arrive while it's in flight. One
+    // goes through /v1 and one through /v2: the dialects coalesce
+    // together because the coalescer keys on the workload, not the
+    // path, and caches the inner (pre-envelope) document.
     let coalesce_body = r#"{"kernel": "spmspv", "matrix": "R10", "config_name": "best_avg_cache"}"#;
     let led_before = server.state.coalescer.led_total();
     let barrier = Barrier::new(2);
-    let (resp_a, resp_b) = std::thread::scope(|scope| {
+    let (resp_v1, resp_v2) = std::thread::scope(|scope| {
         let a = scope.spawn(|| {
             barrier.wait();
             post(&addr, "/v1/simulate", coalesce_body)
         });
         let b = scope.spawn(|| {
             barrier.wait();
-            post(&addr, "/v1/simulate", coalesce_body)
+            post(&addr, "/v2/simulate", coalesce_body)
         });
         (a.join().expect("thread a"), b.join().expect("thread b"))
     });
-    assert_eq!(resp_a.status, 200);
-    assert_eq!(resp_b.status, 200);
+    assert_eq!(resp_v1.status, 200);
+    assert_eq!(resp_v2.status, 200);
     assert_eq!(
-        resp_a.body, resp_b.body,
-        "coalesced requests must share one byte-identical response"
+        body_str(&resp_v2),
+        format!("{{\"v\": 2, \"data\": {}}}", body_str(&resp_v1)),
+        "coalesced dialects must share one byte-identical inner document"
     );
     assert_eq!(
         server.state.coalescer.led_total() - led_before,
@@ -198,6 +233,47 @@ fn daemon_end_to_end() {
     assert!(body_str(&listing).contains("\"jobs\""));
     assert_eq!(get(&addr, "/v1/jobs/999999").status, 404);
 
+    // The same sweep through /v2: the accepted envelope points at a
+    // dialect-matched poll URL, and polling it answers in v2 framing.
+    let sweep_v2 = post(
+        &addr,
+        "/v2/sweep",
+        r#"{"kernel": "spmspv", "matrix": "R09", "sampled": 2}"#,
+    );
+    assert_eq!(sweep_v2.status, 202, "body: {}", body_str(&sweep_v2));
+    let sweep_v2_doc = parse(&sweep_v2);
+    assert_eq!(field(&sweep_v2_doc, &["v"]), Some(serde::Value::UInt(2)));
+    let poll_path = match field(&sweep_v2_doc, &["data", "poll"]) {
+        Some(serde::Value::Str(p)) => p,
+        other => panic!("accepted envelope must carry a poll path, got {other:?}"),
+    };
+    assert!(poll_path.starts_with("/v2/jobs/"), "poll: {poll_path}");
+    loop {
+        let poll = get(&addr, &poll_path);
+        assert_eq!(poll.status, 200);
+        let doc = parse(&poll);
+        assert_eq!(field(&doc, &["v"]), Some(serde::Value::UInt(2)));
+        match field(&doc, &["data", "status"]) {
+            Some(serde::Value::Str(s)) if s == "done" => break,
+            Some(serde::Value::Str(s)) if s == "failed" => {
+                panic!("v2 sweep failed: {}", body_str(&poll))
+            }
+            _ => {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "v2 sweep did not finish in time"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+    }
+    let missing_v2 = get(&addr, "/v2/jobs/999999");
+    assert_eq!(missing_v2.status, 404);
+    assert_eq!(
+        field(&parse(&missing_v2), &["error", "code"]),
+        Some(serde::Value::Str("not_found".to_string()))
+    );
+
     // -- /metrics -----------------------------------------------------
     let metrics = get(&addr, "/metrics");
     assert_eq!(metrics.status, 200);
@@ -224,8 +300,7 @@ fn daemon_end_to_end() {
         addr: "127.0.0.1:0".to_string(),
         workers: 1,
         queue_cap: 1,
-        cache_dir: None,
-        cache_mem_cap: None,
+        ..ServeConfig::default()
     })
     .expect("second server boots");
     let small_addr = small.addr;
@@ -237,7 +312,7 @@ fn daemon_end_to_end() {
         .map(|m| format!(r#"{{"kernel": "spmspv", "matrix": "{m}", "config_name": "maximum"}}"#))
         .collect();
     let gate = Barrier::new(bodies.len());
-    let statuses: Vec<(u16, Option<String>)> = std::thread::scope(|scope| {
+    let statuses: Vec<(u16, Option<String>, String)> = std::thread::scope(|scope| {
         let handles: Vec<_> = bodies
             .iter()
             .map(|body| {
@@ -246,7 +321,7 @@ fn daemon_end_to_end() {
                     gate.wait();
                     let resp = post(&small_addr, "/v1/simulate", body);
                     let retry = resp.header("retry-after").map(|v| v.to_string());
-                    (resp.status, retry)
+                    (resp.status, retry, body_str(&resp).to_string())
                 })
             })
             .collect();
@@ -256,17 +331,23 @@ fn daemon_end_to_end() {
             .collect()
     });
     assert!(
-        statuses.iter().all(|(s, _)| *s == 200 || *s == 429),
+        statuses.iter().all(|(s, _, _)| *s == 200 || *s == 429),
         "statuses: {statuses:?}"
     );
-    let rejected: Vec<_> = statuses.iter().filter(|(s, _)| *s == 429).collect();
+    let rejected: Vec<_> = statuses.iter().filter(|(s, _, _)| *s == 429).collect();
     assert!(
         !rejected.is_empty(),
         "a saturated 1-worker/1-slot pool must reject some of 6 concurrent requests"
     );
     assert!(
-        rejected.iter().all(|(_, retry)| retry.is_some()),
+        rejected.iter().all(|(_, retry, _)| retry.is_some()),
         "429 responses must carry Retry-After"
+    );
+    assert!(
+        rejected
+            .iter()
+            .all(|(_, _, body)| body.contains("\"queue_full\"") && body.contains("retry_after_ms")),
+        "429 responses must carry the structured queue_full error: {rejected:?}"
     );
     assert!(small.state.metrics.rejected_429_total() >= 1);
     small.shutdown();
