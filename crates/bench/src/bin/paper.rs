@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! Usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES]
+//!              [--epoch-cache] [--epoch-cache-dir DIR]
 //!              [--serial] [experiment ...|all]
 //! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
 //!              sec7 insights ablation
@@ -12,7 +13,12 @@
 //! `--cache-dir DIR` persists simulated traces to disk so later runs —
 //! even across processes — reuse them. `--cache-mem-cap BYTES` bounds
 //! the in-memory trace cache (LRU eviction beyond the cap) for
-//! memory-constrained hosts. `--serial` runs experiments one after
+//! memory-constrained hosts. `--epoch-cache` additionally memoizes at
+//! *epoch* granularity, keyed on the machine state entering each epoch,
+//! so live controller runs fast-forward through epochs any earlier
+//! sweep already simulated (see DESIGN.md §2, "Epoch-granular
+//! memoization"); `--epoch-cache-dir DIR` adds a disk tier for those
+//! snapshots (and implies `--epoch-cache`). `--serial` runs experiments one after
 //! another at full thread count instead of fanning out; use it when
 //! per-experiment progress output matters more than wall clock.
 //!
@@ -107,13 +113,16 @@ struct Cli {
     threads: Option<usize>,
     cache_dir: Option<std::path::PathBuf>,
     cache_mem_cap: Option<usize>,
+    epoch_cache: bool,
+    epoch_cache_dir: Option<std::path::PathBuf>,
     serial: bool,
     experiments: Vec<String>,
 }
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
-        "usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES] [--serial] \
+        "usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
+         [--epoch-cache] [--epoch-cache-dir DIR] [--serial] \
          [experiment ...|all]\n\
          experiments: {} all",
         ALL.join(" ")
@@ -126,6 +135,8 @@ fn parse_cli() -> Cli {
         threads: None,
         cache_dir: None,
         cache_mem_cap: None,
+        epoch_cache: false,
+        epoch_cache_dir: None,
         serial: false,
         experiments: Vec::new(),
     };
@@ -161,6 +172,15 @@ fn parse_cli() -> Cli {
                     });
                 cli.cache_mem_cap = Some(cap);
             }
+            "--epoch-cache" => cli.epoch_cache = true,
+            "--epoch-cache-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--epoch-cache-dir needs a path");
+                    usage_and_exit(2)
+                });
+                cli.epoch_cache = true;
+                cli.epoch_cache_dir = Some(std::path::PathBuf::from(dir));
+            }
             "--serial" => cli.serial = true,
             "--help" | "-h" => usage_and_exit(0),
             other if other.starts_with('-') => {
@@ -184,6 +204,11 @@ fn main() {
     }
     if cli.cache_mem_cap.is_some() {
         sparseadapt::trace_cache::TraceCache::global().set_memory_cap(cli.cache_mem_cap);
+    }
+    if cli.epoch_cache {
+        let cache = sparseadapt::epoch_cache::EpochCache::global();
+        cache.set_enabled(true);
+        cache.set_disk_dir(cli.epoch_cache_dir.clone());
     }
     let list: Vec<String> =
         if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {

@@ -16,14 +16,23 @@
 //! workload at very different rates), which leaves static stride's
 //! slowest-stripe thread as the critical path.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
+use fxhash::FxHashMap;
+use mltree::{Dataset, DecisionTree, TreeParams};
 use serde::Serialize;
 use sparse::suite::{spmspm_suite, spmspv_suite};
+use sparseadapt::epoch_cache::EpochCache;
 use sparseadapt::exec::{self, Schedule};
+use sparseadapt::features::{feature_names, FEATURE_COUNT};
+use sparseadapt::runtime::run_live;
+use sparseadapt::schemes::{self, ScheduleController};
 use sparseadapt::stitch::{sample_configs, SweepData};
 use sparseadapt::trace_cache::TraceCache;
-use transmuter::config::{MachineSpec, MemKind};
+use sparseadapt::{PredictiveEnsemble, ReconfigPolicy, SparseAdaptController};
+use transmuter::config::{ConfigParam, MachineSpec, MemKind, TransmuterConfig};
+use transmuter::metrics::OptMode;
 use transmuter::workload::Workload;
 
 #[derive(Serialize)]
@@ -63,6 +72,22 @@ struct ScenarioTiming {
     trace_bin_bytes: usize,
     /// trace_bin_bytes / trace_json_bytes.
     bin_to_json_ratio: f64,
+    /// The sweep re-run with the epoch cache recording (trace cache
+    /// cleared first): the one-time cost of warming the epoch tier.
+    epoch_sweep_warm_s: f64,
+    /// Live-scheme evaluation (live SparseAdapt + greedy replay +
+    /// ProfileAdapt replay), epoch cache disabled.
+    live_cold_s: f64,
+    /// The same evaluation right after the sweep warmed the cache: the
+    /// shared prefix epochs fast-forward, post-divergence epochs are
+    /// simulated once and recorded.
+    live_warm_first_s: f64,
+    /// Steady state: every epoch of every scheme is a cache hit.
+    live_warm_s: f64,
+    /// live_cold_s / live_warm_s.
+    live_speedup: f64,
+    /// Epoch-cache hit rate over the warm passes.
+    epoch_hit_rate: f64,
 }
 
 #[derive(Serialize)]
@@ -80,6 +105,10 @@ struct Report {
     geomean_resweep_speedup: f64,
     geomean_soa_speedup: f64,
     geomean_bin_to_json_ratio: f64,
+    geomean_live_speedup: f64,
+    /// SipHash `HashMap` vs vendored `FxHashMap` lookup throughput on
+    /// fingerprint-triple keys (the trace/epoch cache key shape).
+    fxhash_lookup_speedup: f64,
     notes: Vec<String>,
 }
 
@@ -112,6 +141,101 @@ fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
     } else {
         (sum / n as f64).exp()
     }
+}
+
+/// A deterministic hand-built ensemble (no training cost): asks for a
+/// 125 MHz clock and Best Avg elsewhere, so the live SparseAdapt run
+/// performs one real reconfiguration — the epoch cache's warm pass has
+/// to survive the hit→miss transition at the divergence point, exactly
+/// like the differential suite.
+fn downclock_ensemble() -> PredictiveEnsemble {
+    let best_avg = TransmuterConfig::best_avg_cache();
+    let mut trees = BTreeMap::new();
+    for p in ConfigParam::ALL {
+        let target = match p {
+            ConfigParam::Clock => 2, // 125 MHz
+            _ => p.get_index(&best_avg),
+        };
+        let mut d = Dataset::new(feature_names());
+        d.push(vec![0.0; FEATURE_COUNT], target);
+        d.push(vec![1.0; FEATURE_COUNT], target);
+        trees.insert(p, DecisionTree::fit(&d, &TreeParams::default()));
+    }
+    PredictiveEnsemble::new(trees)
+}
+
+/// One pass over the live-scheme evaluation path: the closed-loop
+/// SparseAdapt controller plus live replays of the Ideal Greedy and
+/// ProfileAdapt schedules. This is the work `eval::compare` pays after
+/// its sweep — the epoch cache's target.
+fn live_schemes_pass(
+    spec: MachineSpec,
+    workload: &Workload,
+    sweep: &SweepData,
+    ensemble: &PredictiveEnsemble,
+) {
+    let mode = OptMode::default();
+    let mut ctrl = SparseAdaptController::new(ensemble.clone(), ReconfigPolicy::Aggressive, spec);
+    run_live(
+        spec,
+        TransmuterConfig::best_avg_cache(),
+        workload,
+        &mut ctrl,
+    );
+    let greedy = schemes::ideal_greedy(sweep, mode);
+    let schedule: Vec<TransmuterConfig> =
+        greedy.schedule.iter().map(|&i| sweep.configs[i]).collect();
+    let mut replay = ScheduleController::new(schedule);
+    run_live(spec, replay.start_config(), workload, &mut replay);
+    let mut max = TransmuterConfig::maximum();
+    max.l1_kind = MemKind::Cache;
+    let profile_idx = sweep
+        .config_index(&max)
+        .expect("reference configs are always sampled");
+    let pa = schemes::profileadapt_ideal(sweep, mode, profile_idx);
+    let schedule: Vec<TransmuterConfig> = pa.schedule.iter().map(|&i| sweep.configs[i]).collect();
+    let mut replay = ScheduleController::new(schedule);
+    run_live(spec, replay.start_config(), workload, &mut replay);
+}
+
+/// SipHash vs FxHash lookup throughput on the cache-key shape (three
+/// u64 fingerprints). Keys are already uniformly distributed, which is
+/// why the caches use FxHash: SipHash's flood resistance buys nothing.
+fn fxhash_lookup_bench() -> f64 {
+    const N: usize = 1 << 16;
+    const ROUNDS: usize = 64;
+    let keys: Vec<(u64, u64, u64)> = (0..N as u64)
+        .map(|i| {
+            let x = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            (x, x ^ 0xabcd_ef01, x.rotate_left(17))
+        })
+        .collect();
+    let mut sip: std::collections::HashMap<(u64, u64, u64), u64> = std::collections::HashMap::new();
+    let mut fx: FxHashMap<(u64, u64, u64), u64> = FxHashMap::default();
+    for &k in &keys {
+        sip.insert(k, k.0);
+        fx.insert(k, k.0);
+    }
+    let (sip_s, a) = time(|| {
+        let mut acc = 0u64;
+        for _ in 0..ROUNDS {
+            for k in &keys {
+                acc = acc.wrapping_add(sip[k]);
+            }
+        }
+        acc
+    });
+    let (fx_s, b) = time(|| {
+        let mut acc = 0u64;
+        for _ in 0..ROUNDS {
+            for k in &keys {
+                acc = acc.wrapping_add(fx[k]);
+            }
+        }
+        acc
+    });
+    assert_eq!(a, b);
+    sip_s / fx_s
 }
 
 fn bench_scenario(
@@ -152,6 +276,35 @@ fn bench_scenario(
     let (cached_first_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
     let (cached_second_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
 
+    // -- epoch-granular memoization: the live-scheme evaluation path --
+    let epoch_cache = EpochCache::global();
+    let ensemble = downclock_ensemble();
+    // Cold: cache off, every live epoch is simulated.
+    let (live_cold_s, _) = time_min(reps, || {
+        live_schemes_pass(spec, workload, &sweep, &ensemble)
+    });
+    // Warm the epoch tier by re-running the sweep with the cache
+    // recording (trace cache cleared so the sweep actually simulates).
+    epoch_cache.set_enabled(true);
+    epoch_cache.clear();
+    TraceCache::global().clear();
+    let (epoch_sweep_warm_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
+    // First live pass after the sweep: constant-config prefixes
+    // fast-forward; each scheme's post-divergence tail simulates once
+    // and is recorded.
+    let (live_warm_first_s, _) = time(|| live_schemes_pass(spec, workload, &sweep, &ensemble));
+    // Steady state: everything hits.
+    let (live_warm_s, _) = time_min(reps, || {
+        live_schemes_pass(spec, workload, &sweep, &ensemble)
+    });
+    let epoch_stats = epoch_cache.stats();
+    assert!(
+        epoch_stats.hits > 0,
+        "warmed live-scheme passes never hit the epoch cache: {epoch_stats:?}"
+    );
+    epoch_cache.set_enabled(false);
+    epoch_cache.clear();
+
     ScenarioTiming {
         workload: name.to_string(),
         configs: configs.len(),
@@ -169,6 +322,12 @@ fn bench_scenario(
         trace_json_bytes,
         trace_bin_bytes,
         bin_to_json_ratio: trace_bin_bytes as f64 / trace_json_bytes as f64,
+        epoch_sweep_warm_s,
+        live_cold_s,
+        live_warm_first_s,
+        live_warm_s,
+        live_speedup: live_cold_s / live_warm_s,
+        epoch_hit_rate: epoch_stats.hit_rate(),
     }
 }
 
@@ -231,6 +390,10 @@ fn main() {
             t.cached_second_s,
             t.bin_to_json_ratio
         );
+        eprintln!(
+            "#   live cold {:.3}s | warm-first {:.3}s | warm {:.3}s ({:.2}x, hit rate {:.3})",
+            t.live_cold_s, t.live_warm_first_s, t.live_warm_s, t.live_speedup, t.epoch_hit_rate
+        );
         scenarios.push(t);
     }
 
@@ -252,6 +415,22 @@ fn main() {
         "trace_*_bytes compare one trace serialized in the old JSON disk format vs the new \
          trace_bin binary format"
             .into(),
+        "live_* time the live-scheme evaluation path (closed-loop SparseAdapt with a \
+         deterministic downclock ensemble that forces one reconfiguration, plus live replays \
+         of the Ideal Greedy and ProfileAdapt schedules) with the epoch cache off (cold), \
+         right after the sweep warmed it (warm_first: constant-config prefixes fast-forward, \
+         post-divergence tails simulate once and are recorded), and at steady state (warm: \
+         every epoch hits); results are bit-identical in all three, enforced by \
+         tests/epoch_cache_differential.rs"
+            .into(),
+        "epoch_sweep_warm_s is the one-time cost of the recording sweep (snapshotting machine \
+         state at every epoch boundary) relative to cached_first_s"
+            .into(),
+        "fxhash_lookup_speedup: the trace/epoch cache maps moved from SipHash HashMap to the \
+         vendored FxHashMap; keys are already uniformly distributed fingerprints, so SipHash's \
+         flood resistance buys nothing — the figure is lookup throughput on the (spec, \
+         workload, config) key shape"
+            .into(),
     ];
     if host_cpus <= 1 {
         notes.push(
@@ -271,17 +450,22 @@ fn main() {
         geomean_resweep_speedup: geomean(scenarios.iter().map(|s| s.resweep_speedup)),
         geomean_soa_speedup: geomean(scenarios.iter().map(|s| s.soa_speedup)),
         geomean_bin_to_json_ratio: geomean(scenarios.iter().map(|s| s.bin_to_json_ratio)),
+        geomean_live_speedup: geomean(scenarios.iter().map(|s| s.live_speedup)),
+        fxhash_lookup_speedup: fxhash_lookup_bench(),
         scenarios,
         notes,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write benchmark report");
     eprintln!(
-        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x, soa {:.2}x, bin/json {:.3} -> {out}",
+        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x, soa {:.2}x, live {:.2}x, \
+         bin/json {:.3}, fxhash {:.2}x -> {out}",
         report.geomean_schedule_speedup,
         report.geomean_thread_speedup,
         report.geomean_resweep_speedup,
         report.geomean_soa_speedup,
-        report.geomean_bin_to_json_ratio
+        report.geomean_live_speedup,
+        report.geomean_bin_to_json_ratio,
+        report.fxhash_lookup_speedup
     );
 }

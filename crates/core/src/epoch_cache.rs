@@ -1,0 +1,613 @@
+//! Epoch-granular simulation memoization: a process-wide, two-level
+//! cache of `(workload, machine, config, epoch, entry-state)` →
+//! `(epoch record, exit machine state)`.
+//!
+//! The [`crate::trace_cache`] memoises whole runs; this cache memoises
+//! *epochs*, which is what makes reuse possible **across schemes**: a
+//! static sweep and a live controller run share every epoch up to the
+//! first point their configuration decisions diverge. The key includes a
+//! digest of the machine state entering the epoch
+//! ([`MachineState::digest`]), so a hit is sound by construction — two
+//! runs arriving at an epoch with the same entry state, configuration,
+//! workload and machine execute that epoch bit-identically (the
+//! simulator is deterministic and controllers act only at boundaries).
+//!
+//! Structure mirrors the trace cache where the problems are the same:
+//! a mutex-guarded map with an LRU byte budget in memory, and an
+//! optional best-effort disk tier (one file per epoch, `b"SAEP"` magic)
+//! that reuses the [`crate::trace_bin`] record framing for the epoch
+//! record and [`MachineState::to_bytes`] for the snapshot. Disk
+//! publishes are write-to-temporary + atomic rename, so concurrent
+//! processes sharing a cache directory never observe a torn file; keys
+//! are content fingerprints, so racing writers produce identical bytes
+//! and the last rename simply wins.
+//!
+//! The cache is *disabled* by default — sweeps and live runs consult it
+//! only after [`EpochCache::set_enabled`]`(true)` (the `--epoch-cache`
+//! CLI flag). The frozen reference simulation path never consults it,
+//! keeping an independent witness for differential tests.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use fxhash::FxHashMap;
+use transmuter::config::{MachineSpec, TransmuterConfig};
+use transmuter::machine::{CachedEpoch, EpochBoundary, EpochHook, Machine, MachineState};
+use transmuter::workload::Workload;
+
+use crate::trace_bin;
+
+/// Full identity of one cached epoch. The first three components name
+/// the run family (machine × workload × configuration *active for this
+/// epoch*); the last two pin the epoch's position and the machine state
+/// entering it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochKey {
+    /// [`MachineSpec::fingerprint`] of the machine.
+    pub spec: u64,
+    /// [`Workload::fingerprint`](Workload::fingerprint) of the workload.
+    pub workload: u64,
+    /// [`TransmuterConfig::fingerprint`] of the configuration the epoch
+    /// executes under.
+    pub config: u64,
+    /// Epoch index within the run.
+    pub index: u64,
+    /// [`MachineState::digest`] of the state entering the epoch.
+    pub entry_digest: u64,
+}
+
+impl EpochKey {
+    fn file_name(&self) -> String {
+        format!(
+            "epoch-{:016x}-{:016x}-{:016x}-{:06}-{:016x}.bin",
+            self.spec, self.workload, self.config, self.index, self.entry_digest
+        )
+    }
+}
+
+struct Entry {
+    epoch: Arc<CachedEpoch>,
+    /// Logical timestamp of the most recent lookup (LRU order).
+    last_use: u64,
+    bytes: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: FxHashMap<EpochKey, Entry>,
+    clock: u64,
+    resident: usize,
+    cap: Option<usize>,
+}
+
+/// Approximate heap footprint of one resident epoch, for the memory
+/// cap. Dominated by the exit snapshot (cache bank line arrays).
+fn epoch_bytes(e: &CachedEpoch) -> usize {
+    std::mem::size_of::<CachedEpoch>() + e.exit.approx_heap_bytes()
+}
+
+/// Counter snapshot from [`EpochCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EpochCacheStats {
+    /// Boundary lookups observed.
+    pub lookups: u64,
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered by loading an epoch from the disk tier.
+    pub disk_hits: u64,
+    /// Fresh epochs recorded (cache misses that simulated).
+    pub inserts: u64,
+    /// Epochs dropped to stay under the memory cap.
+    pub evictions: u64,
+    /// Epochs published to the disk tier by this process.
+    pub disk_writes: u64,
+    /// Distinct epochs currently held in memory.
+    pub entries: usize,
+    /// Accounted bytes of in-memory epochs.
+    pub resident_bytes: usize,
+}
+
+impl EpochCacheStats {
+    /// Fraction of lookups answered without simulating (either tier).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.hits + self.disk_hits) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// The two-level epoch cache. Use [`EpochCache::global`] to share
+/// across every sweep and live run in the process.
+#[derive(Default)]
+pub struct EpochCache {
+    inner: Mutex<Inner>,
+    disk_dir: Mutex<Option<PathBuf>>,
+    enabled: AtomicBool,
+    lookups: AtomicU64,
+    hits: AtomicU64,
+    disk_hits: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+    disk_writes: AtomicU64,
+}
+
+impl std::fmt::Debug for EpochCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochCache")
+            .field("enabled", &self.is_enabled())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EpochCache {
+    /// An empty, disabled cache (tests; production code wants
+    /// [`EpochCache::global`]).
+    pub fn new() -> Self {
+        EpochCache::default()
+    }
+
+    /// The process-wide cache instance.
+    pub fn global() -> &'static EpochCache {
+        static GLOBAL: OnceLock<EpochCache> = OnceLock::new();
+        GLOBAL.get_or_init(EpochCache::new)
+    }
+
+    /// Turns the cache on or off. Off (the default) makes every sweep
+    /// and live run simulate unhooked, exactly as before the cache
+    /// existed.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether sweeps and live runs should consult the cache.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Bounds the resident set to `cap` bytes (`None` = unbounded, the
+    /// default). Takes effect immediately.
+    pub fn set_memory_cap(&self, cap: Option<usize>) {
+        let mut inner = self.inner.lock().expect("epoch cache lock");
+        inner.cap = cap;
+        self.enforce_cap(&mut inner);
+    }
+
+    /// Enables (or disables, with `None`) the on-disk tier. The
+    /// directory is created if missing; per-epoch I/O errors are treated
+    /// as misses.
+    pub fn set_disk_dir(&self, dir: Option<PathBuf>) {
+        if let Some(d) = &dir {
+            if let Err(e) = std::fs::create_dir_all(d) {
+                eprintln!(
+                    "warning: epoch cache dir {} is unusable ({e}); running without disk tier",
+                    d.display()
+                );
+            }
+        }
+        *self.disk_dir.lock().expect("epoch disk_dir lock") = dir;
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> EpochCacheStats {
+        let inner = self.inner.lock().expect("epoch cache lock");
+        EpochCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            resident_bytes: inner.resident,
+        }
+    }
+
+    /// Drops every in-memory epoch and zeroes the counters (the disk
+    /// tier, if any, is left untouched). The enabled flag and cap are
+    /// kept.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("epoch cache lock");
+        inner.map.clear();
+        inner.resident = 0;
+        inner.clock = 0;
+        drop(inner);
+        self.lookups.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.disk_hits.store(0, Ordering::Relaxed);
+        self.inserts.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.disk_writes.store(0, Ordering::Relaxed);
+    }
+
+    /// Looks up one epoch, consulting memory then disk. A disk hit is
+    /// promoted into memory.
+    pub fn lookup(&self, key: &EpochKey) -> Option<Arc<CachedEpoch>> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut inner = self.inner.lock().expect("epoch cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(entry) = inner.map.get_mut(key) {
+                entry.last_use = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(entry.epoch.clone());
+            }
+        }
+        let epoch = Arc::new(self.disk_load(key)?);
+        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        self.admit(*key, epoch.clone());
+        Some(epoch)
+    }
+
+    /// Records a freshly simulated epoch in both tiers.
+    pub fn insert(&self, key: EpochKey, epoch: CachedEpoch) {
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        let epoch = Arc::new(epoch);
+        self.disk_store(&key, &epoch);
+        self.admit(key, epoch);
+    }
+
+    /// Puts an epoch into the memory tier (no disk write) and trims to
+    /// the cap. Re-admitting a resident key only refreshes its LRU slot.
+    fn admit(&self, key: EpochKey, epoch: Arc<CachedEpoch>) {
+        let bytes = epoch_bytes(&epoch);
+        let mut inner = self.inner.lock().expect("epoch cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().last_use = clock;
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Entry {
+                    epoch,
+                    last_use: clock,
+                    bytes,
+                });
+                inner.resident += bytes;
+                self.enforce_cap(&mut inner);
+            }
+        }
+    }
+
+    /// Evicts least-recently-used epochs until the resident set fits the
+    /// cap.
+    fn enforce_cap(&self, inner: &mut Inner) {
+        let Some(cap) = inner.cap else { return };
+        while inner.resident > cap && !inner.map.is_empty() {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            if let Some(entry) = inner.map.remove(&key) {
+                inner.resident -= entry.bytes;
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// An [`EpochHook`] adapter binding this cache to one
+    /// `(machine, workload)` pair by fingerprint. Pass it to
+    /// [`Machine::run_with_hook`] or
+    /// [`Machine::run_with_controller_and_hook`].
+    pub fn hook_for(&self, spec_fp: u64, workload_fp: u64) -> EpochCacheHook<'_> {
+        EpochCacheHook {
+            cache: self,
+            spec: spec_fp,
+            workload: workload_fp,
+        }
+    }
+
+    fn disk_path(&self, key: &EpochKey) -> Option<PathBuf> {
+        self.disk_dir
+            .lock()
+            .expect("epoch disk_dir lock")
+            .as_ref()
+            .map(|d| d.join(key.file_name()))
+    }
+
+    fn disk_load(&self, key: &EpochKey) -> Option<CachedEpoch> {
+        let path = self.disk_path(key)?;
+        let bytes = std::fs::read(path).ok()?;
+        decode_epoch(&bytes)
+    }
+
+    fn disk_store(&self, key: &EpochKey, epoch: &CachedEpoch) {
+        let Some(path) = self.disk_path(key) else {
+            return;
+        };
+        let bytes = encode_epoch(epoch);
+        // Write-then-rename so a concurrent reader (another process
+        // sharing the directory) never sees a torn file. Keys are
+        // content fingerprints, so racing writers publish identical
+        // bytes and the last rename wins harmlessly.
+        let tmp = path.with_extension(format!("bin.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_ok() {
+            self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// File magic of the disk tier: "SparseAdapt EPoch".
+pub const EPOCH_MAGIC: [u8; 4] = *b"SAEP";
+/// Disk-tier format version. Bumped whenever the epoch-record framing
+/// ([`trace_bin`]) or the snapshot wire format changes; unknown versions
+/// read as misses, never as garbage.
+pub const EPOCH_VERSION: u16 = 1;
+
+/// Serialises one cached epoch for the disk tier: an 8-byte header
+/// (magic, version, zero flags), then the epoch record in the
+/// [`trace_bin`] framing and the exit snapshot via
+/// [`MachineState::to_bytes`], each length-prefixed.
+fn encode_epoch(epoch: &CachedEpoch) -> Vec<u8> {
+    let record = trace_bin::encode_trace(std::slice::from_ref(&epoch.record));
+    let state = epoch.exit.to_bytes();
+    let mut out = Vec::with_capacity(8 + 16 + record.len() + state.len());
+    out.extend_from_slice(&EPOCH_MAGIC);
+    out.extend_from_slice(&EPOCH_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u16.to_le_bytes()); // flags
+    out.extend_from_slice(&(record.len() as u64).to_le_bytes());
+    out.extend_from_slice(&record);
+    out.extend_from_slice(&(state.len() as u64).to_le_bytes());
+    out.extend_from_slice(&state);
+    out
+}
+
+/// Inverse of [`encode_epoch`]; `None` on any malformed, truncated, or
+/// trailing bytes — the cache treats that as a miss and re-simulates.
+fn decode_epoch(bytes: &[u8]) -> Option<CachedEpoch> {
+    let rest = bytes.strip_prefix(&EPOCH_MAGIC)?;
+    let (version, rest) = split_u16(rest)?;
+    if version != EPOCH_VERSION {
+        return None;
+    }
+    let (flags, rest) = split_u16(rest)?;
+    if flags != 0 {
+        return None;
+    }
+    let (record_bytes, rest) = split_len_prefixed(rest)?;
+    let (state_bytes, rest) = split_len_prefixed(rest)?;
+    if !rest.is_empty() {
+        return None;
+    }
+    let mut records = trace_bin::decode_trace(record_bytes).ok()?;
+    if records.len() != 1 {
+        return None;
+    }
+    let exit = MachineState::from_bytes(state_bytes)?;
+    Some(CachedEpoch {
+        record: records.pop().expect("one record"),
+        exit,
+    })
+}
+
+fn split_u16(b: &[u8]) -> Option<(u16, &[u8])> {
+    let (head, rest) = b.split_first_chunk::<2>()?;
+    Some((u16::from_le_bytes(*head), rest))
+}
+
+fn split_len_prefixed(b: &[u8]) -> Option<(&[u8], &[u8])> {
+    let (head, rest) = b.split_first_chunk::<8>()?;
+    let len = usize::try_from(u64::from_le_bytes(*head)).ok()?;
+    if len > rest.len() {
+        return None;
+    }
+    Some(rest.split_at(len))
+}
+
+/// The [`EpochHook`] adapter produced by [`EpochCache::hook_for`].
+#[derive(Debug)]
+pub struct EpochCacheHook<'a> {
+    cache: &'a EpochCache,
+    spec: u64,
+    workload: u64,
+}
+
+impl EpochCacheHook<'_> {
+    fn key(&self, b: &EpochBoundary) -> EpochKey {
+        EpochKey {
+            spec: self.spec,
+            workload: self.workload,
+            config: b.config_fp,
+            index: b.index as u64,
+            entry_digest: b.entry_digest,
+        }
+    }
+}
+
+impl EpochHook for EpochCacheHook<'_> {
+    fn lookup(&mut self, boundary: &EpochBoundary) -> Option<Arc<CachedEpoch>> {
+        self.cache.lookup(&self.key(boundary))
+    }
+
+    fn record(&mut self, boundary: &EpochBoundary, epoch: CachedEpoch) {
+        self.cache.insert(self.key(boundary), epoch);
+    }
+}
+
+/// [`crate::trace_cache::simulate_trace`] routed through the global
+/// epoch cache when it is enabled: hit epochs fast-forward, miss epochs
+/// simulate and are recorded for every later sweep *and* live run.
+/// Bit-identical to the unhooked simulation by construction (and by the
+/// differential suite).
+pub fn simulate_trace_adaptive(
+    spec: MachineSpec,
+    workload: &Workload,
+    config: TransmuterConfig,
+) -> Vec<transmuter::machine::EpochRecord> {
+    let cache = EpochCache::global();
+    if cache.is_enabled() {
+        let mut hook = cache.hook_for(spec.fingerprint(), workload.fingerprint());
+        Machine::new(spec, config)
+            .run_with_hook(workload, &mut hook)
+            .epochs
+    } else {
+        crate::trace_cache::simulate_trace(spec, workload, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use transmuter::workload::{Op, Phase};
+
+    /// A small workload whose access stride varies with `tag`, so
+    /// different tags genuinely execute differently (not just at
+    /// shifted addresses).
+    fn tiny_workload(tag: u64) -> Workload {
+        let streams: Vec<Vec<Op>> = (0..16)
+            .map(|g| {
+                (0..80u64)
+                    .flat_map(|i| {
+                        [
+                            Op::Load {
+                                addr: g as u64 * 8192 + i * (16 + tag * 24),
+                                pc: 1,
+                            },
+                            Op::Flops(1),
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload::new("tiny-epoch", vec![Phase::new("p", streams)])
+    }
+
+    /// Runs `wl` under `cfg` with a hook bound to `cache`.
+    fn run_hooked(
+        cache: &EpochCache,
+        spec: MachineSpec,
+        wl: &Workload,
+        cfg: TransmuterConfig,
+    ) -> transmuter::machine::RunResult {
+        let mut hook = cache.hook_for(spec.fingerprint(), wl.fingerprint());
+        Machine::new(spec, cfg).run_with_hook(wl, &mut hook)
+    }
+
+    #[test]
+    fn warm_rerun_hits_every_epoch_and_matches() {
+        let cache = EpochCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(120);
+        let wl = tiny_workload(1);
+        let cfg = TransmuterConfig::baseline();
+        let plain = Machine::new(spec, cfg).run(&wl);
+        let cold = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(cold, plain);
+        let s = cache.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.inserts as usize, plain.epochs.len());
+        let warm = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(warm, plain);
+        let s = cache.stats();
+        assert_eq!(s.hits as usize, plain.epochs.len());
+        assert!(s.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn distinct_workloads_do_not_collide() {
+        let cache = EpochCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(120);
+        let cfg = TransmuterConfig::baseline();
+        let (wl1, wl2) = (tiny_workload(2), tiny_workload(3));
+        let a = run_hooked(&cache, spec, &wl1, cfg);
+        let b = run_hooked(&cache, spec, &wl2, cfg);
+        assert_ne!(a, b, "workloads chosen to differ");
+        assert_eq!(cache.stats().hits, 0, "cross-workload hit would be unsound");
+        // Both rerun warm.
+        assert_eq!(run_hooked(&cache, spec, &wl1, cfg), a);
+        assert_eq!(run_hooked(&cache, spec, &wl2, cfg), b);
+    }
+
+    #[test]
+    fn disk_tier_survives_a_clear() {
+        let dir = std::env::temp_dir().join(format!("sa-epoch-cache-test-{}", std::process::id()));
+        let cache = EpochCache::new();
+        cache.set_disk_dir(Some(dir.clone()));
+        let spec = MachineSpec::default().with_epoch_ops(120);
+        let wl = tiny_workload(4);
+        let cfg = TransmuterConfig::baseline();
+        let first = run_hooked(&cache, spec, &wl, cfg);
+        assert!(cache.stats().disk_writes as usize >= first.epochs.len());
+        cache.clear();
+        let second = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(first, second, "disk round-trip changed the run");
+        let s = cache.stats();
+        assert_eq!(s.disk_hits as usize, first.epochs.len());
+        assert_eq!(s.hits, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_read_as_misses() {
+        let dir = std::env::temp_dir().join(format!("sa-epoch-corrupt-{}", std::process::id()));
+        let cache = EpochCache::new();
+        cache.set_disk_dir(Some(dir.clone()));
+        let spec = MachineSpec::default().with_epoch_ops(120);
+        let wl = tiny_workload(5);
+        let cfg = TransmuterConfig::baseline();
+        let first = run_hooked(&cache, spec, &wl, cfg);
+        // Truncate and bit-flip every published file.
+        for entry in std::fs::read_dir(&dir).expect("dir") {
+            let path = entry.expect("entry").path();
+            let mut bytes = std::fs::read(&path).expect("read");
+            bytes.truncate(bytes.len() / 2);
+            if let Some(b) = bytes.last_mut() {
+                *b ^= 0xFF;
+            }
+            std::fs::write(&path, bytes).expect("write");
+        }
+        cache.clear();
+        let second = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(first, second, "corrupt files must re-simulate identically");
+        assert_eq!(cache.stats().disk_hits, 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn memory_cap_evicts_and_rebuilds_identically() {
+        let cache = EpochCache::new();
+        let spec = MachineSpec::default().with_epoch_ops(120);
+        let wl = tiny_workload(6);
+        let cfg = TransmuterConfig::baseline();
+        let plain = Machine::new(spec, cfg).run(&wl);
+        assert!(plain.epochs.len() >= 2, "need multiple epochs");
+        // Room for roughly one epoch: constant eviction.
+        let one = {
+            let probe = EpochCache::new();
+            run_hooked(&probe, spec, &wl, cfg);
+            probe.stats().resident_bytes / plain.epochs.len()
+        };
+        cache.set_memory_cap(Some(one + one / 2));
+        let cold = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(cold, plain);
+        let s = cache.stats();
+        assert!(s.evictions > 0, "cap should have evicted");
+        assert!(s.resident_bytes <= one + one / 2);
+        let warm = run_hooked(&cache, spec, &wl, cfg);
+        assert_eq!(warm, plain, "post-eviction re-simulation must be identical");
+    }
+
+    #[test]
+    fn adaptive_simulation_matches_plain_when_disabled_and_enabled() {
+        // Private cache semantics via the global: this test is the only
+        // in-crate user of the global flag, and it restores it.
+        let spec = MachineSpec::default().with_epoch_ops(130);
+        let wl = tiny_workload(7);
+        let cfg = TransmuterConfig::best_avg_cache();
+        let plain = crate::trace_cache::simulate_trace(spec, &wl, cfg);
+        assert!(!EpochCache::global().is_enabled(), "default must be off");
+        assert_eq!(simulate_trace_adaptive(spec, &wl, cfg), plain);
+        EpochCache::global().set_enabled(true);
+        let on_cold = simulate_trace_adaptive(spec, &wl, cfg);
+        let on_warm = simulate_trace_adaptive(spec, &wl, cfg);
+        EpochCache::global().set_enabled(false);
+        assert_eq!(on_cold, plain);
+        assert_eq!(on_warm, plain);
+    }
+}

@@ -1,7 +1,6 @@
 //! One-call evaluation of every §5.3 scheme on a workload.
 
 use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
-use transmuter::machine::Machine;
 use transmuter::metrics::{Metrics, OptMode};
 use transmuter::workload::Workload;
 
@@ -129,10 +128,11 @@ pub fn compare(
 
     // Live SparseAdapt. The run starts from the kernel's Best Avg
     // configuration — the host picks the best-known static point at
-    // dispatch time (§3.1), and SparseAdapt adapts from there.
+    // dispatch time (§3.1), and SparseAdapt adapts from there. Routed
+    // through `run_live`, so an enabled epoch cache lets the run
+    // fast-forward through epochs the sweep above already simulated.
     let mut ctrl = SparseAdaptController::new(ensemble.clone(), setup.policy, setup.spec);
-    let mut machine = Machine::new(setup.spec, best_avg_cfg);
-    let live = machine.run_with_controller(workload, &mut ctrl);
+    let live = crate::runtime::run_live(setup.spec, best_avg_cfg, workload, &mut ctrl);
 
     let (_, ideal_static) = schemes::ideal_static(&sweep, setup.mode);
     let ideal_greedy = schemes::ideal_greedy(&sweep, setup.mode);

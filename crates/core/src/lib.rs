@@ -25,6 +25,10 @@
 //! * [`trace_cache`] — the process-wide content-addressed cache of
 //!   simulation traces, with a bounded in-memory layer and an optional
 //!   on-disk layer in the [`trace_bin`] binary format.
+//! * [`epoch_cache`] — epoch-granular memoization keyed on
+//!   `(machine, workload, config, epoch, entry-state digest)`, letting
+//!   live controller runs fast-forward through epochs a sweep already
+//!   simulated.
 //! * [`service`] — the serializable request/response model of the
 //!   serving layer (the `serve` daemon's domain types).
 //! * [`schemes`] — the §5.3 comparison points: Ideal Static, Ideal
@@ -84,6 +88,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod epoch_cache;
 pub mod eval;
 pub mod exec;
 pub mod features;
@@ -96,6 +101,7 @@ pub mod stitch;
 pub mod trace_bin;
 pub mod trace_cache;
 
+pub use epoch_cache::EpochCache;
 pub use model::PredictiveEnsemble;
 pub use policy::ReconfigPolicy;
 pub use runtime::SparseAdaptController;

@@ -2,11 +2,36 @@
 //! reconfiguration, at every epoch boundary (Figure 3a).
 
 use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
-use transmuter::machine::{Controller, EpochRecord};
+use transmuter::machine::{Controller, EpochRecord, Machine, RunResult};
 use transmuter::power::EnergyTable;
+use transmuter::workload::Workload;
 
+use crate::epoch_cache::EpochCache;
 use crate::model::PredictiveEnsemble;
 use crate::policy::ReconfigPolicy;
+
+/// Runs `workload` live under `controller` from the `start`
+/// configuration, routing through the global [`EpochCache`] when it is
+/// enabled: epochs whose `(config, index, entry-state)` key was already
+/// simulated — by a sweep or an earlier live run — are fast-forwarded
+/// instead of re-executed, and the controller still sees every boundary.
+/// With the cache disabled this is exactly
+/// [`Machine::run_with_controller`].
+pub fn run_live(
+    spec: MachineSpec,
+    start: TransmuterConfig,
+    workload: &Workload,
+    controller: &mut dyn Controller,
+) -> RunResult {
+    let mut machine = Machine::new(spec, start);
+    let cache = EpochCache::global();
+    if cache.is_enabled() {
+        let mut hook = cache.hook_for(spec.fingerprint(), workload.fingerprint());
+        machine.run_with_controller_and_hook(workload, controller, &mut hook)
+    } else {
+        machine.run_with_controller(workload, controller)
+    }
+}
 
 /// A [`Controller`] implementation wrapping the predictive ensemble and
 /// a cost-aware policy.

@@ -10,11 +10,13 @@
 mod greedy;
 mod oracle;
 mod profileadapt;
+mod replay;
 mod statics;
 
 pub use greedy::ideal_greedy;
 pub use oracle::oracle;
 pub use profileadapt::{profileadapt_ideal, profileadapt_naive, ProfileAdaptOutcome};
+pub use replay::ScheduleController;
 pub use statics::ideal_static;
 
 /// A dynamic scheme's outcome: the chosen per-epoch schedule and its

@@ -20,6 +20,7 @@ use transmuter::power::EnergyTable;
 use transmuter::reconfig;
 use transmuter::workload::Workload;
 
+use crate::epoch_cache::simulate_trace_adaptive;
 use crate::exec;
 use crate::trace_cache::{simulate_trace, TraceCache};
 
@@ -46,7 +47,9 @@ impl SweepData {
     /// Simulates `workload` under every configuration on a work-stealing
     /// pool of up to `threads` OS threads, serving repeated
     /// `(spec, workload, config)` triples from the process-wide
-    /// [`TraceCache`].
+    /// [`TraceCache`]. When the [`crate::epoch_cache`] is enabled,
+    /// trace-cache misses simulate through it, so the sweep both reuses
+    /// epochs other runs produced and warms the cache for live schemes.
     ///
     /// # Panics
     ///
@@ -69,7 +72,7 @@ impl SweepData {
                     workload: wl_fp,
                     config: configs[ci].fingerprint(),
                 },
-                || simulate_trace(spec, workload, configs[ci]),
+                || simulate_trace_adaptive(spec, workload, configs[ci]),
             )
         });
         SweepData::assemble(spec, workload, configs, traces)

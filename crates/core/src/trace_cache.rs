@@ -42,12 +42,13 @@
 //! a writer that loses the race can simply skip its write — the winner's
 //! bytes are identical by construction.
 
-use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
+
+use fxhash::FxHashMap;
 
 use transmuter::config::{MachineSpec, TransmuterConfig};
 use transmuter::machine::EpochRecord;
@@ -107,7 +108,10 @@ struct Entry {
 
 #[derive(Default)]
 struct Inner {
-    map: HashMap<TraceKey, Entry>,
+    /// Keyed map of traces. `FxHashMap` because the keys are already
+    /// uniformly distributed fingerprints — SipHash buys nothing here,
+    /// and lookups sit on every sweep's hot path.
+    map: FxHashMap<TraceKey, Entry>,
     /// Monotonic lookup counter driving LRU order.
     clock: u64,
     /// Total accounted bytes of completed traces.

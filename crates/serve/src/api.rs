@@ -51,6 +51,13 @@ pub struct SimulateRequest {
     pub config_name: Option<String>,
 }
 
+impl SimulateRequest {
+    /// Top-level fields `/v2/simulate` accepts; anything else is a
+    /// [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] =
+        &["kernel", "matrix", "l1_kind", "config", "config_name"];
+}
+
 /// The answer to a [`SimulateRequest`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulateResponse {
@@ -90,6 +97,20 @@ pub struct RecommendApiRequest {
     pub last_epoch_time_s: Option<f64>,
 }
 
+impl RecommendApiRequest {
+    /// Top-level fields `/v2/recommend` accepts; anything else is a
+    /// [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] = &[
+        "kernel",
+        "l1_kind",
+        "mode",
+        "telemetry",
+        "current",
+        "policy",
+        "last_epoch_time_s",
+    ];
+}
+
 /// `POST /v1/sweep`: launch an asynchronous configuration sweep; the
 /// response is a job id to poll at `GET /v1/jobs/<id>`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -105,6 +126,12 @@ pub struct SweepRequest {
     pub sampled: Option<u64>,
     /// Sampling seed; defaults to the harness seed.
     pub seed: Option<u64>,
+}
+
+impl SweepRequest {
+    /// Top-level fields `/v2/sweep` accepts; anything else is a
+    /// [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] = &["kernel", "matrix", "l1_kind", "sampled", "seed"];
 }
 
 /// One configuration with its whole-trace scores, for sweep results.
@@ -169,6 +196,10 @@ pub mod code {
     pub const INTERNAL: &str = "internal";
     /// Every shard behind the router was unreachable (503).
     pub const SHARD_UNAVAILABLE: &str = "shard_unavailable";
+    /// Request carried a top-level field the endpoint does not know
+    /// (400). Only raised on `/v2/*`; `/v1/*` keeps its original
+    /// ignore-unknowns semantics.
+    pub const UNKNOWN_FIELD: &str = "unknown_field";
 }
 
 /// The one structured error shape used across every 4xx/5xx the daemon

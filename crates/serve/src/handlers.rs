@@ -71,11 +71,33 @@ fn error_response(version: ApiVersion, status: u16, err: &ApiError) -> Response 
     finish(version, status, &err.to_json())
 }
 
-fn parse_body<T: serde::Deserialize>(body: &[u8]) -> Result<T, ApiError> {
+/// Parses a request body for the given dialect. `/v1/*` keeps its
+/// original lenient semantics (unknown fields silently ignored, as a
+/// compatibility shim); `/v2/*` rejects any top-level field outside
+/// `known` with [`code::UNKNOWN_FIELD`], so client typos like
+/// `"confg_name"` fail loudly instead of silently falling back to
+/// defaults.
+fn parse_body<T: serde::Deserialize>(
+    body: &[u8],
+    version: ApiVersion,
+    known: &[&str],
+) -> Result<T, ApiError> {
     let text = std::str::from_utf8(body)
         .map_err(|_| ApiError::new(code::BAD_REQUEST, "request body is not UTF-8"))?;
-    serde_json::from_str(text)
-        .map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))
+    let value = serde_json::parse_value_str(text)
+        .map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))?;
+    if version == ApiVersion::V2 {
+        let obj = value.as_obj().ok_or_else(|| {
+            ApiError::new(code::BAD_REQUEST, "request body must be a JSON object")
+        })?;
+        if let Some((k, _)) = obj.iter().find(|(k, _)| !known.contains(&k.as_str())) {
+            return Err(ApiError::new(
+                code::UNKNOWN_FIELD,
+                format!("unknown field \"{k}\" (known fields: {})", known.join(", ")),
+            ));
+        }
+    }
+    T::from_value(&value).map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))
 }
 
 /// `GET /healthz`.
@@ -125,7 +147,7 @@ pub fn job(state: &AppState, id_str: &str, version: ApiVersion) -> Response {
 /// `POST /v{1,2}/simulate`: coalesced, admitted, cache-backed
 /// simulation.
 pub fn simulate(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
-    let req: SimulateRequest = match parse_body(body) {
+    let req: SimulateRequest = match parse_body(body, version, SimulateRequest::FIELDS) {
         Ok(req) => req,
         Err(err) => return error_response(version, 400, &err),
     };
@@ -185,7 +207,7 @@ fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
 
 /// `POST /v{1,2}/recommend`: model inference on a pool worker.
 pub fn recommend(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
-    let req: RecommendApiRequest = match parse_body(body) {
+    let req: RecommendApiRequest = match parse_body(body, version, RecommendApiRequest::FIELDS) {
         Ok(req) => req,
         Err(err) => return error_response(version, 400, &err),
     };
@@ -217,7 +239,7 @@ pub fn recommend(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Res
 
 /// `POST /v{1,2}/sweep`: launch an asynchronous sweep job; 202 + job id.
 pub fn sweep(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
-    let req: SweepRequest = match parse_body(body) {
+    let req: SweepRequest = match parse_body(body, version, SweepRequest::FIELDS) {
         Ok(req) => req,
         Err(err) => return error_response(version, 400, &err),
     };

@@ -106,6 +106,51 @@ fn daemon_end_to_end() {
         400
     );
 
+    // -- request-side negotiation: /v1 ignores unknown fields, /v2
+    // rejects them with a structured code ------------------------------
+    let typo_body = r#"{"kernel": "spmspv", "matrix": "R09", "confg_name": "maximum"}"#;
+    let lenient = post(&addr, "/v1/simulate", typo_body);
+    assert_eq!(
+        lenient.status,
+        200,
+        "/v1 keeps its ignore-unknowns shim semantics; body: {}",
+        body_str(&lenient)
+    );
+    let strict = post(&addr, "/v2/simulate", typo_body);
+    assert_eq!(strict.status, 400);
+    let strict_doc = parse(&strict);
+    assert_eq!(
+        field(&strict_doc, &["error", "code"]),
+        Some(serde::Value::Str("unknown_field".to_string()))
+    );
+    let strict_msg = match field(&strict_doc, &["error", "message"]) {
+        Some(serde::Value::Str(s)) => s,
+        other => panic!("expected error message, got {other:?}"),
+    };
+    assert!(
+        strict_msg.contains("confg_name") && strict_msg.contains("config_name"),
+        "message should name the offender and the known fields: {strict_msg}"
+    );
+    // Same contract on the other POST endpoints (rejected before any
+    // job is created).
+    let sweep_typo = post(
+        &addr,
+        "/v2/sweep",
+        r#"{"kernel": "spmspv", "matrix": "R09", "samples": 4}"#,
+    );
+    assert_eq!(sweep_typo.status, 400);
+    assert_eq!(
+        field(&parse(&sweep_typo), &["error", "code"]),
+        Some(serde::Value::Str("unknown_field".to_string()))
+    );
+    // A non-object body on /v2 is a plain bad_request, not unknown_field.
+    let arr = post(&addr, "/v2/sweep", "[1, 2]");
+    assert_eq!(arr.status, 400);
+    assert_eq!(
+        field(&parse(&arr), &["error", "code"]),
+        Some(serde::Value::Str("bad_request".to_string()))
+    );
+
     // -- simulate: cold then cached -----------------------------------
     let sim_body = r#"{"kernel": "spmspv", "matrix": "R09", "config_name": "baseline"}"#;
     let first = post(&addr, "/v1/simulate", sim_body);

@@ -54,7 +54,7 @@ pub struct BankStats {
 }
 
 /// One reconfigurable cache bank.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheBank {
     capacity_kb: u32,
     line_bytes: u32,
@@ -253,6 +253,98 @@ impl CacheBank {
     /// Reads the statistics without resetting.
     pub fn stats(&self) -> BankStats {
         self.stats
+    }
+
+    /// Approximate heap footprint, for cache budget accounting.
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        self.sets.len() * std::mem::size_of::<Line>()
+    }
+
+    /// Folds the bank's complete state into a digest. Only valid lines
+    /// are hashed (with their slot index), so a mostly-cold bank costs
+    /// almost nothing; `tick` and the stats are included because they
+    /// carry across epochs and influence future behaviour (LRU order)
+    /// or observable output.
+    pub(crate) fn digest_into(&self, h: &mut fxhash::FxHasher) {
+        use std::hash::Hasher as _;
+        h.write_u32(self.capacity_kb);
+        h.write_u32(self.line_bytes);
+        h.write_u32(self.ways);
+        h.write_u64(self.tick);
+        h.write_u64(self.stats.accesses);
+        h.write_u64(self.stats.misses);
+        h.write_u64(self.stats.prefetches);
+        h.write_u64(self.stats.writebacks);
+        for (i, l) in self.sets.iter().enumerate() {
+            if l.valid {
+                h.write_u64(i as u64);
+                h.write_u64(l.tag);
+                h.write_u8(l.dirty as u8);
+                h.write_u64(l.lru);
+            }
+        }
+    }
+
+    /// Serialises the bank (geometry, tick, stats, valid lines) for the
+    /// epoch cache's disk tier.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::PutBytes as _;
+        out.put_u32(self.capacity_kb);
+        out.put_u32(self.line_bytes);
+        out.put_u32(self.ways);
+        out.put_u64(self.tick);
+        out.put_u64(self.stats.accesses);
+        out.put_u64(self.stats.misses);
+        out.put_u64(self.stats.prefetches);
+        out.put_u64(self.stats.writebacks);
+        let valid = self.sets.iter().filter(|l| l.valid).count();
+        out.put_u64(valid as u64);
+        for (i, l) in self.sets.iter().enumerate() {
+            if l.valid {
+                out.put_u64(i as u64);
+                out.put_u64(l.tag);
+                out.put_u8(l.dirty as u8);
+                out.put_u64(l.lru);
+            }
+        }
+    }
+
+    /// Inverse of [`CacheBank::encode_into`]; `None` on malformed bytes.
+    pub(crate) fn decode_from(r: &mut crate::codec::Reader<'_>) -> Option<CacheBank> {
+        let capacity_kb = r.u32()?;
+        let line_bytes = r.u32()?;
+        let ways = r.u32()?;
+        if capacity_kb == 0 || line_bytes == 0 || ways == 0 {
+            return None;
+        }
+        let n_sets =
+            (capacity_kb as usize * 1024).checked_div(line_bytes as usize * ways as usize)?;
+        if n_sets == 0 || !n_sets.is_power_of_two() {
+            return None;
+        }
+        let mut bank = CacheBank::new(capacity_kb, line_bytes, ways);
+        bank.tick = r.u64()?;
+        bank.stats = BankStats {
+            accesses: r.u64()?,
+            misses: r.u64()?,
+            prefetches: r.u64()?,
+            writebacks: r.u64()?,
+        };
+        let valid = r.len(bank.sets.len())?;
+        for _ in 0..valid {
+            let i = r.u64()? as usize;
+            let tag = r.u64()?;
+            let dirty = r.bool()?;
+            let lru = r.u64()?;
+            let slot = bank.sets.get_mut(i)?;
+            *slot = Line {
+                tag,
+                valid: true,
+                dirty,
+                lru,
+            };
+        }
+        Some(bank)
     }
 }
 

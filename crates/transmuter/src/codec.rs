@@ -1,0 +1,152 @@
+//! Minimal little-endian byte codec shared by the machine-state
+//! serialisation in [`crate::machine`] (the epoch cache's disk tier).
+//!
+//! Deliberately tiny: fixed-width LE primitives plus a bounds-checked
+//! reader. Anything that fails to decode returns `None` and the caller
+//! treats the bytes as a cache miss — the formats are best-effort
+//! persistence, never a source of truth.
+
+/// Appends primitives to a byte buffer.
+pub(crate) trait PutBytes {
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u32` little-endian.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a `u64` little-endian.
+    fn put_u64(&mut self, v: u64);
+    /// Appends an `i64` little-endian.
+    fn put_i64(&mut self, v: i64);
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    fn put_f64(&mut self, v: f64);
+}
+
+impl PutBytes for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Bounds-checked sequential reader over a byte slice.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `bytes`.
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// `true` once every byte has been consumed.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub(crate) fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a `u32` little-endian.
+    pub(crate) fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64` little-endian.
+    pub(crate) fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `i64` little-endian.
+    pub(crate) fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub(crate) fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a `bool` encoded as a single 0/1 byte; other values fail.
+    pub(crate) fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a length field and sanity-bounds it (a corrupt length must
+    /// not drive a huge allocation).
+    pub(crate) fn len(&mut self, max: usize) -> Option<usize> {
+        let n = self.u64()? as usize;
+        (n <= max).then_some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32(0xdead_beef);
+        buf.put_u64(u64::MAX - 1);
+        buf.put_i64(-42);
+        buf.put_f64(-0.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xdead_beef));
+        assert_eq!(r.u64(), Some(u64::MAX - 1));
+        assert_eq!(r.i64(), Some(-42));
+        assert_eq!(r.f64(), Some(-0.5));
+        assert!(r.is_empty());
+        assert_eq!(r.u8(), None, "reads past the end fail");
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.bool(), None);
+    }
+
+    #[test]
+    fn len_bounds_are_enforced() {
+        let mut buf = Vec::new();
+        buf.put_u64(10_000);
+        assert_eq!(Reader::new(&buf).len(100), None);
+        assert_eq!(Reader::new(&buf).len(20_000), Some(10_000));
+    }
+}

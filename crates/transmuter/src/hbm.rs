@@ -29,7 +29,7 @@ pub struct HbmStats {
 
 /// One HBM channel: its busy-until regulator plus the queue of posted
 /// transfers not yet folded into it.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Channel {
     /// Time at which the channel becomes free, counting only folded
     /// transfers.
@@ -236,6 +236,119 @@ impl Hbm {
     /// Reads the statistics without resetting.
     pub fn stats(&self) -> HbmStats {
         self.stats
+    }
+
+    /// Channel `ci`'s regulator with any still-queued posted transfers
+    /// folded in — the canonical view of the channel, independent of
+    /// *when* queued transfers happen to be drained.
+    fn folded_busy_ps(&self, ci: usize) -> u64 {
+        let ch = &self.channels[ci];
+        let mut busy = ch.busy_until_ps;
+        for &(t, bytes) in &ch.pending {
+            let service = (bytes as f64 * self.ps_per_byte).ceil() as u64;
+            busy = busy.max(t) + service;
+        }
+        busy
+    }
+
+    /// Approximate heap footprint, for cache budget accounting.
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        self.channels
+            .iter()
+            .map(|ch| std::mem::size_of::<Channel>() + ch.pending.capacity() * 12)
+            .sum()
+    }
+
+    /// Folds the model's state into a digest. Channels are hashed in
+    /// their canonical (fully folded) form so that a snapshot digest does
+    /// not depend on drain timing; `service_memo` and `batched` are
+    /// excluded as behaviour-neutral.
+    pub(crate) fn digest_into(&self, h: &mut fxhash::FxHasher) {
+        use std::hash::Hasher as _;
+        h.write_u64(self.ps_per_byte.to_bits());
+        h.write_u64(self.total_ps_per_byte.to_bits());
+        h.write_u64(self.latency_ps);
+        h.write_u32(self.line_shift);
+        h.write_u64(self.channels.len() as u64);
+        for ci in 0..self.channels.len() {
+            h.write_u64(self.folded_busy_ps(ci));
+        }
+        h.write_u64(self.stats.bytes_read);
+        h.write_u64(self.stats.bytes_written);
+    }
+
+    /// Serialises the model (canonical folded channel views) for the
+    /// epoch cache's disk tier.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::PutBytes as _;
+        out.put_f64(self.ps_per_byte);
+        out.put_f64(self.total_ps_per_byte);
+        out.put_u64(self.latency_ps);
+        out.put_u32(self.line_shift);
+        out.put_u64(self.channels.len() as u64);
+        for ci in 0..self.channels.len() {
+            out.put_u64(self.folded_busy_ps(ci));
+        }
+        out.put_u64(self.stats.bytes_read);
+        out.put_u64(self.stats.bytes_written);
+    }
+
+    /// Inverse of [`Hbm::encode_into`]; `None` on malformed bytes.
+    pub(crate) fn decode_from(r: &mut crate::codec::Reader<'_>) -> Option<Hbm> {
+        let ps_per_byte = r.f64()?;
+        let total_ps_per_byte = r.f64()?;
+        if !(ps_per_byte.is_finite() && ps_per_byte > 0.0) {
+            return None;
+        }
+        if !(total_ps_per_byte.is_finite() && total_ps_per_byte > 0.0) {
+            return None;
+        }
+        let latency_ps = r.u64()?;
+        let line_shift = r.u32()?;
+        if line_shift >= 64 {
+            return None;
+        }
+        let n = r.len(4096)?;
+        if n == 0 {
+            return None;
+        }
+        let mut channels = Vec::with_capacity(n);
+        for _ in 0..n {
+            channels.push(Channel {
+                busy_until_ps: r.u64()?,
+                pending: Vec::new(),
+            });
+        }
+        let stats = HbmStats {
+            bytes_read: r.u64()?,
+            bytes_written: r.u64()?,
+        };
+        Some(Hbm {
+            ps_per_byte,
+            total_ps_per_byte,
+            latency_ps,
+            line_shift,
+            service_memo: (0, 0),
+            batched: true,
+            channels,
+            stats,
+        })
+    }
+}
+
+/// Equality over the canonical state: folded channel views plus geometry
+/// and statistics. `service_memo` (a pure-function cache) and `batched`
+/// (two servicing modes with identical observable timing) are excluded.
+impl PartialEq for Hbm {
+    fn eq(&self, other: &Hbm) -> bool {
+        self.ps_per_byte.to_bits() == other.ps_per_byte.to_bits()
+            && self.total_ps_per_byte.to_bits() == other.total_ps_per_byte.to_bits()
+            && self.latency_ps == other.latency_ps
+            && self.line_shift == other.line_shift
+            && self.stats == other.stats
+            && self.channels.len() == other.channels.len()
+            && (0..self.channels.len())
+                .all(|ci| self.folded_busy_ps(ci) == other.folded_busy_ps(ci))
     }
 }
 

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod codec;
 pub mod config;
 pub mod counters;
 pub mod hbm;
@@ -65,5 +66,7 @@ pub mod workload;
 
 pub use config::{MachineSpec, TransmuterConfig};
 pub use counters::Telemetry;
-pub use machine::{EpochRecord, Machine, RunResult};
+pub use machine::{
+    CachedEpoch, EpochBoundary, EpochHook, EpochRecord, Machine, MachineState, RunResult,
+};
 pub use metrics::Metrics;

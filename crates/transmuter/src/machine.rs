@@ -102,6 +102,416 @@ enum GpeState {
     Done,
 }
 
+impl GpeState {
+    fn as_u8(self) -> u8 {
+        match self {
+            GpeState::Running => 0,
+            GpeState::PausedAtQuota => 1,
+            GpeState::Done => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<GpeState> {
+        match v {
+            0 => Some(GpeState::Running),
+            1 => Some(GpeState::PausedAtQuota),
+            2 => Some(GpeState::Done),
+            _ => None,
+        }
+    }
+}
+
+/// Position of the run loop within a workload, captured alongside the
+/// machine state so a snapshot can resume mid-run. Epochs are quota-based
+/// and can span phase boundaries, so the loop position is genuine machine
+/// state: two runs at the same epoch index can sit at different points of
+/// the phase list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LoopState {
+    /// Index of the phase being executed (equals the phase count once the
+    /// run is complete).
+    phase_idx: usize,
+    /// Whether the current phase's cursors and states are initialised.
+    entered: bool,
+    /// Per-GPE stream cursor within the current phase.
+    cursors: Vec<usize>,
+    /// Per-GPE run state within the current phase.
+    states: Vec<GpeState>,
+}
+
+impl LoopState {
+    fn initial() -> Self {
+        LoopState {
+            phase_idx: 0,
+            entered: false,
+            cursors: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+}
+
+/// Identity of an epoch boundary as observed by an [`EpochHook`]: the
+/// epoch's position in the run, the fingerprint of the configuration that
+/// will execute it, and a digest of the machine state entering it.
+///
+/// Together with the workload and machine spec (which the hook's owner
+/// keys on separately), these fully determine the epoch's execution: the
+/// simulator is deterministic, quota boundaries make the epoch's op
+/// content position-dependent only, and controllers act exclusively at
+/// boundaries. Two boundaries with equal keys therefore produce
+/// bit-identical epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EpochBoundary {
+    /// Epoch index within the run.
+    pub index: usize,
+    /// [`TransmuterConfig::fingerprint`] of the configuration active for
+    /// the epoch.
+    pub config_fp: u64,
+    /// [`MachineState::digest`] of the state entering the epoch.
+    pub entry_digest: u64,
+}
+
+/// What an [`EpochHook`] stores per epoch: the record the epoch produced
+/// and the machine state at its exit boundary (taken before the
+/// controller's decision, so it is controller-agnostic and reusable
+/// across schemes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedEpoch {
+    /// The epoch's record. `index` and the `reconfig_*` fields are
+    /// attributed by the run that recorded it; a consumer splices in its
+    /// own values on reuse.
+    pub record: EpochRecord,
+    /// Machine state at the epoch's exit boundary.
+    pub exit: MachineState,
+}
+
+/// Observes epoch boundaries during [`Machine::run_with_hook`] /
+/// [`Machine::run_with_controller_and_hook`], enabling epoch-granular
+/// memoization: a `lookup` hit fast-forwards the run through the epoch by
+/// restoring the cached exit state and splicing the cached record.
+///
+/// The reference simulation path never consults hooks, so it stays an
+/// independent witness for differential testing.
+pub trait EpochHook {
+    /// Called when the run reaches `boundary`, before simulating the
+    /// epoch. Returning a cached epoch skips its simulation entirely.
+    fn lookup(&mut self, boundary: &EpochBoundary) -> Option<std::sync::Arc<CachedEpoch>>;
+
+    /// Called after an epoch was simulated (cache miss), with the same
+    /// boundary key `lookup` saw and the freshly produced epoch.
+    fn record(&mut self, boundary: &EpochBoundary, epoch: CachedEpoch);
+}
+
+/// A snapshot of everything a [`Machine`] carries across epoch
+/// boundaries: cache bank tags and LRU state, prefetcher index tables,
+/// the HBM channel regulators, per-epoch counter accumulation, GPE clocks
+/// and the run-loop position.
+///
+/// Produced by [`Machine::snapshot`] (or internally at epoch boundaries
+/// for [`EpochHook`]s); consumed by [`Machine::restore`]. Snapshots
+/// serialise via [`MachineState::to_bytes`] for on-disk caching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    cfg: TransmuterConfig,
+    table: EnergyTable,
+    l1: Vec<CacheBank>,
+    l1_pf: Vec<StridePrefetcher>,
+    l2: Vec<CacheBank>,
+    l1_busy_ps: Vec<u64>,
+    l2_busy_ps: Vec<u64>,
+    hbm: Hbm,
+    raw: RawEpochCounters,
+    dyn_energy_j: f64,
+    gpe_time_ps: Vec<u64>,
+    gpe_epoch_ops: Vec<u64>,
+    epoch_start_ps: u64,
+    lcp_factor: f64,
+    lcp_ops_carry: f64,
+    loop_state: LoopState,
+}
+
+/// Snapshot wire-format version ([`MachineState::to_bytes`]).
+const STATE_VERSION: u8 = 1;
+/// Sanity bound on decoded unit counts (banks, GPEs, channels).
+const STATE_MAX_UNITS: usize = 1 << 16;
+
+impl MachineState {
+    /// A cheap, stable digest of the full snapshot. Equal states always
+    /// digest equally; by construction of the hash the converse holds in
+    /// practice (64-bit collision odds), which is what makes the digest
+    /// usable as the entry-state component of an epoch-cache key.
+    pub fn digest(&self) -> u64 {
+        self.view().digest()
+    }
+
+    /// The configuration captured in the snapshot.
+    pub fn config(&self) -> &TransmuterConfig {
+        &self.cfg
+    }
+
+    /// Approximate heap footprint of the snapshot, for cache budget
+    /// accounting.
+    pub fn approx_heap_bytes(&self) -> usize {
+        std::mem::size_of::<MachineState>()
+            + self
+                .l1
+                .iter()
+                .map(CacheBank::approx_heap_bytes)
+                .sum::<usize>()
+            + self
+                .l2
+                .iter()
+                .map(CacheBank::approx_heap_bytes)
+                .sum::<usize>()
+            + self
+                .l1_pf
+                .iter()
+                .map(StridePrefetcher::approx_heap_bytes)
+                .sum::<usize>()
+            + self.hbm.approx_heap_bytes()
+            + (self.l1_busy_ps.len()
+                + self.l2_busy_ps.len()
+                + self.gpe_time_ps.len()
+                + self.gpe_epoch_ops.len()
+                + self.loop_state.cursors.len())
+                * 8
+            + self.loop_state.states.len()
+    }
+
+    fn view(&self) -> StateView<'_> {
+        StateView {
+            cfg: &self.cfg,
+            table: &self.table,
+            l1: &self.l1,
+            l1_pf: &self.l1_pf,
+            l2: &self.l2,
+            l1_busy_ps: &self.l1_busy_ps,
+            l2_busy_ps: &self.l2_busy_ps,
+            hbm: &self.hbm,
+            raw: &self.raw,
+            dyn_energy_j: self.dyn_energy_j,
+            gpe_time_ps: &self.gpe_time_ps,
+            gpe_epoch_ops: &self.gpe_epoch_ops,
+            epoch_start_ps: self.epoch_start_ps,
+            lcp_factor: self.lcp_factor,
+            lcp_ops_carry: self.lcp_ops_carry,
+            loop_state: &self.loop_state,
+        }
+    }
+
+    /// Serialises the snapshot to a self-contained byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::codec::PutBytes as _;
+        let mut out = Vec::with_capacity(256 + self.approx_heap_bytes());
+        out.put_u8(STATE_VERSION);
+        self.cfg.encode_into(&mut out);
+        self.table.encode_into(&mut out);
+        out.put_u64(self.l1.len() as u64);
+        for b in &self.l1 {
+            b.encode_into(&mut out);
+        }
+        out.put_u64(self.l1_pf.len() as u64);
+        for p in &self.l1_pf {
+            p.encode_into(&mut out);
+        }
+        out.put_u64(self.l2.len() as u64);
+        for b in &self.l2 {
+            b.encode_into(&mut out);
+        }
+        out.put_u64(self.l1_busy_ps.len() as u64);
+        for &v in &self.l1_busy_ps {
+            out.put_u64(v);
+        }
+        out.put_u64(self.l2_busy_ps.len() as u64);
+        for &v in &self.l2_busy_ps {
+            out.put_u64(v);
+        }
+        self.hbm.encode_into(&mut out);
+        self.raw.encode_into(&mut out);
+        out.put_f64(self.dyn_energy_j);
+        out.put_u64(self.gpe_time_ps.len() as u64);
+        for &v in &self.gpe_time_ps {
+            out.put_u64(v);
+        }
+        out.put_u64(self.gpe_epoch_ops.len() as u64);
+        for &v in &self.gpe_epoch_ops {
+            out.put_u64(v);
+        }
+        out.put_u64(self.epoch_start_ps);
+        out.put_f64(self.lcp_factor);
+        out.put_f64(self.lcp_ops_carry);
+        out.put_u64(self.loop_state.phase_idx as u64);
+        out.put_u8(self.loop_state.entered as u8);
+        out.put_u64(self.loop_state.cursors.len() as u64);
+        for &c in &self.loop_state.cursors {
+            out.put_u64(c as u64);
+        }
+        out.put_u64(self.loop_state.states.len() as u64);
+        for s in &self.loop_state.states {
+            out.put_u8(s.as_u8());
+        }
+        out
+    }
+
+    /// Inverse of [`MachineState::to_bytes`]; `None` on any malformed or
+    /// trailing bytes (the caller treats that as a cache miss).
+    pub fn from_bytes(bytes: &[u8]) -> Option<MachineState> {
+        let mut r = crate::codec::Reader::new(bytes);
+        if r.u8()? != STATE_VERSION {
+            return None;
+        }
+        let cfg = TransmuterConfig::decode_from(&mut r)?;
+        let table = EnergyTable::decode_from(&mut r)?;
+        let n_l1 = r.len(STATE_MAX_UNITS)?;
+        let mut l1 = Vec::with_capacity(n_l1);
+        for _ in 0..n_l1 {
+            l1.push(CacheBank::decode_from(&mut r)?);
+        }
+        let n_pf = r.len(STATE_MAX_UNITS)?;
+        let mut l1_pf = Vec::with_capacity(n_pf);
+        for _ in 0..n_pf {
+            l1_pf.push(StridePrefetcher::decode_from(&mut r)?);
+        }
+        let n_l2 = r.len(STATE_MAX_UNITS)?;
+        let mut l2 = Vec::with_capacity(n_l2);
+        for _ in 0..n_l2 {
+            l2.push(CacheBank::decode_from(&mut r)?);
+        }
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut l1_busy_ps = Vec::with_capacity(n);
+        for _ in 0..n {
+            l1_busy_ps.push(r.u64()?);
+        }
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut l2_busy_ps = Vec::with_capacity(n);
+        for _ in 0..n {
+            l2_busy_ps.push(r.u64()?);
+        }
+        let hbm = Hbm::decode_from(&mut r)?;
+        let raw = RawEpochCounters::decode_from(&mut r)?;
+        let dyn_energy_j = r.f64()?;
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut gpe_time_ps = Vec::with_capacity(n);
+        for _ in 0..n {
+            gpe_time_ps.push(r.u64()?);
+        }
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut gpe_epoch_ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            gpe_epoch_ops.push(r.u64()?);
+        }
+        let epoch_start_ps = r.u64()?;
+        let lcp_factor = r.f64()?;
+        let lcp_ops_carry = r.f64()?;
+        let phase_idx = r.u64()? as usize;
+        let entered = r.bool()?;
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut cursors = Vec::with_capacity(n);
+        for _ in 0..n {
+            cursors.push(r.u64()? as usize);
+        }
+        let n = r.len(STATE_MAX_UNITS)?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(GpeState::from_u8(r.u8()?)?);
+        }
+        if !r.is_empty() {
+            return None;
+        }
+        Some(MachineState {
+            cfg,
+            table,
+            l1,
+            l1_pf,
+            l2,
+            l1_busy_ps,
+            l2_busy_ps,
+            hbm,
+            raw,
+            dyn_energy_j,
+            gpe_time_ps,
+            gpe_epoch_ops,
+            epoch_start_ps,
+            lcp_factor,
+            lcp_ops_carry,
+            loop_state: LoopState {
+                phase_idx,
+                entered,
+                cursors,
+                states,
+            },
+        })
+    }
+}
+
+/// Borrowed view over the carried state of a machine (or a snapshot), so
+/// the digest is implemented once and computed in place — no cloning on
+/// the per-epoch lookup path.
+struct StateView<'a> {
+    cfg: &'a TransmuterConfig,
+    table: &'a EnergyTable,
+    l1: &'a [CacheBank],
+    l1_pf: &'a [StridePrefetcher],
+    l2: &'a [CacheBank],
+    l1_busy_ps: &'a [u64],
+    l2_busy_ps: &'a [u64],
+    hbm: &'a Hbm,
+    raw: &'a RawEpochCounters,
+    dyn_energy_j: f64,
+    gpe_time_ps: &'a [u64],
+    gpe_epoch_ops: &'a [u64],
+    epoch_start_ps: u64,
+    lcp_factor: f64,
+    lcp_ops_carry: f64,
+    loop_state: &'a LoopState,
+}
+
+impl StateView<'_> {
+    fn digest(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = fxhash::FxHasher::default();
+        h.write_u64(self.cfg.fingerprint());
+        self.table.digest_into(&mut h);
+        for b in self.l1 {
+            b.digest_into(&mut h);
+        }
+        for p in self.l1_pf {
+            p.digest_into(&mut h);
+        }
+        for b in self.l2 {
+            b.digest_into(&mut h);
+        }
+        for &v in self.l1_busy_ps {
+            h.write_u64(v);
+        }
+        for &v in self.l2_busy_ps {
+            h.write_u64(v);
+        }
+        self.hbm.digest_into(&mut h);
+        self.raw.digest_into(&mut h);
+        h.write_u64(self.dyn_energy_j.to_bits());
+        for &v in self.gpe_time_ps {
+            h.write_u64(v);
+        }
+        for &v in self.gpe_epoch_ops {
+            h.write_u64(v);
+        }
+        h.write_u64(self.epoch_start_ps);
+        h.write_u64(self.lcp_factor.to_bits());
+        h.write_u64(self.lcp_ops_carry.to_bits());
+        h.write_u64(self.loop_state.phase_idx as u64);
+        h.write_u8(self.loop_state.entered as u8);
+        h.write_u64(self.loop_state.cursors.len() as u64);
+        for &c in &self.loop_state.cursors {
+            h.write_u64(c as u64);
+        }
+        for s in &self.loop_state.states {
+            h.write_u8(s.as_u8());
+        }
+        h.finish()
+    }
+}
+
 /// Which simulation inner loop to run. Both produce bit-identical epoch
 /// records; the reference path exists so the differential test suite and
 /// the `sweep_bench` A/B mode can hold the optimised path to account.
@@ -211,13 +621,40 @@ impl Machine {
         workload: &Workload,
         controller: &mut dyn Controller,
     ) -> RunResult {
-        self.run_impl(workload, controller, SimPath::Soa)
+        self.run_impl(workload, controller, SimPath::Soa, None)
+    }
+
+    /// [`Machine::run`] with an [`EpochHook`] observing (and potentially
+    /// short-circuiting) every epoch boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase's stream count differs from the GPE count.
+    pub fn run_with_hook(&mut self, workload: &Workload, hook: &mut dyn EpochHook) -> RunResult {
+        self.run_impl(workload, &mut StaticController, SimPath::Soa, Some(hook))
+    }
+
+    /// [`Machine::run_with_controller`] with an [`EpochHook`]. The
+    /// controller is consulted at every boundary — including cache-hit
+    /// boundaries, where it sees the spliced record — so live schemes
+    /// behave identically with and without memoization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase's stream count differs from the GPE count.
+    pub fn run_with_controller_and_hook(
+        &mut self,
+        workload: &Workload,
+        controller: &mut dyn Controller,
+        hook: &mut dyn EpochHook,
+    ) -> RunResult {
+        self.run_impl(workload, controller, SimPath::Soa, Some(hook))
     }
 
     /// Runs a workload through the legacy (pre-SoA, per-event) inner
     /// loop. Produces results bit-identical to [`Machine::run`]; exists
     /// for differential testing and as the honest baseline in
-    /// `sweep_bench`'s A/B mode.
+    /// `sweep_bench`'s A/B mode. Never consults epoch hooks.
     pub fn run_reference(&mut self, workload: &Workload) -> RunResult {
         self.run_reference_with_controller(workload, &mut StaticController)
     }
@@ -228,7 +665,7 @@ impl Machine {
         workload: &Workload,
         controller: &mut dyn Controller,
     ) -> RunResult {
-        self.run_impl(workload, controller, SimPath::Reference)
+        self.run_impl(workload, controller, SimPath::Reference, None)
     }
 
     fn run_impl(
@@ -236,6 +673,7 @@ impl Machine {
         workload: &Workload,
         controller: &mut dyn Controller,
         path: SimPath,
+        mut hook: Option<&mut dyn EpochHook>,
     ) -> RunResult {
         self.hbm.set_batched(path == SimPath::Soa);
         let n = self.spec.geometry.gpe_count();
@@ -254,135 +692,110 @@ impl Machine {
         // epoch rounds and phases (the inner loop is hot: one rebuild per
         // epoch per phase).
         let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::with_capacity(n);
+        // Reference-path stream decode, cached per phase.
+        let mut ref_streams: (Option<usize>, Vec<Vec<Op>>) = (None, Vec::new());
+        let mut ls = LoopState::initial();
+        // Boundary key of the epoch currently being entered (hooked runs
+        // only); still valid after the loop for the final partial epoch.
+        let mut entry: Option<EpochBoundary> = None;
 
-        for phase in &workload.phases {
-            assert_eq!(
-                phase.streams.len(),
-                n,
-                "phase '{}' has {} streams for {} GPEs",
-                phase.name,
-                phase.streams.len(),
-                n
-            );
-            self.lcp_factor = phase.lcp_ops_per_gpe_op;
-            // The reference path replays the exact pre-SoA loop over
-            // decoded array-of-structs streams.
-            let ref_streams: Vec<Vec<Op>> = if path == SimPath::Reference {
-                phase.streams.iter().map(|s| s.iter().collect()).collect()
-            } else {
-                Vec::new()
-            };
-
-            let mut cursors = vec![0usize; n];
-            let mut states: Vec<GpeState> = phase
-                .streams
-                .iter()
-                .map(|s| {
-                    if s.is_empty() {
-                        GpeState::Done
-                    } else {
-                        GpeState::Running
+        loop {
+            // Key the epoch about to run. The reference path never
+            // consults hooks, so it stays an independent witness against
+            // the memoization layer.
+            if path == SimPath::Soa {
+                if let Some(h) = hook.as_deref_mut() {
+                    let b = EpochBoundary {
+                        index: records.len(),
+                        config_fp: self.cfg.fingerprint(),
+                        entry_digest: self.view(&ls).digest(),
+                    };
+                    entry = Some(b);
+                    if let Some(cached) = h.lookup(&b) {
+                        // Fast-forward: restore the cached exit state and
+                        // splice the cached record, attributing this
+                        // run's own position and entry reconfiguration.
+                        self.restore_with(&cached.exit, &mut ls);
+                        let mut rec = cached.record.clone();
+                        rec.index = records.len();
+                        rec.reconfig_time_s = pending_reconfig.0;
+                        rec.reconfig_energy_j = pending_reconfig.1;
+                        let finished = ls.phase_idx >= workload.phases.len();
+                        pending_reconfig = (0.0, 0.0);
+                        if !finished {
+                            // The controller's decisions belong to this
+                            // run, not the cached one: consult it exactly
+                            // as the simulating path would.
+                            if let Some(new_cfg) = controller.on_epoch(&rec) {
+                                if new_cfg != self.cfg {
+                                    let cost = self.apply_config(new_cfg);
+                                    pending_reconfig = (cost.time_s, cost.energy_j);
+                                }
+                            }
+                            self.epoch_start_ps = self.gpe_time_ps[0];
+                        }
+                        total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
+                        total_flops += rec.metrics.flops;
+                        total_fp_ops += rec.fp_ops;
+                        records.push(rec);
+                        continue;
                     }
-                })
-                .collect();
+                }
+            }
 
-            loop {
-                // Refill the event heap with the running GPEs.
-                heap.clear();
-                heap.extend(
-                    states
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| **s == GpeState::Running)
-                        .map(|(g, _)| Reverse((self.gpe_time_ps[g], g))),
+            if !self.advance_to_boundary(workload, path, &mut ls, &mut heap, &mut ref_streams) {
+                break; // run complete; final partial epoch handled below
+            }
+
+            // Mid-run epoch boundary. Harvest and reset first, then flip
+            // paused GPEs, so the exit snapshot recorded to the hook is
+            // controller-agnostic: it is the state every scheme passes
+            // through before its controller weighs in.
+            let rec = self.harvest_epoch(records.len(), pending_reconfig);
+            self.reset_epoch_accumulators();
+            for s in ls.states.iter_mut() {
+                if *s == GpeState::PausedAtQuota {
+                    *s = GpeState::Running;
+                }
+            }
+            if let (Some(h), Some(b)) = (hook.as_deref_mut(), entry) {
+                h.record(
+                    &b,
+                    CachedEpoch {
+                        record: rec.clone(),
+                        exit: self.snapshot_with(&ls),
+                    },
                 );
-
-                match path {
-                    SimPath::Soa => {
-                        while let Some(Reverse((mut t, g))) = heap.pop() {
-                            let stream = &phase.streams[g];
-                            loop {
-                                let new_t = self.step_gpe(
-                                    g,
-                                    t,
-                                    stream,
-                                    &phase.spm_regions,
-                                    &mut cursors[g],
-                                );
-                                self.gpe_time_ps[g] = new_t;
-                                if cursors[g] >= stream.len() {
-                                    states[g] = GpeState::Done;
-                                    break;
-                                }
-                                if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
-                                    states[g] = GpeState::PausedAtQuota;
-                                    break;
-                                }
-                                // Run ahead without heap churn while this
-                                // GPE is still the globally earliest
-                                // event. `(new_t, g) <= peek` is exactly
-                                // the condition under which pushing
-                                // `(new_t, g)` and popping would return
-                                // it again, so this skips the push/pop
-                                // pair without reordering anything.
-                                match heap.peek() {
-                                    Some(&Reverse(next)) if next < (new_t, g) => {
-                                        heap.push(Reverse((new_t, g)));
-                                        break;
-                                    }
-                                    _ => t = new_t,
-                                }
-                            }
-                        }
-                    }
-                    SimPath::Reference => {
-                        while let Some(Reverse((t, g))) = heap.pop() {
-                            let new_t = self.step_gpe_reference(
-                                g,
-                                t,
-                                &ref_streams[g],
-                                &phase.spm_regions,
-                                &mut cursors[g],
-                            );
-                            self.gpe_time_ps[g] = new_t;
-                            if cursors[g] >= ref_streams[g].len() {
-                                states[g] = GpeState::Done;
-                            } else if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
-                                states[g] = GpeState::PausedAtQuota;
-                            } else {
-                                heap.push(Reverse((new_t, g)));
-                            }
-                        }
-                    }
-                }
-
-                let any_paused = states.contains(&GpeState::PausedAtQuota);
-                if !any_paused {
-                    break; // phase complete
-                }
-                // Epoch boundary.
-                let (rec, cost) = self.end_epoch(records.len(), controller, pending_reconfig);
-                total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
-                total_flops += rec.metrics.flops;
-                total_fp_ops += rec.fp_ops;
-                records.push(rec);
-                pending_reconfig = cost;
-                for s in states.iter_mut() {
-                    if *s == GpeState::PausedAtQuota {
-                        *s = GpeState::Running;
-                    }
+            }
+            let mut next_cost = (0.0, 0.0);
+            if let Some(new_cfg) = controller.on_epoch(&rec) {
+                if new_cfg != self.cfg {
+                    let cost = self.apply_config(new_cfg);
+                    next_cost = (cost.time_s, cost.energy_j);
                 }
             }
-            // Phase barrier: synchronise to the slowest GPE.
-            let t_max = self.gpe_time_ps.iter().copied().max().unwrap_or(0);
-            for t in &mut self.gpe_time_ps {
-                *t = t_max;
-            }
+            // Re-base the epoch timer after any reconfiguration stall.
+            self.epoch_start_ps = self.gpe_time_ps[0];
+            total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
+            total_flops += rec.metrics.flops;
+            total_fp_ops += rec.fp_ops;
+            records.push(rec);
+            pending_reconfig = next_cost;
         }
 
         // Final (possibly partial) epoch.
         if self.raw.fp_ops() > 0 || records.is_empty() {
-            let (rec, _) = self.end_epoch(records.len(), &mut StaticController, pending_reconfig);
+            let rec = self.harvest_epoch(records.len(), pending_reconfig);
+            self.reset_epoch_accumulators();
+            if let (Some(h), Some(b)) = (hook, entry) {
+                h.record(
+                    &b,
+                    CachedEpoch {
+                        record: rec.clone(),
+                        exit: self.snapshot_with(&ls),
+                    },
+                );
+            }
             total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
             total_flops += rec.metrics.flops;
             total_fp_ops += rec.fp_ops;
@@ -399,6 +812,130 @@ impl Machine {
             fp_ops: total_fp_ops,
             epochs: records,
         }
+    }
+
+    /// Runs the event loop from the position in `ls` until the next epoch
+    /// boundary (`true`: at least one GPE paused at its quota, counters
+    /// hold the finished epoch) or the end of the workload (`false`).
+    fn advance_to_boundary(
+        &mut self,
+        workload: &Workload,
+        path: SimPath,
+        ls: &mut LoopState,
+        heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+        ref_streams: &mut (Option<usize>, Vec<Vec<Op>>),
+    ) -> bool {
+        let n = self.spec.geometry.gpe_count();
+        while ls.phase_idx < workload.phases.len() {
+            let phase = &workload.phases[ls.phase_idx];
+            if !ls.entered {
+                assert_eq!(
+                    phase.streams.len(),
+                    n,
+                    "phase '{}' has {} streams for {} GPEs",
+                    phase.name,
+                    phase.streams.len(),
+                    n
+                );
+                ls.cursors.clear();
+                ls.cursors.resize(n, 0);
+                ls.states.clear();
+                ls.states.extend(phase.streams.iter().map(|s| {
+                    if s.is_empty() {
+                        GpeState::Done
+                    } else {
+                        GpeState::Running
+                    }
+                }));
+                ls.entered = true;
+            }
+            self.lcp_factor = phase.lcp_ops_per_gpe_op;
+            // The reference path replays the exact pre-SoA loop over
+            // decoded array-of-structs streams.
+            if path == SimPath::Reference && ref_streams.0 != Some(ls.phase_idx) {
+                *ref_streams = (
+                    Some(ls.phase_idx),
+                    phase.streams.iter().map(|s| s.iter().collect()).collect(),
+                );
+            }
+
+            // One epoch round: refill the event heap with the running
+            // GPEs and drain.
+            heap.clear();
+            heap.extend(
+                ls.states
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| **s == GpeState::Running)
+                    .map(|(g, _)| Reverse((self.gpe_time_ps[g], g))),
+            );
+
+            match path {
+                SimPath::Soa => {
+                    while let Some(Reverse((mut t, g))) = heap.pop() {
+                        let stream = &phase.streams[g];
+                        loop {
+                            let new_t =
+                                self.step_gpe(g, t, stream, &phase.spm_regions, &mut ls.cursors[g]);
+                            self.gpe_time_ps[g] = new_t;
+                            if ls.cursors[g] >= stream.len() {
+                                ls.states[g] = GpeState::Done;
+                                break;
+                            }
+                            if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
+                                ls.states[g] = GpeState::PausedAtQuota;
+                                break;
+                            }
+                            // Run ahead without heap churn while this
+                            // GPE is still the globally earliest
+                            // event. `(new_t, g) <= peek` is exactly
+                            // the condition under which pushing
+                            // `(new_t, g)` and popping would return
+                            // it again, so this skips the push/pop
+                            // pair without reordering anything.
+                            match heap.peek() {
+                                Some(&Reverse(next)) if next < (new_t, g) => {
+                                    heap.push(Reverse((new_t, g)));
+                                    break;
+                                }
+                                _ => t = new_t,
+                            }
+                        }
+                    }
+                }
+                SimPath::Reference => {
+                    while let Some(Reverse((t, g))) = heap.pop() {
+                        let new_t = self.step_gpe_reference(
+                            g,
+                            t,
+                            &ref_streams.1[g],
+                            &phase.spm_regions,
+                            &mut ls.cursors[g],
+                        );
+                        self.gpe_time_ps[g] = new_t;
+                        if ls.cursors[g] >= ref_streams.1[g].len() {
+                            ls.states[g] = GpeState::Done;
+                        } else if self.gpe_epoch_ops[g] >= self.spec.epoch_ops {
+                            ls.states[g] = GpeState::PausedAtQuota;
+                        } else {
+                            heap.push(Reverse((new_t, g)));
+                        }
+                    }
+                }
+            }
+
+            if ls.states.contains(&GpeState::PausedAtQuota) {
+                return true; // epoch boundary
+            }
+            // Phase complete — barrier: synchronise to the slowest GPE.
+            let t_max = self.gpe_time_ps.iter().copied().max().unwrap_or(0);
+            for t in &mut self.gpe_time_ps {
+                *t = t_max;
+            }
+            ls.phase_idx += 1;
+            ls.entered = false;
+        }
+        false
     }
 
     /// Executes ops for GPE `g` starting at time `t` until one memory
@@ -767,16 +1304,11 @@ impl Machine {
         }
     }
 
-    /// Ends the current epoch: synchronises GPEs, snapshots counters,
-    /// consults the controller and applies any reconfiguration. Returns
-    /// the epoch's record and the reconfiguration cost to attribute to
-    /// the *next* epoch.
-    fn end_epoch(
-        &mut self,
-        index: usize,
-        controller: &mut dyn Controller,
-        paid_at_entry: (f64, f64),
-    ) -> (EpochRecord, (f64, f64)) {
+    /// Ends the current epoch's accumulation: synchronises GPEs, harvests
+    /// the counters and builds the epoch's record. Leaves the
+    /// accumulators untouched — callers pair this with
+    /// [`Machine::reset_epoch_accumulators`].
+    fn harvest_epoch(&mut self, index: usize, paid_at_entry: (f64, f64)) -> EpochRecord {
         // Synchronise to the slowest GPE.
         let t_sync = self.gpe_time_ps.iter().copied().max().unwrap_or(0);
         for t in &mut self.gpe_time_ps {
@@ -831,7 +1363,7 @@ impl Machine {
         );
         let static_energy = self.power.static_power_w() * duration_ps as f64 * 1e-12;
         let energy = self.dyn_energy_j + static_energy;
-        let record = EpochRecord {
+        EpochRecord {
             index,
             config: self.cfg,
             // The paper's FP-op currency includes loads and stores
@@ -844,25 +1376,114 @@ impl Machine {
             telemetry,
             reconfig_time_s: paid_at_entry.0,
             reconfig_energy_j: paid_at_entry.1,
-        };
-
-        // Controller decision and reconfiguration.
-        let mut next_cost = (0.0, 0.0);
-        if let Some(new_cfg) = controller.on_epoch(&record) {
-            if new_cfg != self.cfg {
-                let cost = self.apply_config(new_cfg);
-                next_cost = (cost.time_s, cost.energy_j);
-            }
         }
+    }
 
-        // Reset epoch accumulation.
+    /// Clears the per-epoch accumulators and re-bases the epoch timer at
+    /// the current (synchronised) time.
+    fn reset_epoch_accumulators(&mut self) {
         self.raw = RawEpochCounters::default();
         self.dyn_energy_j = 0.0;
         for q in &mut self.gpe_epoch_ops {
             *q = 0;
         }
         self.epoch_start_ps = self.gpe_time_ps[0];
-        (record, next_cost)
+    }
+
+    fn view<'a>(&'a self, ls: &'a LoopState) -> StateView<'a> {
+        StateView {
+            cfg: &self.cfg,
+            table: &self.table,
+            l1: &self.l1,
+            l1_pf: &self.l1_pf,
+            l2: &self.l2,
+            l1_busy_ps: &self.l1_busy_ps,
+            l2_busy_ps: &self.l2_busy_ps,
+            hbm: &self.hbm,
+            raw: &self.raw,
+            dyn_energy_j: self.dyn_energy_j,
+            gpe_time_ps: &self.gpe_time_ps,
+            gpe_epoch_ops: &self.gpe_epoch_ops,
+            epoch_start_ps: self.epoch_start_ps,
+            lcp_factor: self.lcp_factor,
+            lcp_ops_carry: self.lcp_ops_carry,
+            loop_state: ls,
+        }
+    }
+
+    /// Captures everything the machine carries across epoch boundaries
+    /// (see [`MachineState`]). Pairs with [`Machine::restore`].
+    pub fn snapshot(&self) -> MachineState {
+        self.snapshot_with(&LoopState::initial())
+    }
+
+    fn snapshot_with(&self, ls: &LoopState) -> MachineState {
+        MachineState {
+            cfg: self.cfg,
+            table: self.table,
+            l1: self.l1.clone(),
+            l1_pf: self.l1_pf.clone(),
+            l2: self.l2.clone(),
+            l1_busy_ps: self.l1_busy_ps.clone(),
+            l2_busy_ps: self.l2_busy_ps.clone(),
+            hbm: self.hbm.clone(),
+            raw: self.raw,
+            dyn_energy_j: self.dyn_energy_j,
+            gpe_time_ps: self.gpe_time_ps.clone(),
+            gpe_epoch_ops: self.gpe_epoch_ops.clone(),
+            epoch_start_ps: self.epoch_start_ps,
+            lcp_factor: self.lcp_factor,
+            lcp_ops_carry: self.lcp_ops_carry,
+            loop_state: ls.clone(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`Machine::snapshot`] (possibly on a
+    /// different machine instance with the same spec). The power model is
+    /// rebuilt from the snapshot's energy table and configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's geometry (bank or GPE counts) differs
+    /// from this machine's spec.
+    pub fn restore(&mut self, state: &MachineState) {
+        let mut ls = LoopState::initial();
+        self.restore_with(state, &mut ls);
+    }
+
+    fn restore_with(&mut self, state: &MachineState, ls: &mut LoopState) {
+        assert_eq!(
+            self.l1.len(),
+            state.l1.len(),
+            "snapshot is from a different machine geometry"
+        );
+        assert_eq!(
+            self.l2.len(),
+            state.l2.len(),
+            "snapshot is from a different machine geometry"
+        );
+        assert_eq!(
+            self.gpe_time_ps.len(),
+            state.gpe_time_ps.len(),
+            "snapshot is from a different machine geometry"
+        );
+        self.cfg = state.cfg;
+        self.table = state.table;
+        self.power = PowerModel::new(state.table, &self.spec, &state.cfg);
+        self.l1.clone_from(&state.l1);
+        self.l1_pf.clone_from(&state.l1_pf);
+        self.l2.clone_from(&state.l2);
+        self.l1_busy_ps.clone_from(&state.l1_busy_ps);
+        self.l2_busy_ps.clone_from(&state.l2_busy_ps);
+        self.hbm = state.hbm.clone();
+        self.raw = state.raw;
+        self.dyn_energy_j = state.dyn_energy_j;
+        self.gpe_time_ps.clone_from(&state.gpe_time_ps);
+        self.gpe_epoch_ops.clone_from(&state.gpe_epoch_ops);
+        self.epoch_start_ps = state.epoch_start_ps;
+        self.lcp_factor = state.lcp_factor;
+        self.lcp_ops_carry = state.lcp_ops_carry;
+        ls.clone_from(&state.loop_state);
     }
 
     /// Applies a new configuration, paying the reconfiguration cost
@@ -1143,5 +1764,125 @@ mod tests {
     fn changing_l1_kind_at_runtime_panics() {
         let mut m = Machine::new(MachineSpec::default(), TransmuterConfig::baseline());
         m.apply_config(TransmuterConfig::best_avg_spm());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let wl = streaming_workload(16, 500, 8);
+        let mut m = Machine::new(spec, TransmuterConfig::baseline());
+        m.run(&wl);
+        let snap = m.snapshot();
+        // Byte round trip is lossless.
+        let decoded = MachineState::from_bytes(&snap.to_bytes()).expect("decodes");
+        assert_eq!(snap, decoded);
+        assert_eq!(snap.digest(), decoded.digest());
+        // Restoring into a fresh machine reproduces the state.
+        let mut fresh = Machine::new(spec, TransmuterConfig::baseline());
+        assert_ne!(fresh.snapshot().digest(), snap.digest());
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.snapshot().digest(), snap.digest());
+    }
+
+    #[test]
+    fn corrupt_snapshot_bytes_fail_to_decode() {
+        let m = Machine::new(MachineSpec::default(), TransmuterConfig::baseline());
+        let mut bytes = m.snapshot().to_bytes();
+        assert!(MachineState::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        bytes.push(0);
+        assert!(MachineState::from_bytes(&bytes).is_none(), "trailing bytes");
+    }
+
+    /// A minimal in-memory epoch cache for tests.
+    #[derive(Default)]
+    struct MapHook {
+        map: std::collections::HashMap<EpochBoundary, std::sync::Arc<CachedEpoch>>,
+        hits: usize,
+        misses: usize,
+    }
+
+    impl EpochHook for MapHook {
+        fn lookup(&mut self, b: &EpochBoundary) -> Option<std::sync::Arc<CachedEpoch>> {
+            let found = self.map.get(b).cloned();
+            if found.is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+            found
+        }
+
+        fn record(&mut self, b: &EpochBoundary, e: CachedEpoch) {
+            self.map.insert(*b, std::sync::Arc::new(e));
+        }
+    }
+
+    #[test]
+    fn hooked_rerun_hits_every_epoch_and_is_bit_identical() {
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let wl = streaming_workload(16, 500, 8);
+        let plain = Machine::new(spec, TransmuterConfig::baseline()).run(&wl);
+
+        let mut hook = MapHook::default();
+        let cold = Machine::new(spec, TransmuterConfig::baseline()).run_with_hook(&wl, &mut hook);
+        assert_eq!(cold, plain, "a cold hooked run must not change results");
+        assert_eq!(hook.hits, 0);
+
+        let warm = Machine::new(spec, TransmuterConfig::baseline()).run_with_hook(&wl, &mut hook);
+        assert_eq!(warm, plain, "a warm hooked run must be bit-identical");
+        assert_eq!(warm.epochs.len(), hook.hits, "every epoch should hit");
+    }
+
+    #[test]
+    fn live_controller_reuses_static_epochs_up_to_first_reconfig() {
+        struct SwitchOnce;
+        impl Controller for SwitchOnce {
+            fn on_epoch(&mut self, record: &EpochRecord) -> Option<TransmuterConfig> {
+                if record.index == 1 {
+                    let mut c = record.config;
+                    c.clock = ClockFreq::Mhz250;
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+        }
+        let spec = MachineSpec::default().with_epoch_ops(300);
+        let wl = streaming_workload(16, 500, 8);
+        let plain = Machine::new(spec, TransmuterConfig::baseline())
+            .run_with_controller(&wl, &mut SwitchOnce);
+
+        // Warm the cache with a static (no-reconfiguration) run, as a
+        // sweep would.
+        let mut hook = MapHook::default();
+        Machine::new(spec, TransmuterConfig::baseline()).run_with_hook(&wl, &mut hook);
+        let warmed = hook.map.len();
+
+        // The live run must reuse the static epochs until its first
+        // reconfiguration diverges the machine state, then simulate (and
+        // record) its own epochs — bit-identically either way.
+        hook.hits = 0;
+        hook.misses = 0;
+        let live = Machine::new(spec, TransmuterConfig::baseline()).run_with_controller_and_hook(
+            &wl,
+            &mut SwitchOnce,
+            &mut hook,
+        );
+        assert_eq!(live, plain);
+        // Epochs 0 and 1 run under the baseline config from shared
+        // states; the reconfiguration lands entering epoch 2.
+        assert_eq!(hook.hits, 2, "pre-reconfiguration epochs should hit");
+        assert!(hook.map.len() > warmed, "post-reconfig epochs get recorded");
+
+        // A second identical live run now hits everywhere.
+        hook.hits = 0;
+        let again = Machine::new(spec, TransmuterConfig::baseline()).run_with_controller_and_hook(
+            &wl,
+            &mut SwitchOnce,
+            &mut hook,
+        );
+        assert_eq!(again, plain);
+        assert_eq!(hook.hits, again.epochs.len());
     }
 }

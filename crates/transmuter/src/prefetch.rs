@@ -72,7 +72,7 @@ impl Default for PrefetchBuf {
 }
 
 /// PC-indexed stride prefetcher.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StridePrefetcher {
     table: Vec<StrideEntry>,
     degree: u8,
@@ -169,6 +169,78 @@ impl StridePrefetcher {
                 valid: true,
             };
         }
+    }
+
+    /// Approximate heap footprint, for cache budget accounting.
+    pub(crate) fn approx_heap_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<StrideEntry>()
+    }
+
+    /// Folds the prefetcher's state into a digest. Only valid table
+    /// entries are hashed (with their slot index).
+    pub(crate) fn digest_into(&self, h: &mut fxhash::FxHasher) {
+        use std::hash::Hasher as _;
+        h.write_u8(self.degree);
+        h.write_u32(self.line_bytes);
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid {
+                h.write_u64(i as u64);
+                h.write_u32(e.pc);
+                h.write_u64(e.last_addr);
+                h.write_i64(e.stride);
+                h.write_u8(e.confidence);
+            }
+        }
+    }
+
+    /// Serialises the prefetcher (degree, line size, valid entries) for
+    /// the epoch cache's disk tier.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        use crate::codec::PutBytes as _;
+        out.put_u8(self.degree);
+        out.put_u32(self.line_bytes);
+        let valid = self.table.iter().filter(|e| e.valid).count();
+        out.put_u64(valid as u64);
+        for (i, e) in self.table.iter().enumerate() {
+            if e.valid {
+                out.put_u64(i as u64);
+                out.put_u32(e.pc);
+                out.put_u64(e.last_addr);
+                out.put_i64(e.stride);
+                out.put_u8(e.confidence);
+            }
+        }
+    }
+
+    /// Inverse of [`StridePrefetcher::encode_into`]; `None` on malformed
+    /// bytes.
+    pub(crate) fn decode_from(r: &mut crate::codec::Reader<'_>) -> Option<StridePrefetcher> {
+        let degree = r.u8()?;
+        if degree as usize > PrefetchBuf::CAPACITY {
+            return None;
+        }
+        let line_bytes = r.u32()?;
+        let mut p = StridePrefetcher::new(degree, line_bytes);
+        let valid = r.len(TABLE_SIZE)?;
+        for _ in 0..valid {
+            let i = r.u64()? as usize;
+            let pc = r.u32()?;
+            let last_addr = r.u64()?;
+            let stride = r.i64()?;
+            let confidence = r.u8()?;
+            if confidence > CONF_MAX {
+                return None;
+            }
+            let slot = p.table.get_mut(i)?;
+            *slot = StrideEntry {
+                pc,
+                last_addr,
+                stride,
+                confidence,
+                valid: true,
+            };
+        }
+        Some(p)
     }
 }
 

@@ -1,0 +1,152 @@
+//! Property tests for the [`MachineState`] snapshot layer that the
+//! epoch cache is built on: serialisation must be a lossless involution,
+//! restore must reproduce the captured state exactly, and the digest
+//! must be sound as a cache-key component (two states with different
+//! digests are genuinely different states).
+
+use proptest::prelude::*;
+use transmuter::config::{ConfigParam, MachineSpec, TransmuterConfig};
+use transmuter::machine::{Machine, MachineState};
+use transmuter::workload::{OpStream, Phase, Workload};
+
+/// A configuration picked by ordinal index along every §3 dimension,
+/// with the six indices unpacked from one seed (the vendored proptest
+/// has no fixed-size array strategies).
+fn config_from_seed(seed: u64) -> TransmuterConfig {
+    let mut cfg = TransmuterConfig::baseline();
+    for (lane, param) in ConfigParam::ALL.into_iter().enumerate() {
+        let pick = (seed >> (8 * lane)) as usize & 0xff;
+        param.set_index(&mut cfg, pick % param.value_count());
+    }
+    cfg
+}
+
+/// A small deterministic workload whose memory behaviour — and therefore
+/// whose end-of-run machine state — varies with every parameter.
+fn workload(stride: u64, iters: u64, pcs: u32, store_every: u64) -> Workload {
+    let streams: Vec<OpStream> = (0..16)
+        .map(|g| {
+            let base = g as u64 * (1 << 20);
+            let mut ops = OpStream::with_capacity(3 * iters as usize);
+            for i in 0..iters {
+                ops.push_load(base + i * stride, 1 + (i as u32 % pcs));
+                if i % store_every == 0 {
+                    ops.push_store(base + i * stride + 8, 100 + (i as u32 % pcs));
+                }
+                ops.push_flops(1 + (i as u32 % 3));
+            }
+            ops
+        })
+        .collect();
+    Workload::new("snapshot-props", vec![Phase::new("p", streams)])
+}
+
+/// Runs the workload to completion and snapshots the end-of-run state.
+fn end_state(cfg: TransmuterConfig, wl: &Workload) -> (MachineSpec, MachineState) {
+    let spec = MachineSpec::default().with_epoch_ops(400);
+    let mut machine = Machine::new(spec, cfg);
+    machine.run(wl);
+    let state = machine.snapshot();
+    (spec, state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `from_bytes(to_bytes(s))` is the identity, and the digest is a
+    /// pure function of the state (clone and decode digest equally).
+    #[test]
+    fn byte_roundtrip_is_identity(
+        cfg_seed in 0u64..u64::MAX,
+        stride in 8u64..256,
+        iters in 50u64..300,
+        pcs in 1u32..8,
+        store_every in 1u64..9,
+    ) {
+        let cfg = config_from_seed(cfg_seed);
+        let (_, state) = end_state(cfg, &workload(stride, iters, pcs, store_every));
+        let bytes = state.to_bytes();
+        let decoded = MachineState::from_bytes(&bytes);
+        prop_assert_eq!(decoded.as_ref(), Some(&state));
+        prop_assert_eq!(decoded.unwrap().digest(), state.digest());
+        prop_assert_eq!(state.clone().digest(), state.digest());
+    }
+
+    /// Restoring a snapshot into a fresh machine of the same spec and
+    /// re-snapshotting reproduces it bit-for-bit, digest included.
+    #[test]
+    fn restore_then_snapshot_reproduces_the_state(
+        cfg_seed in 0u64..u64::MAX,
+        stride in 8u64..256,
+        iters in 50u64..300,
+        pcs in 1u32..8,
+        store_every in 1u64..9,
+    ) {
+        let cfg = config_from_seed(cfg_seed);
+        let (spec, state) = end_state(cfg, &workload(stride, iters, pcs, store_every));
+        let mut fresh = Machine::new(spec, TransmuterConfig::baseline());
+        fresh.restore(&state);
+        let again = fresh.snapshot();
+        prop_assert_eq!(&again, &state);
+        prop_assert_eq!(again.digest(), state.digest());
+    }
+
+    /// Any truncation or trailing garbage is rejected (`None`), never
+    /// silently decoded into some other state — a corrupt disk-cache
+    /// entry must read as a miss, not as wrong physics.
+    #[test]
+    fn damaged_bytes_never_decode(
+        cfg_seed in 0u64..u64::MAX,
+        stride in 8u64..256,
+        iters in 50u64..200,
+        cut_frac in 0.0f64..1.0,
+        garbage in 1usize..16,
+    ) {
+        let cfg = config_from_seed(cfg_seed);
+        let (_, state) = end_state(cfg, &workload(stride, iters, 3, 4));
+        let bytes = state.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert_eq!(MachineState::from_bytes(&bytes[..cut]), None);
+        let mut padded = bytes.clone();
+        padded.extend(std::iter::repeat_n(0xA5, garbage));
+        prop_assert_eq!(MachineState::from_bytes(&padded), None);
+    }
+
+    /// The sound direction of the digest contract: unequal digests imply
+    /// unequal states (equal states can never digest differently). The
+    /// two states here come from runs whose lengths differ, so they are
+    /// expected — not required — to differ; the property must hold
+    /// either way.
+    #[test]
+    fn digest_inequality_implies_state_inequality(
+        cfg_seed in 0u64..u64::MAX,
+        stride in 8u64..256,
+        iters in 50u64..200,
+        extra in 1u64..100,
+    ) {
+        let cfg = config_from_seed(cfg_seed);
+        let (_, a) = end_state(cfg, &workload(stride, iters, 3, 4));
+        let (_, b) = end_state(cfg, &workload(stride, iters + extra, 3, 4));
+        if a.digest() != b.digest() {
+            prop_assert_ne!(&a, &b);
+            prop_assert_ne!(a.to_bytes(), b.to_bytes());
+        }
+    }
+}
+
+/// Deterministic sensitivity check: running further mutates the state,
+/// and the digest tracks that mutation. (Kept outside the proptest block
+/// because it asserts digests *differ*, which is a near-certainty, not a
+/// logical invariant.)
+#[test]
+fn digest_tracks_state_mutation() {
+    let cfg = TransmuterConfig::baseline();
+    let (_, short) = end_state(cfg, &workload(64, 120, 3, 4));
+    let (_, long) = end_state(cfg, &workload(64, 240, 3, 4));
+    assert_ne!(short, long, "longer run must leave different state");
+    assert_ne!(
+        short.digest(),
+        long.digest(),
+        "digest must separate states that differ"
+    );
+}

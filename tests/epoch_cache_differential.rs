@@ -1,0 +1,147 @@
+//! Differential proof of epoch-cache soundness: every §5.3 scheme
+//! produces **bit-identical** results with the epoch cache off, on-cold,
+//! and on-warm, across kernel workloads and both L1 kinds.
+//!
+//! The epoch cache's correctness argument is by construction (the key
+//! includes a digest of the machine state entering the epoch), but this
+//! suite is the executable form of that argument: it runs the full
+//! [`sparseadapt::eval::compare`] pipeline — sweeps, stitched schemes,
+//! and the live SparseAdapt controller — three times per scenario and
+//! requires `SchemeComparison` equality down to the float bits, while
+//! also requiring that the warm passes actually *hit* (a cache that
+//! never hits is trivially sound).
+//!
+//! This lives in its own test binary because it toggles the process-wide
+//! [`EpochCache::global`] enabled flag; a single `#[test]` keeps the
+//! matrix strictly sequential.
+
+use std::collections::BTreeMap;
+
+use mltree::{Dataset, DecisionTree, TreeParams};
+use sa_bench::workloads;
+use sparse::suite::{spec_by_id, Scale};
+use sparseadapt::epoch_cache::EpochCache;
+use sparseadapt::eval::{compare, ComparisonSetup};
+use sparseadapt::features::{feature_names, FEATURE_COUNT};
+use sparseadapt::trace_cache::TraceCache;
+use sparseadapt::PredictiveEnsemble;
+use transmuter::config::{ConfigParam, MemKind, TransmuterConfig};
+use transmuter::workload::Workload;
+
+/// A deterministic ensemble that asks for a 125 MHz clock and the Best
+/// Avg values elsewhere. The live run starts at Best Avg, so the clock
+/// prediction forces a real reconfiguration (after the two-in-a-row
+/// debounce) — the epoch cache must survive the hit→miss transition at
+/// the divergence point, not just all-hit replays.
+fn downclock_ensemble(l1_kind: MemKind) -> PredictiveEnsemble {
+    let best_avg = match l1_kind {
+        MemKind::Cache => TransmuterConfig::best_avg_cache(),
+        MemKind::Spm => TransmuterConfig::best_avg_spm(),
+    };
+    let mut trees = BTreeMap::new();
+    for p in ConfigParam::ALL {
+        let target = match p {
+            ConfigParam::Clock => 2, // 125 MHz
+            _ => p.get_index(&best_avg),
+        };
+        let mut d = Dataset::new(feature_names());
+        d.push(vec![0.0; FEATURE_COUNT], target);
+        d.push(vec![1.0; FEATURE_COUNT], target);
+        trees.insert(p, DecisionTree::fit(&d, &TreeParams::default()));
+    }
+    PredictiveEnsemble::new(trees)
+}
+
+fn scenarios() -> Vec<(
+    &'static str,
+    transmuter::config::MachineSpec,
+    Workload,
+    MemKind,
+)> {
+    let n_gpes = 16;
+    let quick = Scale::Quick;
+    let r02 = spec_by_id("R02").expect("R02 in suite");
+    let r12 = spec_by_id("R12").expect("R12 in suite");
+    let mut out = Vec::new();
+    for l1_kind in [MemKind::Cache, MemKind::Spm] {
+        out.push((
+            "spmspm-r02",
+            workloads::spmspm_spec(quick),
+            workloads::spmspm_workload(&r02, quick, l1_kind, 7, n_gpes),
+            l1_kind,
+        ));
+        out.push((
+            "spmspv-r12",
+            workloads::spmspv_spec(quick),
+            workloads::spmspv_workload(&r12, quick, l1_kind, 11, n_gpes),
+            l1_kind,
+        ));
+        // BFS has no L1-kind algorithm variant; the scheme configs still
+        // differ per kind, which is what the comparison exercises.
+        out.push((
+            "bfs-r12",
+            workloads::spmspv_spec(quick),
+            workloads::bfs_workload(&r12, quick, 13, n_gpes).0,
+            l1_kind,
+        ));
+    }
+    out
+}
+
+#[test]
+fn schemes_are_bit_identical_with_cache_off_cold_and_warm() {
+    let epoch_cache = EpochCache::global();
+    let trace_cache = TraceCache::global();
+    assert!(!epoch_cache.is_enabled(), "cache must default to off");
+
+    for (name, spec, workload, l1_kind) in scenarios() {
+        let setup = ComparisonSetup {
+            spec,
+            l1_kind,
+            sampled: 5,
+            threads: 4,
+            ..ComparisonSetup::default()
+        };
+        let ensemble = downclock_ensemble(l1_kind);
+
+        // A: epoch cache off — the pre-cache behaviour.
+        let off = compare(&workload, &ensemble, &setup);
+
+        // B: epoch cache on, cold. The trace cache is cleared so the
+        // sweep actually re-simulates — through the hook — warming the
+        // epoch cache; the live run then hits the sweep's epochs up to
+        // SparseAdapt's first reconfiguration.
+        epoch_cache.set_enabled(true);
+        epoch_cache.clear();
+        trace_cache.clear();
+        let cold = compare(&workload, &ensemble, &setup);
+        let cold_stats = epoch_cache.stats();
+
+        // C: epoch cache on, warm. Trace cache cleared again, so every
+        // sweep epoch must be served by the epoch cache.
+        trace_cache.clear();
+        let warm = compare(&workload, &ensemble, &setup);
+        let warm_stats = epoch_cache.stats();
+        epoch_cache.set_enabled(false);
+
+        assert_eq!(off, cold, "[{name}/{l1_kind:?}] cache-on-cold diverged");
+        assert_eq!(off, warm, "[{name}/{l1_kind:?}] cache-on-warm diverged");
+        assert!(
+            cold_stats.hits > 0,
+            "[{name}/{l1_kind:?}] live run should hit sweep-warmed epochs, stats {cold_stats:?}"
+        );
+        assert!(
+            warm_stats.hits > cold_stats.hits,
+            "[{name}/{l1_kind:?}] warm pass should add hits, {cold_stats:?} -> {warm_stats:?}"
+        );
+        assert!(
+            off.sparseadapt_reconfigs > 0,
+            "[{name}/{l1_kind:?}] the ensemble must force a reconfiguration \
+             or the hit→miss transition goes untested"
+        );
+
+        // Keep the resident set bounded across the matrix.
+        epoch_cache.clear();
+        trace_cache.clear();
+    }
+}

@@ -283,6 +283,43 @@ fn golden_traces_are_unchanged() {
     }
 }
 
+/// The epoch-cache leg of the golden job (`SA_EPOCH_CACHE=1`, run by
+/// CI alongside the plain leg): every golden scenario is re-simulated
+/// through the epoch-cache hook — once cold (recording every epoch),
+/// once warm (replaying them) — and both passes must digest identically
+/// to the unhooked run above. A private cache instance is used so this
+/// test cannot race the process-wide flag with other tests.
+#[test]
+fn epoch_cached_traces_match_plain_digests() {
+    if std::env::var("SA_EPOCH_CACHE").as_deref() != Ok("1") {
+        eprintln!("skipping epoch-cache golden leg (set SA_EPOCH_CACHE=1 to run it)");
+        return;
+    }
+    use sparseadapt::epoch_cache::EpochCache;
+    for s in scenarios() {
+        let plain = simulate(&s);
+        let cache = EpochCache::new();
+        let spec_fp = s.spec.fingerprint();
+        let workload_fp = s.workload.fingerprint();
+        for pass in ["cold", "warm"] {
+            let mut hook = cache.hook_for(spec_fp, workload_fp);
+            let run = Machine::new(s.spec, s.config).run_with_hook(&s.workload, &mut hook);
+            assert_eq!(
+                trace_digest(&run.epochs),
+                plain.digest,
+                "scenario {} diverged under the epoch cache ({pass} pass)",
+                s.name
+            );
+        }
+        let stats = cache.stats();
+        assert!(
+            stats.hits > 0,
+            "scenario {}: the warm pass never hit the cache ({stats:?})",
+            s.name
+        );
+    }
+}
+
 /// The digest function itself is pinned: if `trace_digest` silently
 /// changed (field order, new field, different seed), every golden would
 /// "fail" at once with no real behaviour change — this canary makes

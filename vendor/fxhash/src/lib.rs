@@ -1,0 +1,168 @@
+//! Vendored FxHash: the word-at-a-time multiplicative hasher used by
+//! rustc (`rustc-hash` / `fxhash` on crates.io), re-implemented as a
+//! std-only subset for this offline workspace.
+//!
+//! Two properties matter here:
+//!
+//! * **Speed on small keys.** The workspace's hot maps are keyed by
+//!   small structs of `u64` fingerprints. SipHash (std's default) mixes
+//!   byte-wise with per-process random keys; Fx folds whole words with
+//!   one rotate + xor + multiply each, several times faster for such
+//!   keys.
+//! * **Determinism.** There is no random seed, so a hash of the same
+//!   value is identical across processes and runs. The simulator uses
+//!   this for *stable state digests* (epoch-cache keys that must match
+//!   across the processes sharing a disk tier). The flip side — no
+//!   HashDoS resistance — is irrelevant for trusted, content-derived
+//!   keys.
+//!
+//! The mixing function is the classic Fx step
+//! `h = (rotl(h, 5) ^ w) * K` with the same 64-bit constant the rustc
+//! implementation uses, so hashes match the upstream crate bit-for-bit
+//! for word-aligned input.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The Fx multiplier (64-bit): `π`-derived constant used by rustc.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Rotation applied before each word is folded in.
+const ROTATE: u32 = 5;
+
+/// A fast, deterministic, non-cryptographic hasher.
+#[derive(Debug, Clone, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    /// A hasher starting from the zero state.
+    pub fn new() -> Self {
+        FxHasher::default()
+    }
+
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the tail length in so "ab" and "ab\0" differ.
+            self.add_to_hash(u64::from_le_bytes(buf));
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s (no per-map random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hashes one hashable value from the zero state (convenience for
+/// one-shot digests).
+pub fn hash64<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        let a = hash64(&(1u64, 2u64, 3u64));
+        let b = hash64(&(1u64, 2u64, 3u64));
+        assert_eq!(a, b);
+        assert_ne!(a, hash64(&(1u64, 2u64, 4u64)));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(9, "nine");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        s.insert(42);
+        assert!(s.contains(&42));
+        assert!(!s.contains(&43));
+    }
+
+    #[test]
+    fn unaligned_tails_are_distinguished() {
+        assert_ne!(hash64(&b"ab"[..]), hash64(&b"ab\0"[..]));
+        assert_ne!(hash64(&b"abcdefgh"[..]), hash64(&b"abcdefg"[..]));
+    }
+
+    #[test]
+    fn word_writes_match_known_sequence() {
+        // Pin the mixing function: a silent change would invalidate any
+        // persisted digest keyed on it.
+        let mut h = FxHasher::new();
+        h.write_u64(0xdead_beef);
+        h.write_u64(0x1234_5678);
+        assert_eq!(h.finish(), {
+            let step = |acc: u64, w: u64| (acc.rotate_left(5) ^ w).wrapping_mul(SEED);
+            step(step(0, 0xdead_beef), 0x1234_5678)
+        });
+    }
+}
