@@ -3,7 +3,7 @@
 //! ```text
 //! Usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES]
 //!              [--epoch-cache] [--epoch-cache-dir DIR]
-//!              [--serial] [experiment ...|all]
+//!              [--lockstep | --no-lockstep] [--serial] [experiment ...|all]
 //! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
 //!              sec7 insights ablation
 //! Scale via SA_SCALE = quick | half | paper (default quick).
@@ -18,7 +18,10 @@
 //! so live controller runs fast-forward through epochs any earlier
 //! sweep already simulated (see DESIGN.md §2, "Epoch-granular
 //! memoization"); `--epoch-cache-dir DIR` adds a disk tier for those
-//! snapshots (and implies `--epoch-cache`). `--serial` runs experiments one after
+//! snapshots (and implies `--epoch-cache`). `--no-lockstep` disables the
+//! batched lockstep sweep engine and simulates every configuration on
+//! the scalar path (`--lockstep`, the default, keeps it on; see
+//! DESIGN.md, "Lockstep batch simulation"). `--serial` runs experiments one after
 //! another at full thread count instead of fanning out; use it when
 //! per-experiment progress output matters more than wall clock.
 //!
@@ -115,6 +118,7 @@ struct Cli {
     cache_mem_cap: Option<usize>,
     epoch_cache: bool,
     epoch_cache_dir: Option<std::path::PathBuf>,
+    lockstep: bool,
     serial: bool,
     experiments: Vec<String>,
 }
@@ -122,8 +126,8 @@ struct Cli {
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
-         [--epoch-cache] [--epoch-cache-dir DIR] [--serial] \
-         [experiment ...|all]\n\
+         [--epoch-cache] [--epoch-cache-dir DIR] [--lockstep | --no-lockstep] \
+         [--serial] [experiment ...|all]\n\
          experiments: {} all",
         ALL.join(" ")
     );
@@ -137,6 +141,7 @@ fn parse_cli() -> Cli {
         cache_mem_cap: None,
         epoch_cache: false,
         epoch_cache_dir: None,
+        lockstep: true,
         serial: false,
         experiments: Vec::new(),
     };
@@ -181,6 +186,8 @@ fn parse_cli() -> Cli {
                 cli.epoch_cache = true;
                 cli.epoch_cache_dir = Some(std::path::PathBuf::from(dir));
             }
+            "--lockstep" => cli.lockstep = true,
+            "--no-lockstep" => cli.lockstep = false,
             "--serial" => cli.serial = true,
             "--help" | "-h" => usage_and_exit(0),
             other if other.starts_with('-') => {
@@ -210,6 +217,7 @@ fn main() {
         cache.set_enabled(true);
         cache.set_disk_dir(cli.epoch_cache_dir.clone());
     }
+    sparseadapt::exec::set_lockstep(cli.lockstep);
     let list: Vec<String> =
         if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {
             ALL.iter().map(|s| s.to_string()).collect()

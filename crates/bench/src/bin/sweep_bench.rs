@@ -54,6 +54,22 @@ struct ScenarioTiming {
     cached_first_s: f64,
     /// Same sweep again — every config is a cache hit.
     cached_second_s: f64,
+    /// N threads, lockstep batch engine, all caches bypassed: every
+    /// config simulated in one shared-stream pass per lane chunk.
+    lockstep_cold_s: f64,
+    /// work_stealing_s / lockstep_cold_s: the shared-front-end win on a
+    /// cold sweep. Bit-identical traces are enforced — a divergence
+    /// makes the harness exit non-zero instead of reporting it.
+    lockstep_speedup: f64,
+    /// Epoch-cache-warm resweep (trace cache cleared each rep), scalar
+    /// engine forced.
+    epoch_resweep_scalar_s: f64,
+    /// Epoch-cache-warm resweep (trace cache cleared each rep),
+    /// lockstep engine: hit lanes fast-forward out of lockstep and
+    /// resync at the next epoch edge.
+    epoch_resweep_lockstep_s: f64,
+    /// epoch_resweep_scalar_s / epoch_resweep_lockstep_s.
+    lockstep_warm_speedup: f64,
     /// static_stride_s / work_stealing_s: scheduler win, cold.
     schedule_speedup: f64,
     /// serial_s / work_stealing_s: thread-scaling win.
@@ -104,6 +120,8 @@ struct Report {
     geomean_thread_speedup: f64,
     geomean_resweep_speedup: f64,
     geomean_soa_speedup: f64,
+    geomean_lockstep_speedup: f64,
+    geomean_lockstep_warm_speedup: f64,
     geomean_bin_to_json_ratio: f64,
     geomean_live_speedup: f64,
     /// SipHash `HashMap` vs vendored `FxHashMap` lookup throughput on
@@ -238,6 +256,22 @@ fn fxhash_lookup_bench() -> f64 {
     sip_s / fx_s
 }
 
+/// Satellite guarantee: the lockstep engine must be bit-identical to
+/// the scalar engine. A divergence voids every lockstep timing, so the
+/// harness names the offending config and exits non-zero instead of
+/// reporting bogus speedups.
+fn check_lockstep_identity(name: &str, leg: &str, scalar: &SweepData, lockstep: &SweepData) {
+    for (c, (a, b)) in scalar.traces.iter().zip(lockstep.traces.iter()).enumerate() {
+        if **a != **b {
+            eprintln!(
+                "sweep_bench: lockstep/scalar divergence on scenario {name} ({leg}), config \
+                 {c}: the engines must be bit-identical"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn bench_scenario(
     name: &str,
     spec: MachineSpec,
@@ -268,6 +302,10 @@ fn bench_scenario(
             "SoA and legacy paths diverged on config {c}: the A/B is void"
         );
     }
+    let (lockstep_cold_s, lockstep) = time_min(reps, || {
+        SweepData::simulate_lockstep_uncached(spec, workload, configs, threads)
+    });
+    check_lockstep_identity(name, "cold", &sweep, &lockstep);
     let trace_json_bytes = serde_json::to_string(&*sweep.traces[0])
         .expect("trace serializes")
         .len();
@@ -289,6 +327,23 @@ fn bench_scenario(
     epoch_cache.clear();
     TraceCache::global().clear();
     let (epoch_sweep_warm_s, _) = time(|| SweepData::simulate(spec, workload, configs, threads));
+    // Epoch-cache-warm engine A/B: the epoch tier is hot and the trace
+    // cache is cleared before every pass, so both engines replay every
+    // epoch from the cache — the lockstep side fast-forwards hit lanes
+    // out of lockstep and must still match the scalar engine bit for
+    // bit.
+    exec::set_lockstep(false);
+    let (epoch_resweep_scalar_s, warm_scalar) = time_min(reps, || {
+        TraceCache::global().clear();
+        SweepData::simulate(spec, workload, configs, threads)
+    });
+    exec::set_lockstep(true);
+    let (epoch_resweep_lockstep_s, warm_lockstep) = time_min(reps, || {
+        TraceCache::global().clear();
+        SweepData::simulate(spec, workload, configs, threads)
+    });
+    check_lockstep_identity(name, "epoch-cache-warm", &warm_scalar, &warm_lockstep);
+    check_lockstep_identity(name, "warm-vs-cold", &sweep, &warm_lockstep);
     // First live pass after the sweep: constant-config prefixes
     // fast-forward; each scheme's post-divergence tail simulates once
     // and is recorded.
@@ -315,6 +370,11 @@ fn bench_scenario(
         legacy_aos_s,
         cached_first_s,
         cached_second_s,
+        lockstep_cold_s,
+        lockstep_speedup: work_stealing_s / lockstep_cold_s,
+        epoch_resweep_scalar_s,
+        epoch_resweep_lockstep_s,
+        lockstep_warm_speedup: epoch_resweep_scalar_s / epoch_resweep_lockstep_s,
         schedule_speedup: static_stride_s / work_stealing_s,
         thread_speedup: serial_s / work_stealing_s,
         resweep_speedup: static_stride_s / cached_second_s,
@@ -336,6 +396,7 @@ fn main() {
     let mut sampled = 16usize;
     let mut reps = 3usize;
     let mut out = String::from("BENCH_sweep.json");
+    let mut quick = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -349,12 +410,23 @@ fn main() {
                     .max(1)
             }
             "--out" => out = args.next().unwrap_or(out),
+            "--quick" => quick = true,
             other => {
-                eprintln!("usage: sweep_bench [--threads N] [--configs S] [--reps R] [--out FILE]");
+                eprintln!(
+                    "usage: sweep_bench [--threads N] [--configs S] [--reps R] [--out FILE] \
+                     [--quick]"
+                );
                 eprintln!("unknown flag '{other}'");
                 std::process::exit(2);
             }
         }
+    }
+    if quick {
+        // CI smoke leg: the point is exercising every code path
+        // (including both engine differential checks), not producing
+        // stable numbers.
+        reps = 1;
+        sampled = sampled.min(6);
     }
     let harness = sa_bench::Harness::default().with_threads(threads);
     let seed = harness.seed;
@@ -368,12 +440,15 @@ fn main() {
     // head and a power-law tail exercise skewed per-config runtimes.
     let mm = spmspm_suite();
     let mv = spmspv_suite();
-    let picks = [
+    let mut picks = vec![
         (&mm[0], sa_bench::experiments::Kernel::SpMSpM),
         (mm.last().unwrap(), sa_bench::experiments::Kernel::SpMSpM),
         (&mv[0], sa_bench::experiments::Kernel::SpMSpV),
         (mv.last().unwrap(), sa_bench::experiments::Kernel::SpMSpV),
     ];
+    if quick {
+        picks.truncate(2);
+    }
     let configs = sample_configs(MemKind::Cache, sampled, seed);
     for (mspec, kernel) in picks {
         let spec = kernel.spec(harness.scale);
@@ -389,6 +464,15 @@ fn main() {
             t.soa_speedup,
             t.cached_second_s,
             t.bin_to_json_ratio
+        );
+        eprintln!(
+            "#   lockstep cold {:.2}s ({:.2}x vs scalar) | warm resweep scalar {:.3}s vs \
+             lockstep {:.3}s ({:.2}x)",
+            t.lockstep_cold_s,
+            t.lockstep_speedup,
+            t.epoch_resweep_scalar_s,
+            t.epoch_resweep_lockstep_s,
+            t.lockstep_warm_speedup
         );
         eprintln!(
             "#   live cold {:.3}s | warm-first {:.3}s | warm {:.3}s ({:.2}x, hit rate {:.3})",
@@ -414,6 +498,15 @@ fn main() {
             .into(),
         "trace_*_bytes compare one trace serialized in the old JSON disk format vs the new \
          trace_bin binary format"
+            .into(),
+        "lockstep_cold_s runs the batch engine (one shared op-stream decode per lane chunk, \
+         scalar per-config replay driven by a precomputed round plan) over all configs at \
+         once, caches bypassed; lockstep_speedup is its win over the scalar work-stealing \
+         sweep with bit-identical traces enforced (the harness exits non-zero on divergence)"
+            .into(),
+        "epoch_resweep_{scalar,lockstep}_s re-run the sweep with the epoch tier hot and the \
+         trace cache cleared each rep, forcing each engine via set_lockstep: lanes that hit \
+         fast-forward out of lockstep and resync at the next epoch edge"
             .into(),
         "live_* time the live-scheme evaluation path (closed-loop SparseAdapt with a \
          deterministic downclock ensemble that forces one reconfiguration, plus live replays \
@@ -449,6 +542,8 @@ fn main() {
         geomean_thread_speedup: geomean(scenarios.iter().map(|s| s.thread_speedup)),
         geomean_resweep_speedup: geomean(scenarios.iter().map(|s| s.resweep_speedup)),
         geomean_soa_speedup: geomean(scenarios.iter().map(|s| s.soa_speedup)),
+        geomean_lockstep_speedup: geomean(scenarios.iter().map(|s| s.lockstep_speedup)),
+        geomean_lockstep_warm_speedup: geomean(scenarios.iter().map(|s| s.lockstep_warm_speedup)),
         geomean_bin_to_json_ratio: geomean(scenarios.iter().map(|s| s.bin_to_json_ratio)),
         geomean_live_speedup: geomean(scenarios.iter().map(|s| s.live_speedup)),
         fxhash_lookup_speedup: fxhash_lookup_bench(),
@@ -458,12 +553,14 @@ fn main() {
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").expect("write benchmark report");
     eprintln!(
-        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x, soa {:.2}x, live {:.2}x, \
-         bin/json {:.3}, fxhash {:.2}x -> {out}",
+        "# geomeans: schedule {:.2}x, threads {:.2}x, resweep {:.2}x, soa {:.2}x, lockstep \
+         {:.2}x (warm {:.2}x), live {:.2}x, bin/json {:.3}, fxhash {:.2}x -> {out}",
         report.geomean_schedule_speedup,
         report.geomean_thread_speedup,
         report.geomean_resweep_speedup,
         report.geomean_soa_speedup,
+        report.geomean_lockstep_speedup,
+        report.geomean_lockstep_warm_speedup,
         report.geomean_live_speedup,
         report.geomean_bin_to_json_ratio,
         report.fxhash_lookup_speedup

@@ -441,9 +441,28 @@ pub fn simulate_trace_adaptive(
     workload: &Workload,
     config: TransmuterConfig,
 ) -> Vec<transmuter::machine::EpochRecord> {
+    simulate_trace_adaptive_keyed(
+        spec,
+        workload,
+        config,
+        spec.fingerprint(),
+        workload.fingerprint(),
+    )
+}
+
+/// [`simulate_trace_adaptive`] with the spec and workload fingerprints
+/// precomputed by the caller, so an N-config sweep hashes the (possibly
+/// large) workload once instead of once per configuration.
+pub fn simulate_trace_adaptive_keyed(
+    spec: MachineSpec,
+    workload: &Workload,
+    config: TransmuterConfig,
+    spec_fp: u64,
+    workload_fp: u64,
+) -> Vec<transmuter::machine::EpochRecord> {
     let cache = EpochCache::global();
     if cache.is_enabled() {
-        let mut hook = cache.hook_for(spec.fingerprint(), workload.fingerprint());
+        let mut hook = cache.hook_for(spec_fp, workload_fp);
         Machine::new(spec, config)
             .run_with_hook(workload, &mut hook)
             .epochs

@@ -33,6 +33,42 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
+/// Process-wide engine selector for sweep simulation: `true` (the
+/// default) routes multi-config sweeps through the config-vectorized
+/// lockstep engine ([`transmuter::MachineBatch`]); `false` keeps the
+/// scalar one-`Machine`-per-config path, which doubles as the
+/// differential reference. Values: 0 = scalar, 1 = lockstep (default),
+/// 2 = unset-by-env sentinel before first read.
+static LOCKSTEP: AtomicUsize = AtomicUsize::new(2);
+
+fn lockstep_from_env() -> usize {
+    match std::env::var("SA_LOCKSTEP") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") || v.eq_ignore_ascii_case("false") => 0,
+        _ => 1,
+    }
+}
+
+/// Selects the sweep engine: `true` = lockstep (default), `false` =
+/// scalar reference. Overrides the `SA_LOCKSTEP` environment variable.
+pub fn set_lockstep(on: bool) {
+    LOCKSTEP.store(on as usize, Ordering::Relaxed);
+}
+
+/// `true` when sweeps run through the lockstep engine. Defaults to on;
+/// the first read honours `SA_LOCKSTEP=0` (CI's differential jobs flip
+/// engines per leg without touching call sites).
+pub fn lockstep_enabled() -> bool {
+    match LOCKSTEP.load(Ordering::Relaxed) {
+        2 => {
+            let v = lockstep_from_env();
+            // A racing `set_lockstep` wins over the env default.
+            let _ = LOCKSTEP.compare_exchange(2, v, Ordering::Relaxed, Ordering::Relaxed);
+            LOCKSTEP.load(Ordering::Relaxed) == 1
+        }
+        v => v == 1,
+    }
+}
+
 /// Splits a thread budget across `jobs` concurrent outer jobs, returning
 /// `(outer, inner)`: run `outer` jobs at once, giving each `inner`
 /// threads for its own nested parallelism. Guarantees `outer >= 1`,

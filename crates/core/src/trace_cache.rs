@@ -270,6 +270,119 @@ impl TraceCache {
         trace
     }
 
+    /// Batch counterpart of [`TraceCache::get_or_simulate`] for the
+    /// lockstep sweep path: resolves every key against memory and disk
+    /// first, then simulates all still-missing keys in **one** call to
+    /// `simulate` — which receives the missing indices into `keys` (in
+    /// order) and must return one trace per index — so an N-config sweep
+    /// with K cached configs batches the remaining N−K into a single
+    /// lockstep run instead of N−K scalar ones.
+    ///
+    /// Concurrency: a racing scalar or batch lookup that fills a key
+    /// first wins; the loser's trace is dropped (bit-identical by
+    /// determinism). Unlike [`TraceCache::get_or_simulate`], an
+    /// *in-flight* foreign simulation of one of the missing keys is not
+    /// waited for before simulating — the batch may redo that config's
+    /// work and discard it. Sweeps of the same workload rarely overlap;
+    /// correctness is unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `simulate` returns a different number of traces than it
+    /// was asked for.
+    pub fn get_or_simulate_batch(
+        &self,
+        keys: &[TraceKey],
+        simulate: impl FnOnce(&[usize]) -> Vec<Vec<EpochRecord>>,
+    ) -> Vec<Arc<Vec<EpochRecord>>> {
+        // One lock pass creates/touches every slot.
+        let slots: Vec<Slot> = {
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            keys.iter()
+                .map(|&key| {
+                    inner.clock += 1;
+                    let clock = inner.clock;
+                    let entry = inner.map.entry(key).or_insert_with(|| Entry {
+                        slot: Slot::default(),
+                        last_use: clock,
+                        bytes: 0,
+                    });
+                    entry.last_use = clock;
+                    entry.slot.clone()
+                })
+                .collect()
+        };
+        let mut out: Vec<Option<Arc<Vec<EpochRecord>>>> = vec![None; keys.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some(t) = slot.get() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                out[i] = Some(t.clone());
+            } else if let Some(t) = self.disk_load(&keys[i]) {
+                out[i] = Some(self.publish(&keys[i], slot, Arc::new(t), &self.disk_hits, false));
+            } else {
+                missing.push(i);
+            }
+        }
+        if !missing.is_empty() {
+            let traces = simulate(&missing);
+            assert_eq!(
+                traces.len(),
+                missing.len(),
+                "batch simulate must return one trace per missing key"
+            );
+            for (&i, t) in missing.iter().zip(traces) {
+                out[i] = Some(self.publish(&keys[i], &slots[i], Arc::new(t), &self.misses, true));
+            }
+        }
+        out.into_iter()
+            .map(|t| t.expect("every key resolved"))
+            .collect()
+    }
+
+    /// Installs `trace` into `slot` (keeping a racing earlier fill if one
+    /// beat us — determinism makes the bytes identical), charges
+    /// `counter` when ours won, optionally publishes to disk, and
+    /// accounts the bytes against the memory cap.
+    fn publish(
+        &self,
+        key: &TraceKey,
+        slot: &Slot,
+        trace: Arc<Vec<EpochRecord>>,
+        counter: &AtomicU64,
+        store_to_disk: bool,
+    ) -> Arc<Vec<EpochRecord>> {
+        let mut computed = false;
+        let got = slot
+            .get_or_init(|| {
+                computed = true;
+                trace
+            })
+            .clone();
+        if computed {
+            counter.fetch_add(1, Ordering::Relaxed);
+            if store_to_disk {
+                self.disk_store(key, &got);
+            }
+            let bytes = trace_bytes(&got);
+            let mut inner = self.inner.lock().expect("trace cache lock");
+            let ours = match inner.map.get_mut(key) {
+                Some(entry) if Arc::ptr_eq(&entry.slot, slot) && entry.bytes == 0 => {
+                    entry.bytes = bytes;
+                    true
+                }
+                _ => false,
+            };
+            if ours {
+                inner.resident += bytes;
+                self.enforce_cap(&mut inner);
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        got
+    }
+
     /// Evicts least-recently-used *completed* traces until the resident
     /// set fits the cap. In-flight entries (empty slots) are exempt:
     /// evicting one would let a concurrent lookup start a duplicate

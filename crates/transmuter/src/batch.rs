@@ -1,0 +1,1561 @@
+//! Config-vectorized lockstep simulation: one pass over the shared op
+//! stream drives N independent per-config machine-state lanes.
+//!
+//! **Why this is sound.** Epoch boundaries are quota-based (every GPE
+//! pauses after `epoch_ops` FP operations), so an epoch's op content —
+//! per-GPE stream cursors, pause/done states and op counts — is
+//! *configuration-independent* (DESIGN.md §2). The batch engine exploits
+//! that: the decode/quota/bounds front-end runs **once** over the whole
+//! workload ([`plan_workload`]), producing a [`RoundPlan`] per "round"
+//! (one heap-refill-and-drain segment of [`Machine`]'s event loop)
+//! grouped into epochs; each lane then replays the entire plan start to
+//! finish against its own timing/cache/energy state through planned step
+//! variants that stop at the pre-computed cursors instead of re-checking
+//! quotas per op. Running lanes sequentially (not round-interleaved)
+//! keeps each lane's cache/heap state hot in the host CPU's caches and
+//! makes lanes embarrassingly parallel.
+//!
+//! **What stays per-lane.** Everything timing- or config-dependent:
+//! event-heap order, cache banks, crossbar busy times, HBM regulators,
+//! energy accumulation (f64 adds happen in the lane's own event order, so
+//! results are bit-identical to a scalar [`Machine::run`]), and the LCP
+//! carry (its f64 rounding follows the lane's event interleave).
+//!
+//! **What the lanes share.** The round plan (end cursors/states/quotas),
+//! the four order-independent GPE op counters (bulk-added at round end),
+//! and per-round hoisted energy constants ([`LaneConsts`]) — computed by
+//! calling the exact scalar [`crate::power::PowerModel`] accessors once,
+//! which removes a transcendental (`log2` in the cache-energy model) from
+//! the per-access hot path without changing a single bit of output. When
+//! some lane runs an unhooked private-cache configuration, the plan also
+//! pre-trains the L1 stride-prefetcher trajectory once
+//! ([`plan_private_prefetch`]) — in that mode bank selection is `bank ==
+//! g` and the table walk is timing- and config-independent, so eligible
+//! lanes skip per-access table maintenance entirely and only replay the
+//! recorded emission decisions through the scalar target generator.
+//!
+//! **Desync and resync.** A lane leaves the shared trajectory only at
+//! epoch granularity: an [`EpochHook`] hit fast-forwards the lane through
+//! the whole epoch (restoring the cached exit state and skipping the
+//! epoch's planned steps), and a per-lane [`Controller`] reconfiguration
+//! changes the lane's timing but not the shared cursor trajectory. Either
+//! way the lane rejoins at the next epoch edge, where a `debug_assert`
+//! checks its loop position against the plan's [`EpochPlan::end_ls`].
+
+use crate::cache::{AccessOutcome, LocateParams};
+use crate::config::{MachineSpec, MemKind, SharingMode, TransmuterConfig};
+use crate::machine::{
+    CachedEpoch, Controller, EpochBoundary, EpochHook, EpochRecord, GpeState, LoopState, Machine,
+    RunResult, StaticController, L2_HIT_CYCLES,
+};
+use crate::prefetch::{PrefetchBuf, StridePrefetcher};
+use crate::workload::{OpTag, Phase, Region, Workload};
+
+/// Sentinel in the planned prefetch-stride table: this op either is not a
+/// memory access or its access site was not confident, so no prefetches
+/// are emitted. Real strides are address deltas, which can never reach
+/// `i64::MIN`.
+const NO_EMIT: i64 = i64::MIN;
+
+/// Per-lane, per-round hoisted constants. Every field is produced by the
+/// same [`crate::power::PowerModel`] / clock accessor the scalar path
+/// calls per event, evaluated once per round — value-identical f64s, so
+/// replayed energy sums are bit-identical.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LaneConsts {
+    /// Clock period in picoseconds.
+    period: u64,
+    /// One L1 (cache or SPM) access, dynamic-scaled.
+    e_l1: f64,
+    /// One L2 access, dynamic-scaled.
+    e_l2: f64,
+    /// `PowerModel::int_ops(1)` — the load/store issue charge.
+    e_int1: f64,
+    /// One crossbar traversal.
+    e_xbar: f64,
+    /// One HBM line transfer.
+    e_hbm_line: f64,
+    /// Shift/mask bank selection is exact: `line_bytes`, `gpes_per_tile`
+    /// and the tile count are all powers of two. (Always true for the
+    /// evaluated geometries; the division-based helpers remain as the
+    /// fallback.)
+    fast_banks: bool,
+    /// `log2(line_bytes)` — address-to-line conversion.
+    line_shift: u32,
+    /// `log2(gpes_per_tile)` — GPE-to-tile conversion.
+    gpt_shift: u32,
+    /// `gpes_per_tile - 1` — line-to-bank interleave within a tile.
+    gpt_mask: usize,
+    /// `tiles - 1` — line-to-L2-bank interleave.
+    l2_bank_mask: usize,
+    /// Hoisted L1 set/tag extraction (cache mode with power-of-two lines).
+    l1_loc: Option<LocateParams>,
+    /// Hoisted L2 set/tag extraction.
+    l2_loc: Option<LocateParams>,
+}
+
+/// Shared front-end result for one round (one heap-refill-and-drain
+/// segment): where every GPE's cursor ends up, its end state, its quota
+/// counter, and the order-independent op-count deltas.
+struct RoundPlan {
+    end_cursors: Vec<usize>,
+    end_states: Vec<GpeState>,
+    end_quota: Vec<u64>,
+    d_flops: u64,
+    d_int_ops: u64,
+    d_loads: u64,
+    d_stores: u64,
+    any_paused: bool,
+}
+
+/// Replicates one GPE's cursor/quota trajectory through a round without
+/// touching timing: exactly the decision order of `Machine::step_gpe`
+/// plus the post-step checks in `Machine::advance_to_boundary` (stream
+/// end is checked *before* the quota, so a GPE that exhausts its stream
+/// on the quota-hitting op goes `Done`, not `PausedAtQuota`).
+#[allow(clippy::too_many_arguments)]
+fn scan_gpe(
+    tags: &[OpTag],
+    auxs: &[u32],
+    mut c: usize,
+    mut q: u64,
+    epoch_ops: u64,
+    d_flops: &mut u64,
+    d_int_ops: &mut u64,
+    d_loads: &mut u64,
+    d_stores: &mut u64,
+) -> (usize, GpeState, u64) {
+    let len = tags.len();
+    loop {
+        // One scalar `step_gpe` call: run to the next mem op, quota hit,
+        // or stream end.
+        while c < len {
+            match tags[c] {
+                OpTag::Flops => {
+                    let n = auxs[c] as u64;
+                    q += n;
+                    *d_flops += n;
+                    c += 1;
+                    if q >= epoch_ops {
+                        break;
+                    }
+                }
+                OpTag::IntOps => {
+                    *d_int_ops += auxs[c] as u64;
+                    c += 1;
+                }
+                OpTag::Load => {
+                    c += 1;
+                    *d_loads += 1;
+                    q += 1;
+                    break;
+                }
+                OpTag::Store => {
+                    c += 1;
+                    *d_stores += 1;
+                    q += 1;
+                    break;
+                }
+            }
+        }
+        if c >= len {
+            return (c, GpeState::Done, q);
+        }
+        if q >= epoch_ops {
+            return (c, GpeState::PausedAtQuota, q);
+        }
+    }
+}
+
+/// Plans one round from the shared loop position.
+fn plan_round(phase: &Phase, ls: &LoopState, quota: &[u64], epoch_ops: u64) -> RoundPlan {
+    let mut plan = RoundPlan {
+        end_cursors: ls.cursors.clone(),
+        end_states: ls.states.clone(),
+        end_quota: quota.to_vec(),
+        d_flops: 0,
+        d_int_ops: 0,
+        d_loads: 0,
+        d_stores: 0,
+        any_paused: false,
+    };
+    #[allow(clippy::needless_range_loop)] // indexes four parallel per-GPE arrays
+    for g in 0..ls.cursors.len() {
+        if ls.states[g] != GpeState::Running {
+            continue;
+        }
+        let (tags, _, auxs) = phase.streams[g].as_lanes();
+        let (c, st, q) = scan_gpe(
+            tags,
+            auxs,
+            ls.cursors[g],
+            quota[g],
+            epoch_ops,
+            &mut plan.d_flops,
+            &mut plan.d_int_ops,
+            &mut plan.d_loads,
+            &mut plan.d_stores,
+        );
+        plan.end_cursors[g] = c;
+        plan.end_states[g] = st;
+        plan.end_quota[g] = q;
+        if st == GpeState::PausedAtQuota {
+            plan.any_paused = true;
+        }
+    }
+    plan
+}
+
+// Planned (batch-replay) variants of the scalar event-loop bodies. Each
+// mirrors its scalar counterpart statement for statement — same control
+// flow, same f64 accumulation order — with the per-event accessor calls
+// replaced by the hoisted [`LaneConsts`] and the quota/bounds checks
+// replaced by the plan's end cursor. The four GPE op counters and the
+// epoch-quota counters are bulk-applied by `replay_round`.
+impl Machine {
+    pub(crate) fn lane_consts(&self) -> LaneConsts {
+        let gpt = self.spec.geometry.gpes_per_tile as usize;
+        let tiles = self.spec.geometry.l2_bank_count();
+        let fast_banks = self.spec.line_bytes.is_power_of_two()
+            && gpt.is_power_of_two()
+            && tiles.is_power_of_two();
+        LaneConsts {
+            period: self.cfg.clock.period_ps(),
+            e_l1: self.power.l1_access(&self.cfg),
+            e_l2: self.power.l2_access(&self.cfg),
+            e_int1: self.power.int_ops(1),
+            e_xbar: self.power.xbar(),
+            e_hbm_line: self.power.hbm(self.spec.line_bytes as u64),
+            fast_banks,
+            line_shift: self.spec.line_bytes.trailing_zeros(),
+            gpt_shift: (gpt as u32).trailing_zeros(),
+            gpt_mask: gpt - 1,
+            l2_bank_mask: tiles - 1,
+            l1_loc: match self.cfg.l1_kind {
+                MemKind::Cache => self.l1.first().and_then(|b| b.locate_params()),
+                MemKind::Spm => None,
+            },
+            l2_loc: self.l2.first().and_then(|b| b.locate_params()),
+        }
+    }
+
+    /// `l1_bank_shared` with the division/modulo pair replaced by the
+    /// hoisted shift/mask form (`tile * n == g & !mask` because `tile`
+    /// was itself derived as `g >> shift`).
+    #[inline]
+    fn l1_bank_shared_planned(&self, g: usize, addr: u64, lc: &LaneConsts) -> usize {
+        if lc.fast_banks {
+            (g & !lc.gpt_mask) | ((addr >> lc.line_shift) as usize & lc.gpt_mask)
+        } else {
+            self.l1_bank_shared(g, addr)
+        }
+    }
+
+    /// `l2_bank` with hoisted shift/mask bank selection.
+    #[inline]
+    fn l2_bank_planned(&self, g: usize, addr: u64, lc: &LaneConsts) -> usize {
+        if lc.fast_banks {
+            match self.cfg.l2_sharing {
+                SharingMode::Private => g >> lc.gpt_shift,
+                SharingMode::Shared => (addr >> lc.line_shift) as usize & lc.l2_bank_mask,
+            }
+        } else {
+            self.l2_bank(g, addr)
+        }
+    }
+
+    /// `step_gpe` against a planned end cursor: executes ops for GPE `g`
+    /// until one memory access completes or the cursor reaches `end`
+    /// (which encodes both the quota pause and the stream end).
+    #[allow(clippy::too_many_arguments)]
+    fn step_gpe_planned(
+        &mut self,
+        g: usize,
+        mut t: u64,
+        tags: &[OpTag],
+        addrs: &[u64],
+        auxs: &[u32],
+        spm: &[Region],
+        cursor: &mut usize,
+        end: usize,
+        lc: &LaneConsts,
+        pf: &mut PrefetchBuf,
+        pf_plan: Option<&[i64]>,
+    ) -> u64 {
+        while *cursor < end {
+            let i = *cursor;
+            match tags[i] {
+                OpTag::Flops => {
+                    let n = auxs[i] as u64;
+                    t += n * lc.period;
+                    self.dyn_energy_j += self.power.fp_ops(n);
+                    self.charge_lcp(n);
+                    *cursor += 1;
+                }
+                OpTag::IntOps => {
+                    let n = auxs[i] as u64;
+                    t += n * lc.period;
+                    self.dyn_energy_j += self.power.int_ops(n);
+                    self.charge_lcp(n);
+                    *cursor += 1;
+                }
+                OpTag::Load => {
+                    *cursor += 1;
+                    self.charge_lcp(1);
+                    self.dyn_energy_j += lc.e_int1; // issue/AGU
+                    let planned = pf_plan.map(|p| p[i]);
+                    return self
+                        .mem_access_planned(g, t, addrs[i], false, auxs[i], spm, lc, pf, planned);
+                }
+                OpTag::Store => {
+                    *cursor += 1;
+                    self.charge_lcp(1);
+                    self.dyn_energy_j += lc.e_int1;
+                    let planned = pf_plan.map(|p| p[i]);
+                    return self
+                        .mem_access_planned(g, t, addrs[i], true, auxs[i], spm, lc, pf, planned);
+                }
+            }
+        }
+        t
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn mem_access_planned(
+        &mut self,
+        g: usize,
+        t: u64,
+        addr: u64,
+        write: bool,
+        pc: u32,
+        spm: &[Region],
+        lc: &LaneConsts,
+        pf: &mut PrefetchBuf,
+        planned: Option<i64>,
+    ) -> u64 {
+        match self.cfg.l1_kind {
+            MemKind::Spm => {
+                if spm.iter().any(|r| r.contains(addr)) {
+                    self.raw.l1_accesses += 1;
+                    self.dyn_energy_j += lc.e_l1;
+                    match self.cfg.l1_sharing {
+                        SharingMode::Private => t + lc.period,
+                        SharingMode::Shared => {
+                            let bank = self.l1_bank_shared_planned(g, addr, lc);
+                            self.arbitrate_l1_planned(bank, t, lc)
+                        }
+                    }
+                } else {
+                    self.l2_path_planned(g, t + lc.period, addr, write, lc)
+                }
+            }
+            MemKind::Cache => {
+                let bank = match self.cfg.l1_sharing {
+                    SharingMode::Private => g,
+                    SharingMode::Shared => self.l1_bank_shared_planned(g, addr, lc),
+                };
+                let hit_done = match self.cfg.l1_sharing {
+                    SharingMode::Private => t + lc.period,
+                    SharingMode::Shared => self.arbitrate_l1_planned(bank, t, lc),
+                };
+                self.dyn_energy_j += lc.e_l1;
+                let outcome = match lc.l1_loc {
+                    Some(p) => self.l1[bank].access_with(addr, write, p),
+                    None => self.l1[bank].access(addr, write),
+                };
+                pf.clear();
+                let prefetches = pf;
+                match planned {
+                    // Pre-trained trajectory: the stride decision is
+                    // already made; only target generation (which reads
+                    // this lane's own degree) runs per lane.
+                    Some(stride) => {
+                        if stride != NO_EMIT && self.l1_pf[bank].degree() > 0 {
+                            self.l1_pf[bank].emit(addr, stride, prefetches);
+                        }
+                    }
+                    None => self.l1_pf[bank].observe_into(pc, addr, prefetches),
+                }
+                let done = if outcome.is_hit() {
+                    hit_done
+                } else {
+                    if let AccessOutcome::Miss {
+                        writeback: Some(wb),
+                    } = outcome
+                    {
+                        self.l2_writeback_planned(g, hit_done, wb, lc);
+                    }
+                    self.l2_path_planned(g, hit_done, addr, false, lc)
+                };
+                for &pf_addr in prefetches.as_slice() {
+                    self.issue_prefetch_planned(g, bank, hit_done, pf_addr, lc);
+                }
+                done
+            }
+        }
+    }
+
+    fn arbitrate_l1_planned(&mut self, bank: usize, t: u64, lc: &LaneConsts) -> u64 {
+        let request = t + lc.period;
+        self.raw.l1_xbar_accesses += 1;
+        self.dyn_energy_j += lc.e_xbar;
+        let start = self.l1_busy_ps[bank].max(request);
+        if self.l1_busy_ps[bank] > request {
+            self.raw.l1_xbar_contentions += 1;
+        }
+        self.l1_busy_ps[bank] = start + lc.period;
+        start + lc.period
+    }
+
+    fn arbitrate_l2_planned(&mut self, bank: usize, t: u64, lc: &LaneConsts) -> u64 {
+        let request = t + lc.period;
+        self.raw.l2_xbar_accesses += 1;
+        self.dyn_energy_j += lc.e_xbar;
+        let start = self.l2_busy_ps[bank].max(request);
+        if self.l2_busy_ps[bank] > request {
+            self.raw.l2_xbar_contentions += 1;
+        }
+        self.l2_busy_ps[bank] = start + lc.period;
+        start + lc.period
+    }
+
+    fn l2_path_planned(
+        &mut self,
+        g: usize,
+        t: u64,
+        addr: u64,
+        write: bool,
+        lc: &LaneConsts,
+    ) -> u64 {
+        let bank = self.l2_bank_planned(g, addr, lc);
+        let granted = self.arbitrate_l2_planned(bank, t, lc);
+        self.dyn_energy_j += lc.e_l2;
+        let outcome = match lc.l2_loc {
+            Some(p) => self.l2[bank].access_with(addr, write, p),
+            None => self.l2[bank].access(addr, write),
+        };
+        if outcome.is_hit() {
+            granted + L2_HIT_CYCLES * lc.period
+        } else {
+            if let AccessOutcome::Miss {
+                writeback: Some(wb),
+            } = outcome
+            {
+                self.hbm.write(granted, wb, self.spec.line_bytes);
+                self.dyn_energy_j += lc.e_hbm_line;
+            }
+            let mem_done = self.hbm.read(granted, addr, self.spec.line_bytes);
+            self.dyn_energy_j += lc.e_hbm_line;
+            mem_done + lc.period // return crossing
+        }
+    }
+
+    fn l2_writeback_planned(&mut self, g: usize, t: u64, addr: u64, lc: &LaneConsts) {
+        let bank = self.l2_bank_planned(g, addr, lc);
+        let granted = self.arbitrate_l2_planned(bank, t, lc);
+        self.dyn_energy_j += lc.e_l2;
+        let outcome = match lc.l2_loc {
+            Some(p) => self.l2[bank].access_with(addr, true, p),
+            None => self.l2[bank].access(addr, true),
+        };
+        if let AccessOutcome::Miss {
+            writeback: Some(wb),
+        } = outcome
+        {
+            self.hbm.write(granted, wb, self.spec.line_bytes);
+            self.dyn_energy_j += lc.e_hbm_line;
+        }
+    }
+
+    fn issue_prefetch_planned(
+        &mut self,
+        g: usize,
+        bank: usize,
+        t: u64,
+        addr: u64,
+        lc: &LaneConsts,
+    ) {
+        let l1_resident = match lc.l1_loc {
+            Some(p) => self.l1[bank].probe_with(addr, p),
+            None => self.l1[bank].probe(addr),
+        };
+        if l1_resident {
+            return;
+        }
+        let l2_bank = self.l2_bank_planned(g, addr, lc);
+        self.dyn_energy_j += lc.e_l2;
+        let l2_resident = match lc.l2_loc {
+            Some(p) => self.l2[l2_bank].probe_with(addr, p),
+            None => self.l2[l2_bank].probe(addr),
+        };
+        if l2_resident {
+            // On-chip prefetch: L2 → L1.
+            if let Some(wb) = self.l1_install_prefetch_planned(bank, addr, lc) {
+                self.l2_writeback_planned(g, t, wb, lc);
+            }
+            self.dyn_energy_j += lc.e_l1;
+        } else {
+            // Off-chip prefetch: posted bandwidth consumption.
+            self.hbm.prefetch_read(t, addr, self.spec.line_bytes);
+            self.dyn_energy_j += lc.e_hbm_line;
+            let l2_wb = match lc.l2_loc {
+                Some(p) => self.l2[l2_bank].install_prefetch_with(addr, p),
+                None => self.l2[l2_bank].install_prefetch(addr),
+            };
+            if let Some(wb) = l2_wb {
+                self.hbm.write(t, wb, self.spec.line_bytes);
+                self.dyn_energy_j += lc.e_hbm_line;
+            }
+            self.raw.l2_prefetches += 1;
+            if let Some(wb) = self.l1_install_prefetch_planned(bank, addr, lc) {
+                self.l2_writeback_planned(g, t, wb, lc);
+            }
+            self.dyn_energy_j += lc.e_l1;
+        }
+    }
+
+    #[inline]
+    fn l1_install_prefetch_planned(
+        &mut self,
+        bank: usize,
+        addr: u64,
+        lc: &LaneConsts,
+    ) -> Option<u64> {
+        match lc.l1_loc {
+            Some(p) => self.l1[bank].install_prefetch_with(addr, p),
+            None => self.l1[bank].install_prefetch(addr),
+        }
+    }
+}
+
+/// Binary min-heap over `(time, gpe)` events with the two operations the
+/// replay drain needs beyond pop: an O(1) second-minimum peek (the
+/// run-ahead rule compares against the would-be next event) and an
+/// O(log n) replace-top (the scalar loop's pop-then-push fused into one
+/// sift). Pop order is identical to the scalar path's
+/// `BinaryHeap<Reverse<(u64, usize)>>` because `(t, g)` keys are unique,
+/// so the replayed event interleave — and every f64 accumulation order —
+/// is unchanged.
+struct EventHeap {
+    a: Vec<(u64, usize)>,
+}
+
+impl EventHeap {
+    fn with_capacity(n: usize) -> Self {
+        EventHeap {
+            a: Vec::with_capacity(n),
+        }
+    }
+
+    /// Clears and refills the heap, heapifying bottom-up in O(n).
+    fn rebuild(&mut self, events: impl Iterator<Item = (u64, usize)>) {
+        self.a.clear();
+        self.a.extend(events);
+        for i in (0..self.a.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    fn peek(&self) -> Option<(u64, usize)> {
+        self.a.first().copied()
+    }
+
+    /// The smallest key excluding the root — by the heap property it can
+    /// only be one of the root's two children.
+    #[inline]
+    fn second_min(&self) -> Option<(u64, usize)> {
+        match self.a.len() {
+            0 | 1 => None,
+            2 => Some(self.a[1]),
+            _ => Some(self.a[1].min(self.a[2])),
+        }
+    }
+
+    fn pop(&mut self) {
+        let last = self.a.len() - 1;
+        self.a.swap(0, last);
+        self.a.truncate(last);
+        if !self.a.is_empty() {
+            self.sift_down(0);
+        }
+    }
+
+    #[inline]
+    fn replace_top(&mut self, key: (u64, usize)) {
+        self.a[0] = key;
+        self.sift_down(0);
+    }
+
+    #[inline]
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.a.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                return;
+            }
+            let r = l + 1;
+            let c = if r < n && self.a[r] < self.a[l] { r } else { l };
+            if self.a[c] < self.a[i] {
+                self.a.swap(i, c);
+                i = c;
+            } else {
+                return;
+            }
+        }
+    }
+}
+
+/// Replays one planned round on one lane: the lane's own event heap
+/// drains exactly like the scalar SoA loop (including the run-ahead
+/// optimisation), but every GPE stops at the plan's end cursor instead of
+/// re-deriving quota/stream-end decisions. The shared op-count deltas and
+/// quota counters are applied in bulk afterwards.
+#[allow(clippy::too_many_arguments)]
+fn replay_round(
+    m: &mut Machine,
+    phase: &Phase,
+    start: &LoopState,
+    plan: &RoundPlan,
+    lc: &LaneConsts,
+    pf: &mut PrefetchBuf,
+    pf_plan: Option<&[Vec<i64>]>,
+    heap: &mut EventHeap,
+    cursors: &mut Vec<usize>,
+) {
+    m.lcp_factor = phase.lcp_ops_per_gpe_op;
+    cursors.clear();
+    cursors.extend_from_slice(&start.cursors);
+    heap.rebuild(
+        start
+            .states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == GpeState::Running)
+            .map(|(g, _)| (m.gpe_time_ps[g], g)),
+    );
+    while let Some((mut t, g)) = heap.peek() {
+        let (tags, addrs, auxs) = phase.streams[g].as_lanes();
+        let end = plan.end_cursors[g];
+        let gpe_pf_plan = pf_plan.map(|p| p[g].as_slice());
+        loop {
+            let new_t = m.step_gpe_planned(
+                g,
+                t,
+                tags,
+                addrs,
+                auxs,
+                &phase.spm_regions,
+                &mut cursors[g],
+                end,
+                lc,
+                pf,
+                gpe_pf_plan,
+            );
+            m.gpe_time_ps[g] = new_t;
+            if cursors[g] >= end {
+                heap.pop();
+                break;
+            }
+            // Identical run-ahead rule to the scalar SoA drain: after
+            // popping this event the scalar heap's top is our second
+            // minimum.
+            match heap.second_min() {
+                Some(next) if next < (new_t, g) => {
+                    heap.replace_top((new_t, g));
+                    break;
+                }
+                _ => t = new_t,
+            }
+        }
+    }
+    m.raw.gpe_flops += plan.d_flops;
+    m.raw.gpe_int_ops += plan.d_int_ops;
+    m.raw.gpe_loads += plan.d_loads;
+    m.raw.gpe_stores += plan.d_stores;
+    m.gpe_epoch_ops.copy_from_slice(&plan.end_quota);
+}
+
+/// Drives one lane of a [`MachineBatch`] run: its reconfiguration
+/// controller and (optionally) its epoch-cache hook.
+pub struct LaneDriver<'a> {
+    /// Consulted at every epoch boundary, exactly like
+    /// [`Machine::run_with_controller`].
+    pub controller: &'a mut dyn Controller,
+    /// Optional epoch-granular memoization hook; a hit fast-forwards the
+    /// lane through the epoch (masking it out of lockstep until the next
+    /// edge), exactly like [`Machine::run_with_hook`].
+    pub hook: Option<&'a mut dyn EpochHook>,
+}
+
+/// Shared pre-trained private-mode prefetcher trajectory.
+///
+/// Sound for lanes in private cache mode because bank selection is then
+/// `bank == g`, every Load/Store observes its own GPE's stream in cursor
+/// order, and the stride-table walk is independent of degree (which only
+/// gates emission), timing, and every other configuration knob — so one
+/// training pass matches every eligible lane's tables exactly.
+struct PrefetchPlan {
+    /// `[phase][gpe][op] ->` post-update stride when the access site is
+    /// confident (prefetches would be emitted), [`NO_EMIT`] otherwise —
+    /// including for non-memory ops, so the table is indexed by raw op
+    /// cursor.
+    strides: Vec<Vec<Vec<i64>>>,
+    /// Trainer state after the whole workload: the table contents every
+    /// eligible lane's prefetcher must hold at run end (trainers are
+    /// degree-0, but the degree is not part of the table). Cloned into
+    /// eligible lanes when they finish, so a reused batch stays
+    /// bit-identical to reused scalar machines.
+    final_tables: Vec<StridePrefetcher>,
+}
+
+/// Runs a degree-0 shadow of each GPE's private L1 prefetcher over the
+/// whole workload once, recording per-op stride decisions and the final
+/// table state (see [`PrefetchPlan`]).
+fn plan_private_prefetch(spec: &MachineSpec, workload: &Workload) -> PrefetchPlan {
+    let n = spec.geometry.gpe_count();
+    let mut trainers: Vec<StridePrefetcher> = (0..n)
+        .map(|_| StridePrefetcher::new(0, spec.line_bytes))
+        .collect();
+    let mut strides = Vec::with_capacity(workload.phases.len());
+    for phase in &workload.phases {
+        let mut per_gpe = Vec::with_capacity(n);
+        for (g, trainer) in trainers.iter_mut().enumerate() {
+            let (tags, addrs, auxs) = phase.streams[g].as_lanes();
+            let mut out = Vec::with_capacity(tags.len());
+            for i in 0..tags.len() {
+                out.push(match tags[i] {
+                    OpTag::Load | OpTag::Store => {
+                        trainer.train(auxs[i], addrs[i]).unwrap_or(NO_EMIT)
+                    }
+                    OpTag::Flops | OpTag::IntOps => NO_EMIT,
+                });
+            }
+            per_gpe.push(out);
+        }
+        strides.push(per_gpe);
+    }
+    PrefetchPlan {
+        strides,
+        final_tables: trainers,
+    }
+}
+
+/// `true` when the lane's current configuration makes the shared
+/// prefetch plan applicable.
+fn planned_pf_eligible(m: &Machine) -> bool {
+    m.cfg.l1_kind == MemKind::Cache && m.cfg.l1_sharing == SharingMode::Private
+}
+
+/// Rebuilds a lane's real prefetcher tables by re-training each GPE's
+/// private trajectory up to the lane's current loop position. Cold path:
+/// only needed when a controller moves a planned-prefetch lane off the
+/// private-cache configuration mid-run, at an epoch edge.
+fn rebuild_private_pf(m: &mut Machine, workload: &Workload, ls: &LoopState) {
+    for (bank, pf) in m.l1_pf.iter_mut().enumerate() {
+        let mut t = StridePrefetcher::new(pf.degree(), pf.line_bytes());
+        for (pi, phase) in workload.phases.iter().enumerate() {
+            if pi > ls.phase_idx || (pi == ls.phase_idx && !ls.entered) {
+                break;
+            }
+            // In private mode only GPE `bank` ever observed into this
+            // bank; banks beyond the GPE count were never touched and
+            // stay fresh.
+            let Some(stream) = phase.streams.get(bank) else {
+                break;
+            };
+            let (tags, addrs, auxs) = stream.as_lanes();
+            let bound = if pi == ls.phase_idx {
+                ls.cursors[bank]
+            } else {
+                tags.len()
+            };
+            for i in 0..bound {
+                if matches!(tags[i], OpTag::Load | OpTag::Store) {
+                    let _ = t.train(auxs[i], addrs[i]);
+                }
+            }
+        }
+        *pf = t;
+    }
+}
+
+/// One front-end step of a planned workload.
+enum Step {
+    /// Replay one round of `phases[phase_idx]` from `start` up to the
+    /// plan's end cursors.
+    Round {
+        phase_idx: usize,
+        start: LoopState,
+        plan: RoundPlan,
+    },
+    /// A phase completed mid-epoch: barrier every GPE to the slowest.
+    PhaseEnd,
+}
+
+/// One epoch's worth of planned front-end steps.
+struct EpochPlan {
+    steps: Vec<Step>,
+    /// `true`: the epoch ended at a quota boundary; `false`: the workload
+    /// is exhausted (final, possibly partial, epoch).
+    boundary: bool,
+    /// Shared loop position at the epoch's exit edge (paused GPEs already
+    /// flipped back to `Running`) — the position every lane must occupy
+    /// when it rejoins lockstep, whether it replayed the epoch or
+    /// fast-forwarded through it.
+    end_ls: LoopState,
+}
+
+/// The whole workload's front end, planned once and replayed by every
+/// lane. Sound because round plans depend only on the shared stream
+/// position and the quota counters — never on lane timing state
+/// (DESIGN.md §2).
+struct WorkloadPlan {
+    epochs: Vec<EpochPlan>,
+    /// Pre-trained private-mode prefetcher trajectory; built only when
+    /// some lane can use it (cold, unhooked, private cache).
+    pf: Option<PrefetchPlan>,
+}
+
+/// Runs the shared decode/quota front end over the whole workload once,
+/// recording each round's plan and where the epoch edges fall. Mirrors
+/// the control flow of `Machine::advance_to_boundary` plus the
+/// paused-GPE flip `Machine::run_impl` performs between epochs.
+fn plan_workload(spec: &MachineSpec, workload: &Workload) -> WorkloadPlan {
+    let n = spec.geometry.gpe_count();
+    let mut ls = LoopState::initial();
+    let mut quota = vec![0u64; n];
+    let mut epochs = Vec::new();
+    loop {
+        let mut steps = Vec::new();
+        let mut boundary = false;
+        while ls.phase_idx < workload.phases.len() {
+            let phase = &workload.phases[ls.phase_idx];
+            if !ls.entered {
+                assert_eq!(
+                    phase.streams.len(),
+                    n,
+                    "phase '{}' has {} streams for {} GPEs",
+                    phase.name,
+                    phase.streams.len(),
+                    n
+                );
+                ls.cursors.clear();
+                ls.cursors.resize(n, 0);
+                ls.states.clear();
+                ls.states.extend(phase.streams.iter().map(|s| {
+                    if s.is_empty() {
+                        GpeState::Done
+                    } else {
+                        GpeState::Running
+                    }
+                }));
+                ls.entered = true;
+            }
+            let start = ls.clone();
+            let plan = plan_round(phase, &start, &quota, spec.epoch_ops);
+            ls.cursors.copy_from_slice(&plan.end_cursors);
+            ls.states.copy_from_slice(&plan.end_states);
+            quota.copy_from_slice(&plan.end_quota);
+            let paused = plan.any_paused;
+            steps.push(Step::Round {
+                phase_idx: start.phase_idx,
+                start,
+                plan,
+            });
+            if paused {
+                boundary = true;
+                for s in ls.states.iter_mut() {
+                    if *s == GpeState::PausedAtQuota {
+                        *s = GpeState::Running;
+                    }
+                }
+                for q in quota.iter_mut() {
+                    *q = 0;
+                }
+                break;
+            }
+            steps.push(Step::PhaseEnd);
+            ls.phase_idx += 1;
+            ls.entered = false;
+        }
+        let done = !boundary;
+        epochs.push(EpochPlan {
+            steps,
+            boundary,
+            end_ls: ls.clone(),
+        });
+        if done {
+            return WorkloadPlan { epochs, pf: None };
+        }
+    }
+}
+
+/// Runs one lane straight through the shared plan. The structure is a
+/// statement-for-statement mirror of `Machine::run_impl`, with
+/// `advance_to_boundary` replaced by replaying the epoch's planned
+/// rounds — so hook and controller traffic, and every f64 accumulation,
+/// happen in exactly the scalar order.
+fn run_lane(
+    m: &mut Machine,
+    workload: &Workload,
+    plan: &WorkloadPlan,
+    drv: &mut LaneDriver<'_>,
+    estimated_epochs: usize,
+    heap: &mut EventHeap,
+    cursors_scratch: &mut Vec<usize>,
+) -> RunResult {
+    let mut records: Vec<EpochRecord> = Vec::with_capacity(estimated_epochs);
+    let mut pending_reconfig = (0.0f64, 0.0f64);
+    let mut total_energy = 0.0f64;
+    let mut total_flops = 0u64;
+    let mut total_fp_ops = 0u64;
+    let mut entry: Option<EpochBoundary> = None;
+    let mut lane_ls = LoopState::initial();
+    let mut pf = PrefetchBuf::new();
+    let mut finished_by_hit = false;
+    // Sticky: a hooked lane replays real table maintenance throughout
+    // (its snapshots and digests hash the tables), and a lane that loses
+    // eligibility mid-run rebuilds its tables and never comes back.
+    let mut pf_ok = plan.pf.is_some() && drv.hook.is_none() && planned_pf_eligible(m);
+
+    'epochs: for ep in &plan.epochs {
+        // Key the epoch about to run, exactly like the scalar loop top.
+        if let Some(h) = drv.hook.as_deref_mut() {
+            let b = EpochBoundary {
+                index: records.len(),
+                config_fp: m.cfg.fingerprint(),
+                entry_digest: m.view(&lane_ls).digest(),
+            };
+            entry = Some(b);
+            if let Some(cached) = h.lookup(&b) {
+                // Fast-forward this lane through the whole epoch: restore
+                // the cached exit state and skip the planned steps. The
+                // lane rejoins lockstep at the next epoch edge.
+                m.restore_with(&cached.exit, &mut lane_ls);
+                debug_assert_eq!(
+                    lane_ls, ep.end_ls,
+                    "fast-forwarded lane desynced from the shared plan"
+                );
+                let mut rec = cached.record.clone();
+                rec.index = records.len();
+                rec.reconfig_time_s = pending_reconfig.0;
+                rec.reconfig_energy_j = pending_reconfig.1;
+                let finished = lane_ls.phase_idx >= workload.phases.len();
+                pending_reconfig = (0.0, 0.0);
+                if !finished {
+                    if let Some(new_cfg) = drv.controller.on_epoch(&rec) {
+                        if new_cfg != m.cfg {
+                            let cost = m.apply_config(new_cfg);
+                            pending_reconfig = (cost.time_s, cost.energy_j);
+                        }
+                    }
+                    m.epoch_start_ps = m.gpe_time_ps[0];
+                }
+                total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
+                total_flops += rec.metrics.flops;
+                total_fp_ops += rec.fp_ops;
+                records.push(rec);
+                finished_by_hit = finished;
+                continue 'epochs;
+            }
+        }
+
+        // The lane's configuration only changes at epoch edges, so the
+        // hoisted energy/geometry constants hold for the whole epoch.
+        let lc = m.lane_consts();
+        for step in &ep.steps {
+            match step {
+                Step::Round {
+                    phase_idx,
+                    start,
+                    plan: rp,
+                } => {
+                    let pf_plan = match (&plan.pf, pf_ok) {
+                        (Some(pp), true) => Some(pp.strides[*phase_idx].as_slice()),
+                        _ => None,
+                    };
+                    replay_round(
+                        m,
+                        &workload.phases[*phase_idx],
+                        start,
+                        rp,
+                        &lc,
+                        &mut pf,
+                        pf_plan,
+                        heap,
+                        cursors_scratch,
+                    );
+                }
+                Step::PhaseEnd => {
+                    let t_max = m.gpe_time_ps.iter().copied().max().unwrap_or(0);
+                    for t in &mut m.gpe_time_ps {
+                        *t = t_max;
+                    }
+                }
+            }
+        }
+        lane_ls.clone_from(&ep.end_ls);
+        if !ep.boundary {
+            break 'epochs; // workload complete; final partial epoch below
+        }
+
+        // Mid-run epoch boundary, scalar order: harvest and reset first
+        // (the paused-GPE flip is already baked into `end_ls`), record to
+        // the hook, consult the controller, re-base the epoch timer.
+        let rec = m.harvest_epoch(records.len(), pending_reconfig);
+        m.reset_epoch_accumulators();
+        if let (Some(h), Some(b)) = (drv.hook.as_deref_mut(), entry) {
+            h.record(
+                &b,
+                CachedEpoch {
+                    record: rec.clone(),
+                    exit: m.snapshot_with(&lane_ls),
+                },
+            );
+        }
+        let mut next_cost = (0.0, 0.0);
+        if let Some(new_cfg) = drv.controller.on_epoch(&rec) {
+            if new_cfg != m.cfg {
+                let cost = m.apply_config(new_cfg);
+                next_cost = (cost.time_s, cost.energy_j);
+            }
+        }
+        if pf_ok && !planned_pf_eligible(m) {
+            // The controller moved this lane off the private-cache
+            // trajectory: materialise the tables the planned path has
+            // been skipping, then maintain them for real from here on.
+            rebuild_private_pf(m, workload, &lane_ls);
+            pf_ok = false;
+        }
+        m.epoch_start_ps = m.gpe_time_ps[0];
+        total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
+        total_flops += rec.metrics.flops;
+        total_fp_ops += rec.fp_ops;
+        records.push(rec);
+        pending_reconfig = next_cost;
+    }
+
+    if finished_by_hit {
+        // A lane that fast-forwarded through the final epoch: the scalar
+        // run performs one more loop-top lookup before `advance` reports
+        // completion — replicate it so hook traffic matches exactly.
+        if let Some(h) = drv.hook.as_deref_mut() {
+            let b = EpochBoundary {
+                index: records.len(),
+                config_fp: m.cfg.fingerprint(),
+                entry_digest: m.view(&lane_ls).digest(),
+            };
+            entry = Some(b);
+            let _ = h.lookup(&b);
+        }
+    }
+
+    if pf_ok {
+        // The lane finished on the planned trajectory, so its real
+        // tables were never maintained: install the shared final state
+        // (keeping the lane's own degree) so a reused machine state is
+        // indistinguishable from a scalar run's.
+        if let Some(pp) = &plan.pf {
+            for (bank, t) in pp.final_tables.iter().enumerate() {
+                let degree = m.l1_pf[bank].degree();
+                m.l1_pf[bank] = t.clone();
+                m.l1_pf[bank].set_degree(degree);
+            }
+        }
+    }
+
+    // Final (possibly partial) epoch.
+    if m.raw.fp_ops() > 0 || records.is_empty() {
+        let rec = m.harvest_epoch(records.len(), pending_reconfig);
+        m.reset_epoch_accumulators();
+        if let (Some(h), Some(b)) = (drv.hook.as_deref_mut(), entry) {
+            h.record(
+                &b,
+                CachedEpoch {
+                    record: rec.clone(),
+                    exit: m.snapshot_with(&lane_ls),
+                },
+            );
+        }
+        total_energy += rec.metrics.energy_j + rec.reconfig_energy_j;
+        total_flops += rec.metrics.flops;
+        total_fp_ops += rec.fp_ops;
+        records.push(rec);
+    } else {
+        total_energy += pending_reconfig.1;
+    }
+
+    RunResult {
+        name: workload.name.clone(),
+        time_s: m.gpe_time_ps.iter().copied().max().unwrap_or(0) as f64 * 1e-12,
+        energy_j: total_energy,
+        flops: total_flops,
+        fp_ops: total_fp_ops,
+        epochs: records,
+    }
+}
+
+/// N independent machine states simulated in lockstep over one shared op
+/// stream. Produces per-lane [`RunResult`]s bit-identical to N scalar
+/// [`Machine::run`] (or hooked/controlled) calls.
+#[derive(Debug)]
+pub struct MachineBatch {
+    spec: MachineSpec,
+    lanes: Vec<Machine>,
+    /// `true` once any workload has run. The private-mode prefetch plan
+    /// assumes cold (fresh-from-construction) prefetcher tables, so a
+    /// reused batch falls back to real per-access table maintenance —
+    /// matching scalar machines reused the same way.
+    ran: bool,
+}
+
+impl MachineBatch {
+    /// Builds one cold lane per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `configs` is empty.
+    pub fn new(spec: MachineSpec, configs: &[TransmuterConfig]) -> Self {
+        assert!(!configs.is_empty(), "a batch needs at least one lane");
+        MachineBatch {
+            spec,
+            lanes: configs.iter().map(|&c| Machine::new(spec, c)).collect(),
+            ran: false,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Runs the workload on every lane with no reconfiguration and no
+    /// hooks; equivalent to (and bit-identical with) one
+    /// [`Machine::run`] per config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a phase's stream count differs from the GPE count.
+    pub fn run(&mut self, workload: &Workload) -> Vec<RunResult> {
+        let mut ctrls = vec![StaticController; self.lanes.len()];
+        let mut drivers: Vec<LaneDriver<'_>> = ctrls
+            .iter_mut()
+            .map(|c| LaneDriver {
+                controller: c,
+                hook: None,
+            })
+            .collect();
+        self.run_with(workload, &mut drivers)
+    }
+
+    /// Runs the workload with one [`LaneDriver`] per lane. Lanes whose
+    /// hooks hit fast-forward through cached epochs; lanes whose
+    /// controllers reconfigure pay their own costs — epoch alignment is
+    /// preserved either way because epoch content is config-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drivers.len() != lane_count()`, or if a phase's stream
+    /// count differs from the GPE count.
+    pub fn run_with(
+        &mut self,
+        workload: &Workload,
+        drivers: &mut [LaneDriver<'_>],
+    ) -> Vec<RunResult> {
+        assert_eq!(
+            drivers.len(),
+            self.lanes.len(),
+            "one driver per lane is required"
+        );
+        let n = self.spec.geometry.gpe_count();
+        for m in &mut self.lanes {
+            m.hbm.set_batched(true);
+        }
+        // Shared front end: decode the whole op stream exactly once.
+        let mut plan = plan_workload(&self.spec, workload);
+        let cold = !self.ran;
+        self.ran = true;
+        if cold
+            && self
+                .lanes
+                .iter()
+                .zip(drivers.iter())
+                .any(|(m, d)| d.hook.is_none() && planned_pf_eligible(m))
+        {
+            plan.pf = Some(plan_private_prefetch(&self.spec, workload));
+        }
+        let estimated_epochs = plan.epochs.len() + 1;
+        let mut heap = EventHeap::with_capacity(n);
+        let mut cursors_scratch: Vec<usize> = Vec::with_capacity(n);
+        // Per-lane back end: each lane replays the plan start to finish,
+        // keeping its timing/cache/energy state hot in CPU cache instead
+        // of interleaving all lanes round by round.
+        self.lanes
+            .iter_mut()
+            .zip(drivers.iter_mut())
+            .map(|(lane, drv)| {
+                run_lane(
+                    lane,
+                    workload,
+                    &plan,
+                    drv,
+                    estimated_epochs,
+                    &mut heap,
+                    &mut cursors_scratch,
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClockFreq;
+    use crate::workload::{Op, Phase};
+
+    fn mixed_workload(n_gpes: usize, ops_per_gpe: u64) -> Workload {
+        let streams: Vec<Vec<Op>> = (0..n_gpes)
+            .map(|g| {
+                let mut x = 0x9e3779b9u64 ^ (g as u64) << 32;
+                let base = (g as u64) << 20;
+                (0..ops_per_gpe)
+                    .flat_map(|i| {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let addr = base + (x >> 40) % (1 << 16);
+                        [
+                            Op::Load {
+                                addr,
+                                pc: (x % 7) as u32,
+                            },
+                            if i % 3 == 0 {
+                                Op::IntOps((x % 5) as u32 + 1)
+                            } else {
+                                Op::Flops((x % 4) as u32 + 1)
+                            },
+                            Op::Store {
+                                addr: addr ^ 64,
+                                pc: (x % 11) as u32,
+                            },
+                        ]
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload::new(
+            "mixed",
+            vec![
+                Phase::new("a", streams.clone()),
+                Phase::new("b", streams.into_iter().rev().collect()),
+            ],
+        )
+    }
+
+    fn sweep_configs() -> Vec<TransmuterConfig> {
+        let mut cfgs = vec![
+            TransmuterConfig::baseline(),
+            TransmuterConfig::best_avg_cache(),
+        ];
+        let mut max = TransmuterConfig::maximum();
+        max.l1_kind = MemKind::Cache;
+        cfgs.push(max);
+        let mut slow = TransmuterConfig::baseline();
+        slow.clock = ClockFreq::Mhz125;
+        slow.l1_sharing = SharingMode::Private;
+        slow.prefetch_degree = 0;
+        cfgs.push(slow);
+        cfgs
+    }
+
+    #[test]
+    fn batch_matches_scalar_runs_bit_for_bit() {
+        let spec = MachineSpec::default().with_epoch_ops(700);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 120);
+        let cfgs = sweep_configs();
+        let batch = MachineBatch::new(spec, &cfgs).run(&wl);
+        for (cfg, got) in cfgs.iter().zip(&batch) {
+            let want = Machine::new(spec, *cfg).run(&wl);
+            assert_eq!(*got, want, "lane diverged for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_matches_scalar() {
+        let spec = MachineSpec::default().with_epoch_ops(500);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 80);
+        let cfg = TransmuterConfig::best_avg_cache();
+        let got = MachineBatch::new(spec, &[cfg]).run(&wl);
+        assert_eq!(got[0], Machine::new(spec, cfg).run(&wl));
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_spm_configs() {
+        let spec = MachineSpec::default().with_epoch_ops(600);
+        let n = spec.geometry.gpe_count();
+        let streams: Vec<Vec<Op>> = (0..n)
+            .map(|g| {
+                (0..600)
+                    .map(|i| Op::Load {
+                        addr: (g as u64 * 4096 + i * 8) % (1 << 20),
+                        pc: 1,
+                    })
+                    .collect()
+            })
+            .collect();
+        let phase = Phase::new("spm", streams).with_spm_regions(vec![Region {
+            base: 0,
+            bytes: 1 << 19, // half the accesses bypass to L2
+        }]);
+        let wl = Workload::new("spm", vec![phase]);
+        let mut a = TransmuterConfig::best_avg_spm();
+        let mut b = a;
+        b.l2_sharing = SharingMode::Shared;
+        b.clock = ClockFreq::Mhz250;
+        a.l1_sharing = SharingMode::Private;
+        let cfgs = [a, b];
+        let batch = MachineBatch::new(spec, &cfgs).run(&wl);
+        for (cfg, got) in cfgs.iter().zip(&batch) {
+            assert_eq!(*got, Machine::new(spec, *cfg).run(&wl));
+        }
+    }
+
+    #[test]
+    fn per_lane_controllers_desync_and_resync() {
+        struct SwitchAt(usize);
+        impl Controller for SwitchAt {
+            fn on_epoch(&mut self, record: &EpochRecord) -> Option<TransmuterConfig> {
+                if record.index == self.0 {
+                    let mut c = record.config;
+                    c.clock = ClockFreq::Mhz250;
+                    Some(c)
+                } else {
+                    None
+                }
+            }
+        }
+        let spec = MachineSpec::default().with_epoch_ops(150);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 100);
+        let cfgs = [TransmuterConfig::baseline(), TransmuterConfig::baseline()];
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let mut c0 = SwitchAt(0);
+        let mut c1 = SwitchAt(2);
+        let mut drivers = vec![
+            LaneDriver {
+                controller: &mut c0,
+                hook: None,
+            },
+            LaneDriver {
+                controller: &mut c1,
+                hook: None,
+            },
+        ];
+        let got = batch.run_with(&wl, &mut drivers);
+        let want0 = Machine::new(spec, cfgs[0]).run_with_controller(&wl, &mut SwitchAt(0));
+        let want1 = Machine::new(spec, cfgs[1]).run_with_controller(&wl, &mut SwitchAt(2));
+        assert_eq!(got[0], want0);
+        assert_eq!(got[1], want1);
+        assert!(got[0].epochs[1].reconfig_time_s > 0.0);
+        assert!(got[1].epochs[3].reconfig_time_s > 0.0);
+    }
+
+    /// A minimal in-memory epoch cache (same shape as the machine tests').
+    #[derive(Default)]
+    struct MapHook {
+        map: std::collections::HashMap<EpochBoundary, std::sync::Arc<CachedEpoch>>,
+        hits: usize,
+        misses: usize,
+    }
+
+    impl EpochHook for MapHook {
+        fn lookup(&mut self, b: &EpochBoundary) -> Option<std::sync::Arc<CachedEpoch>> {
+            let found = self.map.get(b).cloned();
+            if found.is_some() {
+                self.hits += 1;
+            } else {
+                self.misses += 1;
+            }
+            found
+        }
+
+        fn record(&mut self, b: &EpochBoundary, e: CachedEpoch) {
+            self.map.insert(*b, std::sync::Arc::new(e));
+        }
+    }
+
+    #[test]
+    fn hooked_lanes_fast_forward_and_stay_bit_identical() {
+        let spec = MachineSpec::default().with_epoch_ops(500);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 100);
+        let cfgs = sweep_configs();
+
+        // Cold hooked batch run: records every epoch, changes nothing.
+        let mut hooks: Vec<MapHook> = cfgs.iter().map(|_| MapHook::default()).collect();
+        let mut ctrls = vec![StaticController; cfgs.len()];
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let mut drivers: Vec<LaneDriver<'_>> = ctrls
+            .iter_mut()
+            .zip(hooks.iter_mut())
+            .map(|(c, h)| LaneDriver {
+                controller: c,
+                hook: Some(h),
+            })
+            .collect();
+        let cold = batch.run_with(&wl, &mut drivers);
+        for (cfg, got) in cfgs.iter().zip(&cold) {
+            assert_eq!(*got, Machine::new(spec, *cfg).run(&wl));
+        }
+        assert!(hooks.iter().all(|h| h.hits == 0));
+
+        // Warm run: lane 0 keeps its warmed hook (every epoch hits and
+        // fast-forwards), lane 1 runs cold — mixed masked/live lanes.
+        let mut warm0 = std::mem::take(&mut hooks[0]);
+        let mut cold1 = MapHook::default();
+        let mut ctrls = [StaticController; 2];
+        let mut batch = MachineBatch::new(spec, &cfgs[..2]);
+        let (c0, c1) = {
+            let mut it = ctrls.iter_mut();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let mut drivers = vec![
+            LaneDriver {
+                controller: c0,
+                hook: Some(&mut warm0),
+            },
+            LaneDriver {
+                controller: c1,
+                hook: Some(&mut cold1),
+            },
+        ];
+        let warm = batch.run_with(&wl, &mut drivers);
+        assert_eq!(
+            warm[0], cold[0],
+            "fast-forwarded lane must be bit-identical"
+        );
+        assert_eq!(warm[1], cold[1]);
+        assert_eq!(warm0.hits, warm[0].epochs.len(), "every epoch should hit");
+        assert_eq!(cold1.hits, 0);
+
+        // All lanes warm: the whole batch fast-forwards.
+        let mut warm1 = cold1;
+        let mut ctrls = [StaticController; 2];
+        let mut batch = MachineBatch::new(spec, &cfgs[..2]);
+        let (c0, c1) = {
+            let mut it = ctrls.iter_mut();
+            (it.next().unwrap(), it.next().unwrap())
+        };
+        let mut drivers = vec![
+            LaneDriver {
+                controller: c0,
+                hook: Some(&mut warm0),
+            },
+            LaneDriver {
+                controller: c1,
+                hook: Some(&mut warm1),
+            },
+        ];
+        let warm2 = batch.run_with(&wl, &mut drivers);
+        assert_eq!(warm2[0], cold[0]);
+        assert_eq!(warm2[1], cold[1]);
+    }
+
+    /// Private-cache lanes with active prefetchers: these take the
+    /// pre-trained trajectory (skipping per-access table maintenance),
+    /// which must stay bit-identical to scalar runs that maintain the
+    /// tables for real.
+    #[test]
+    fn planned_prefetch_lanes_match_scalar() {
+        let spec = MachineSpec::default().with_epoch_ops(600);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 150);
+        let mut a = TransmuterConfig::best_avg_cache(); // private, degree 0
+        a.prefetch_degree = 4;
+        let mut b = a;
+        b.prefetch_degree = 8;
+        b.clock = ClockFreq::Mhz500;
+        let cfgs = [
+            a,
+            b,
+            TransmuterConfig::best_avg_cache(),
+            TransmuterConfig::baseline(), // shared: ineligible
+        ];
+        let got = MachineBatch::new(spec, &cfgs).run(&wl);
+        for (cfg, r) in cfgs.iter().zip(&got) {
+            assert_eq!(*r, Machine::new(spec, *cfg).run(&wl), "lane {cfg:?}");
+        }
+    }
+
+    /// A controller that moves a lane off (or within) the private-cache
+    /// configuration mid-run: leaving it must rebuild the real tables at
+    /// the switch point; a degree-only change must stay on the planned
+    /// path. Both must remain bit-identical to scalar controlled runs.
+    #[test]
+    fn losing_prefetch_eligibility_mid_run_matches_scalar() {
+        #[derive(Clone)]
+        struct SwitchTo(usize, TransmuterConfig);
+        impl Controller for SwitchTo {
+            fn on_epoch(&mut self, record: &EpochRecord) -> Option<TransmuterConfig> {
+                (record.index == self.0).then_some(self.1)
+            }
+        }
+        let spec = MachineSpec::default().with_epoch_ops(150);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 120);
+        let mut start = TransmuterConfig::best_avg_cache();
+        start.prefetch_degree = 4;
+        let mut to_shared = start;
+        to_shared.l1_sharing = SharingMode::Shared; // loses eligibility
+        let mut degree_only = start;
+        degree_only.prefetch_degree = 8; // stays eligible
+        let ctrls = [SwitchTo(1, to_shared), SwitchTo(2, degree_only)];
+        let cfgs = [start, start];
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let mut running = ctrls.clone();
+        let mut drivers: Vec<LaneDriver<'_>> = running
+            .iter_mut()
+            .map(|c| LaneDriver {
+                controller: c,
+                hook: None,
+            })
+            .collect();
+        let got = batch.run_with(&wl, &mut drivers);
+        for ((cfg, ctrl), r) in cfgs.iter().zip(&ctrls).zip(&got) {
+            let want = Machine::new(spec, *cfg).run_with_controller(&wl, &mut ctrl.clone());
+            assert_eq!(*r, want);
+        }
+    }
+
+    /// Reusing a batch (warm caches, warm prefetcher tables) must keep
+    /// matching scalar machines reused the same way — the first run
+    /// installs the shared final table state into planned lanes, and the
+    /// second run falls back to real table maintenance.
+    #[test]
+    fn reused_batch_matches_reused_scalar_machines() {
+        let spec = MachineSpec::default().with_epoch_ops(500);
+        let wl = mixed_workload(spec.geometry.gpe_count(), 100);
+        let mut private4 = TransmuterConfig::best_avg_cache();
+        private4.prefetch_degree = 4;
+        let cfgs = [private4, TransmuterConfig::baseline()];
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let first = batch.run(&wl);
+        let second = batch.run(&wl);
+        for (i, &cfg) in cfgs.iter().enumerate() {
+            let mut m = Machine::new(spec, cfg);
+            assert_eq!(first[i], m.run(&wl));
+            assert_eq!(second[i], m.run(&wl), "warm rerun diverged for {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn empty_phase_streams_produce_one_empty_epoch() {
+        let spec = MachineSpec::default();
+        let n = spec.geometry.gpe_count();
+        let wl = Workload::new("empty", vec![Phase::new("nil", vec![Vec::<Op>::new(); n])]);
+        let cfgs = [TransmuterConfig::baseline(), TransmuterConfig::maximum()];
+        let got = MachineBatch::new(spec, &cfgs).run(&wl);
+        for (cfg, r) in cfgs.iter().zip(&got) {
+            assert_eq!(*r, Machine::new(spec, *cfg).run(&wl));
+            assert_eq!(r.epochs.len(), 1);
+        }
+    }
+}

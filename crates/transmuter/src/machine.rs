@@ -30,7 +30,7 @@ use crate::reconfig::{self, ReconfigCost};
 use crate::workload::{Op, OpStream, OpTag, Region, Workload};
 
 /// L2 hit latency in core cycles (beyond crossbar arbitration).
-const L2_HIT_CYCLES: u64 = 4;
+pub(crate) const L2_HIT_CYCLES: u64 = 4;
 
 /// Decides, at each epoch boundary, whether to reconfigure.
 pub trait Controller {
@@ -96,7 +96,7 @@ impl RunResult {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum GpeState {
+pub(crate) enum GpeState {
     Running,
     PausedAtQuota,
     Done,
@@ -127,20 +127,20 @@ impl GpeState {
 /// state: two runs at the same epoch index can sit at different points of
 /// the phase list.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct LoopState {
+pub(crate) struct LoopState {
     /// Index of the phase being executed (equals the phase count once the
     /// run is complete).
-    phase_idx: usize,
+    pub(crate) phase_idx: usize,
     /// Whether the current phase's cursors and states are initialised.
-    entered: bool,
+    pub(crate) entered: bool,
     /// Per-GPE stream cursor within the current phase.
-    cursors: Vec<usize>,
+    pub(crate) cursors: Vec<usize>,
     /// Per-GPE run state within the current phase.
-    states: Vec<GpeState>,
+    pub(crate) states: Vec<GpeState>,
 }
 
 impl LoopState {
-    fn initial() -> Self {
+    pub(crate) fn initial() -> Self {
         LoopState {
             phase_idx: 0,
             entered: false,
@@ -447,7 +447,7 @@ impl MachineState {
 /// Borrowed view over the carried state of a machine (or a snapshot), so
 /// the digest is implemented once and computed in place — no cloning on
 /// the per-epoch lookup path.
-struct StateView<'a> {
+pub(crate) struct StateView<'a> {
     cfg: &'a TransmuterConfig,
     table: &'a EnergyTable,
     l1: &'a [CacheBank],
@@ -467,7 +467,7 @@ struct StateView<'a> {
 }
 
 impl StateView<'_> {
-    fn digest(&self) -> u64 {
+    pub(crate) fn digest(&self) -> u64 {
         use std::hash::Hasher as _;
         let mut h = fxhash::FxHasher::default();
         h.write_u64(self.cfg.fingerprint());
@@ -529,25 +529,25 @@ enum SimPath {
 /// The simulated Transmuter machine.
 #[derive(Debug)]
 pub struct Machine {
-    spec: MachineSpec,
-    cfg: TransmuterConfig,
-    table: EnergyTable,
-    power: PowerModel,
-    l1: Vec<CacheBank>,
-    l1_pf: Vec<StridePrefetcher>,
-    l2: Vec<CacheBank>,
-    l1_busy_ps: Vec<u64>,
-    l2_busy_ps: Vec<u64>,
-    hbm: Hbm,
+    pub(crate) spec: MachineSpec,
+    pub(crate) cfg: TransmuterConfig,
+    pub(crate) table: EnergyTable,
+    pub(crate) power: PowerModel,
+    pub(crate) l1: Vec<CacheBank>,
+    pub(crate) l1_pf: Vec<StridePrefetcher>,
+    pub(crate) l2: Vec<CacheBank>,
+    pub(crate) l1_busy_ps: Vec<u64>,
+    pub(crate) l2_busy_ps: Vec<u64>,
+    pub(crate) hbm: Hbm,
     // Epoch-scoped accumulation.
-    raw: RawEpochCounters,
-    dyn_energy_j: f64,
+    pub(crate) raw: RawEpochCounters,
+    pub(crate) dyn_energy_j: f64,
     // Run state.
-    gpe_time_ps: Vec<u64>,
-    gpe_epoch_ops: Vec<u64>,
-    epoch_start_ps: u64,
-    lcp_factor: f64,
-    lcp_ops_carry: f64,
+    pub(crate) gpe_time_ps: Vec<u64>,
+    pub(crate) gpe_epoch_ops: Vec<u64>,
+    pub(crate) epoch_start_ps: u64,
+    pub(crate) lcp_factor: f64,
+    pub(crate) lcp_ops_carry: f64,
 }
 
 impl Machine {
@@ -1049,7 +1049,7 @@ impl Machine {
         t
     }
 
-    fn charge_lcp(&mut self, ops: u64) {
+    pub(crate) fn charge_lcp(&mut self, ops: u64) {
         self.lcp_ops_carry += self.lcp_factor * ops as f64;
         if self.lcp_ops_carry >= 1.0 {
             let whole = self.lcp_ops_carry.floor();
@@ -1189,7 +1189,7 @@ impl Machine {
 
     /// Shared-mode L1 bank selection: line-interleaved across the tile's
     /// banks.
-    fn l1_bank_shared(&self, g: usize, addr: u64) -> usize {
+    pub(crate) fn l1_bank_shared(&self, g: usize, addr: u64) -> usize {
         let n = self.spec.geometry.gpes_per_tile as usize;
         let tile = self.spec.geometry.tile_of(g);
         let line = addr / self.spec.line_bytes as u64;
@@ -1197,7 +1197,7 @@ impl Machine {
     }
 
     /// L2 bank selection under the active sharing mode.
-    fn l2_bank(&self, g: usize, addr: u64) -> usize {
+    pub(crate) fn l2_bank(&self, g: usize, addr: u64) -> usize {
         let tiles = self.spec.geometry.l2_bank_count();
         match self.cfg.l2_sharing {
             SharingMode::Private => self.spec.geometry.tile_of(g),
@@ -1308,7 +1308,7 @@ impl Machine {
     /// the counters and builds the epoch's record. Leaves the
     /// accumulators untouched — callers pair this with
     /// [`Machine::reset_epoch_accumulators`].
-    fn harvest_epoch(&mut self, index: usize, paid_at_entry: (f64, f64)) -> EpochRecord {
+    pub(crate) fn harvest_epoch(&mut self, index: usize, paid_at_entry: (f64, f64)) -> EpochRecord {
         // Synchronise to the slowest GPE.
         let t_sync = self.gpe_time_ps.iter().copied().max().unwrap_or(0);
         for t in &mut self.gpe_time_ps {
@@ -1381,7 +1381,7 @@ impl Machine {
 
     /// Clears the per-epoch accumulators and re-bases the epoch timer at
     /// the current (synchronised) time.
-    fn reset_epoch_accumulators(&mut self) {
+    pub(crate) fn reset_epoch_accumulators(&mut self) {
         self.raw = RawEpochCounters::default();
         self.dyn_energy_j = 0.0;
         for q in &mut self.gpe_epoch_ops {
@@ -1390,7 +1390,7 @@ impl Machine {
         self.epoch_start_ps = self.gpe_time_ps[0];
     }
 
-    fn view<'a>(&'a self, ls: &'a LoopState) -> StateView<'a> {
+    pub(crate) fn view<'a>(&'a self, ls: &'a LoopState) -> StateView<'a> {
         StateView {
             cfg: &self.cfg,
             table: &self.table,
@@ -1417,7 +1417,7 @@ impl Machine {
         self.snapshot_with(&LoopState::initial())
     }
 
-    fn snapshot_with(&self, ls: &LoopState) -> MachineState {
+    pub(crate) fn snapshot_with(&self, ls: &LoopState) -> MachineState {
         MachineState {
             cfg: self.cfg,
             table: self.table,
@@ -1451,7 +1451,7 @@ impl Machine {
         self.restore_with(state, &mut ls);
     }
 
-    fn restore_with(&mut self, state: &MachineState, ls: &mut LoopState) {
+    pub(crate) fn restore_with(&mut self, state: &MachineState, ls: &mut LoopState) {
         assert_eq!(
             self.l1.len(),
             state.l1.len(),

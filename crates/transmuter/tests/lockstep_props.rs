@@ -1,0 +1,227 @@
+//! Property tests for the lockstep batch engine: a [`MachineBatch`] of
+//! N = 1..8 lanes over a random op stream must be *bit-identical* — full
+//! [`RunResult`] equality, every epoch, every metric — to N independent
+//! scalar runs of the same configurations. That includes runs where
+//! lanes leave the shared lockstep trajectory at different epochs: via
+//! per-lane controllers reconfiguring at different epoch indices, and
+//! via pre-warmed epoch-cache hooks fast-forwarding some lanes while
+//! others simulate, resyncing at the next epoch edge.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use transmuter::config::{ConfigParam, MemKind};
+use transmuter::machine::{
+    CachedEpoch, Controller, EpochBoundary, EpochHook, EpochRecord, Machine, StaticController,
+};
+use transmuter::workload::{OpStream, Phase, Workload};
+use transmuter::{LaneDriver, MachineBatch, MachineSpec, TransmuterConfig};
+
+/// A configuration picked by ordinal index along every §3 dimension,
+/// with the indices unpacked from one seed (the vendored proptest has
+/// no fixed-size array strategies).
+fn config_from_seed(seed: u64) -> TransmuterConfig {
+    let mut cfg = TransmuterConfig::baseline();
+    for (lane, param) in ConfigParam::ALL.into_iter().enumerate() {
+        let pick = (seed >> (8 * lane)) as usize & 0xff;
+        param.set_index(&mut cfg, pick % param.value_count());
+    }
+    cfg
+}
+
+/// `count` distinct-seeded configurations, pinned to cache-mode L1 so
+/// every lane exercises the cache/prefetcher replay paths (SPM has its
+/// own deterministic test coverage in the unit suite).
+fn lane_configs(seed: u64, count: usize) -> Vec<TransmuterConfig> {
+    (0..count as u64)
+        .map(|i| {
+            let mut cfg = config_from_seed(seed.wrapping_add(i.wrapping_mul(0x9e3779b97f4a7c15)));
+            cfg.l1_kind = MemKind::Cache;
+            cfg
+        })
+        .collect()
+}
+
+/// A random multi-phase workload from one seed: mixed loads, stores,
+/// FP and integer bursts, with per-GPE address walks that revisit lines
+/// (cache hits), stride (prefetcher confidence) and jump (misses).
+fn random_workload(seed: u64, phases: usize, ops_per_gpe: u64) -> Workload {
+    let mut x = seed | 1;
+    let mut step = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+    let phase_list = (0..phases)
+        .map(|p| {
+            let streams: Vec<OpStream> = (0..16)
+                .map(|g| {
+                    let base = (g as u64) << 22;
+                    let mut addr = base;
+                    let mut ops = OpStream::with_capacity(2 * ops_per_gpe as usize);
+                    for _ in 0..ops_per_gpe {
+                        let r = step();
+                        match r % 10 {
+                            0..=3 => {
+                                addr = match r % 3 {
+                                    0 => addr.wrapping_add(8 + r % 120),
+                                    1 => base + (r >> 32) % (1 << 16),
+                                    _ => addr, // repeat: guaranteed warm line
+                                };
+                                ops.push_load(addr, (r % 13) as u32);
+                            }
+                            4..=5 => ops.push_store(addr ^ (64 << (r % 3)), (r % 7) as u32),
+                            6..=8 => ops.push_flops(1 + (r % 9) as u32),
+                            _ => ops.push_int_ops(1 + (r % 5) as u32),
+                        }
+                    }
+                    ops
+                })
+                .collect();
+            Phase::new(&format!("p{p}"), streams)
+        })
+        .collect();
+    Workload::new("lockstep-props", phase_list)
+}
+
+/// Reconfigures to `to` when the epoch index reaches `at`; lanes given
+/// different `at` values desynchronise from one another at different
+/// epoch edges.
+#[derive(Clone)]
+struct SwitchAt {
+    at: usize,
+    to: TransmuterConfig,
+}
+
+impl Controller for SwitchAt {
+    fn on_epoch(&mut self, record: &EpochRecord) -> Option<TransmuterConfig> {
+        (record.index == self.at).then_some(self.to)
+    }
+}
+
+/// A minimal in-memory epoch cache.
+#[derive(Default)]
+struct MapHook {
+    map: HashMap<EpochBoundary, Arc<CachedEpoch>>,
+    hits: usize,
+}
+
+impl EpochHook for MapHook {
+    fn lookup(&mut self, b: &EpochBoundary) -> Option<Arc<CachedEpoch>> {
+        let found = self.map.get(b).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    fn record(&mut self, b: &EpochBoundary, e: CachedEpoch) {
+        self.map.insert(*b, Arc::new(e));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Plain sweep: N lanes, no hooks, no reconfiguration.
+    #[test]
+    fn batch_is_bit_identical_to_scalar_runs(
+        cfg_seed in 0u64..u64::MAX,
+        wl_seed in 0u64..u64::MAX,
+        lanes in 1usize..=8,
+        phases in 1usize..=2,
+        ops in 300u64..900,
+        epoch_ops in 200u64..900,
+    ) {
+        let spec = MachineSpec::default().with_epoch_ops(epoch_ops);
+        let wl = random_workload(wl_seed, phases, ops);
+        let cfgs = lane_configs(cfg_seed, lanes);
+        let got = MachineBatch::new(spec, &cfgs).run(&wl);
+        for (cfg, r) in cfgs.iter().zip(&got) {
+            let want = Machine::new(spec, *cfg).run(&wl);
+            prop_assert_eq!(r, &want);
+        }
+    }
+
+    /// Per-lane controllers switching at different epoch indices: each
+    /// lane desynchronises (reconfigures) at its own epoch edge and must
+    /// still match a scalar controlled run bit for bit.
+    #[test]
+    fn controllers_desyncing_at_different_epochs_match_scalar(
+        cfg_seed in 0u64..u64::MAX,
+        wl_seed in 0u64..u64::MAX,
+        lanes in 2usize..=8,
+        ops in 300u64..700,
+    ) {
+        let spec = MachineSpec::default().with_epoch_ops(150);
+        let wl = random_workload(wl_seed, 2, ops);
+        let cfgs = lane_configs(cfg_seed, lanes);
+        // Lane i switches at epoch i to lane (i+1)'s starting config.
+        let ctrls: Vec<SwitchAt> = (0..lanes)
+            .map(|i| SwitchAt { at: i, to: cfgs[(i + 1) % lanes] })
+            .collect();
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let mut running = ctrls.clone();
+        let mut drivers: Vec<LaneDriver<'_>> = running
+            .iter_mut()
+            .map(|c| LaneDriver { controller: c, hook: None })
+            .collect();
+        let got = batch.run_with(&wl, &mut drivers);
+        for ((cfg, ctrl), r) in cfgs.iter().zip(&ctrls).zip(&got) {
+            let want = Machine::new(spec, *cfg)
+                .run_with_controller(&wl, &mut ctrl.clone());
+            prop_assert_eq!(r, &want);
+        }
+    }
+
+    /// Mixed warm/cold epoch-cache hooks: odd lanes carry hooks warmed
+    /// by a scalar recording run (every epoch fast-forwards out of
+    /// lockstep), even lanes simulate cold — all must reproduce the
+    /// hookless results bit for bit, and the warm lanes must actually
+    /// have hit.
+    #[test]
+    fn warm_hook_lanes_fast_forward_and_match_scalar(
+        cfg_seed in 0u64..u64::MAX,
+        wl_seed in 0u64..u64::MAX,
+        lanes in 1usize..=8,
+        ops in 300u64..700,
+        epoch_ops in 200u64..600,
+    ) {
+        let spec = MachineSpec::default().with_epoch_ops(epoch_ops);
+        let wl = random_workload(wl_seed, 1, ops);
+        let cfgs = lane_configs(cfg_seed, lanes);
+        // Scalar recording pass warms one hook per odd lane; it also
+        // provides the reference results for every lane.
+        let mut hooks: Vec<MapHook> = cfgs.iter().map(|_| MapHook::default()).collect();
+        let mut want = Vec::with_capacity(lanes);
+        for (i, cfg) in cfgs.iter().enumerate() {
+            want.push(if i % 2 == 1 {
+                Machine::new(spec, *cfg).run_with_hook(&wl, &mut hooks[i])
+            } else {
+                Machine::new(spec, *cfg).run(&wl)
+            });
+        }
+        let mut ctrls = vec![StaticController; lanes];
+        let mut batch = MachineBatch::new(spec, &cfgs);
+        let mut drivers: Vec<LaneDriver<'_>> = ctrls
+            .iter_mut()
+            .zip(hooks.iter_mut())
+            .enumerate()
+            .map(|(i, (c, h))| LaneDriver {
+                controller: c,
+                hook: (i % 2 == 1).then_some(h as &mut dyn EpochHook),
+            })
+            .collect();
+        let got = batch.run_with(&wl, &mut drivers);
+        for (r, w) in got.iter().zip(&want) {
+            prop_assert_eq!(r, w);
+        }
+        for (i, h) in hooks.iter().enumerate() {
+            if i % 2 == 1 {
+                prop_assert_eq!(h.hits, got[i].epochs.len());
+            }
+        }
+    }
+}
