@@ -3,11 +3,19 @@
 //! ```text
 //! Usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES]
 //!              [--epoch-cache] [--epoch-cache-dir DIR]
-//!              [--lockstep | --no-lockstep] [--serial] [experiment ...|all]
+//!              [--lockstep | --no-lockstep] [--serial]
+//!              [--mtx DIR] [--quick] [experiment ...|all]
 //! Experiments: fig1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 table6 sec64
 //!              sec7 insights ablation
 //! Scale via SA_SCALE = quick | half | paper (default quick).
 //! ```
+//!
+//! `--mtx DIR` runs the real-matrix suite instead: every `.mtx` file in
+//! DIR goes through the SpMV / SpTRSV / SymGS kernel family under the
+//! named configuration presets (see DESIGN.md, "Matrix ingestion").
+//! Named experiments can still be listed alongside it; without any, the
+//! run is the mtx suite alone. `--quick` trims the preset sweep to the
+//! smoke-test pair (Baseline and BestAvg-cache).
 //!
 //! `--threads N` caps the worker pool (default: available parallelism).
 //! `--cache-dir DIR` persists simulated traces to disk so later runs —
@@ -120,6 +128,8 @@ struct Cli {
     epoch_cache_dir: Option<std::path::PathBuf>,
     lockstep: bool,
     serial: bool,
+    mtx_dir: Option<std::path::PathBuf>,
+    quick: bool,
     experiments: Vec<String>,
 }
 
@@ -127,7 +137,7 @@ fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: paper [--threads N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
          [--epoch-cache] [--epoch-cache-dir DIR] [--lockstep | --no-lockstep] \
-         [--serial] [experiment ...|all]\n\
+         [--serial] [--mtx DIR] [--quick] [experiment ...|all]\n\
          experiments: {} all",
         ALL.join(" ")
     );
@@ -143,6 +153,8 @@ fn parse_cli() -> Cli {
         epoch_cache_dir: None,
         lockstep: true,
         serial: false,
+        mtx_dir: None,
+        quick: false,
         experiments: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
@@ -189,6 +201,14 @@ fn parse_cli() -> Cli {
             "--lockstep" => cli.lockstep = true,
             "--no-lockstep" => cli.lockstep = false,
             "--serial" => cli.serial = true,
+            "--mtx" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--mtx needs a directory of .mtx files");
+                    usage_and_exit(2)
+                });
+                cli.mtx_dir = Some(std::path::PathBuf::from(dir));
+            }
+            "--quick" => cli.quick = true,
             "--help" | "-h" => usage_and_exit(0),
             other if other.starts_with('-') => {
                 eprintln!("unknown flag '{other}'");
@@ -218,12 +238,15 @@ fn main() {
         cache.set_disk_dir(cli.epoch_cache_dir.clone());
     }
     sparseadapt::exec::set_lockstep(cli.lockstep);
-    let list: Vec<String> =
-        if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {
-            ALL.iter().map(|s| s.to_string()).collect()
-        } else {
-            cli.experiments.clone()
-        };
+    // With `--mtx` and no named experiments, the run is the real-matrix
+    // suite alone — `all` is not implied.
+    let list: Vec<String> = if cli.experiments.is_empty() && cli.mtx_dir.is_some() {
+        Vec::new()
+    } else if cli.experiments.is_empty() || cli.experiments.iter().any(|e| e == "all") {
+        ALL.iter().map(|s| s.to_string()).collect()
+    } else {
+        cli.experiments.clone()
+    };
     for exp in &list {
         if !ALL.contains(&exp.as_str()) {
             eprintln!("unknown experiment '{exp}'");
@@ -236,7 +259,20 @@ fn main() {
     );
 
     let started = std::time::Instant::now();
-    if cli.serial || list.len() == 1 {
+    if let Some(dir) = &cli.mtx_dir {
+        let mtx_started = std::time::Instant::now();
+        match experiments::mtx::run(&harness, dir, cli.quick) {
+            Ok(_) => eprintln!(
+                "# mtx finished in {:.1}s",
+                mtx_started.elapsed().as_secs_f64()
+            ),
+            Err(e) => {
+                eprintln!("mtx suite failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if cli.serial || list.len() <= 1 {
         for exp in &list {
             run_one(&harness, exp);
         }

@@ -18,12 +18,15 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod insights;
+pub mod mtx;
 pub mod sec64;
 pub mod sec7;
 pub mod table6;
 
 use sparse::suite::MatrixSpec;
 use sparseadapt::eval::{compare, ComparisonSetup, SchemeComparison};
+
+use crate::mtx::MatrixSource;
 use sparseadapt::{PredictiveEnsemble, ReconfigPolicy};
 use transmuter::config::{MachineSpec, MemKind};
 use transmuter::metrics::OptMode;
@@ -39,14 +42,27 @@ pub enum Kernel {
     SpMSpM,
     /// SpMSpV / graph kernels (epoch 500, hybrid-40 % policy).
     SpMSpV,
+    /// Row-streaming SpMV over a dense operand (real-matrix workhorse).
+    SpMV,
+    /// Level-scheduled forward triangular solve.
+    SpTRSV,
+    /// Symmetric Gauss–Seidel (forward + backward level ladders).
+    SymGS,
 }
 
 impl Kernel {
     /// The machine spec for this kernel at a dataset scale.
+    ///
+    /// The solver family shares SpMSpV's epoch sizing: per-row work is
+    /// the same order of magnitude, and the level phases of
+    /// SpTRSV/SymGS are short, so the smaller quota keeps several
+    /// epochs per phase.
     pub fn spec(self, scale: sparse::suite::Scale) -> MachineSpec {
         match self {
             Kernel::SpMSpM => crate::workloads::spmspm_spec(scale),
-            Kernel::SpMSpV => crate::workloads::spmspv_spec(scale),
+            Kernel::SpMSpV | Kernel::SpMV | Kernel::SpTRSV | Kernel::SymGS => {
+                crate::workloads::spmspv_spec(scale)
+            }
         }
     }
 
@@ -59,8 +75,17 @@ impl Kernel {
     pub fn policy(self) -> ReconfigPolicy {
         match self {
             Kernel::SpMSpM => ReconfigPolicy::Hybrid { tolerance: 0.2 },
-            Kernel::SpMSpV => ReconfigPolicy::hybrid40(),
+            Kernel::SpMSpV | Kernel::SpMV | Kernel::SpTRSV | Kernel::SymGS => {
+                ReconfigPolicy::hybrid40()
+            }
         }
+    }
+
+    /// Whether the kernel requires a square matrix (the solver family
+    /// and the square-structured SpMSp* builds do; SpMV takes any
+    /// shape).
+    pub fn requires_square(self) -> bool {
+        !matches!(self, Kernel::SpMV)
     }
 }
 
@@ -116,5 +141,63 @@ pub fn suite_workload(
         Kernel::SpMSpV => {
             crate::workloads::spmspv_workload(spec, harness.scale, l1_kind, harness.seed, n)
         }
+        Kernel::SpMV => {
+            crate::workloads::spmv_workload(spec, harness.scale, l1_kind, harness.seed, n)
+        }
+        Kernel::SpTRSV => {
+            crate::workloads::sptrsv_workload(spec, harness.scale, l1_kind, harness.seed, n)
+        }
+        Kernel::SymGS => {
+            crate::workloads::symgs_workload(spec, harness.scale, l1_kind, harness.seed, n)
+        }
     }
+}
+
+/// The workload for any matrix source — suite specs go through
+/// [`suite_workload`]; registered `.mtx` matrices are used as-is (no
+/// scaling) with the same deterministic operands.
+///
+/// # Panics
+///
+/// Panics if the kernel [`Kernel::requires_square`] and the registered
+/// matrix is rectangular — callers gate on [`MatrixSource::is_square`].
+pub fn source_workload(
+    harness: &Harness,
+    source: &MatrixSource,
+    kernel: Kernel,
+    l1_kind: MemKind,
+) -> Workload {
+    let spec = match source {
+        MatrixSource::Suite(spec) => spec,
+        MatrixSource::Mtx { matrix, .. } => {
+            let n = kernel.spec(harness.scale).geometry.gpe_count();
+            let seed = harness.seed;
+            return match kernel {
+                Kernel::SpMV => {
+                    crate::workloads::spmv_workload_csr(&matrix.to_csr(), l1_kind, seed, n)
+                }
+                Kernel::SpTRSV => {
+                    crate::workloads::sptrsv_workload_csr(&matrix.to_csr(), l1_kind, seed, n)
+                }
+                Kernel::SymGS => {
+                    crate::workloads::symgs_workload_csr(&matrix.to_csr(), l1_kind, seed, n)
+                }
+                Kernel::SpMSpM => {
+                    let a = matrix.to_csc();
+                    let b = matrix.to_csr().transpose();
+                    kernels::spmspm::build_with_variant(&a, &b, n, l1_kind).workload
+                }
+                Kernel::SpMSpV => {
+                    let a = matrix.to_csc();
+                    let x = sparse::gen::uniform_random_vector(
+                        a.dim(),
+                        0.5,
+                        sparse::gen::GenSeed(seed ^ 0xFEED),
+                    );
+                    kernels::spmspv::build_with_variant(&a, &x, n, l1_kind).workload
+                }
+            };
+        }
+    };
+    suite_workload(harness, spec, kernel, l1_kind)
 }

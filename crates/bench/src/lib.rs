@@ -11,6 +11,7 @@
 
 pub mod experiments;
 pub mod models;
+pub mod mtx;
 pub mod report;
 pub mod workloads;
 

@@ -1,9 +1,11 @@
 //! Workload construction for the evaluation suites.
 
-use kernels::{bfs, spmspm, spmspv, sssp};
+use kernels::sptrsv::{self, Sweep};
+use kernels::{bfs, spmspm, spmspv, spmv, sssp, symgs};
 use sparse::gen::{uniform_random_vector, GenSeed};
 use sparse::suite::Scale as SuiteScale;
 use sparse::suite::{MatrixSpec, Scale};
+use sparse::{CsrMatrix, DenseVector};
 use transmuter::config::{MachineSpec, MemKind};
 use transmuter::workload::Workload;
 
@@ -56,6 +58,83 @@ pub fn spmspv_workload(
     spmspv::build_with_variant(&a, &x, n_gpes, l1_kind).workload
 }
 
+/// A fully dense operand/right-hand-side vector, derived
+/// deterministically from the seed with an LCG (values in `[1, 2)`, so
+/// no accidental cancellation hides a wrong accumulation order).
+fn dense_operand(dim: u32, seed: u64) -> DenseVector {
+    let mut s = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let values = (0..dim)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            1.0 + (s >> 40) as f64 / (1u64 << 24) as f64
+        })
+        .collect();
+    DenseVector::from_values(values)
+}
+
+/// Builds `y = A · x` for a concrete CSR matrix against a dense
+/// deterministic operand (the real-matrix path; rectangular inputs are
+/// fine).
+pub fn spmv_workload_csr(a: &CsrMatrix, l1_kind: MemKind, seed: u64, n_gpes: usize) -> Workload {
+    let x = dense_operand(a.cols(), seed ^ 0xD05E);
+    spmv::build_with_variant(a, &x, n_gpes, l1_kind).workload
+}
+
+/// Builds the forward triangular solve `L · y = b` on the lower
+/// triangle of a concrete square CSR matrix (diagonal patched in when
+/// absent), level-scheduled so each dependency level is one phase.
+pub fn sptrsv_workload_csr(a: &CsrMatrix, l1_kind: MemKind, seed: u64, n_gpes: usize) -> Workload {
+    let l = sptrsv::factor_lower(a);
+    let b = dense_operand(a.rows(), seed ^ 0x50F7);
+    sptrsv::build_with_variant(&l, &b, Sweep::Forward, n_gpes, l1_kind).workload
+}
+
+/// Builds one symmetric Gauss–Seidel application (forward then backward
+/// level-scheduled sweep) on a concrete square CSR matrix.
+pub fn symgs_workload_csr(a: &CsrMatrix, l1_kind: MemKind, seed: u64, n_gpes: usize) -> Workload {
+    let ad = sptrsv::ensure_diagonal(a);
+    let b = dense_operand(a.rows(), seed ^ 0x6A55);
+    symgs::build_with_variant(&ad, &b, n_gpes, l1_kind).workload
+}
+
+/// Builds SpMV for a suite matrix at scale.
+pub fn spmv_workload(
+    spec: &MatrixSpec,
+    scale: Scale,
+    l1_kind: MemKind,
+    seed: u64,
+    n_gpes: usize,
+) -> Workload {
+    let a = spec.generate(scale, GenSeed(seed)).to_csr();
+    spmv_workload_csr(&a, l1_kind, seed, n_gpes)
+}
+
+/// Builds the forward SpTRSV for a suite matrix at scale.
+pub fn sptrsv_workload(
+    spec: &MatrixSpec,
+    scale: Scale,
+    l1_kind: MemKind,
+    seed: u64,
+    n_gpes: usize,
+) -> Workload {
+    let a = spec.generate(scale, GenSeed(seed)).to_csr();
+    sptrsv_workload_csr(&a, l1_kind, seed, n_gpes)
+}
+
+/// Builds SymGS for a suite matrix at scale.
+pub fn symgs_workload(
+    spec: &MatrixSpec,
+    scale: Scale,
+    l1_kind: MemKind,
+    seed: u64,
+    n_gpes: usize,
+) -> Workload {
+    let a = spec.generate(scale, GenSeed(seed)).to_csr();
+    symgs_workload_csr(&a, l1_kind, seed, n_gpes)
+}
+
 /// The traversal source: the highest-out-degree vertex, so power-law
 /// graphs (whose low columns can be empty under the paper's R-MAT
 /// parameters) yield a non-trivial traversal.
@@ -96,5 +175,30 @@ mod tests {
         let (w, edges) = bfs_workload(&r12, Scale::Quick, 1, n);
         assert!(edges > 0);
         assert!(!w.phases.is_empty());
+    }
+
+    #[test]
+    fn solver_family_workloads_build_at_quick_scale() {
+        let n = 16;
+        let r09 = spec_by_id("R09").unwrap();
+        let w = spmv_workload(&r09, Scale::Quick, MemKind::Cache, 1, n);
+        assert!(w.total_flops() > 0);
+        assert_eq!(w.phases.len(), 1);
+        let w = sptrsv_workload(&r09, Scale::Quick, MemKind::Spm, 1, n);
+        assert!(w.total_flops() > 0);
+        assert!(w.phases.len() > 1, "level ladder expected");
+        let w = symgs_workload(&r09, Scale::Quick, MemKind::Cache, 1, n);
+        assert!(w.total_flops() > 0);
+        assert!(w.phases.iter().any(|p| p.name.starts_with("symgs-bwd")));
+    }
+
+    #[test]
+    fn dense_operand_is_deterministic_and_dense() {
+        let a = dense_operand(64, 7);
+        let b = dense_operand(64, 7);
+        assert_eq!(a.values(), b.values());
+        assert!(a.values().iter().all(|&v| (1.0..2.0).contains(&v)));
+        let c = dense_operand(64, 8);
+        assert_ne!(a.values(), c.values());
     }
 }

@@ -22,6 +22,12 @@
 //!   §5.4 mentions and rules out for the evaluated densities.
 //! * [`gemm`] / [`conv`] — dense *regular* kernels, used to reproduce
 //!   the §7 negative result (dynamic control is overkill for them).
+//! * [`spmv`] — row-streaming sparse-matrix × dense-vector product, the
+//!   workhorse kernel for real `.mtx` inputs.
+//! * [`sptrsv`] — level-scheduled sparse triangular solve (forward and
+//!   backward sweeps), one explicit phase per dependency level.
+//! * [`symgs`] — symmetric Gauss–Seidel (a forward then a backward
+//!   level-scheduled sweep over the full matrix).
 //!
 //! Work items are assigned to GPEs with a deterministic load-balancing
 //! heuristic ([`partition`]), so epoch contents are identical across
@@ -53,7 +59,10 @@ pub mod layout;
 pub mod partition;
 pub mod spmspm;
 pub mod spmspv;
+pub mod spmv;
+pub mod sptrsv;
 pub mod sssp;
+pub mod symgs;
 
 /// Stable access-site ids (stand-ins for program counters) used by the
 /// stride prefetcher. One id per logical access site per kernel.
@@ -92,4 +101,18 @@ pub mod pc {
     pub const STATE_R: u32 = 16;
     /// Visited/level/distance array writes.
     pub const STATE_W: u32 = 17;
+    /// CSR row-offsets stream (SpMV / SpTRSV / SymGS operand matrix).
+    pub const A_ROWPTR: u32 = 18;
+    /// Dense vector operand reads (SpMV `x`).
+    pub const X_DENSE: u32 = 19;
+    /// Dense result writes (SpMV `y`).
+    pub const Y_W: u32 = 20;
+    /// Diagonal value reads (triangular solve / Gauss–Seidel pivot).
+    pub const DIAG_R: u32 = 21;
+    /// Right-hand-side reads (`b`).
+    pub const RHS_R: u32 = 22;
+    /// Solution-vector dependency reads.
+    pub const SOL_R: u32 = 23;
+    /// Solution-vector writes.
+    pub const SOL_W: u32 = 24;
 }

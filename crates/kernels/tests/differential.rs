@@ -1,0 +1,153 @@
+//! Differential wall for the solver kernels: the level-scheduled
+//! op-stream builds of SpTRSV and SymGS must produce results
+//! *bit-identical* to naive scalar reference solvers — across three
+//! structurally different matrices and both L1 kinds (cache and SPM) —
+//! and their op streams must execute cleanly on the machine under
+//! matching configurations. SpMV rides along with an independent
+//! scalar cross-check. This mirrors the engine-level differential suite
+//! in `transmuter/tests/differential.rs`, one layer up: there the two
+//! paths are simulator engines, here they are the scheduled kernel
+//! versus the textbook sequential algorithm.
+
+use kernels::sptrsv::{self, Sweep};
+use kernels::{spmv, symgs};
+use sparse::gen::{rmat, structured, uniform_random, GenSeed, PatternClass};
+use sparse::{CsrMatrix, DenseVector};
+use transmuter::config::{MachineSpec, MemKind, TransmuterConfig};
+use transmuter::machine::Machine;
+
+/// Three structurally distinct square matrices: uniform scatter,
+/// power-law hubs, and a banded FEM-style pattern. Each produces a very
+/// different level ladder (bandedness caps dependency depth; hubs
+/// create long chains).
+fn matrices() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("uniform", uniform_random(192, 2_600, GenSeed(11)).to_csr()),
+        ("rmat", rmat(192, 2_600, GenSeed(12)).to_csr()),
+        (
+            "banded",
+            structured(
+                192,
+                2_600,
+                &PatternClass::Banded { half_bandwidth: 9 },
+                GenSeed(13),
+            )
+            .to_csr(),
+        ),
+    ]
+}
+
+fn rhs(dim: u32) -> DenseVector {
+    DenseVector::from_values(
+        (0..dim)
+            .map(|i| 1.0 + ((i * 37 + 11) % 29) as f64 / 8.0)
+            .collect(),
+    )
+}
+
+/// A baseline config flipped to the requested L1 kind.
+fn config_for(l1: MemKind) -> TransmuterConfig {
+    let mut cfg = TransmuterConfig::baseline();
+    cfg.l1_kind = l1;
+    cfg
+}
+
+/// Runs a built workload on the machine under the matching L1 config
+/// and checks the op-stream accounting holds.
+fn assert_executes(wl: &transmuter::workload::Workload, l1: MemKind, label: &str) {
+    let spec = MachineSpec::default().with_epoch_ops(800);
+    let r = Machine::new(spec, config_for(l1)).run(wl);
+    assert_eq!(r.flops, wl.total_fp_ops(), "{label}: flop accounting");
+    assert!(r.time_s > 0.0, "{label}: no simulated time");
+    assert!(!r.epochs.is_empty(), "{label}: no epochs");
+}
+
+#[test]
+fn sptrsv_levels_match_naive_scalar_bit_for_bit() {
+    for (name, m) in matrices() {
+        let b = rhs(m.rows());
+        for sweep in [Sweep::Forward, Sweep::Backward] {
+            let l = match sweep {
+                Sweep::Forward => sptrsv::factor_lower(&m),
+                Sweep::Backward => sptrsv::factor_upper(&m),
+            };
+            let want = sptrsv::solve_reference(&l, &b, sweep);
+            for l1 in [MemKind::Cache, MemKind::Spm] {
+                let built = sptrsv::build_with_variant(&l, &b, sweep, 16, l1);
+                // Bit-identical: compare the raw f64 bits, not within
+                // a tolerance.
+                let got: Vec<u64> = built.result.values().iter().map(|v| v.to_bits()).collect();
+                let exp: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, exp, "sptrsv {name} {sweep:?} {l1:?}");
+                assert_executes(
+                    &built.workload,
+                    l1,
+                    &format!("sptrsv {name} {sweep:?} {l1:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn symgs_sweeps_match_naive_scalar_bit_for_bit() {
+    for (name, m) in matrices() {
+        let a = sptrsv::ensure_diagonal(&m);
+        let b = rhs(a.rows());
+        let want = symgs::reference(&a, &b);
+        for l1 in [MemKind::Cache, MemKind::Spm] {
+            let built = symgs::build_with_variant(&a, &b, 16, l1);
+            let got: Vec<u64> = built.result.values().iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u64> = want.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "symgs {name} {l1:?}");
+            assert_executes(&built.workload, l1, &format!("symgs {name} {l1:?}"));
+        }
+    }
+}
+
+#[test]
+fn spmv_matches_independent_scalar_product() {
+    for (name, m) in matrices() {
+        let x = DenseVector::from_values(
+            (0..m.cols())
+                .map(|i| 0.25 + ((i * 13 + 5) % 17) as f64 / 4.0)
+                .collect(),
+        );
+        // Independent scalar loop, same per-row column order as the
+        // kernel models — results must agree bit for bit.
+        let mut want = vec![0.0f64; m.rows() as usize];
+        for r in 0..m.rows() {
+            let (cols, vals) = m.row(r);
+            let mut acc = 0.0f64;
+            for (&c, &v) in cols.iter().zip(vals) {
+                acc += v * x.values()[c as usize];
+            }
+            want[r as usize] = acc;
+        }
+        for l1 in [MemKind::Cache, MemKind::Spm] {
+            let built = spmv::build_with_variant(&m, &x, 16, l1);
+            let got: Vec<u64> = built.result.values().iter().map(|v| v.to_bits()).collect();
+            let exp: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, exp, "spmv {name} {l1:?}");
+            assert_executes(&built.workload, l1, &format!("spmv {name} {l1:?}"));
+        }
+    }
+}
+
+#[test]
+fn partition_count_does_not_change_solver_bits() {
+    // The schedule is partitioned differently for different GPE counts;
+    // the functional result must not care.
+    let m = rmat(160, 2_200, GenSeed(21)).to_csr();
+    let l = sptrsv::factor_lower(&m);
+    let a = sptrsv::ensure_diagonal(&m);
+    let b = rhs(160);
+    let base_tr = sptrsv::build(&l, &b, Sweep::Forward, 1).result;
+    let base_gs = symgs::build(&a, &b, 1).result;
+    for n_gpes in [2usize, 7, 16, 61] {
+        let tr = sptrsv::build(&l, &b, Sweep::Forward, n_gpes).result;
+        assert_eq!(tr.values(), base_tr.values(), "sptrsv @ {n_gpes} GPEs");
+        let gs = symgs::build(&a, &b, n_gpes).result;
+        assert_eq!(gs.values(), base_gs.values(), "symgs @ {n_gpes} GPEs");
+    }
+}

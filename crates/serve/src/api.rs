@@ -23,7 +23,6 @@
 //! structured shape, [`ApiError`]: `{code, message, retry_after_ms?}`.
 
 use serde::{Deserialize, Serialize};
-use sparse::suite::MatrixSpec;
 use sparseadapt::service::TraceSummary;
 use sparseadapt::ReconfigPolicy;
 use transmuter::config::{MemKind, TransmuterConfig};
@@ -31,14 +30,18 @@ use transmuter::counters::Telemetry;
 use transmuter::metrics::OptMode;
 
 use sa_bench::experiments::Kernel;
+use sa_bench::mtx::MatrixSource;
 
 /// `POST /v1/simulate`: run (or fetch from the trace cache) one
 /// `(kernel, matrix, config)` simulation and return its summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulateRequest {
-    /// Kernel name: `"spmspm"` or `"spmspv"` (case-insensitive).
+    /// Kernel name: `"spmspm"`, `"spmspv"`, `"spmv"`, `"sptrsv"`, or
+    /// `"symgs"` (case-insensitive).
     pub kernel: String,
-    /// Suite matrix id (`"R01"`…`"R16"`, or a synthetic id).
+    /// Suite matrix id (`"R01"`…`"R16"`, or a synthetic id), or the
+    /// `"mtx:<hash>"` content id of a matrix uploaded via
+    /// `POST /v2/matrices`.
     pub matrix: String,
     /// L1 memory kind; defaults to `Cache`.
     pub l1_kind: Option<MemKind>,
@@ -115,9 +118,9 @@ impl RecommendApiRequest {
 /// response is a job id to poll at `GET /v1/jobs/<id>`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepRequest {
-    /// Kernel name: `"spmspm"` or `"spmspv"`.
+    /// Kernel name (same vocabulary as [`SimulateRequest::kernel`]).
     pub kernel: String,
-    /// Suite matrix id.
+    /// Suite matrix id or `"mtx:<hash>"` content id.
     pub matrix: String,
     /// L1 memory kind; defaults to `Cache`.
     pub l1_kind: Option<MemKind>,
@@ -165,6 +168,40 @@ pub struct SweepResult {
     /// or `"scalar"` (one machine per configuration). `/v2` only — the
     /// v1 compatibility shim strips it from the job view.
     pub engine: String,
+}
+
+/// `POST /v2/matrices`: register a MatrixMarket matrix by content. The
+/// response names it by canonical content hash (`"mtx:<hash>"`), which
+/// later `/v2/simulate` / `/v2/sweep` requests pass as `matrix`.
+/// Uploading the same canonical matrix twice — even with different
+/// whitespace, comments, entry order, or storage symmetry — dedups to
+/// one id.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadMatrixRequest {
+    /// The MatrixMarket file body, verbatim.
+    pub mtx: String,
+}
+
+impl UploadMatrixRequest {
+    /// Top-level fields `/v2/matrices` accepts; anything else is a
+    /// [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] = &["mtx"];
+}
+
+/// The answer to an [`UploadMatrixRequest`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UploadMatrixResponse {
+    /// The content id (`"mtx:<16 hex digits>"`) to use as `matrix` in
+    /// simulate/sweep requests.
+    pub matrix: String,
+    /// Row count.
+    pub rows: u64,
+    /// Column count.
+    pub cols: u64,
+    /// Canonical nonzero count (duplicates summed, symmetry expanded).
+    pub nnz: u64,
+    /// `true` when this content was already registered on this shard.
+    pub deduplicated: bool,
 }
 
 /// `202 Accepted` document for a sweep launch: where to poll.
@@ -334,8 +371,8 @@ impl ApiVersion {
 pub struct ResolvedSim {
     /// The kernel.
     pub kernel: Kernel,
-    /// The suite matrix.
-    pub matrix: MatrixSpec,
+    /// The matrix: a suite spec or a registered `.mtx` upload.
+    pub matrix: MatrixSource,
     /// L1 memory kind.
     pub l1_kind: MemKind,
     /// The concrete configuration.
@@ -347,8 +384,11 @@ pub fn parse_kernel(name: &str) -> Result<Kernel, String> {
     match name.to_ascii_lowercase().as_str() {
         "spmspm" => Ok(Kernel::SpMSpM),
         "spmspv" => Ok(Kernel::SpMSpV),
+        "spmv" => Ok(Kernel::SpMV),
+        "sptrsv" => Ok(Kernel::SpTRSV),
+        "symgs" => Ok(Kernel::SymGS),
         other => Err(format!(
-            "unknown kernel '{other}' (expected 'spmspm' or 'spmspv')"
+            "unknown kernel '{other}' (expected spmspm, spmspv, spmv, sptrsv, or symgs)"
         )),
     }
 }
@@ -358,6 +398,9 @@ pub fn kernel_name(kernel: Kernel) -> &'static str {
     match kernel {
         Kernel::SpMSpM => "spmspm",
         Kernel::SpMSpV => "spmspv",
+        Kernel::SpMV => "spmv",
+        Kernel::SpTRSV => "sptrsv",
+        Kernel::SymGS => "symgs",
     }
 }
 
@@ -374,8 +417,22 @@ pub fn config_by_name(name: &str) -> Result<TransmuterConfig, String> {
     }
 }
 
-fn resolve_matrix(id: &str) -> Result<MatrixSpec, String> {
-    sparse::suite::spec_by_id(id).ok_or_else(|| format!("unknown matrix id '{id}'"))
+fn resolve_matrix(id: &str) -> Result<MatrixSource, String> {
+    MatrixSource::resolve(id).ok_or_else(|| format!("unknown matrix id '{id}'"))
+}
+
+/// The one workload-shape constraint names can violate after resolving:
+/// solver kernels need a square operand, and an uploaded matrix can be
+/// any shape.
+fn check_shape(kernel: Kernel, matrix: &MatrixSource) -> Result<(), String> {
+    if kernel.requires_square() && !matrix.is_square() {
+        return Err(format!(
+            "kernel '{}' requires a square matrix; '{}' is rectangular",
+            kernel_name(kernel),
+            matrix.id()
+        ));
+    }
+    Ok(())
 }
 
 impl SimulateRequest {
@@ -385,6 +442,7 @@ impl SimulateRequest {
     pub fn resolve(&self) -> Result<ResolvedSim, String> {
         let kernel = parse_kernel(&self.kernel)?;
         let matrix = resolve_matrix(&self.matrix)?;
+        check_shape(kernel, &matrix)?;
         let l1_kind = self.l1_kind.unwrap_or_default();
         let mut config = match (&self.config, &self.config_name) {
             (Some(c), _) => *c,
@@ -410,7 +468,7 @@ impl ResolvedSim {
         format!(
             "sim/{}/{}/{:?}/{:016x}",
             kernel_name(self.kernel),
-            self.matrix.id,
+            self.matrix.id(),
             self.l1_kind,
             self.config.fingerprint()
         )
@@ -423,6 +481,7 @@ impl SweepRequest {
     pub fn resolve(&self) -> Result<ResolvedSim, String> {
         let kernel = parse_kernel(&self.kernel)?;
         let matrix = resolve_matrix(&self.matrix)?;
+        check_shape(kernel, &matrix)?;
         let l1_kind = self.l1_kind.unwrap_or_default();
         let mut config = TransmuterConfig::baseline();
         config.l1_kind = l1_kind;
@@ -453,7 +512,7 @@ mod tests {
         assert_eq!(back, req);
         let resolved = back.resolve().expect("resolves");
         assert_eq!(resolved.kernel, Kernel::SpMSpV);
-        assert_eq!(resolved.matrix.id, "R09");
+        assert_eq!(resolved.matrix.id(), "R09");
         assert_eq!(resolved.config.l1_kind, MemKind::Spm);
     }
 
@@ -485,6 +544,53 @@ mod tests {
             named.resolve().unwrap().key(),
             explicit.resolve().unwrap().key()
         );
+    }
+
+    #[test]
+    fn solver_kernels_parse_and_round_trip() {
+        for (name, k) in [
+            ("spmv", Kernel::SpMV),
+            ("SpTRSV", Kernel::SpTRSV),
+            ("SymGS", Kernel::SymGS),
+        ] {
+            assert_eq!(parse_kernel(name).unwrap(), k);
+            assert_eq!(parse_kernel(kernel_name(k)).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn uploaded_matrix_ids_resolve_and_square_checks_apply() {
+        let square = "%%MatrixMarket matrix coordinate real general\n\
+                      2 2 3\n1 1 4.0\n2 1 -1.0\n2 2 5.0\n";
+        let (src, _) = sa_bench::mtx::register_text(square).expect("registers");
+        let req = SimulateRequest {
+            kernel: "sptrsv".to_string(),
+            matrix: src.id().to_string(),
+            l1_kind: None,
+            config: None,
+            config_name: None,
+        };
+        let resolved = req.resolve().expect("mtx id resolves");
+        assert_eq!(resolved.matrix.id(), src.id());
+        assert!(resolved.key().contains(src.id()));
+
+        let rect = "%%MatrixMarket matrix coordinate real general\n\
+                    2 3 2\n1 1 1.0\n2 3 2.0\n";
+        let (rect_src, _) = sa_bench::mtx::register_text(rect).expect("registers");
+        let rejected = SimulateRequest {
+            kernel: "symgs".to_string(),
+            matrix: rect_src.id().to_string(),
+            ..req.clone()
+        };
+        let err = rejected.resolve().expect_err("rectangular solver input");
+        assert!(err.contains("square"), "unexpected error: {err}");
+        // SpMV takes any shape.
+        let spmv = SimulateRequest {
+            kernel: "spmv".to_string(),
+            matrix: rect_src.id().to_string(),
+            ..req
+        };
+        assert!(spmv.resolve().is_ok());
     }
 
     #[test]

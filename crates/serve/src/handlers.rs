@@ -28,6 +28,7 @@ use sparseadapt::trace_cache::{simulate_trace, TraceCache, TraceKey};
 use crate::api::{
     code, kernel_name, parse_kernel, ApiError, ApiVersion, ConfigScore, RecommendApiRequest,
     ResolvedSim, SimulateRequest, SimulateResponse, SweepAccepted, SweepRequest, SweepResult,
+    UploadMatrixRequest, UploadMatrixResponse,
 };
 use crate::http::Response;
 use crate::metrics::QueueGauges;
@@ -193,7 +194,7 @@ fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
     });
     let response = SimulateResponse {
         kernel: kernel_name(r.kernel).to_string(),
-        matrix: r.matrix.id.to_string(),
+        matrix: r.matrix.id().to_string(),
         config: r.config,
         summary: summarize_trace(&trace),
         cached: !ran.load(Ordering::Relaxed),
@@ -203,6 +204,48 @@ fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
         200,
         serde_json::to_string(&response).expect("simulate response serializes"),
     )
+}
+
+/// `POST /v2/matrices`: parse and register a MatrixMarket upload under
+/// its canonical content hash. Parsing and canonicalisation walk the
+/// whole file, so the work is admitted through the pool like any other
+/// POST; the response carries the `mtx:<hash>` id that later simulate
+/// and sweep requests name.
+pub fn upload_matrix(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Response {
+    let req: UploadMatrixRequest = match parse_body(body, version, UploadMatrixRequest::FIELDS) {
+        Ok(req) => req,
+        Err(err) => return error_response(version, 400, &err),
+    };
+    let admitted = queue::run_admitted(&state.pool, move || {
+        match sa_bench::mtx::register_text(&req.mtx) {
+            Ok((source, deduplicated)) => {
+                let sa_bench::mtx::MatrixSource::Mtx { ref matrix, .. } = source else {
+                    unreachable!("register_text always yields an Mtx source");
+                };
+                let response = UploadMatrixResponse {
+                    matrix: source.id().to_string(),
+                    rows: u64::from(matrix.rows()),
+                    cols: u64::from(matrix.cols()),
+                    nnz: matrix.to_csr().nnz() as u64,
+                    deduplicated,
+                };
+                (
+                    200,
+                    serde_json::to_string(&response).expect("upload response serializes"),
+                )
+            }
+            Err(e) => (
+                400,
+                ApiError::new(code::BAD_REQUEST, format!("invalid MatrixMarket body: {e}"))
+                    .to_json(),
+            ),
+        }
+    });
+    match admitted {
+        Ok((status, inner)) => finish(version, status, &inner),
+        Err(AdmitError::Full) => error_response(version, 429, &queue_full(state)),
+        Err(AdmitError::Crashed) => error_response(version, 500, &crashed("registering a matrix")),
+    }
 }
 
 /// `POST /v{1,2}/recommend`: model inference on a pool worker.
@@ -255,7 +298,7 @@ pub fn sweep(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Respons
     let desc = format!(
         "sweep {}/{} l1={:?} sampled={sampled}",
         kernel_name(resolved.kernel),
-        resolved.matrix.id,
+        resolved.matrix.id(),
         resolved.l1_kind
     );
     let id = state.jobs.create(&desc);
@@ -324,7 +367,7 @@ fn run_sweep(
     }
     let result = SweepResult {
         kernel: kernel_name(r.kernel).to_string(),
-        matrix: r.matrix.id.to_string(),
+        matrix: r.matrix.id().to_string(),
         configs: data.configs.len() as u64,
         best_perf: best_perf.ok_or("sweep produced no configurations")?,
         best_eff: best_eff.ok_or("sweep produced no configurations")?,

@@ -180,10 +180,11 @@ pub fn load_replay(path: &PathBuf) -> Result<Vec<ReplayRecord>, String> {
     Ok(records)
 }
 
-/// The default mix: six simulate requests (two SpMSpV suite matrices ×
-/// three named configurations) plus two recommend requests. Small
-/// enough that the cold pass stays in CI budget, varied enough that the
-/// warm phase exercises distinct cache keys.
+/// The default mix: six SpMSpV simulate requests (two suite matrices ×
+/// three named configurations), one simulate per solver-family kernel
+/// (SpMV / SpTRSV / SymGS, on the v2 dialect), plus two recommend
+/// requests. Small enough that the cold pass stays in CI budget, varied
+/// enough that the warm phase exercises distinct cache keys.
 pub fn default_mix() -> Vec<PreparedRequest> {
     let mut mix = Vec::new();
     for matrix in ["R09", "R10"] {
@@ -201,6 +202,20 @@ pub fn default_mix() -> Vec<PreparedRequest> {
                 body: serde_json::to_string(&req).expect("mix serializes"),
             });
         }
+    }
+    for kernel in ["spmv", "sptrsv", "symgs"] {
+        let req = SimulateRequest {
+            kernel: kernel.to_string(),
+            matrix: "R09".to_string(),
+            l1_kind: None,
+            config: None,
+            config_name: Some("baseline".to_string()),
+        };
+        mix.push(PreparedRequest {
+            method: "POST".to_string(),
+            target: "/v2/simulate".to_string(),
+            body: serde_json::to_string(&req).expect("mix serializes"),
+        });
     }
     for policy in [None, Some(ReconfigPolicy::hybrid40())] {
         let req = RecommendApiRequest {
@@ -623,9 +638,17 @@ mod tests {
     #[test]
     fn mix_is_varied_and_parseable() {
         let mix = default_mix();
-        assert_eq!(mix.len(), 8);
+        assert_eq!(mix.len(), 11);
         assert!(mix.iter().any(|r| r.target == "/v1/simulate"));
+        assert!(mix.iter().any(|r| r.target == "/v2/simulate"));
         assert!(mix.iter().any(|r| r.target == "/v1/recommend"));
+        for kernel in ["spmv", "sptrsv", "symgs"] {
+            let needle = format!("\"kernel\":\"{kernel}\"");
+            assert!(
+                mix.iter().any(|r| r.body.contains(&needle)),
+                "mix covers {kernel}"
+            );
+        }
         for req in &mix {
             // Every body must be valid JSON the server can parse back.
             serde_json::parse_value_str(&req.body).expect("mix body is JSON");

@@ -50,10 +50,16 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
         ),
         ("POST", "/v1/sweep") => ("POST /v1/sweep", handlers::sweep(state, &req.body, V1)),
         ("POST", "/v2/sweep") => ("POST /v2/sweep", handlers::sweep(state, &req.body, V2)),
+        // Upload is a /v2-only surface: the v1 shim predates content-
+        // addressed matrices and stays frozen.
+        ("POST", "/v2/matrices") => (
+            "POST /v2/matrices",
+            handlers::upload_matrix(state, &req.body, V2),
+        ),
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
-            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep",
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices",
         ) => (
             "method_not_allowed",
             Response::error(405, "method not allowed for this path"),

@@ -90,16 +90,18 @@ pub struct AppState {
     pub jobs: JobRegistry,
     /// Scale/threads/seed settings shared with the bench harness.
     pub harness: Harness,
-    /// Memoized suite workloads with their content fingerprints.
+    /// Memoized workloads with their content fingerprints.
     /// Construction (op-stream generation) and fingerprinting both walk
     /// every op, so each costs more than a cached simulation lookup —
     /// warm requests must repeat neither. Bounded by the suite size
-    /// (tens of entries), so no eviction.
+    /// plus the set of uploaded matrices (tens of entries), so no
+    /// eviction. Sound for uploads because `mtx:` ids embed the
+    /// canonical content hash.
     workloads: Mutex<HashMap<String, (Arc<Workload>, u64)>>,
 }
 
 impl AppState {
-    /// The suite workload for a resolved request plus its
+    /// The workload for a resolved request plus its
     /// [`Workload::fingerprint`], built and hashed at most once per
     /// `(kernel, matrix, l1_kind)` for the server's lifetime.
     ///
@@ -107,11 +109,16 @@ impl AppState {
     /// is deterministic, and the first insert wins, so callers always
     /// converge on one shared instance (one trace-cache fingerprint).
     pub fn suite_workload(&self, r: &ResolvedSim) -> (Arc<Workload>, u64) {
-        let key = format!("{}/{}/{:?}", kernel_name(r.kernel), r.matrix.id, r.l1_kind);
+        let key = format!(
+            "{}/{}/{:?}",
+            kernel_name(r.kernel),
+            r.matrix.id(),
+            r.l1_kind
+        );
         if let Some(entry) = self.workloads.lock().expect("workload memo lock").get(&key) {
             return entry.clone();
         }
-        let built = Arc::new(sa_bench::experiments::suite_workload(
+        let built = Arc::new(sa_bench::experiments::source_workload(
             &self.harness,
             &r.matrix,
             r.kernel,
@@ -167,6 +174,10 @@ impl Drop for ServerHandle {
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     if let Some(dir) = &config.cache_dir {
         TraceCache::global().set_disk_dir(Some(dir.clone()));
+        // Uploaded matrices spill next to the trace tier, so every
+        // shard mounting the shared cache dir resolves the same
+        // `mtx:<hash>` ids regardless of which shard took the upload.
+        sa_bench::mtx::set_spill_dir(Some(dir.join("matrices")));
     }
     if config.cache_mem_cap.is_some() {
         TraceCache::global().set_memory_cap(config.cache_mem_cap);

@@ -450,10 +450,14 @@ fn route_router(state: &Arc<RouterState>, req: &Request) -> (&'static str, Respo
         ("POST", "/v2/recommend") => ("POST /v2/recommend", proxy_post(state, req)),
         ("POST", "/v1/sweep") => ("POST /v1/sweep", proxy_post(state, req)),
         ("POST", "/v2/sweep") => ("POST /v2/sweep", proxy_post(state, req)),
+        // Uploads route by body content hash (no kernel/matrix fields
+        // to key on); any shard can take one, because registrations
+        // spill to the shared cache tier every shard mounts.
+        ("POST", "/v2/matrices") => ("POST /v2/matrices", proxy_post(state, req)),
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
-            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep",
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices",
         ) => (
             "method_not_allowed",
             Response::error(405, "method not allowed for this path"),

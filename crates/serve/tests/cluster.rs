@@ -200,6 +200,66 @@ fn cluster_end_to_end() {
         "merged listing entries must carry their shard index"
     );
 
+    // -- matrix upload through the router -----------------------------
+    // The upload routes by body content hash to one shard; the
+    // simulate for the returned id routes by workload key, usually to
+    // a *different* shard — which must resolve the matrix through the
+    // shared spill tier under the cluster cache dir.
+    let mtx_text = "%%MatrixMarket matrix coordinate real general\n\
+                    5 5 8\n1 1 4.0\n2 1 -1.0\n2 2 5.0\n3 3 6.0\n4 2 1.5\n4 4 3.0\n5 5 2.5\n5 3 1.0\n";
+    let upload_body = serde_json::to_string(&serve::api::UploadMatrixRequest {
+        mtx: mtx_text.to_string(),
+    })
+    .expect("upload body serializes");
+    let up = post(&addr, "/v2/matrices", &upload_body);
+    posts += 1;
+    assert_eq!(up.status, 200, "body: {}", body_str(&up));
+    let up_doc = parse(&up);
+    let mtx_id = match field(&up_doc, &["data", "matrix"]) {
+        Some(serde::Value::Str(id)) => id,
+        other => panic!("upload must return a matrix id, got {other:?}"),
+    };
+    assert!(mtx_id.starts_with("mtx:"), "id: {mtx_id}");
+    assert_eq!(
+        field(&up_doc, &["data", "deduplicated"]),
+        Some(serde::Value::Bool(false))
+    );
+    assert!(
+        cache_dir
+            .join("matrices")
+            .read_dir()
+            .is_ok_and(|mut d| d.next().is_some()),
+        "the upload must spill into the shared cache tier"
+    );
+    // Identical body → same routing key → same shard → dedup.
+    let up2 = post(&addr, "/v2/matrices", &upload_body);
+    posts += 1;
+    assert_eq!(up2.status, 200);
+    assert_eq!(
+        field(&parse(&up2), &["data", "deduplicated"]),
+        Some(serde::Value::Bool(true)),
+        "re-uploading identical content must deduplicate on its shard"
+    );
+    for kernel in ["spmv", "sptrsv", "symgs"] {
+        let body = format!(r#"{{"kernel": "{kernel}", "matrix": "{mtx_id}"}}"#);
+        let cold = post(&addr, "/v2/simulate", &body);
+        posts += 1;
+        assert_eq!(
+            cold.status,
+            200,
+            "{kernel} against an uploaded matrix must resolve on any shard: {}",
+            body_str(&cold)
+        );
+        assert!(!cached_flag(&parse(&cold)), "first {kernel} run is cold");
+        let warm = post(&addr, "/v2/simulate", &body);
+        posts += 1;
+        assert_eq!(warm.status, 200);
+        assert!(
+            cached_flag(&parse(&warm)),
+            "repeat {kernel} on the uploaded matrix must hit the owner shard's cache"
+        );
+    }
+
     // -- failover: kill the owner of R01 mid-service ------------------
     let ring = Ring::new(3, serve::shard::DEFAULT_VNODES);
     let victim = ring.assign(&routing_key(sim_body("R01").as_bytes()));

@@ -319,6 +319,135 @@ fn daemon_end_to_end() {
         Some(serde::Value::Str("not_found".to_string()))
     );
 
+    // -- matrix upload: content-addressed, deduplicated, usable -------
+    let mtx_text = "%%MatrixMarket matrix coordinate real general\n\
+                    4 4 7\n1 1 4.0\n2 1 -1.0\n2 2 5.0\n3 3 6.0\n4 2 1.5\n4 4 3.0\n3 1 2.0\n";
+    let upload_body = serde_json::to_string(&serve::api::UploadMatrixRequest {
+        mtx: mtx_text.to_string(),
+    })
+    .expect("upload body serializes");
+    let up = post(&addr, "/v2/matrices", &upload_body);
+    assert_eq!(up.status, 200, "body: {}", body_str(&up));
+    let up_doc = parse(&up);
+    let mtx_id = match field(&up_doc, &["data", "matrix"]) {
+        Some(serde::Value::Str(id)) => id,
+        other => panic!("upload must return a matrix id, got {other:?}"),
+    };
+    assert!(mtx_id.starts_with("mtx:"), "id: {mtx_id}");
+    assert_eq!(
+        field(&up_doc, &["data", "rows"]),
+        Some(serde::Value::UInt(4))
+    );
+    assert_eq!(
+        field(&up_doc, &["data", "cols"]),
+        Some(serde::Value::UInt(4))
+    );
+    assert_eq!(
+        field(&up_doc, &["data", "nnz"]),
+        Some(serde::Value::UInt(7))
+    );
+    assert_eq!(
+        field(&up_doc, &["data", "deduplicated"]),
+        Some(serde::Value::Bool(false))
+    );
+    // The same canonical matrix with different formatting — comments,
+    // entry order — dedups to the same content id.
+    let reordered = "%%MatrixMarket matrix coordinate real general\n\
+                     % same matrix, shuffled\n\
+                     4 4 7\n3 1 2.0\n4 4 3.0\n1 1 4.0\n4 2 1.5\n2 2 5.0\n2 1 -1.0\n3 3 6.0\n";
+    let up2 = post(
+        &addr,
+        "/v2/matrices",
+        &serde_json::to_string(&serve::api::UploadMatrixRequest {
+            mtx: reordered.to_string(),
+        })
+        .unwrap(),
+    );
+    assert_eq!(up2.status, 200);
+    let up2_doc = parse(&up2);
+    assert_eq!(
+        field(&up2_doc, &["data", "matrix"]),
+        Some(serde::Value::Str(mtx_id.clone()))
+    );
+    assert_eq!(
+        field(&up2_doc, &["data", "deduplicated"]),
+        Some(serde::Value::Bool(true))
+    );
+    // Strict fields and upload-specific failure modes.
+    let typo_up = post(&addr, "/v2/matrices", r#"{"mtx": "x", "name": "wing"}"#);
+    assert_eq!(typo_up.status, 400);
+    assert_eq!(
+        field(&parse(&typo_up), &["error", "code"]),
+        Some(serde::Value::Str("unknown_field".to_string()))
+    );
+    let garbage = post(&addr, "/v2/matrices", r#"{"mtx": "not a matrix"}"#);
+    assert_eq!(garbage.status, 400);
+    assert_eq!(
+        field(&parse(&garbage), &["error", "code"]),
+        Some(serde::Value::Str("bad_request".to_string()))
+    );
+    assert_eq!(get(&addr, "/v2/matrices").status, 405);
+    assert_eq!(post(&addr, "/v1/matrices", &upload_body).status, 404);
+
+    // -- solver kernels against the uploaded matrix -------------------
+    for kernel in ["spmv", "sptrsv", "symgs"] {
+        let body = format!(r#"{{"kernel": "{kernel}", "matrix": "{mtx_id}"}}"#);
+        let cold = post(&addr, "/v2/simulate", &body);
+        assert_eq!(cold.status, 200, "{kernel} body: {}", body_str(&cold));
+        let cold_doc = parse(&cold);
+        assert_eq!(
+            field(&cold_doc, &["data", "matrix"]),
+            Some(serde::Value::Str(mtx_id.clone()))
+        );
+        assert!(as_f64(&field(&cold_doc, &["data", "summary", "gflops"]).expect("gflops")) > 0.0);
+        let warm = post(&addr, "/v2/simulate", &body);
+        assert_eq!(
+            field(&parse(&warm), &["data", "cached"]),
+            Some(serde::Value::Bool(true)),
+            "repeat {kernel} simulate against an uploaded matrix must cache-hit"
+        );
+    }
+    // A sweep accepts the uploaded id too.
+    let mtx_sweep = post(
+        &addr,
+        "/v2/sweep",
+        &format!(r#"{{"kernel": "spmv", "matrix": "{mtx_id}", "sampled": 2}}"#),
+    );
+    assert_eq!(mtx_sweep.status, 202, "body: {}", body_str(&mtx_sweep));
+    // Rectangular uploads run SpMV but are rejected for solver kernels.
+    let rect = "%%MatrixMarket matrix coordinate real general\n\
+                3 4 3\n1 1 1.0\n2 2 2.0\n3 4 -1.0\n";
+    let rect_up = post(
+        &addr,
+        "/v2/matrices",
+        &serde_json::to_string(&serve::api::UploadMatrixRequest {
+            mtx: rect.to_string(),
+        })
+        .unwrap(),
+    );
+    assert_eq!(rect_up.status, 200);
+    let rect_id = match field(&parse(&rect_up), &["data", "matrix"]) {
+        Some(serde::Value::Str(id)) => id,
+        other => panic!("upload must return a matrix id, got {other:?}"),
+    };
+    let rect_solve = post(
+        &addr,
+        "/v2/simulate",
+        &format!(r#"{{"kernel": "sptrsv", "matrix": "{rect_id}"}}"#),
+    );
+    assert_eq!(rect_solve.status, 400);
+    let rect_msg = match field(&parse(&rect_solve), &["error", "message"]) {
+        Some(serde::Value::Str(s)) => s,
+        other => panic!("expected error message, got {other:?}"),
+    };
+    assert!(rect_msg.contains("square"), "message: {rect_msg}");
+    let rect_spmv = post(
+        &addr,
+        "/v2/simulate",
+        &format!(r#"{{"kernel": "spmv", "matrix": "{rect_id}"}}"#),
+    );
+    assert_eq!(rect_spmv.status, 200, "body: {}", body_str(&rect_spmv));
+
     // -- /metrics -----------------------------------------------------
     let metrics = get(&addr, "/metrics");
     assert_eq!(metrics.status, 200);

@@ -1,132 +1,50 @@
-//! Matrix Market (`.mtx`) import/export.
+//! Matrix Market (`.mtx`) import/export — `io::Error` compatibility
+//! wrappers over the strict streaming parser in [`mtx`](crate::mtx).
 //!
 //! The paper's real-world suite comes from SuiteSparse and SNAP, both
-//! distributed as Matrix Market files. The offline environment ships no
-//! downloads, so the suite uses synthetic stand-ins — but a user *with*
-//! the original files can load them through this module and run every
-//! experiment on the true matrices (coordinate format, `general` and
-//! `symmetric` symmetry, `real` / `integer` / `pattern` fields).
+//! distributed as Matrix Market files. These entry points keep the
+//! original `io::Result` signatures for existing callers; new code that
+//! wants the typed [`MtxError`](crate::mtx::MtxError) variants, array
+//! format, skew symmetry or streaming file loads should call
+//! [`mtx`](crate::mtx) directly.
 
-use std::io::{self, BufRead, Write};
+use std::io;
 use std::path::Path;
 
-use crate::CooMatrix;
+use crate::{mtx, CooMatrix};
 
-/// Parses Matrix Market coordinate-format text.
+/// Parses Matrix Market text.
 ///
-/// Supported qualifiers: `matrix coordinate (real|integer|pattern)
-/// (general|symmetric)`. Pattern entries get value 1.0; symmetric
-/// off-diagonal entries are mirrored.
+/// Supports coordinate and array forms; `general`, `symmetric` and
+/// `skew-symmetric` storage; `real`, `integer` and `pattern` fields.
+/// Pattern entries get value 1.0; symmetric off-diagonal entries are
+/// mirrored (negated for skew-symmetric).
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` on malformed headers, counts or entries.
+/// Returns `InvalidData` on malformed headers, counts or entries
+/// (including duplicate coordinates and out-of-bounds indices — see
+/// [`mtx::MtxError`] for the full typed taxonomy).
 pub fn parse_matrix_market(text: &str) -> io::Result<CooMatrix> {
-    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
-    let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| bad("empty file".to_string()))?;
-    let h: Vec<&str> = header.split_whitespace().collect();
-    if h.len() < 5 || !h[0].starts_with("%%MatrixMarket") {
-        return Err(bad(format!("not a MatrixMarket header: {header}")));
-    }
-    if h[1] != "matrix" || h[2] != "coordinate" {
-        return Err(bad(format!("only coordinate matrices supported: {header}")));
-    }
-    let field = h[3];
-    if !matches!(field, "real" | "integer" | "pattern") {
-        return Err(bad(format!("unsupported field type: {field}")));
-    }
-    let symmetric = match h[4] {
-        "general" => false,
-        "symmetric" => true,
-        other => return Err(bad(format!("unsupported symmetry: {other}"))),
-    };
-
-    // Skip comments; read the size line.
-    let mut size_line = None;
-    for line in lines.by_ref() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('%') {
-            continue;
-        }
-        size_line = Some(line.to_string());
-        break;
-    }
-    let size_line = size_line.ok_or_else(|| bad("missing size line".to_string()))?;
-    let dims: Vec<usize> = size_line
-        .split_whitespace()
-        .map(|s| s.parse().map_err(|e| bad(format!("bad size: {e}"))))
-        .collect::<Result<_, _>>()?;
-    if dims.len() != 3 {
-        return Err(bad(format!("size line needs 3 fields: {size_line}")));
-    }
-    let (rows, cols, nnz) = (dims[0] as u32, dims[1] as u32, dims[2]);
-
-    let mut coo = CooMatrix::new(rows.max(1), cols.max(1));
-    let mut read = 0usize;
-    for line in lines {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('%') {
-            continue;
-        }
-        let parts: Vec<&str> = line.split_whitespace().collect();
-        let want = if field == "pattern" { 2 } else { 3 };
-        if parts.len() < want {
-            return Err(bad(format!("short entry: {line}")));
-        }
-        let r: u32 = parts[0]
-            .parse::<u32>()
-            .map_err(|e| bad(format!("bad row index: {e}")))?;
-        let c: u32 = parts[1]
-            .parse::<u32>()
-            .map_err(|e| bad(format!("bad col index: {e}")))?;
-        if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(bad(format!("index out of bounds: {line}")));
-        }
-        let v: f64 = if field == "pattern" {
-            1.0
-        } else {
-            parts[2]
-                .parse()
-                .map_err(|e| bad(format!("bad value: {e}")))?
-        };
-        // Matrix Market is 1-indexed.
-        coo.push(r - 1, c - 1, v);
-        if symmetric && r != c {
-            coo.push(c - 1, r - 1, v);
-        }
-        read += 1;
-    }
-    if read != nnz {
-        return Err(bad(format!("expected {nnz} entries, found {read}")));
-    }
-    Ok(coo)
+    Ok(mtx::parse_str(text)?.matrix)
 }
 
 /// Serialises a matrix as general real coordinate Matrix Market text.
+/// The matrix is canonicalised first (duplicates merged, explicit
+/// zeros dropped), so the output always re-parses under the strict
+/// parser.
 pub fn to_matrix_market(m: &CooMatrix) -> String {
-    let mut out = String::from("%%MatrixMarket matrix coordinate real general\n");
-    out.push_str("% written by sparseadapt-rs\n");
-    out.push_str(&format!("{} {} {}\n", m.rows(), m.cols(), m.raw_nnz()));
-    for &(r, c, v) in m.triplets() {
-        out.push_str(&format!("{} {} {v}\n", r + 1, c + 1));
-    }
-    out
+    mtx::write_string(m, mtx::WriteOptions::default())
+        .expect("general real coordinate serialisation cannot fail")
 }
 
-/// Loads a `.mtx` file.
+/// Loads a `.mtx` file, streaming it from disk.
 ///
 /// # Errors
 ///
 /// Propagates I/O and parse errors.
 pub fn load_matrix_market(path: &Path) -> io::Result<CooMatrix> {
-    let file = std::fs::File::open(path)?;
-    let mut text = String::new();
-    for line in io::BufReader::new(file).lines() {
-        text.push_str(&line?);
-        text.push('\n');
-    }
-    parse_matrix_market(&text)
+    Ok(mtx::load(path)?.matrix)
 }
 
 /// Writes a `.mtx` file.
@@ -135,8 +53,7 @@ pub fn load_matrix_market(path: &Path) -> io::Result<CooMatrix> {
 ///
 /// Propagates I/O errors.
 pub fn save_matrix_market(m: &CooMatrix, path: &Path) -> io::Result<()> {
-    let mut f = std::fs::File::create(path)?;
-    f.write_all(to_matrix_market(m).as_bytes())
+    std::fs::write(path, to_matrix_market(m))
 }
 
 #[cfg(test)]
@@ -179,6 +96,13 @@ mod tests {
     }
 
     #[test]
+    fn array_form_is_supported() {
+        let text = "%%MatrixMarket matrix array real general\n1 1\n3.25\n";
+        let m = parse_matrix_market(text).unwrap().to_csr();
+        assert_eq!(m.get(0, 0), Some(3.25));
+    }
+
+    #[test]
     fn roundtrip() {
         let mut coo = CooMatrix::new(4, 5);
         coo.push(0, 4, 1.5);
@@ -191,13 +115,19 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         assert!(parse_matrix_market("").is_err());
-        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n1 1\n1\n").is_err());
+        // Out-of-bounds index.
         assert!(parse_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 1\n"
         )
         .is_err());
+        // Truncated: one entry declared as two.
         assert!(parse_matrix_market(
             "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n"
+        )
+        .is_err());
+        // Duplicate coordinate.
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n1 1 2\n"
         )
         .is_err());
     }

@@ -17,8 +17,13 @@
 //!   used to sanity-check that generated matrices land in the right
 //!   pattern class.
 //! * [`suite`] — the named evaluation suite (U1–U3, P1–P3, R01–R16).
-//! * [`io`] — Matrix Market import/export, so users holding the original
-//!   SuiteSparse/SNAP files can swap them in for the stand-ins.
+//! * [`mtx`] — strict, streaming Matrix Market reader/writer with typed
+//!   errors and content hashing (coordinate + array forms; general,
+//!   symmetric and skew-symmetric storage; real, integer and pattern
+//!   fields).
+//! * [`io`] — `io::Error`-flavoured compatibility wrappers over [`mtx`],
+//!   so users holding the original SuiteSparse/SNAP files can swap them
+//!   in for the stand-ins.
 //!
 //! # Example
 //!
@@ -42,6 +47,7 @@ mod csr;
 mod error;
 pub mod gen;
 pub mod io;
+pub mod mtx;
 pub mod stats;
 pub mod suite;
 mod vector;

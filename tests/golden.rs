@@ -73,6 +73,15 @@ struct Scenario {
     workload: Workload,
 }
 
+/// Loads a checked-in `.mtx` fixture as CSR.
+fn fixture_csr(name: &str) -> sparse::CsrMatrix {
+    let path = repo_path(&format!("tests/fixtures/{name}"));
+    sparse::mtx::load(&path)
+        .unwrap_or_else(|e| panic!("cannot load fixture {}: {e}", path.display()))
+        .matrix
+        .to_csr()
+}
+
 /// The golden matrix: one representative of each kernel family, plus
 /// configuration variety (baseline vs tuned, prefetch on/off, shared vs
 /// private) so every machine subsystem contributes to some digest.
@@ -123,6 +132,42 @@ fn scenarios() -> Vec<Scenario> {
             spec: workloads::spmspv_spec(quick),
             config: tuned,
             workload: workloads::sssp_workload(&r12, quick, 17, n_gpes).0,
+        },
+        // The real-matrix kernel family, driven from checked-in `.mtx`
+        // fixtures: coordinate/general real, coordinate/symmetric real,
+        // and pattern-field inputs.
+        Scenario {
+            name: "spmv-wing64-baseline",
+            spec: workloads::spmspv_spec(quick),
+            config: TransmuterConfig::baseline(),
+            workload: workloads::spmv_workload_csr(
+                &fixture_csr("wing_64.mtx"),
+                MemKind::Cache,
+                19,
+                n_gpes,
+            ),
+        },
+        Scenario {
+            name: "sptrsv-mesh48-tuned",
+            spec: workloads::spmspv_spec(quick),
+            config: tuned,
+            workload: workloads::sptrsv_workload_csr(
+                &fixture_csr("mesh_sym_48.mtx"),
+                MemKind::Cache,
+                23,
+                n_gpes,
+            ),
+        },
+        Scenario {
+            name: "symgs-net56-baseline",
+            spec: workloads::spmspv_spec(quick),
+            config: TransmuterConfig::baseline(),
+            workload: workloads::symgs_workload_csr(
+                &fixture_csr("net_pat_56.mtx"),
+                MemKind::Cache,
+                29,
+                n_gpes,
+            ),
         },
     ]
 }
@@ -343,4 +388,69 @@ fn digest_function_is_stable() {
         "trace_digest changed ({d:#018x}); update this canary only together \
          with a deliberate golden regeneration"
     );
+}
+
+/// The lockstep leg for the real-matrix kernel family: a
+/// [`transmuter::MachineBatch`] over the four configuration presets
+/// must produce traces bit-identical to four scalar [`Machine`] runs
+/// for each of the SpMV / SpTRSV / SymGS fixture workloads. (The
+/// engine-level property suite in `transmuter/tests/lockstep_props.rs`
+/// covers random op soups; this pins the real kernel shapes — level
+/// ladders, gather-heavy single phases — to the same guarantee.)
+#[test]
+fn lockstep_batch_matches_scalar_for_mtx_kernels() {
+    use transmuter::MachineBatch;
+    let configs = [
+        TransmuterConfig::baseline(),
+        TransmuterConfig::best_avg_cache(),
+        TransmuterConfig::best_avg_spm(),
+        TransmuterConfig::maximum(),
+    ];
+    let n_gpes = 16;
+    let spec = workloads::spmspv_spec(Scale::Quick);
+    let named: Vec<(&str, Workload)> = vec![
+        (
+            "spmv",
+            workloads::spmv_workload_csr(&fixture_csr("wing_64.mtx"), MemKind::Cache, 19, n_gpes),
+        ),
+        (
+            "sptrsv",
+            workloads::sptrsv_workload_csr(
+                &fixture_csr("mesh_sym_48.mtx"),
+                MemKind::Cache,
+                23,
+                n_gpes,
+            ),
+        ),
+        (
+            "symgs",
+            workloads::symgs_workload_csr(
+                &fixture_csr("net_pat_56.mtx"),
+                MemKind::Cache,
+                29,
+                n_gpes,
+            ),
+        ),
+    ];
+    for (name, wl) in &named {
+        let batch = MachineBatch::new(spec, &configs).run(wl);
+        for (cfg, lane) in configs.iter().zip(&batch) {
+            let scalar = Machine::new(spec, *cfg).run(wl);
+            assert_eq!(
+                trace_digest(&lane.epochs),
+                trace_digest(&scalar.epochs),
+                "{name}: lockstep lane diverged from scalar under {cfg:?}"
+            );
+            assert_eq!(
+                lane.time_s.to_bits(),
+                scalar.time_s.to_bits(),
+                "{name} time"
+            );
+            assert_eq!(
+                lane.energy_j.to_bits(),
+                scalar.energy_j.to_bits(),
+                "{name} energy"
+            );
+        }
+    }
 }
