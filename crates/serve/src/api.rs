@@ -232,6 +232,11 @@ pub mod code {
     pub const PAYLOAD_TOO_LARGE: &str = "payload_too_large";
     /// Admission queue full — back off and retry (429).
     pub const QUEUE_FULL: &str = "queue_full";
+    /// The reactor shed the request before admission — connection cap
+    /// or dispatch queue overflow (503). Back off and retry, same as
+    /// [`QUEUE_FULL`]; the distinct code records *where* the edge
+    /// pushed back.
+    pub const OVERLOADED: &str = "overloaded";
     /// The admitted job died without answering (500).
     pub const WORKER_CRASHED: &str = "worker_crashed";
     /// Any other server-side failure (500).

@@ -4,6 +4,9 @@
 //! Usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N]
 //!                [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F]
 //!                [--replay FILE]
+//!                [--open-loop [--connections N] [--open-rps R]
+//!                 [--open-duration SECONDS] [--quick]
+//!                 [--embed-baseline FILE]]
 //! ```
 //!
 //! Runs a cold pass (every unique request once, empty-cache latencies)
@@ -14,6 +17,13 @@
 //! each request fires at its recorded timestamp offset. Exits non-zero
 //! when any response falls outside {2xx, 429-class rejections} or when
 //! `--guard` detects a warm-p99 regression.
+//!
+//! `--open-loop` appends a third phase after cold/warm: `--connections`
+//! keep-alive sockets multiplexed on one epoll loop, issuing at a
+//! Poisson-paced `--open-rps` regardless of completions (the
+//! coordinated-omission-resistant mode — latency is measured from each
+//! request's *scheduled* time). Any open-loop error or server-initiated
+//! disconnect also fails the run.
 
 use std::path::PathBuf;
 
@@ -22,7 +32,9 @@ use serve::loadgen::{check_guard, run, LoadgenConfig};
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N] \
-         [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F] [--replay FILE]"
+         [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F] [--replay FILE] \
+         [--open-loop [--connections N] [--open-rps R] [--open-duration SECONDS] \
+         [--quick] [--embed-baseline FILE]]"
     );
     std::process::exit(code);
 }
@@ -84,6 +96,41 @@ fn parse_config() -> LoadgenConfig {
                         usage_and_exit(2)
                     })
             }
+            "--open-loop" => config.open_loop = true,
+            "--connections" => {
+                config.connections = need(&mut args, "--connections")
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--connections needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--open-rps" => {
+                config.open_rps = need(&mut args, "--open-rps")
+                    .parse()
+                    .ok()
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--open-rps needs a positive rate");
+                        usage_and_exit(2)
+                    })
+            }
+            "--open-duration" => {
+                config.open_duration_s = need(&mut args, "--open-duration")
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--open-duration needs a positive number of seconds");
+                        usage_and_exit(2)
+                    })
+            }
+            "--quick" => config.quick = true,
+            "--embed-baseline" => {
+                config.embed_baseline = Some(PathBuf::from(need(&mut args, "--embed-baseline")))
+            }
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -135,6 +182,31 @@ fn main() {
             report.cold.errors + report.warm.errors
         );
         failed = true;
+    }
+    if let Some(open) = &report.open_loop {
+        eprintln!(
+            "# open loop: {} conns (ramp {:.1}s), offered {:.1} rps -> achieved {:.1} rps \
+             ({} ok / {} rejected / {} errors / {} disconnects), p99 {:.2} ms, \
+             {} stalled issues (max {} on one conn)",
+            open.connections,
+            open.connect_s,
+            open.offered_rps,
+            open.achieved_rps,
+            open.ok,
+            open.rejected,
+            open.errors,
+            open.disconnects,
+            open.p99_ms,
+            open.stalled_issues,
+            open.max_conn_stalls,
+        );
+        if open.errors > 0 || open.disconnects > 0 {
+            eprintln!(
+                "loadgen: open loop saw {} errors and {} disconnects",
+                open.errors, open.disconnects
+            );
+            failed = true;
+        }
     }
     if let Some(guard) = &config.guard {
         if let Err(e) = check_guard(&report, guard, config.guard_factor) {

@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! Usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!              [--reactor | --threaded] [--max-conns N]
+//!              [--idle-timeout-ms MS] [--dispatchers N]
 //!              [--cache-dir DIR] [--cache-mem-cap BYTES]
 //!              [--addr-file PATH]
 //!              [--router --shards N [--vnodes N] [--record FILE]]
@@ -13,17 +15,25 @@
 //! `--cache-dir` as the cluster's disk tier), then fronts them with a
 //! consistent-hash router on `--addr`; `--record` appends every routed
 //! POST to a JSONL log that `loadgen --replay` can play back.
+//!
+//! The serve core defaults to the epoll reactor (`--reactor`);
+//! `--threaded` selects the thread-per-connection engine. Either way
+//! the process drains cleanly on SIGINT/SIGTERM or `POST
+//! /v2/admin/drain`: it stops accepting, finishes in-flight work, and
+//! exits 0.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 use serve::shard::{spawn_shards, start_router, RouterConfig, ShardSpawn};
-use serve::{start, ServeConfig};
+use serve::{start, Engine, ServeConfig};
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
-         [--cache-dir DIR] [--cache-mem-cap BYTES] [--addr-file PATH] \
-         [--router --shards N [--vnodes N] [--record FILE]]"
+         [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms MS] \
+         [--dispatchers N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
+         [--addr-file PATH] [--router --shards N [--vnodes N] [--record FILE]]"
     );
     std::process::exit(code);
 }
@@ -88,6 +98,37 @@ fn parse_cli() -> Cli {
             "--addr-file" => {
                 cli.config.addr_file = Some(PathBuf::from(need(&mut args, "--addr-file")))
             }
+            "--reactor" => cli.config.engine = Engine::Reactor,
+            "--threaded" => cli.config.engine = Engine::Threaded,
+            "--max-conns" => {
+                cli.config.max_conns = need(&mut args, "--max-conns")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-conns needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--idle-timeout-ms" => {
+                cli.config.idle_timeout_ms = need(&mut args, "--idle-timeout-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--idle-timeout-ms needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--dispatchers" => {
+                cli.config.dispatchers =
+                    need(&mut args, "--dispatchers")
+                        .parse()
+                        .unwrap_or_else(|_| {
+                            eprintln!("--dispatchers needs an integer");
+                            usage_and_exit(2)
+                        })
+            }
             "--router" => cli.router = true,
             "--shards" => {
                 cli.shards = need(&mut args, "--shards")
@@ -125,7 +166,8 @@ fn main() {
     }
 }
 
-fn run_daemon(config: ServeConfig) {
+fn run_daemon(mut config: ServeConfig) {
+    config.handle_signals = true;
     let handle = match start(config) {
         Ok(handle) => handle,
         Err(e) => {
@@ -134,16 +176,19 @@ fn run_daemon(config: ServeConfig) {
         }
     };
     eprintln!(
-        "# sparseadapt-serve listening on {} — {} workers, queue cap {} (scale {:?})",
+        "# sparseadapt-serve listening on {} — engine {}, {} workers, queue cap {} (scale {:?})",
         handle.addr,
+        handle.state.engine.as_str(),
         handle.state.pool.workers(),
         handle.state.pool.queue_cap(),
         handle.state.harness.scale,
     );
-    // Serve until the process is killed.
-    loop {
-        std::thread::park();
-    }
+    // Serve until a drain completes (SIGINT/SIGTERM or
+    // `POST /v2/admin/drain`), then exit cleanly.
+    let drain = handle.state.drain.clone();
+    while !drain.wait_completed(Duration::from_secs(3600)) {}
+    eprintln!("# sparseadapt-serve drained, exiting");
+    std::process::exit(0);
 }
 
 fn run_router(cli: Cli) {
@@ -162,6 +207,7 @@ fn run_router(cli: Cli) {
         queue_cap: cli.config.queue_cap,
         cache_dir: cli.config.cache_dir.clone(),
         cache_mem_cap: cli.config.cache_mem_cap,
+        engine: cli.config.engine,
         run_dir,
     }) {
         Ok(shards) => shards,
@@ -175,6 +221,7 @@ fn run_router(cli: Cli) {
         shards: shards.iter().map(|s| s.addr).collect(),
         vnodes: cli.vnodes,
         record: cli.record,
+        engine: cli.config.engine,
     }) {
         Ok(handle) => handle,
         Err(e) => {

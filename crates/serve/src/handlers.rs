@@ -31,7 +31,7 @@ use crate::api::{
     UploadMatrixRequest, UploadMatrixResponse,
 };
 use crate::http::Response;
-use crate::metrics::QueueGauges;
+use crate::metrics::{QueueGauges, ReactorSnapshot};
 use crate::queue::{self, AdmitError};
 use crate::server::AppState;
 
@@ -114,11 +114,32 @@ pub fn metrics(state: &AppState) -> Response {
         queue_cap: state.pool.queue_cap(),
         workers: state.pool.workers(),
     };
-    let snap = state.metrics.snapshot(gauges, TraceCache::global().stats());
+    let reactor = match &state.reactor {
+        Some(stats) => stats.snapshot(state.engine.as_str()),
+        None => ReactorSnapshot::threaded(),
+    };
+    let snap = state
+        .metrics
+        .snapshot(gauges, TraceCache::global().stats(), reactor);
     Response::json(
         200,
         serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes"),
     )
+}
+
+/// `POST /v2/admin/drain`: ask the serve engine to drain gracefully.
+/// Returns immediately; the daemon stops accepting, finishes in-flight
+/// work, closes idle connections, and (when run via the binary) exits 0
+/// once the drain completes. Idempotent — repeated calls report the
+/// current state.
+pub fn drain(state: &AppState, version: ApiVersion) -> Response {
+    let already = state.drain.requested();
+    state.drain.request();
+    let inner = format!(
+        "{{\"draining\": true, \"already_requested\": {already}, \"engine\": \"{}\"}}",
+        state.engine.as_str()
+    );
+    finish(version, 200, &inner)
 }
 
 /// `GET /v1/jobs` and `GET /v2/jobs`.

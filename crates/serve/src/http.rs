@@ -117,6 +117,7 @@ fn reason(status: u16) -> &'static str {
         408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -259,16 +260,13 @@ pub fn read_request(reader: &mut BufReader<&TcpStream>) -> io::Result<ReadOutcom
     }))
 }
 
-/// Writes `response`, marking the connection keep-alive or close.
-///
-/// # Errors
-///
-/// Propagates socket errors.
-pub fn write_response(
-    stream: &mut &TcpStream,
-    response: &Response,
-    keep_alive: bool,
-) -> io::Result<()> {
+/// Serializes a response to its exact wire bytes, marking the
+/// connection keep-alive or close. Head and body share one buffer: two
+/// small writes on a Nagle-enabled socket stall the second behind the
+/// peer's delayed ACK, turning a microsecond handler into a
+/// tens-of-ms request. Both serve engines (threaded and reactor) render
+/// through here, which is what makes their responses byte-identical.
+pub fn response_bytes(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut head = format!(
         "HTTP/1.1 {} {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
         response.status,
@@ -283,13 +281,23 @@ pub fn write_response(
         head.push_str("\r\n");
     }
     head.push_str("\r\n");
-    // One write for head + body: two small writes on a Nagle-enabled
-    // socket stall the second behind the peer's delayed ACK, turning a
-    // microsecond handler into a tens-of-ms request.
     let mut wire = Vec::with_capacity(head.len() + response.body.len());
     wire.extend_from_slice(head.as_bytes());
     wire.extend_from_slice(&response.body);
-    stream.write_all(&wire)?;
+    wire
+}
+
+/// Writes `response`, marking the connection keep-alive or close.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_response(
+    stream: &mut &TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    stream.write_all(&response_bytes(response, keep_alive))?;
     stream.flush()
 }
 
@@ -362,6 +370,218 @@ pub fn read_response(reader: &mut BufReader<&TcpStream>) -> io::Result<Response>
         headers,
         body,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Resumable parsing (reactor side)
+// ---------------------------------------------------------------------------
+
+/// Outcome of one [`RequestParser::next_request`] attempt.
+#[derive(Debug)]
+pub enum Parsed {
+    /// Not enough bytes buffered yet; feed more and try again.
+    Incomplete,
+    /// One complete request, consumed from the buffer.
+    Request(Box<Request>),
+    /// The buffered bytes can never form an acceptable request; the
+    /// given response should be written and the connection closed.
+    Malformed(Response),
+}
+
+/// Finds the end of the head section (the blank line) in `buf`.
+/// Returns `(head_len, body_start)`: the head's byte length excluding
+/// its final line terminator, and the offset where the body begins.
+fn find_head_end(buf: &[u8]) -> Option<(usize, usize)> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        // A newline followed by an (optionally CR-prefixed) newline
+        // terminates the head.
+        if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+            return Some((i, i + 3));
+        }
+        if buf.get(i + 1) == Some(&b'\n') {
+            return Some((i, i + 2));
+        }
+        i += 1;
+    }
+    None
+}
+
+/// An incremental HTTP/1.1 request parser for the reactor: bytes arrive
+/// in arbitrary fragments as the socket becomes readable, are buffered
+/// here, and complete requests are peeled off the front (pipelined
+/// requests queue naturally). Enforces the same [`MAX_HEAD_BYTES`] /
+/// [`MAX_BODY_BYTES`] limits as the threaded reader, with one
+/// deliberate difference: an oversized head answers `431` (the precise
+/// status) where the line-oriented threaded path answers `400`.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Appends newly-read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as a request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to peel one complete request off the front of the buffer.
+    pub fn next_request(&mut self) -> Parsed {
+        // Tolerate stray CRLFs between pipelined requests (RFC 9112 §2.2).
+        let start = self
+            .buf
+            .iter()
+            .take_while(|&&b| b == b'\r' || b == b'\n')
+            .count();
+        let Some((head_len, body_rel)) = find_head_end(&self.buf[start..]) else {
+            if self.buf.len() - start > MAX_HEAD_BYTES {
+                return Parsed::Malformed(Response::error(431, "request head too large"));
+            }
+            return Parsed::Incomplete;
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Parsed::Malformed(Response::error(431, "request head too large"));
+        }
+        let Ok(head) = std::str::from_utf8(&self.buf[start..start + head_len]) else {
+            return Parsed::Malformed(Response::error(400, "malformed header line"));
+        };
+
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let request_line = lines.next().unwrap_or("");
+        let mut parts = request_line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Parsed::Malformed(Response::error(400, "malformed request line"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Parsed::Malformed(Response::error(400, "unsupported HTTP version"));
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_string(), q.to_string()),
+            None => (target.to_string(), String::new()),
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            let Some((name, value)) = line.split_once(':') else {
+                return Parsed::Malformed(Response::error(400, "malformed header line"));
+            };
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse::<usize>());
+        let body_len = match content_length {
+            None => 0,
+            Some(Err(_)) => {
+                return Parsed::Malformed(Response::error(400, "unparseable content-length"))
+            }
+            Some(Ok(len)) if len > MAX_BODY_BYTES => {
+                return Parsed::Malformed(Response::error(413, "request body too large"))
+            }
+            Some(Ok(len)) => len,
+        };
+        let body_start = start + body_rel;
+        if self.buf.len() < body_start + body_len {
+            return Parsed::Incomplete;
+        }
+        let body = self.buf[body_start..body_start + body_len].to_vec();
+        let request = Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+            headers,
+            body,
+        };
+        self.buf.drain(..body_start + body_len);
+        Parsed::Request(Box::new(request))
+    }
+}
+
+/// The client-side twin of [`RequestParser`]: buffers fragmented
+/// response bytes and peels complete responses off the front. Used by
+/// the open-loop load generator, which multiplexes thousands of
+/// connections on one thread and cannot block in [`read_response`].
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: Vec<u8>,
+}
+
+impl ResponseParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> ResponseParser {
+        ResponseParser::default()
+    }
+
+    /// Appends newly-read socket bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Tries to peel one complete response off the front of the buffer.
+    /// `Ok(None)` means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on malformed or oversized response heads.
+    pub fn next_response(&mut self) -> io::Result<Option<Response>> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let Some((head_len, body_rel)) = find_head_end(&self.buf) else {
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(bad("response head too large"));
+            }
+            return Ok(None);
+        };
+        let head =
+            std::str::from_utf8(&self.buf[..head_len]).map_err(|_| bad("malformed header"))?;
+        let mut lines = head.split('\n').map(|l| l.trim_end_matches('\r'));
+        let status_line = lines.next().unwrap_or("");
+        let mut parts = status_line.split_whitespace();
+        let status = match (parts.next(), parts.next()) {
+            (Some(v), Some(code)) if v.starts_with("HTTP/1.") => {
+                code.parse::<u16>().map_err(|_| bad("bad status code"))?
+            }
+            _ => return Err(bad("malformed status line")),
+        };
+        let mut headers = Vec::new();
+        for line in lines {
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+        let len = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| bad("missing content-length"))?;
+        if self.buf.len() < body_rel + len {
+            return Ok(None);
+        }
+        let body = self.buf[body_rel..body_rel + len].to_vec();
+        self.buf.drain(..body_rel + len);
+        Ok(Some(Response {
+            status,
+            headers,
+            body,
+        }))
+    }
 }
 
 #[cfg(test)]
@@ -447,5 +667,105 @@ mod tests {
         assert_eq!(resp.status, 200);
         assert_eq!(resp.header("retry-after"), Some("1"));
         assert_eq!(resp.body, b"{\"ok\":true}");
+    }
+
+    #[test]
+    fn incremental_parser_resumes_across_fragments() {
+        let raw = b"POST /v1/simulate?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+        let mut p = RequestParser::new();
+        // Feed byte by byte: every prefix must report Incomplete, and
+        // only the final byte completes the request.
+        for (i, b) in raw.iter().enumerate() {
+            p.feed(&[*b]);
+            let parsed = p.next_request();
+            if i + 1 < raw.len() {
+                assert!(matches!(parsed, Parsed::Incomplete), "byte {i}: {parsed:?}");
+            } else {
+                let Parsed::Request(req) = parsed else {
+                    panic!("expected a request, got {parsed:?}");
+                };
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/v1/simulate");
+                assert_eq!(req.query, "x=1");
+                assert_eq!(req.header("host"), Some("h"));
+                assert_eq!(req.body, b"body");
+            }
+        }
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn incremental_parser_peels_pipelined_requests() {
+        let mut p = RequestParser::new();
+        p.feed(b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\n\n");
+        let Parsed::Request(a) = p.next_request() else {
+            panic!("first request");
+        };
+        assert_eq!(a.path, "/healthz");
+        let Parsed::Request(b) = p.next_request() else {
+            panic!("second request (bare-LF dialect)");
+        };
+        assert_eq!(b.path, "/metrics");
+        assert!(matches!(p.next_request(), Parsed::Incomplete));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_oversized_head_with_431() {
+        let mut p = RequestParser::new();
+        // A request line that never terminates: rejected as soon as the
+        // buffered head exceeds the cap, without waiting for a newline.
+        p.feed(&vec![b'A'; MAX_HEAD_BYTES + 2]);
+        let Parsed::Malformed(resp) = p.next_request() else {
+            panic!("expected malformed");
+        };
+        assert_eq!(resp.status, 431);
+    }
+
+    #[test]
+    fn incremental_parser_matches_threaded_error_taxonomy() {
+        let cases: [(&[u8], u16); 4] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET / SPDY/3\r\n\r\n", 400),
+            (b"GET / HTTP/1.1\r\nbroken\r\n\r\n", 400),
+            (b"POST / HTTP/1.1\r\ncontent-length: wat\r\n\r\n", 400),
+        ];
+        for (raw, status) in cases {
+            let mut p = RequestParser::new();
+            p.feed(raw);
+            let Parsed::Malformed(resp) = p.next_request() else {
+                panic!("expected malformed for {raw:?}");
+            };
+            assert_eq!(resp.status, status, "{raw:?}");
+        }
+        let mut p = RequestParser::new();
+        p.feed(
+            format!(
+                "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        let Parsed::Malformed(resp) = p.next_request() else {
+            panic!("expected malformed");
+        };
+        assert_eq!(resp.status, 413);
+    }
+
+    #[test]
+    fn response_parser_round_trips_response_bytes() {
+        let resp = Response::json(200, "{\"ok\":true}").with_header("retry-after", "1");
+        let wire = response_bytes(&resp, true);
+        let mut p = ResponseParser::new();
+        // Fragmented feed: split mid-head and mid-body.
+        p.feed(&wire[..10]);
+        assert!(p.next_response().expect("parse").is_none());
+        p.feed(&wire[10..wire.len() - 3]);
+        assert!(p.next_response().expect("parse").is_none());
+        p.feed(&wire[wire.len() - 3..]);
+        let parsed = p.next_response().expect("parse").expect("complete");
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.body, resp.body);
+        assert!(p.next_response().expect("parse").is_none());
     }
 }

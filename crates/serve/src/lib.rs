@@ -17,11 +17,14 @@
 //! - [`coalesce`] — in-flight dedup of identical simulate requests
 //! - [`jobs`] — async sweep-job registry behind 202 + `GET /v1/jobs/<id>`
 //! - [`metrics`] — counters, latency histogram, `/metrics` document
-//! - [`server`] — listener, connection threads, shutdown
+//! - [`server`] — listener, serve engines, graceful drain, shutdown
+//! - [`reactor`] — epoll readiness loop (default engine): connection
+//!   state machines, dispatcher pool, eventfd wakeups, timer wheel
 //! - [`shard`] — cluster mode: consistent-hash router, health checks,
 //!   failover, merged metrics, shard process spawning
-//! - [`loadgen`] — the load-testing client (cold/warm phases, exact
-//!   percentiles, p99 regression guard)
+//! - [`loadgen`] — the load-testing client (closed-loop cold/warm
+//!   phases, open-loop high-fanout mode, exact percentiles, p99
+//!   regression guard)
 //!
 //! See `DESIGN.md` §"Serving layer" for the API schema and the
 //! backpressure model, and `README.md` for a curl quickstart.
@@ -37,9 +40,10 @@ pub mod jobs;
 pub mod loadgen;
 pub mod metrics;
 pub mod queue;
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod shard;
 
-pub use server::{start, ServeConfig, ServerHandle};
+pub use server::{start, DrainControl, Engine, ServeConfig, ServerHandle};
 pub use shard::{start_router, RouterConfig, RouterHandle};

@@ -38,7 +38,7 @@ use transmuter::config::TransmuterConfig;
 use transmuter::counters::Telemetry;
 
 use crate::api::{ApiError, RecommendApiRequest, SimulateRequest};
-use crate::http::{read_response, write_request};
+use crate::http::{read_response, write_request, ResponseParser};
 
 /// Client-side settings.
 #[derive(Debug, Clone)]
@@ -60,6 +60,20 @@ pub struct LoadgenConfig {
     pub guard_factor: f64,
     /// Recorded-trace replay log (JSONL); replaces the cold/warm mix.
     pub replay: Option<PathBuf>,
+    /// Run the open-loop high-fanout phase after the warm phase.
+    pub open_loop: bool,
+    /// Open-loop keep-alive connections.
+    pub connections: usize,
+    /// Open-loop offered arrival rate (Poisson), requests/second.
+    pub open_rps: f64,
+    /// Open-loop duration, seconds.
+    pub open_duration_s: f64,
+    /// Shrink every phase for CI smoke runs.
+    pub quick: bool,
+    /// A baseline report (typically a `--threaded` run) embedded
+    /// verbatim into this report's `threaded_baseline` field, so one
+    /// `BENCH_serve.json` carries both engines side by side.
+    pub embed_baseline: Option<PathBuf>,
 }
 
 impl Default for LoadgenConfig {
@@ -73,6 +87,12 @@ impl Default for LoadgenConfig {
             guard: None,
             guard_factor: 4.0,
             replay: None,
+            open_loop: false,
+            connections: 1000,
+            open_rps: 500.0,
+            open_duration_s: 10.0,
+            quick: false,
+            embed_baseline: None,
         }
     }
 }
@@ -104,13 +124,68 @@ pub struct PhaseStats {
     pub max_ms: f64,
 }
 
+/// Figures of the open-loop high-fanout phase. Unlike the closed-loop
+/// phases, arrivals here follow a fixed Poisson schedule that does not
+/// slow down when the server does, and every latency is measured from
+/// the request's *scheduled* time — the classic coordinated-omission
+/// fix: a stalled connection inflates the percentiles instead of
+/// silently thinning the arrival stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopStats {
+    /// Keep-alive connections held open for the phase.
+    pub connections: u64,
+    /// Requested Poisson arrival rate.
+    pub offered_rps: f64,
+    /// Completed responses per second of wall time.
+    pub achieved_rps: f64,
+    /// Arrivals scheduled (sent or stalled).
+    pub offered: u64,
+    /// Responses completed.
+    pub completed: u64,
+    /// 200/202 responses.
+    pub ok: u64,
+    /// Backpressure responses (429 `queue_full` / 503 `overloaded`).
+    pub rejected: u64,
+    /// Anything else: a test failure.
+    pub errors: u64,
+    /// Connections the server dropped mid-phase.
+    pub disconnects: u64,
+    /// Arrivals that found their connection still busy and had to
+    /// queue behind the in-flight request.
+    pub stalled_issues: u64,
+    /// Worst per-connection stall count.
+    pub max_conn_stalls: u64,
+    /// Wall time of the up-front connect ramp, seconds. A value
+    /// approaching the server's idle timeout means early connections
+    /// can idle out before the arrival phase starts — a methodology
+    /// problem, not a server bug.
+    pub connect_s: f64,
+    /// Phase wall time, seconds.
+    pub wall_s: f64,
+    /// Mean scheduled-to-response latency, ms.
+    pub mean_ms: f64,
+    /// Median, ms.
+    pub p50_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Worst observed, ms.
+    pub max_ms: f64,
+}
+
 /// The whole `BENCH_serve.json` document.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
     /// Daemon address the run hit.
     pub addr: String,
+    /// Serve engine the daemon reported (`reactor` / `threaded`;
+    /// `unknown` when `/metrics` could not be scraped).
+    pub engine: String,
     /// Warm-phase connections.
     pub concurrency: usize,
+    /// Open-loop connections (0 when the phase didn't run).
+    pub concurrent_conns: u64,
     /// Requested rate (0 = closed loop).
     pub target_rps: f64,
     /// Unique requests in the mix.
@@ -130,6 +205,10 @@ pub struct Report {
     pub server_hit_ratio: f64,
     /// Server-reported coalesced request count after the run.
     pub server_coalesced_total: u64,
+    /// Open-loop phase figures (`--open-loop` runs only).
+    pub open_loop: Option<OpenLoopStats>,
+    /// An embedded baseline report (`--embed-baseline`), verbatim.
+    pub threaded_baseline: Option<Value>,
 }
 
 /// One prepared request: method, target, body.
@@ -258,7 +337,13 @@ impl PhaseAccumulator {
         match status {
             Some(200) | Some(202) => self.ok.fetch_add(1, Ordering::Relaxed),
             Some(s) => match body.and_then(parse_api_error) {
-                Some(err) if err.code == crate::api::code::QUEUE_FULL => {
+                // `overloaded` is the reactor's connection/dispatch shed:
+                // like `queue_full` it asks the client to back off, so it
+                // counts as backpressure, not an error.
+                Some(err)
+                    if err.code == crate::api::code::QUEUE_FULL
+                        || err.code == crate::api::code::OVERLOADED =>
+                {
                     self.rejected_429.fetch_add(1, Ordering::Relaxed)
                 }
                 Some(_) => self.errors.fetch_add(1, Ordering::Relaxed),
@@ -365,15 +450,16 @@ fn response_says_cached(body: &[u8]) -> bool {
         .unwrap_or(false)
 }
 
-fn scrape_cache_stats(addr: &str) -> (f64, u64) {
+fn scrape_cache_stats(addr: &str) -> (f64, u64, String) {
+    let unknown = || (0.0, 0, "unknown".to_string());
     let Ok(body) = get(addr, "/metrics") else {
-        return (0.0, 0);
+        return unknown();
     };
     let Ok(text) = String::from_utf8(body) else {
-        return (0.0, 0);
+        return unknown();
     };
     let Ok(value) = serde_json::parse_value_str(&text) else {
-        return (0.0, 0);
+        return unknown();
     };
     let field = |path: &[&str]| -> Option<Value> {
         let mut cur = value.clone();
@@ -399,7 +485,31 @@ fn scrape_cache_stats(addr: &str) -> (f64, u64) {
             Some(Value::Int(i)) => i.max(0) as u64,
             _ => 0,
         };
-    (hit_ratio, coalesced)
+    let engine =
+        match field(&["merged", "reactor", "engine"]).or_else(|| field(&["reactor", "engine"])) {
+            Some(Value::Str(s)) => s,
+            _ => "unknown".to_string(),
+        };
+    (hit_ratio, coalesced, engine)
+}
+
+/// Parses `--embed-baseline FILE` into a JSON value for verbatim
+/// embedding; `None` (and a warning on stderr) when unreadable.
+fn load_embedded_baseline(path: &PathBuf) -> Option<Value> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("warning: embed-baseline {}: {e}", path.display());
+            return None;
+        }
+    };
+    match serde_json::parse_value_str(&text) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("warning: embed-baseline {}: {e}", path.display());
+            None
+        }
+    }
 }
 
 /// Runs the configured load: recorded-trace replay when `replay` is
@@ -473,11 +583,13 @@ fn run_replay(cfg: &LoadgenConfig, path: &PathBuf) -> Result<Report, String> {
         }
     });
     let warm = acc.stats(started.elapsed().as_secs_f64());
-    let (server_hit_ratio, server_coalesced_total) = scrape_cache_stats(&cfg.addr);
+    let (server_hit_ratio, server_coalesced_total, engine) = scrape_cache_stats(&cfg.addr);
     let empty = PhaseAccumulator::default().stats(0.0);
     Ok(Report {
         addr: cfg.addr.clone(),
+        engine,
         concurrency: cfg.concurrency,
+        concurrent_conns: 0,
         target_rps: 0.0,
         mix_size: records.len(),
         cold: empty,
@@ -486,10 +598,13 @@ fn run_replay(cfg: &LoadgenConfig, path: &PathBuf) -> Result<Report, String> {
         warm_over_cold_rps: 0.0,
         server_hit_ratio,
         server_coalesced_total,
+        open_loop: None,
+        threaded_baseline: cfg.embed_baseline.as_ref().and_then(load_embedded_baseline),
     })
 }
 
-/// The default two-phase run: cold pass, then the warm closed loop.
+/// The default two-phase run: cold pass, then the warm closed loop,
+/// then (with `--open-loop`) the high-fanout open-loop phase.
 fn run_mix(cfg: &LoadgenConfig) -> Result<Report, String> {
     let mix = default_mix();
 
@@ -569,7 +684,15 @@ fn run_mix(cfg: &LoadgenConfig) -> Result<Report, String> {
     });
     let warm = warm_acc.stats(warm_started.elapsed().as_secs_f64());
 
-    let (server_hit_ratio, server_coalesced_total) = scrape_cache_stats(&cfg.addr);
+    // Open-loop phase: thousands of keep-alive connections, a Poisson
+    // arrival schedule that does not slow down with the server.
+    let open_loop = if cfg.open_loop {
+        Some(run_open_loop(cfg, &mix)?)
+    } else {
+        None
+    };
+
+    let (server_hit_ratio, server_coalesced_total, engine) = scrape_cache_stats(&cfg.addr);
     let warm_over_cold_rps = if cold.rps > 0.0 {
         warm.rps / cold.rps
     } else {
@@ -577,7 +700,9 @@ fn run_mix(cfg: &LoadgenConfig) -> Result<Report, String> {
     };
     Ok(Report {
         addr: cfg.addr.clone(),
+        engine,
         concurrency: cfg.concurrency,
+        concurrent_conns: open_loop.as_ref().map_or(0, |o| o.connections),
         target_rps: cfg.target_rps.unwrap_or(0.0),
         mix_size: mix.len(),
         cold,
@@ -586,6 +711,394 @@ fn run_mix(cfg: &LoadgenConfig) -> Result<Report, String> {
         warm_over_cold_rps,
         server_hit_ratio,
         server_coalesced_total,
+        open_loop,
+        threaded_baseline: cfg.embed_baseline.as_ref().and_then(load_embedded_baseline),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop high-fanout mode
+// ---------------------------------------------------------------------------
+
+/// One multiplexed client connection in the open-loop phase.
+struct OpenConn {
+    stream: TcpStream,
+    parser: ResponseParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Scheduled time of the in-flight request (one outstanding per
+    /// connection, mirroring a real keep-alive client).
+    inflight: Option<Instant>,
+    /// Scheduled times of arrivals that found the connection busy.
+    backlog: std::collections::VecDeque<Instant>,
+    /// How many arrivals stalled behind this connection.
+    stalls: u64,
+    interest: u32,
+    dead: bool,
+}
+
+/// A prepared request's exact wire bytes (what [`write_request`] would
+/// send), so the hot loop never formats.
+fn request_wire_bytes(req: &PreparedRequest) -> Vec<u8> {
+    let head = format!(
+        "{} {} HTTP/1.1\r\nhost: sparseadapt-serve\r\ncontent-length: {}\r\n{}\r\n",
+        req.method,
+        req.target,
+        req.body.len(),
+        if req.body.is_empty() {
+            ""
+        } else {
+            "content-type: application/json\r\n"
+        },
+    );
+    let mut wire = Vec::with_capacity(head.len() + req.body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(req.body.as_bytes());
+    wire
+}
+
+struct OpenLoopRun {
+    epfd: i32,
+    conns: Vec<OpenConn>,
+    wire: Vec<Vec<u8>>,
+    next_req: usize,
+    outstanding: usize,
+    latencies_ms: Vec<f64>,
+    ok: u64,
+    rejected: u64,
+    errors: u64,
+    disconnects: u64,
+    stalled: u64,
+}
+
+impl OpenLoopRun {
+    /// An arrival fires against connection `idx`: send immediately if
+    /// the connection is free, otherwise queue the scheduled time (the
+    /// stall is the signal — a closed-loop client would silently slow
+    /// its arrival process here).
+    fn arrive(&mut self, idx: usize, sched: Instant) {
+        let conn = &mut self.conns[idx];
+        if conn.dead {
+            self.errors += 1;
+            return;
+        }
+        if conn.inflight.is_some() || !conn.backlog.is_empty() {
+            conn.stalls += 1;
+            self.stalled += 1;
+            conn.backlog.push_back(sched);
+            return;
+        }
+        self.send(idx, sched);
+    }
+
+    fn send(&mut self, idx: usize, sched: Instant) {
+        let wire = self.wire[self.next_req % self.wire.len()].clone();
+        self.next_req += 1;
+        let conn = &mut self.conns[idx];
+        conn.out = wire;
+        conn.out_pos = 0;
+        conn.inflight = Some(sched);
+        self.outstanding += 1;
+        self.flush(idx);
+    }
+
+    /// Writes as much pending output as the socket accepts; arms
+    /// `EPOLLOUT` on a partial write.
+    fn flush(&mut self, idx: usize) {
+        use std::io::Write;
+        loop {
+            let conn = &mut self.conns[idx];
+            if conn.dead || conn.out_pos >= conn.out.len() {
+                break;
+            }
+            let pos = conn.out_pos;
+            match (&conn.stream).write(&conn.out[pos..]) {
+                Ok(0) => {
+                    self.kill(idx);
+                    return;
+                }
+                Ok(n) => conn.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.kill(idx);
+                    return;
+                }
+            }
+        }
+        self.update_interest(idx);
+    }
+
+    fn on_readable(&mut self, idx: usize, now: Instant) {
+        use std::io::Read;
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            let conn = &mut self.conns[idx];
+            if conn.dead {
+                return;
+            }
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => {
+                    self.kill(idx);
+                    return;
+                }
+                Ok(n) => conn.parser.feed(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.kill(idx);
+                    return;
+                }
+            }
+        }
+        loop {
+            let conn = &mut self.conns[idx];
+            match conn.parser.next_response() {
+                Ok(Some(resp)) => self.complete(idx, &resp, now),
+                Ok(None) => break,
+                Err(_) => {
+                    self.kill(idx);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn complete(&mut self, idx: usize, resp: &crate::http::Response, now: Instant) {
+        let conn = &mut self.conns[idx];
+        let Some(sched) = conn.inflight.take() else {
+            // A response with no request in flight: protocol desync.
+            self.kill(idx);
+            return;
+        };
+        self.outstanding -= 1;
+        self.latencies_ms
+            .push(now.saturating_duration_since(sched).as_secs_f64() * 1e3);
+        match resp.status {
+            200 | 202 => self.ok += 1,
+            _ => match parse_api_error(&resp.body) {
+                Some(err)
+                    if err.code == crate::api::code::QUEUE_FULL
+                        || err.code == crate::api::code::OVERLOADED =>
+                {
+                    self.rejected += 1
+                }
+                _ => self.errors += 1,
+            },
+        }
+        let next = self.conns[idx].backlog.pop_front();
+        if let Some(sched) = next {
+            self.send(idx, sched);
+        }
+    }
+
+    /// Drops a connection the server closed (or that errored): its
+    /// in-flight and queued arrivals become errors. No reconnect — the
+    /// phase measures a fixed population of keep-alive sockets, and a
+    /// server that drops one under load should fail the run, not get a
+    /// fresh socket.
+    fn kill(&mut self, idx: usize) {
+        let conn = &mut self.conns[idx];
+        if conn.dead {
+            return;
+        }
+        conn.dead = true;
+        self.disconnects += 1;
+        let _ = sysio::epoll_del(self.epfd, open_conn_fd(&conn.stream));
+        if conn.inflight.take().is_some() {
+            self.outstanding -= 1;
+            self.errors += 1;
+        }
+        self.errors += conn.backlog.len() as u64;
+        let _ = std::mem::take(&mut self.conns[idx].backlog);
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let epfd = self.epfd;
+        let conn = &mut self.conns[idx];
+        if conn.dead {
+            return;
+        }
+        let mut want = sysio::EPOLLIN | sysio::EPOLLRDHUP;
+        if conn.out_pos < conn.out.len() {
+            want |= sysio::EPOLLOUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            let _ = sysio::epoll_mod(epfd, open_conn_fd(&conn.stream), want, idx as u64);
+        }
+    }
+}
+
+/// Raw fd of a client stream (safe `AsRawFd` call).
+fn open_conn_fd(stream: &TcpStream) -> i32 {
+    use std::os::fd::AsRawFd;
+    stream.as_raw_fd()
+}
+
+/// Runs the open-loop phase: `connections` keep-alive sockets on one
+/// epoll loop, arrivals on a global Poisson schedule at `open_rps`,
+/// each assigned to a random connection. Only the cache-warm simulate
+/// requests from the mix are issued (the phase measures the serve
+/// core's fan-out, not cold simulation latency).
+///
+/// # Errors
+///
+/// Returns a message when connections cannot be established or the
+/// epoll instance cannot be created.
+fn run_open_loop(cfg: &LoadgenConfig, mix: &[PreparedRequest]) -> Result<OpenLoopStats, String> {
+    use rand::{Rng, SeedableRng};
+
+    let wire: Vec<Vec<u8>> = mix
+        .iter()
+        .filter(|r| r.target.ends_with("/simulate"))
+        .map(request_wire_bytes)
+        .collect();
+    if wire.is_empty() {
+        return Err("open loop: mix has no simulate requests".to_string());
+    }
+    let connections = cfg.connections.max(1);
+    let offered_rps = cfg.open_rps.max(1.0);
+    let duration_s = if cfg.quick {
+        cfg.open_duration_s.min(3.0)
+    } else {
+        cfg.open_duration_s
+    };
+
+    let epfd = sysio::epoll_create().map_err(|e| format!("open loop: epoll_create: {e}"))?;
+    let connect_started = Instant::now();
+    let mut conns = Vec::with_capacity(connections);
+    for i in 0..connections {
+        let stream = connect(&cfg.addr).map_err(|e| format!("open loop: connect #{i}: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("open loop: nonblocking #{i}: {e}"))?;
+        let _ = stream.set_nodelay(true);
+        sysio::epoll_add(
+            epfd,
+            open_conn_fd(&stream),
+            sysio::EPOLLIN | sysio::EPOLLRDHUP,
+            i as u64,
+        )
+        .map_err(|e| format!("open loop: epoll_add #{i}: {e}"))?;
+        conns.push(OpenConn {
+            stream,
+            parser: ResponseParser::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            inflight: None,
+            backlog: std::collections::VecDeque::new(),
+            stalls: 0,
+            interest: sysio::EPOLLIN | sysio::EPOLLRDHUP,
+            dead: false,
+        });
+    }
+    let connect_s = connect_started.elapsed().as_secs_f64();
+
+    let mut run = OpenLoopRun {
+        epfd,
+        conns,
+        wire,
+        next_req: 0,
+        outstanding: 0,
+        latencies_ms: Vec::new(),
+        ok: 0,
+        rejected: 0,
+        errors: 0,
+        disconnects: 0,
+        stalled: 0,
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0x5eed_10ad);
+    let interarrival = |rng: &mut rand::rngs::StdRng| -> Duration {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        Duration::from_secs_f64((-(1.0 - u).ln() / offered_rps).min(1.0))
+    };
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(duration_s);
+    // After arrivals stop, give stragglers a bounded window to answer.
+    let grace = deadline + Duration::from_secs(5);
+    let mut next_arrival = started + interarrival(&mut rng);
+    let mut offered = 0u64;
+    let mut events = vec![sysio::EpollEvent::default(); 1024];
+
+    loop {
+        let now = Instant::now();
+        if (now >= deadline && run.outstanding == 0) || now >= grace {
+            break;
+        }
+        while next_arrival <= Instant::now() && next_arrival < deadline {
+            let idx = rng.gen_range(0..run.conns.len());
+            offered += 1;
+            run.arrive(idx, next_arrival);
+            next_arrival += interarrival(&mut rng);
+        }
+        let now = Instant::now();
+        let until_arrival = if next_arrival < deadline {
+            next_arrival.saturating_duration_since(now)
+        } else {
+            Duration::from_millis(50)
+        };
+        let timeout_ms = until_arrival.as_millis().clamp(0, 50) as i32;
+        let n = sysio::epoll_wait(epfd, &mut events, timeout_ms)
+            .map_err(|e| format!("open loop: epoll_wait: {e}"))?;
+        let now = Instant::now();
+        for ev in events.iter().copied().take(n) {
+            let idx = ev.data as usize;
+            if idx >= run.conns.len() {
+                continue;
+            }
+            if ev.events & (sysio::EPOLLHUP | sysio::EPOLLERR) != 0 {
+                run.kill(idx);
+                continue;
+            }
+            if ev.events & sysio::EPOLLOUT != 0 {
+                run.flush(idx);
+            }
+            if ev.events & (sysio::EPOLLIN | sysio::EPOLLRDHUP) != 0 {
+                run.on_readable(idx, now);
+            }
+        }
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    sysio::close_fd(epfd);
+
+    let mut lat = std::mem::take(&mut run.latencies_ms);
+    lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let pct = |p: f64| -> f64 {
+        if lat.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len());
+        lat[rank - 1]
+    };
+    let completed = lat.len() as u64;
+    Ok(OpenLoopStats {
+        connections: connections as u64,
+        offered_rps,
+        achieved_rps: if wall_s > 0.0 {
+            completed as f64 / wall_s
+        } else {
+            0.0
+        },
+        offered,
+        completed,
+        ok: run.ok,
+        rejected: run.rejected,
+        errors: run.errors,
+        disconnects: run.disconnects,
+        stalled_issues: run.stalled,
+        max_conn_stalls: run.conns.iter().map(|c| c.stalls).max().unwrap_or(0),
+        connect_s,
+        wall_s,
+        mean_ms: if lat.is_empty() {
+            0.0
+        } else {
+            lat.iter().sum::<f64>() / lat.len() as f64
+        },
+        p50_ms: pct(0.50),
+        p95_ms: pct(0.95),
+        p99_ms: pct(0.99),
+        max_ms: lat.last().copied().unwrap_or(0.0),
     })
 }
 
@@ -757,7 +1270,9 @@ mod tests {
         };
         Report {
             addr: "127.0.0.1:0".to_string(),
+            engine: "threaded".to_string(),
             concurrency: 1,
+            concurrent_conns: 0,
             target_rps: 0.0,
             mix_size: 1,
             cold: phase.clone(),
@@ -766,6 +1281,8 @@ mod tests {
             warm_over_cold_rps: 1.0,
             server_hit_ratio: 0.0,
             server_coalesced_total: 0,
+            open_loop: None,
+            threaded_baseline: None,
         }
     }
 }

@@ -162,6 +162,60 @@ pub struct MetricsSnapshot {
     pub queue: QueueGauges,
     /// Process-wide trace cache counters.
     pub trace_cache: TraceCacheSnapshot,
+    /// Connection-level I/O gauges from the serve engine. Under the
+    /// threaded engine every counter is zero and `engine` says so.
+    pub reactor: ReactorSnapshot,
+}
+
+/// JSON shape of the reactor's connection gauges in `/metrics`.
+/// Counters are cumulative since boot; `conns_*` are point-in-time
+/// gauges sampled at render.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReactorSnapshot {
+    /// Which serve engine produced these numbers (`"reactor"`,
+    /// `"threaded"`, or `"mixed"` after a cross-engine merge).
+    pub engine: String,
+    /// Open connections (any state).
+    pub conns_open: u64,
+    /// Connections with a request in flight (dispatched or writing).
+    pub conns_active: u64,
+    /// Open connections idling between keep-alive requests.
+    pub conns_idle: u64,
+    /// Connections accepted since boot.
+    pub accepted_total: u64,
+    /// `epoll_wait` returns that carried at least one event.
+    pub epoll_wakeups_total: u64,
+    /// Reads that left a request incomplete (fragment arrived).
+    pub partial_reads_total: u64,
+    /// Writes that could not flush a full response (slow client;
+    /// backpressure engaged via `EPOLLOUT`).
+    pub partial_writes_total: u64,
+    /// Accepts refused because the connection cap was reached.
+    pub accept_overflows_total: u64,
+    /// 503 responses shed at the edge (cap overflow + dispatch-queue
+    /// overflow).
+    pub shed_503_total: u64,
+    /// Idle keep-alive connections reaped by the timer wheel.
+    pub idle_closed_total: u64,
+}
+
+impl ReactorSnapshot {
+    /// The all-zero document the threaded engine reports.
+    pub fn threaded() -> ReactorSnapshot {
+        ReactorSnapshot {
+            engine: "threaded".to_string(),
+            conns_open: 0,
+            conns_active: 0,
+            conns_idle: 0,
+            accepted_total: 0,
+            epoll_wakeups_total: 0,
+            partial_reads_total: 0,
+            partial_writes_total: 0,
+            accept_overflows_total: 0,
+            shed_503_total: 0,
+            idle_closed_total: 0,
+        }
+    }
 }
 
 /// JSON shape of the trace-cache stats (mirrors
@@ -246,6 +300,20 @@ pub fn merge_snapshots(snaps: &[MetricsSnapshot]) -> Option<MetricsSnapshot> {
         c.evictions += s.trace_cache.evictions;
         c.entries += s.trace_cache.entries;
         c.resident_bytes += s.trace_cache.resident_bytes;
+        let r = &mut merged.reactor;
+        if r.engine != s.reactor.engine {
+            r.engine = "mixed".to_string();
+        }
+        r.conns_open += s.reactor.conns_open;
+        r.conns_active += s.reactor.conns_active;
+        r.conns_idle += s.reactor.conns_idle;
+        r.accepted_total += s.reactor.accepted_total;
+        r.epoll_wakeups_total += s.reactor.epoll_wakeups_total;
+        r.partial_reads_total += s.reactor.partial_reads_total;
+        r.partial_writes_total += s.reactor.partial_writes_total;
+        r.accept_overflows_total += s.reactor.accept_overflows_total;
+        r.shed_503_total += s.reactor.shed_503_total;
+        r.idle_closed_total += s.reactor.idle_closed_total;
     }
     let h = &mut merged.latency;
     h.mean_ms = if h.count == 0 {
@@ -299,7 +367,12 @@ impl ServerMetrics {
 
     /// Builds the `/metrics` document from the counters plus the gauges
     /// sampled now.
-    pub fn snapshot(&self, queue: QueueGauges, cache: CacheStats) -> MetricsSnapshot {
+    pub fn snapshot(
+        &self,
+        queue: QueueGauges,
+        cache: CacheStats,
+        reactor: ReactorSnapshot,
+    ) -> MetricsSnapshot {
         let by_route = self
             .by_route
             .lock()
@@ -316,6 +389,7 @@ impl ServerMetrics {
             latency: self.latency.snapshot(),
             queue,
             trace_cache: cache.into(),
+            reactor,
         }
     }
 }
@@ -367,7 +441,7 @@ mod tests {
         m.record("POST /v1/simulate", 429, 0.1);
         m.record("GET /metrics", 200, 0.2);
         m.record_coalesced();
-        let s = m.snapshot(gauges(), CacheStats::default());
+        let s = m.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
         assert_eq!(s.requests_total, 4);
         assert_eq!(s.rejected_429_total, 1);
         assert_eq!(s.coalesced_total, 1);
@@ -391,11 +465,20 @@ mod tests {
             b.record("POST /v1/simulate", 200, 30.0);
         }
         b.record("POST /v1/simulate", 429, 0.1);
-        let snaps = [
-            a.snapshot(gauges(), CacheStats::default()),
-            b.snapshot(gauges(), CacheStats::default()),
-        ];
+        let mut snap_a = a.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        snap_a.reactor.engine = "reactor".to_string();
+        snap_a.reactor.conns_open = 100;
+        snap_a.reactor.shed_503_total = 3;
+        let mut snap_b = b.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        snap_b.reactor.engine = "reactor".to_string();
+        snap_b.reactor.conns_open = 50;
+        snap_b.reactor.epoll_wakeups_total = 7;
+        let snaps = [snap_a, snap_b];
         let m = merge_snapshots(&snaps).expect("non-empty");
+        assert_eq!(m.reactor.engine, "reactor");
+        assert_eq!(m.reactor.conns_open, 150);
+        assert_eq!(m.reactor.shed_503_total, 3);
+        assert_eq!(m.reactor.epoll_wakeups_total, 7);
         assert_eq!(m.requests_total, 101);
         assert_eq!(m.rejected_429_total, 1);
         assert_eq!(m.requests_by_route["POST /v1/simulate 200"], 100);
@@ -416,6 +499,16 @@ mod tests {
     #[test]
     fn merging_nothing_yields_none() {
         assert!(merge_snapshots(&[]).is_none());
+    }
+
+    #[test]
+    fn cross_engine_merge_reports_mixed() {
+        let m = ServerMetrics::new();
+        let threaded = m.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        let mut reactor = threaded.clone();
+        reactor.reactor.engine = "reactor".to_string();
+        let merged = merge_snapshots(&[threaded, reactor]).expect("non-empty");
+        assert_eq!(merged.reactor.engine, "mixed");
     }
 
     #[test]

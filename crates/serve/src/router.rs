@@ -56,10 +56,13 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             "POST /v2/matrices",
             handlers::upload_matrix(state, &req.body, V2),
         ),
+        // Admin surface is /v2-only, like uploads.
+        ("POST", "/v2/admin/drain") => ("POST /v2/admin/drain", handlers::drain(state, V2)),
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
-            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices",
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices"
+            | "/v2/admin/drain",
         ) => (
             "method_not_allowed",
             Response::error(405, "method not allowed for this path"),

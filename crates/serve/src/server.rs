@@ -1,23 +1,35 @@
-//! The daemon: listener, connection threads, shared state, shutdown.
+//! The daemon: listener, serve engines, shared state, shutdown.
 //!
-//! Thread model: one accept loop, one thread per live connection
-//! (clients are expected in the tens, not thousands), and a bounded
-//! [`sparseadapt::exec::Pool`] that owns *all* simulation work. The
-//! connection threads only parse, route, and block on the pool — the
-//! pool's worker count and queue capacity are therefore the knobs that
-//! bound CPU and memory under load, and a full queue turns into an
-//! HTTP 429 at the edge (see [`crate::queue`]).
+//! Two engines drive connections:
 //!
-//! Shutdown is cooperative: a shared flag checked by the accept loop
-//! and by every connection thread on its read-timeout tick, so tests
-//! can boot and tear down servers in-process.
+//! - **Reactor** (default): one epoll loop multiplexes every socket and
+//!   hands parsed requests to a dispatcher pool
+//!   (see [`crate::reactor`]). Scales to tens of thousands of
+//!   keep-alive connections.
+//! - **Threaded**: one accept loop, one thread per live connection —
+//!   the original engine, kept as a fallback and as the differential
+//!   baseline (both render responses through
+//!   [`crate::http::response_bytes`], so their wire bytes are
+//!   identical).
+//!
+//! Either way, a bounded [`sparseadapt::exec::Pool`] owns *all*
+//! simulation work; its worker count and queue capacity bound CPU and
+//! memory under load, and a full queue turns into an HTTP 429 at the
+//! edge (see [`crate::queue`]).
+//!
+//! Shutdown is cooperative: a shared flag checked by both engines on
+//! their poll ticks, so tests can boot and tear down servers
+//! in-process. Graceful drain ([`DrainControl`]) additionally stops
+//! accepting (the listener is dropped, so new connects are refused),
+//! lets in-flight requests finish, closes idle keep-alives, and then
+//! signals completion so the daemon can exit 0.
 
 use std::collections::HashMap;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -31,6 +43,7 @@ use crate::coalesce::Coalescer;
 use crate::http::{read_request, write_response, ReadOutcome, Request, Response};
 use crate::jobs::JobRegistry;
 use crate::metrics::ServerMetrics;
+use crate::reactor::{self, ReactorStats};
 use crate::router;
 
 /// A boxed request handler driving one listener: the closure owns
@@ -41,6 +54,91 @@ pub(crate) type RouteFn = Arc<dyn Fn(&Request) -> Response + Send + Sync>;
 
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_TICK: Duration = Duration::from_millis(200);
+
+/// Listen backlog requested on every bound listener (see `start`).
+const LISTEN_BACKLOG: i32 = 4096;
+
+/// Which serve core drives connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Epoll readiness loop; scales to thousands of keep-alive sockets.
+    #[default]
+    Reactor,
+    /// Thread-per-connection; the original engine and the differential
+    /// baseline.
+    Threaded,
+}
+
+impl Engine {
+    /// Stable wire/report name for the engine.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Reactor => "reactor",
+            Engine::Threaded => "threaded",
+        }
+    }
+}
+
+/// Graceful-drain coordination shared between the admin endpoint, the
+/// signal watcher, and the serve engine.
+///
+/// `request()` flips a flag both engines poll; once the engine has
+/// stopped accepting, flushed in-flight requests, and closed every
+/// connection, it calls `mark_completed()`, releasing anyone parked in
+/// `wait_completed()` (the daemon's main thread, which then exits 0).
+#[derive(Debug, Default)]
+pub struct DrainControl {
+    requested: AtomicBool,
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl DrainControl {
+    /// Fresh, un-requested control.
+    pub fn new() -> DrainControl {
+        DrainControl::default()
+    }
+
+    /// Asks the serve engine to drain. Idempotent.
+    pub fn request(&self) {
+        self.requested.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn requested(&self) -> bool {
+        self.requested.load(Ordering::SeqCst)
+    }
+
+    /// Marks the drain finished, waking `wait_completed` callers.
+    pub fn mark_completed(&self) {
+        *self.done.lock().expect("drain lock") = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether the drain has finished.
+    pub fn completed(&self) -> bool {
+        *self.done.lock().expect("drain lock")
+    }
+
+    /// Blocks until the drain finishes or `timeout` elapses; returns
+    /// whether it finished.
+    pub fn wait_completed(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock().expect("drain lock");
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(done, deadline - now)
+                .expect("drain lock");
+            done = guard;
+        }
+        true
+    }
+}
 
 /// Boot-time settings of the daemon.
 #[derive(Debug, Clone)]
@@ -61,6 +159,19 @@ pub struct ServeConfig {
     /// from here (written via temp-file + rename so readers never see a
     /// partial write).
     pub addr_file: Option<PathBuf>,
+    /// Which serve core drives connections.
+    pub engine: Engine,
+    /// Reactor only: hard cap on concurrently open connections; accepts
+    /// beyond it are shed with a 503.
+    pub max_conns: usize,
+    /// Reactor only: idle keep-alive timeout in milliseconds.
+    pub idle_timeout_ms: u64,
+    /// Reactor only: dispatcher threads (0 = `max(8, 2 × workers)`).
+    pub dispatchers: usize,
+    /// Install a SIGINT/SIGTERM watcher that triggers a graceful drain.
+    /// Only the daemon binary sets this; in-process test servers must
+    /// not mask the test runner's signals.
+    pub handle_signals: bool,
 }
 
 impl Default for ServeConfig {
@@ -72,6 +183,11 @@ impl Default for ServeConfig {
             cache_dir: None,
             cache_mem_cap: None,
             addr_file: None,
+            engine: Engine::Reactor,
+            max_conns: 12288,
+            idle_timeout_ms: 30_000,
+            dispatchers: 0,
+            handle_signals: false,
         }
     }
 }
@@ -90,6 +206,12 @@ pub struct AppState {
     pub jobs: JobRegistry,
     /// Scale/threads/seed settings shared with the bench harness.
     pub harness: Harness,
+    /// Graceful-drain coordination (admin endpoint + signal watcher).
+    pub drain: Arc<DrainControl>,
+    /// Reactor counters when the reactor engine is active.
+    pub reactor: Option<Arc<ReactorStats>>,
+    /// Which engine this server runs.
+    pub engine: Engine,
     /// Memoized workloads with their content fingerprints.
     /// Construction (op-stream generation) and fingerprinting both walk
     /// every op, so each costs more than a cached simulation lookup —
@@ -172,6 +294,15 @@ impl Drop for ServerHandle {
 ///
 /// Propagates bind failures.
 pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+    // Block SIGINT/SIGTERM before ANY thread spawns: a process-directed
+    // signal is delivered to whichever thread leaves it unblocked, so
+    // blocking after the pool exists would leave workers that die to
+    // the default handler instead of routing through the watcher.
+    let signal_fd = if config.handle_signals {
+        sysio::signalfd_blocked(&[sysio::SIGINT, sysio::SIGTERM]).ok()
+    } else {
+        None
+    };
     if let Some(dir) = &config.cache_dir {
         TraceCache::global().set_disk_dir(Some(dir.clone()));
         // Uploaded matrices spill next to the trace tier, so every
@@ -188,6 +319,13 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         config.workers
     };
     let listener = TcpListener::bind(&config.addr)?;
+    // std hardwires a listen backlog of 128; a high-fanout loadgen
+    // opening thousands of sockets at once overflows that and stalls
+    // each dropped SYN in 1s retransmit cycles. Best-effort resize.
+    {
+        use std::os::fd::AsRawFd;
+        let _ = sysio::listen_backlog(listener.as_raw_fd(), LISTEN_BACKLOG);
+    }
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     if let Some(path) = &config.addr_file {
@@ -196,12 +334,20 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         std::fs::rename(&tmp, path)?;
     }
 
+    let drain = Arc::new(DrainControl::new());
+    let reactor_stats = match config.engine {
+        Engine::Reactor => Some(Arc::new(ReactorStats::new())),
+        Engine::Threaded => None,
+    };
     let state = Arc::new(AppState {
         pool: Pool::new(workers, config.queue_cap),
         metrics: ServerMetrics::new(),
         coalescer: Coalescer::new(),
         jobs: JobRegistry::new(),
         harness: Harness::default(),
+        drain: Arc::clone(&drain),
+        reactor: reactor_stats.clone(),
+        engine: config.engine,
         workloads: Mutex::new(HashMap::new()),
     });
     let stop = Arc::new(AtomicBool::new(false));
@@ -219,7 +365,36 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
             response
         })
     };
-    let accept = spawn_accept_loop(listener, Arc::clone(&stop), route);
+    let drain_idle: Arc<dyn Fn() -> bool + Send + Sync> = {
+        let state = Arc::clone(&state);
+        Arc::new(move || state.pool.queue_depth() == 0 && state.pool.in_flight() == 0)
+    };
+    if let Some(fd) = signal_fd {
+        spawn_signal_watcher(fd, Arc::clone(&drain));
+    }
+    let accept = match config.engine {
+        Engine::Reactor => reactor::spawn(
+            listener,
+            route,
+            Arc::clone(&stop),
+            Arc::clone(&drain),
+            drain_idle,
+            reactor_stats.expect("reactor stats exist for reactor engine"),
+            reactor::ReactorConfig {
+                max_conns: config.max_conns.max(1),
+                idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+                dispatchers: if config.dispatchers == 0 {
+                    (workers * 2).max(8)
+                } else {
+                    config.dispatchers
+                },
+                dispatch_cap: (config.queue_cap * 4).max(256),
+            },
+        )?,
+        Engine::Threaded => {
+            spawn_accept_loop(listener, Arc::clone(&stop), route, drain, drain_idle)
+        }
+    };
 
     Ok(ServerHandle {
         addr,
@@ -229,25 +404,60 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     })
 }
 
-/// Runs the accept loop on its own thread: one detached connection
-/// thread per peer, every request answered by `route`.
+/// Watches SIGINT/SIGTERM on a signalfd and turns the first one into a
+/// graceful drain request. The signals were already blocked at the top
+/// of [`start`] (before any thread existed) so the default handlers
+/// (immediate termination) never fire; the watcher thread parks in a
+/// blocking read and dies with the process.
+fn spawn_signal_watcher(fd: i32, drain: Arc<DrainControl>) {
+    std::thread::Builder::new()
+        .name("serve-signals".into())
+        .spawn(move || {
+            if sysio::signalfd_read(fd).is_ok() {
+                drain.request();
+            }
+            sysio::close_fd(fd);
+        })
+        .expect("spawn signal watcher");
+}
+
+/// Runs the threaded accept loop on its own thread: one detached
+/// connection thread per peer, every request answered by `route`. On a
+/// drain request the loop drops the listener (refusing new connects),
+/// waits for live connections and pool work to finish, then marks the
+/// drain complete.
 pub(crate) fn spawn_accept_loop(
     listener: TcpListener,
     stop: Arc<AtomicBool>,
     route: RouteFn,
+    drain: Arc<DrainControl>,
+    drain_idle: Arc<dyn Fn() -> bool + Send + Sync>,
 ) -> JoinHandle<()> {
-    std::thread::spawn(move || accept_loop(&listener, &route, &stop))
+    std::thread::spawn(move || accept_loop(listener, &route, &stop, &drain, &drain_idle))
 }
 
-fn accept_loop(listener: &TcpListener, route: &RouteFn, stop: &Arc<AtomicBool>) {
-    while !stop.load(Ordering::SeqCst) {
+fn accept_loop(
+    listener: TcpListener,
+    route: &RouteFn,
+    stop: &Arc<AtomicBool>,
+    drain: &Arc<DrainControl>,
+    drain_idle: &Arc<dyn Fn() -> bool + Send + Sync>,
+) {
+    let live = Arc::new(AtomicUsize::new(0));
+    while !stop.load(Ordering::SeqCst) && !drain.requested() {
         match listener.accept() {
             Ok((stream, _)) => {
                 let route = Arc::clone(route);
                 let stop = Arc::clone(stop);
+                let drain = Arc::clone(drain);
+                let live = Arc::clone(&live);
+                live.fetch_add(1, Ordering::SeqCst);
                 // Connection threads are detached; each exits on peer
                 // close or on the next poll tick after shutdown.
-                std::thread::spawn(move || serve_connection(&stream, &route, &stop));
+                std::thread::spawn(move || {
+                    serve_connection(&stream, &route, &stop, &drain);
+                    live.fetch_sub(1, Ordering::SeqCst);
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
@@ -255,9 +465,26 @@ fn accept_loop(listener: &TcpListener, route: &RouteFn, stop: &Arc<AtomicBool>) 
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }
+    // Refuse new connects immediately (closing beats leaving them to
+    // queue in the backlog).
+    drop(listener);
+    if drain.requested() && !stop.load(Ordering::SeqCst) {
+        while live.load(Ordering::SeqCst) > 0 || !drain_idle() {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        drain.mark_completed();
+    }
 }
 
-fn serve_connection(stream: &TcpStream, route: &RouteFn, stop: &Arc<AtomicBool>) {
+fn serve_connection(
+    stream: &TcpStream,
+    route: &RouteFn,
+    stop: &Arc<AtomicBool>,
+    drain: &Arc<DrainControl>,
+) {
     if stream.set_read_timeout(Some(POLL_TICK)).is_err() {
         return;
     }
@@ -271,7 +498,9 @@ fn serve_connection(stream: &TcpStream, route: &RouteFn, stop: &Arc<AtomicBool>)
         }
         match read_request(&mut reader) {
             Ok(ReadOutcome::Request(req)) => {
-                let keep_alive = req.keep_alive();
+                // Draining connections answer with `connection: close`
+                // so well-behaved clients stop reusing them.
+                let keep_alive = req.keep_alive() && !drain.requested();
                 let response = route(&req);
                 if write_response(&mut &*stream, &response, keep_alive).is_err() || !keep_alive {
                     return;
@@ -282,9 +511,14 @@ fn serve_connection(stream: &TcpStream, route: &RouteFn, stop: &Arc<AtomicBool>)
                 let _ = write_response(&mut &*stream, &response, false);
                 return;
             }
-            // Read-timeout tick: loop back to check the shutdown flag.
+            // Read-timeout tick: loop back to check the shutdown and
+            // drain flags (idle keep-alives close out during a drain).
             Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if drain.requested() {
+                    return;
+                }
             }
             Err(_) => return,
         }

@@ -36,8 +36,11 @@ use sparseadapt::exec::parallel_map;
 
 use crate::api::{code, ApiError, ApiVersion};
 use crate::http::{read_response, write_request, Request, Response};
-use crate::metrics::{merge_snapshots, MetricsSnapshot, QueueGauges, ServerMetrics};
-use crate::server::{spawn_accept_loop, RouteFn};
+use crate::metrics::{
+    merge_snapshots, MetricsSnapshot, QueueGauges, ReactorSnapshot, ServerMetrics,
+};
+use crate::reactor::{self, ReactorStats};
+use crate::server::{spawn_accept_loop, DrainControl, Engine, RouteFn};
 
 /// Virtual nodes per shard on the hash ring. More vnodes smooth the
 /// key distribution and shrink the fraction of keys that move when the
@@ -198,6 +201,10 @@ pub struct RouterState {
     rerouted: AtomicU64,
     record: Option<Mutex<std::fs::File>>,
     started: Instant,
+    /// Which engine the router's own listener runs.
+    engine: Engine,
+    /// Reactor counters when the router rides the reactor engine.
+    reactor: Option<Arc<ReactorStats>>,
 }
 
 impl RouterState {
@@ -252,6 +259,8 @@ pub struct RouterConfig {
     pub vnodes: usize,
     /// Optional JSONL request log (`loadgen --replay` input).
     pub record: Option<PathBuf>,
+    /// Which serve core drives the router's own listener.
+    pub engine: Engine,
 }
 
 /// A running router; dropping it (or [`RouterHandle::shutdown`]) stops
@@ -319,9 +328,19 @@ pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
         config.vnodes
     };
     let listener = TcpListener::bind(&config.addr)?;
+    // Same backlog resize as `server::start`: the std default of 128
+    // collapses under a high-fanout connect burst.
+    {
+        use std::os::fd::AsRawFd;
+        let _ = sysio::listen_backlog(listener.as_raw_fd(), 4096);
+    }
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
 
+    let reactor_stats = match config.engine {
+        Engine::Reactor => Some(Arc::new(ReactorStats::new())),
+        Engine::Threaded => None,
+    };
     let state = Arc::new(RouterState {
         ring: Ring::new(config.shards.len(), vnodes),
         shards: config
@@ -338,6 +357,8 @@ pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
         rerouted: AtomicU64::new(0),
         record,
         started: Instant::now(),
+        engine: config.engine,
+        reactor: reactor_stats.clone(),
     });
     let stop = Arc::new(AtomicBool::new(false));
 
@@ -354,7 +375,31 @@ pub fn start_router(config: RouterConfig) -> io::Result<RouterHandle> {
             response
         })
     };
-    let accept = spawn_accept_loop(listener, Arc::clone(&stop), route);
+    // The router has no admission pool of its own; a drain (not yet
+    // exposed on the router's API) only has connections to wait for.
+    let drain = Arc::new(DrainControl::new());
+    let drain_idle: Arc<dyn Fn() -> bool + Send + Sync> = Arc::new(|| true);
+    let accept = match config.engine {
+        Engine::Reactor => reactor::spawn(
+            listener,
+            route,
+            Arc::clone(&stop),
+            drain,
+            drain_idle,
+            reactor_stats.expect("reactor stats exist for reactor engine"),
+            reactor::ReactorConfig {
+                max_conns: 12288,
+                idle_timeout: Duration::from_millis(30_000),
+                // Proxying blocks on shard round-trips, not the CPU, so
+                // the router gets a deeper dispatcher pool than a shard.
+                dispatchers: 16,
+                dispatch_cap: 1024,
+            },
+        )?,
+        Engine::Threaded => {
+            spawn_accept_loop(listener, Arc::clone(&stop), route, drain, drain_idle)
+        }
+    };
     let health = {
         let state = Arc::clone(&state);
         let stop = Arc::clone(&stop);
@@ -620,6 +665,10 @@ fn router_metrics(state: &RouterState) -> Response {
     let merged_doc = merge_snapshots(&snaps)
         .map(|m| serde_json::to_string(&m).expect("merged snapshot serializes"))
         .unwrap_or_else(|| "null".to_string());
+    let own_reactor = match &state.reactor {
+        Some(stats) => stats.snapshot(state.engine.as_str()),
+        None => ReactorSnapshot::threaded(),
+    };
     let own = state.metrics.snapshot(
         QueueGauges {
             queue_depth: 0,
@@ -628,6 +677,7 @@ fn router_metrics(state: &RouterState) -> Response {
             workers: 0,
         },
         sparseadapt::trace_cache::CacheStats::default(),
+        own_reactor,
     );
     let own_doc = serde_json::to_string(&own).expect("router snapshot serializes");
     Response::json(
@@ -665,6 +715,8 @@ pub struct ShardSpawn {
     pub cache_mem_cap: Option<usize>,
     /// Directory for the address rendezvous files.
     pub run_dir: PathBuf,
+    /// Serve engine each shard daemon runs.
+    pub engine: Engine,
 }
 
 /// A spawned shard process; killed (and reaped) on drop.
@@ -712,6 +764,10 @@ pub fn spawn_shards(spawn: &ShardSpawn) -> io::Result<Vec<ShardChild>> {
             .arg(spawn.workers.to_string())
             .arg("--queue-cap")
             .arg(spawn.queue_cap.to_string())
+            .arg(match spawn.engine {
+                Engine::Reactor => "--reactor",
+                Engine::Threaded => "--threaded",
+            })
             .stdout(std::process::Stdio::null())
             .stderr(std::process::Stdio::null());
         if let Some(dir) = &spawn.cache_dir {

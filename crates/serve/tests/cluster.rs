@@ -86,6 +86,7 @@ fn cluster_end_to_end() {
         queue_cap: 32,
         cache_dir: Some(cache_dir.clone()),
         cache_mem_cap: None,
+        engine: serve::Engine::Reactor,
         run_dir: base.join("run"),
     })
     .expect("shards boot");
@@ -95,6 +96,7 @@ fn cluster_end_to_end() {
         shards: shard_addrs.clone(),
         vnodes: 0,
         record: Some(record_path.clone()),
+        engine: serve::Engine::Reactor,
     })
     .expect("router boots");
     let addr = router.addr;

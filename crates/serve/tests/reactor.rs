@@ -1,0 +1,360 @@
+//! Adversarial-client and engine-parity tests for the reactor serve
+//! core: slow clients, oversized heads, mid-body disconnects,
+//! connection-cap shedding, graceful drain, and byte-level response
+//! parity between `--reactor` and `--threaded`.
+//!
+//! Each test boots its own server on an ephemeral port. The trace
+//! cache is process-wide, so only the parity test simulates (and warms
+//! its matrix first); every other test sticks to cache-free endpoints.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use serve::{start, Engine, ServeConfig};
+
+fn config(engine: Engine) -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 16,
+        engine,
+        ..ServeConfig::default()
+    }
+}
+
+/// One self-framing request: `connection: close` makes the raw
+/// response bytes exactly "everything until EOF".
+fn close_request(method: &str, target: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {target} HTTP/1.1\r\nhost: reactor-test\r\nconnection: close\r\n\
+         content-length: {}\r\ncontent-type: application/json\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Sends raw bytes, returns everything the server sends back before
+/// closing (tolerating a reset after partial data — some adversarial
+/// exchanges end in one).
+fn raw_roundtrip(addr: &SocketAddr, raw: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(raw).expect("write request");
+    let mut out = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => out.extend_from_slice(&buf[..n]),
+            Err(_) if !out.is_empty() => break,
+            Err(e) => panic!("read: {e}"),
+        }
+    }
+    out
+}
+
+fn status_of(raw: &[u8]) -> u16 {
+    let text = String::from_utf8_lossy(raw);
+    let line = text.lines().next().unwrap_or_default();
+    line.split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in: {line:?}"))
+}
+
+/// Digs a field out of a JSON object tree.
+fn field(value: &serde::Value, path: &[&str]) -> Option<serde::Value> {
+    let mut cur = value.clone();
+    for key in path {
+        let serde::Value::Obj(pairs) = cur else {
+            return None;
+        };
+        cur = pairs.into_iter().find(|(k, _)| k == key)?.1;
+    }
+    Some(cur)
+}
+
+fn metrics_doc(addr: &SocketAddr) -> serde::Value {
+    let raw = raw_roundtrip(addr, &close_request("GET", "/metrics", ""));
+    let text = String::from_utf8_lossy(&raw);
+    let body = text.split("\r\n\r\n").nth(1).expect("metrics body");
+    serde_json::parse_value_str(body).expect("metrics is JSON")
+}
+
+fn metric_u64(doc: &serde::Value, path: &[&str]) -> u64 {
+    match field(doc, path) {
+        Some(serde::Value::UInt(u)) => u,
+        Some(serde::Value::Int(i)) => u64::try_from(i).expect("non-negative"),
+        other => panic!("expected integer at {path:?}, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine parity
+// ---------------------------------------------------------------------------
+
+/// Zeroes every occurrence of a numeric JSON field so wall-clock noise
+/// (`sim_ms`, per-request `content-length` drift from it) can't fail a
+/// byte comparison.
+fn zero_field(text: &str, key: &str) -> String {
+    let mut out = String::new();
+    let mut rest = text;
+    while let Some(i) = rest.find(key) {
+        out.push_str(&rest[..i + key.len()]);
+        out.push('0');
+        let after = &rest[i + key.len()..];
+        let end = after
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+            .unwrap_or(after.len());
+        rest = &after[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+fn normalize(raw: &[u8]) -> String {
+    let text = String::from_utf8_lossy(raw).into_owned();
+    let text = zero_field(&text, "\"sim_ms\":");
+    zero_field(&text, "content-length: ")
+}
+
+#[test]
+fn engines_serve_byte_identical_responses() {
+    let reactor = start(config(Engine::Reactor)).expect("reactor boots");
+    let threaded = start(config(Engine::Threaded)).expect("threaded boots");
+
+    // Warm the (process-wide) trace cache on both so the comparison
+    // pass sees identical `cached` flags.
+    let sim = r#"{"kernel": "spmspv", "matrix": "R09", "config_name": "baseline"}"#;
+    for server in [&reactor, &threaded] {
+        let warm = raw_roundtrip(&server.addr, &close_request("POST", "/v1/simulate", sim));
+        assert_eq!(status_of(&warm), 200, "warm pass failed");
+    }
+
+    let typo = r#"{"kernel": "spmspv", "matrix": "R09", "confg_name": "maximum"}"#;
+    let traffic: &[(&str, &str, &str)] = &[
+        ("GET", "/healthz", ""),
+        ("GET", "/nope", ""),
+        ("POST", "/healthz", "{}"),
+        ("POST", "/v1/simulate", "not json"),
+        ("POST", "/v2/simulate", "not json"),
+        ("POST", "/v1/simulate", sim),
+        ("POST", "/v2/simulate", sim),
+        ("POST", "/v2/simulate", typo),
+        ("GET", "/v1/jobs", ""),
+        ("GET", "/v2/jobs/999999", ""),
+    ];
+    for (method, target, body) in traffic {
+        let wire = close_request(method, target, body);
+        let from_reactor = normalize(&raw_roundtrip(&reactor.addr, &wire));
+        let from_threaded = normalize(&raw_roundtrip(&threaded.addr, &wire));
+        assert_eq!(
+            from_reactor, from_threaded,
+            "engines diverged on {method} {target}"
+        );
+    }
+
+    reactor.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn reactor_serves_pipelined_requests_in_order() {
+    let server = start(config(Engine::Reactor)).expect("server boots");
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    // Two requests in one write; the second carries `connection: close`
+    // so the full exchange self-frames.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(b"GET /healthz HTTP/1.1\r\nhost: pipeline\r\ncontent-length: 0\r\n\r\n");
+    wire.extend_from_slice(&close_request("GET", "/nope", ""));
+    stream.write_all(&wire).expect("write pipelined pair");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read both responses");
+    let text = String::from_utf8_lossy(&out);
+    let first = text.find("HTTP/1.1 200 OK").expect("healthz answered");
+    let second = text.find("HTTP/1.1 404").expect("404 answered");
+    assert!(first < second, "responses out of order: {text}");
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial clients
+// ---------------------------------------------------------------------------
+
+#[test]
+fn slowloris_connection_hits_idle_timeout() {
+    let mut cfg = config(Engine::Reactor);
+    cfg.idle_timeout_ms = 250;
+    let server = start(cfg).expect("server boots");
+
+    let mut stream = TcpStream::connect(&server.addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    // A partial request line, then silence: the idle deadline is set on
+    // entering the read state and never refreshed by dribbled bytes.
+    stream.write_all(b"GET /heal").expect("partial write");
+    let started = Instant::now();
+    let mut buf = [0u8; 64];
+    let n = stream
+        .read(&mut buf)
+        .expect("server should close, not stall");
+    assert_eq!(n, 0, "expected clean EOF, got {n} bytes");
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "idle close took {:?}",
+        started.elapsed()
+    );
+
+    let doc = metrics_doc(&server.addr);
+    assert!(metric_u64(&doc, &["reactor", "idle_closed_total"]) >= 1);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_gets_431() {
+    let server = start(config(Engine::Reactor)).expect("server boots");
+    // More than MAX_HEAD_BYTES with no terminator: the parser must give
+    // up with 431, not buffer forever.
+    let raw = vec![b'A'; serve::http::MAX_HEAD_BYTES + 1024];
+    let resp = raw_roundtrip(&server.addr, &raw);
+    assert_eq!(
+        status_of(&resp),
+        431,
+        "got: {}",
+        String::from_utf8_lossy(&resp)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn mid_body_disconnect_leaves_server_healthy() {
+    let server = start(config(Engine::Reactor)).expect("server boots");
+    for _ in 0..4 {
+        let mut stream = TcpStream::connect(&server.addr).expect("connect");
+        stream
+            .write_all(
+                b"POST /v1/simulate HTTP/1.1\r\nhost: quitter\r\ncontent-length: 1000\r\n\r\npartial",
+            )
+            .expect("partial body");
+        drop(stream);
+    }
+    // The reactor must fold those in without wedging a slot or a worker.
+    let health = raw_roundtrip(&server.addr, &close_request("GET", "/healthz", ""));
+    assert_eq!(status_of(&health), 200);
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_overflow_sheds_503() {
+    let mut cfg = config(Engine::Reactor);
+    cfg.max_conns = 2;
+    let server = start(cfg).expect("server boots");
+
+    // Two held keep-alive connections, each confirmed accepted by a
+    // round-trip (connect() alone only proves the SYN queue took us).
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(&server.addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: holder\r\ncontent-length: 0\r\n\r\n")
+            .expect("write");
+        let mut buf = [0u8; 4096];
+        let n = stream.read(&mut buf).expect("read");
+        assert!(n > 0 && buf.starts_with(b"HTTP/1.1 200"));
+        held.push(stream);
+    }
+
+    // The third connection is over the cap: best-effort 503 then close.
+    let resp = raw_roundtrip(&server.addr, &close_request("GET", "/healthz", ""));
+    assert_eq!(
+        status_of(&resp),
+        503,
+        "got: {}",
+        String::from_utf8_lossy(&resp)
+    );
+    let text = String::from_utf8_lossy(&resp);
+    assert!(text.contains("\"overloaded\""), "body: {text}");
+    assert!(text.contains("retry_after_ms"), "body: {text}");
+
+    drop(held);
+    // With the held slots released, service resumes and the counters
+    // recorded the shed. The probe itself can still catch a 503 while
+    // the held sockets tear down, so retry until it lands.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let raw = raw_roundtrip(&server.addr, &close_request("GET", "/metrics", ""));
+        if status_of(&raw) == 200 {
+            let text = String::from_utf8_lossy(&raw);
+            let body = text.split("\r\n\r\n").nth(1).expect("metrics body");
+            let doc = serde_json::parse_value_str(body).expect("metrics is JSON");
+            if metric_u64(&doc, &["reactor", "shed_503_total"]) >= 1
+                && metric_u64(&doc, &["reactor", "accept_overflows_total"]) >= 1
+            {
+                break;
+            }
+        }
+        assert!(Instant::now() < deadline, "shed counters never appeared");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn reactor_metrics_report_engine_and_gauges() {
+    let server = start(config(Engine::Reactor)).expect("server boots");
+    let health = raw_roundtrip(&server.addr, &close_request("GET", "/healthz", ""));
+    assert_eq!(status_of(&health), 200);
+    let doc = metrics_doc(&server.addr);
+    assert_eq!(
+        field(&doc, &["reactor", "engine"]),
+        Some(serde::Value::Str("reactor".to_string()))
+    );
+    assert!(metric_u64(&doc, &["reactor", "accepted_total"]) >= 2);
+    assert!(metric_u64(&doc, &["reactor", "epoll_wakeups_total"]) >= 1);
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------------
+
+fn drain_roundtrip(engine: Engine) {
+    let server = start(config(engine)).expect("server boots");
+    let addr = server.addr;
+    let resp = raw_roundtrip(&addr, &close_request("POST", "/v2/admin/drain", ""));
+    assert_eq!(
+        status_of(&resp),
+        200,
+        "got: {}",
+        String::from_utf8_lossy(&resp)
+    );
+    assert!(
+        server.state.drain.wait_completed(Duration::from_secs(30)),
+        "drain never completed"
+    );
+    // The listener is gone: new connects are refused.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "drained server still accepting"
+    );
+}
+
+#[test]
+fn drain_endpoint_stops_reactor_engine() {
+    drain_roundtrip(Engine::Reactor);
+}
+
+#[test]
+fn drain_endpoint_stops_threaded_engine() {
+    drain_roundtrip(Engine::Threaded);
+}

@@ -1,0 +1,392 @@
+//! Raw Linux syscall shim for the serve reactor.
+//!
+//! The workspace is offline and std-only, so there is no `libc` or
+//! `mio` to lean on; this crate wraps the handful of syscalls an epoll
+//! readiness loop needs — `epoll_create1`/`epoll_ctl`/`epoll_pwait`,
+//! `eventfd2` for cross-thread wakeups, and `rt_sigprocmask` +
+//! `signalfd4` for the graceful-drain signal hook — behind safe
+//! `io::Result` functions. Everything else (accept, connect, read,
+//! write on sockets) goes through `std::net` in nonblocking mode; only
+//! the readiness machinery itself has no std surface.
+//!
+//! This is deliberately the one crate in the workspace allowed to use
+//! `unsafe`: each wrapper passes only stack-owned buffers whose
+//! lifetimes cover the call, and every return value goes through one
+//! errno check. Supported targets: `x86_64` and `aarch64` Linux.
+
+#![warn(missing_docs)]
+
+use std::io;
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const READ: i64 = 0;
+    pub const WRITE: i64 = 1;
+    pub const CLOSE: i64 = 3;
+    pub const RT_SIGPROCMASK: i64 = 14;
+    pub const LISTEN: i64 = 50;
+    pub const EPOLL_CTL: i64 = 233;
+    pub const EPOLL_PWAIT: i64 = 281;
+    pub const SIGNALFD4: i64 = 289;
+    pub const EVENTFD2: i64 = 290;
+    pub const EPOLL_CREATE1: i64 = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const READ: i64 = 63;
+    pub const WRITE: i64 = 64;
+    pub const CLOSE: i64 = 57;
+    pub const RT_SIGPROCMASK: i64 = 135;
+    pub const LISTEN: i64 = 201;
+    pub const EPOLL_CTL: i64 = 21;
+    pub const EPOLL_PWAIT: i64 = 22;
+    pub const SIGNALFD4: i64 = 74;
+    pub const EVENTFD2: i64 = 19;
+    pub const EPOLL_CREATE1: i64 = 20;
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+compile_error!("sysio supports only x86_64 and aarch64 Linux");
+
+/// `EPOLLIN`: the fd is readable.
+pub const EPOLLIN: u32 = 0x001;
+/// `EPOLLOUT`: the fd is writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// `EPOLLERR`: error condition (always reported, no need to register).
+pub const EPOLLERR: u32 = 0x008;
+/// `EPOLLHUP`: hang-up (always reported, no need to register).
+pub const EPOLLHUP: u32 = 0x010;
+/// `EPOLLRDHUP`: peer shut down its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i64 = 1;
+const EPOLL_CTL_DEL: i64 = 2;
+const EPOLL_CTL_MOD: i64 = 3;
+
+const EPOLL_CLOEXEC: i64 = 0x8_0000;
+const EFD_CLOEXEC: i64 = 0x8_0000;
+const EFD_NONBLOCK: i64 = 0x800;
+const SFD_CLOEXEC: i64 = 0x8_0000;
+
+const SIG_BLOCK: i64 = 0;
+/// The kernel sigset is 8 bytes on both supported targets.
+const SIGSET_BYTES: i64 = 8;
+
+/// `SIGINT`.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM`.
+pub const SIGTERM: i32 = 15;
+
+/// One `struct epoll_event` as the kernel lays it out. The `data` word
+/// is opaque to the kernel; the reactor packs a slot/generation token
+/// into it. (x86_64 packs the struct; other targets use natural
+/// alignment — matching the kernel ABI on each.)
+#[cfg(target_arch = "x86_64")]
+#[repr(C, packed)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-owned token, returned verbatim on readiness.
+    pub data: u64,
+}
+
+/// One `struct epoll_event` as the kernel lays it out (non-x86_64).
+#[cfg(not(target_arch = "x86_64"))]
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Readiness bit set (`EPOLLIN` | …).
+    pub events: u32,
+    /// Caller-owned token, returned verbatim on readiness.
+    pub data: u64,
+}
+
+#[cfg(target_arch = "x86_64")]
+unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") n => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+unsafe fn syscall6(n: i64, a: i64, b: i64, c: i64, d: i64, e: i64, f: i64) -> i64 {
+    let ret: i64;
+    core::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        options(nostack),
+    );
+    ret
+}
+
+/// Maps a raw syscall return to `io::Result`: negative values are
+/// `-errno`.
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates an epoll instance (`EPOLL_CLOEXEC`).
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn epoll_create() -> io::Result<i32> {
+    let ret = unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+fn epoll_ctl(epfd: i32, op: i64, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    let ev = EpollEvent { events, data };
+    let ptr = std::ptr::addr_of!(ev) as i64;
+    let ret = unsafe { syscall6(nr::EPOLL_CTL, i64::from(epfd), op, i64::from(fd), ptr, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// Registers `fd` on `epfd` with the given interest and token.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn epoll_add(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_ADD, fd, events, data)
+}
+
+/// Changes the interest set of an already-registered `fd`.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn epoll_mod(epfd: i32, fd: i32, events: u32, data: u64) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_MOD, fd, events, data)
+}
+
+/// Deregisters `fd` from `epfd`.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn epoll_del(epfd: i32, fd: i32) -> io::Result<()> {
+    epoll_ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0)
+}
+
+/// Waits for readiness, filling `events` from the front; returns how
+/// many entries are valid. `timeout_ms < 0` blocks indefinitely.
+/// Retries on `EINTR` so callers never see spurious interrupts.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno (other than `EINTR`).
+pub fn epoll_wait(epfd: i32, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let ret = unsafe {
+            syscall6(
+                nr::EPOLL_PWAIT,
+                i64::from(epfd),
+                events.as_mut_ptr() as i64,
+                events.len() as i64,
+                i64::from(timeout_ms),
+                0, // no sigmask swap
+                SIGSET_BYTES,
+            )
+        };
+        match check(ret) {
+            Ok(n) => return Ok(n as usize),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Creates a nonblocking eventfd (the reactor's cross-thread wakeup).
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn eventfd() -> io::Result<i32> {
+    let ret = unsafe { syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Adds 1 to an eventfd's counter, waking any epoll waiting on it.
+/// Multiple signals before a drain coalesce — exactly the semantics a
+/// completion-queue wakeup wants.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno (`EAGAIN` maps to `WouldBlock`).
+pub fn eventfd_signal(fd: i32) -> io::Result<()> {
+    let one: u64 = 1;
+    let ptr = std::ptr::addr_of!(one) as i64;
+    let ret = unsafe { syscall6(nr::WRITE, i64::from(fd), ptr, 8, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// Reads (and thereby resets) an eventfd's counter. Returns `Ok(0)`
+/// when the counter was already zero (`EAGAIN` on a nonblocking fd).
+///
+/// # Errors
+///
+/// Propagates unexpected errnos.
+pub fn eventfd_drain(fd: i32) -> io::Result<u64> {
+    let mut count: u64 = 0;
+    let ptr = std::ptr::addr_of_mut!(count) as i64;
+    let ret = unsafe { syscall6(nr::READ, i64::from(fd), ptr, 8, 0, 0, 0) };
+    match check(ret) {
+        Ok(_) => Ok(count),
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(0),
+        Err(e) => Err(e),
+    }
+}
+
+/// Re-issues `listen(2)` on an already-listening socket to resize its
+/// accept backlog. `std::net::TcpListener` hardwires a backlog of 128,
+/// which a burst of thousands of simultaneous connects overflows —
+/// dropped SYNs then stall each client in 1s retransmit cycles. Linux
+/// permits calling `listen` again on a listening socket purely to
+/// update the backlog.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn listen_backlog(fd: i32, backlog: i32) -> io::Result<()> {
+    let ret = unsafe { syscall6(nr::LISTEN, i64::from(fd), i64::from(backlog), 0, 0, 0, 0) };
+    check(ret).map(|_| ())
+}
+
+/// Closes a raw fd owned by this shim (epoll/eventfd/signalfd).
+pub fn close_fd(fd: i32) {
+    let _ = unsafe { syscall6(nr::CLOSE, i64::from(fd), 0, 0, 0, 0, 0) };
+}
+
+fn sigmask_of(signals: &[i32]) -> u64 {
+    let mut mask = 0u64;
+    for &sig in signals {
+        assert!((1..=64).contains(&sig), "signal number out of range");
+        mask |= 1u64 << (sig - 1);
+    }
+    mask
+}
+
+/// Blocks `signals` for the calling thread (and, by inheritance, every
+/// thread spawned afterwards), then returns a **blocking** signalfd
+/// that reads one `signalfd_siginfo` per delivered signal. Blocking the
+/// signals first is what routes them to the fd instead of the default
+/// disposition.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno.
+pub fn signalfd_blocked(signals: &[i32]) -> io::Result<i32> {
+    let mask = sigmask_of(signals);
+    let ptr = std::ptr::addr_of!(mask) as i64;
+    let ret = unsafe { syscall6(nr::RT_SIGPROCMASK, SIG_BLOCK, ptr, 0, SIGSET_BYTES, 0, 0) };
+    check(ret)?;
+    let ret = unsafe { syscall6(nr::SIGNALFD4, -1, ptr, SIGSET_BYTES, SFD_CLOEXEC, 0, 0) };
+    check(ret).map(|fd| fd as i32)
+}
+
+/// Blocking read of one delivery off a signalfd. Returns the signal
+/// number, or an error if the fd was closed.
+///
+/// # Errors
+///
+/// Propagates the syscall's errno; `InvalidData` on a short read.
+pub fn signalfd_read(fd: i32) -> io::Result<i32> {
+    // struct signalfd_siginfo is 128 bytes; ssi_signo is the leading u32.
+    let mut buf = [0u8; 128];
+    loop {
+        let ptr = buf.as_mut_ptr() as i64;
+        let ret = unsafe { syscall6(nr::READ, i64::from(fd), ptr, buf.len() as i64, 0, 0, 0) };
+        match check(ret) {
+            Ok(n) if n >= 4 => {
+                return Ok(i32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]));
+            }
+            Ok(_) => return Err(io::Error::new(io::ErrorKind::InvalidData, "short siginfo")),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eventfd_wakes_epoll_and_drains() {
+        let ep = epoll_create().expect("epoll_create");
+        let ev = eventfd().expect("eventfd");
+        epoll_add(ep, ev, EPOLLIN, 42).expect("add");
+
+        // Nothing pending: a zero-timeout wait returns no events.
+        let mut events = [EpollEvent::default(); 8];
+        assert_eq!(epoll_wait(ep, &mut events, 0).expect("wait"), 0);
+
+        eventfd_signal(ev).expect("signal");
+        eventfd_signal(ev).expect("signal again (coalesces)");
+        let n = epoll_wait(ep, &mut events, 1000).expect("wait");
+        assert_eq!(n, 1);
+        let data = events[0].data;
+        assert_eq!(data, 42);
+        assert_eq!(eventfd_drain(ev).expect("drain"), 2);
+        // Drained: the level-triggered readiness is gone.
+        assert_eq!(epoll_wait(ep, &mut events, 0).expect("wait"), 0);
+        assert_eq!(eventfd_drain(ev).expect("empty drain"), 0);
+
+        epoll_del(ep, ev).expect("del");
+        close_fd(ev);
+        close_fd(ep);
+    }
+
+    #[test]
+    fn epoll_mod_switches_interest() {
+        let ep = epoll_create().expect("epoll_create");
+        let ev = eventfd().expect("eventfd");
+        epoll_add(ep, ev, 0, 7).expect("add with empty interest");
+        eventfd_signal(ev).expect("signal");
+        let mut events = [EpollEvent::default(); 8];
+        // Interest 0: readable but not watched.
+        assert_eq!(epoll_wait(ep, &mut events, 0).expect("wait"), 0);
+        epoll_mod(ep, ev, EPOLLIN, 7).expect("mod");
+        assert_eq!(epoll_wait(ep, &mut events, 1000).expect("wait"), 1);
+        close_fd(ev);
+        close_fd(ep);
+    }
+
+    #[test]
+    fn sigmask_bit_layout() {
+        assert_eq!(sigmask_of(&[1]), 1);
+        assert_eq!(sigmask_of(&[SIGINT, SIGTERM]), (1 << 1) | (1 << 14));
+    }
+
+    #[test]
+    fn errno_maps_to_io_error() {
+        // Operating on a bogus fd must surface EBADF, not panic.
+        let err = epoll_add(-1, -1, EPOLLIN, 0).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(9)); // EBADF
+    }
+}
