@@ -215,6 +215,131 @@ pub struct SweepAccepted {
     pub poll: String,
 }
 
+// ---------------------------------------------------------------------------
+// Control plane (`/v2/admin/*`)
+// ---------------------------------------------------------------------------
+
+/// One shard as the control plane sees it (one entry of
+/// [`TopologyDoc::shards`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardDoc {
+    /// Stable shard id. Ids are allocated once and never reused, so
+    /// ring vnode positions (hashed from the id) survive unrelated
+    /// topology changes.
+    pub id: u32,
+    /// The shard daemon's `host:port`.
+    pub addr: String,
+    /// Relative ring share: a weight-2 shard gets twice the vnodes of a
+    /// weight-1 shard (heterogeneous hosts).
+    pub weight: f64,
+    /// Lifecycle state: `"active"` (on the ring) or `"draining"`
+    /// (removal requested — no new assignments, in-flight work
+    /// finishing).
+    pub state: String,
+    /// Whether the router's last health probe succeeded.
+    pub healthy: bool,
+}
+
+/// The versioned cluster topology: the document `GET /v2/admin/topology`
+/// returns and the router pushes to shards on every change.
+///
+/// `epoch` increments on every mutation and is the optimistic-
+/// concurrency token: mutating requests may carry `If-Match: <epoch>`
+/// and are rejected with `409 {code: "topology_conflict"}` when the
+/// topology moved underneath them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyDoc {
+    /// Monotonic topology version.
+    pub epoch: u64,
+    /// Every shard the router knows, active and draining.
+    pub shards: Vec<ShardDoc>,
+}
+
+impl TopologyDoc {
+    /// Top-level fields a pushed topology (`POST /v2/admin/topology` on
+    /// a shard) accepts; anything else is a [`code::UNKNOWN_FIELD`]
+    /// rejection.
+    pub const FIELDS: &'static [&'static str] = &["epoch", "shards"];
+}
+
+/// `POST /v2/admin/shards` (router): add a backend shard to the ring
+/// without a restart. The daemon at `addr` must already be running
+/// (and should mount the cluster's shared `--cache-dir` so the moved
+/// key ranges hand off warm).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AddShardRequest {
+    /// The running daemon's `host:port`.
+    pub addr: String,
+    /// Ring weight; defaults to 1.0.
+    pub weight: Option<f64>,
+}
+
+impl AddShardRequest {
+    /// Top-level fields `/v2/admin/shards` accepts; anything else is a
+    /// [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] = &["addr", "weight"];
+}
+
+/// One `{id, weight}` entry of a [`ReweightRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardWeightDoc {
+    /// The shard to reweight.
+    pub id: u32,
+    /// Its new ring weight (> 0).
+    pub weight: f64,
+}
+
+/// `POST /v2/admin/topology` (router): reweight existing shards. Only
+/// the named shards change; the ring is rebuilt so only the moved key
+/// ranges change owners.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReweightRequest {
+    /// The shards to reweight.
+    pub shards: Vec<ShardWeightDoc>,
+}
+
+impl ReweightRequest {
+    /// Top-level fields the router's `/v2/admin/topology` accepts;
+    /// anything else is a [`code::UNKNOWN_FIELD`] rejection.
+    pub const FIELDS: &'static [&'static str] = &["shards"];
+}
+
+/// The answer to every topology mutation (add / remove / reweight):
+/// the new topology plus how much of the key space the change moved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyChangeResponse {
+    /// The topology after the change.
+    pub topology: TopologyDoc,
+    /// Fraction of the hash ring whose owner changed (the rebalance
+    /// cost of this change; consistent hashing bounds it by the moved
+    /// shard's share).
+    pub moved_fraction: f64,
+    /// Number of contiguous moved ring ranges.
+    pub moved_ranges: u64,
+}
+
+/// Acknowledgement a shard returns for a pushed topology
+/// (`POST /v2/admin/topology` on a shard).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyAck {
+    /// Always `true` on success.
+    pub accepted: bool,
+    /// The epoch the shard now reports in `/metrics`.
+    pub epoch: u64,
+}
+
+/// The answer to `POST /v2/admin/drain`: the daemon (or router) stops
+/// accepting, finishes in-flight work, and exits 0.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DrainStatusDoc {
+    /// Always `true`: the drain is (now) requested.
+    pub draining: bool,
+    /// Whether an earlier request had already started the drain.
+    pub already_requested: bool,
+    /// The serve engine doing the draining.
+    pub engine: String,
+}
+
 /// The envelope version served under `/v2/*`.
 pub const API_VERSION: u64 = 2;
 
@@ -247,6 +372,13 @@ pub mod code {
     /// (400). Only raised on `/v2/*`; `/v1/*` keeps its original
     /// ignore-unknowns semantics.
     pub const UNKNOWN_FIELD: &str = "unknown_field";
+    /// A topology mutation carried `If-Match: <epoch>` but the topology
+    /// moved underneath it (409). Re-read `GET /v2/admin/topology` and
+    /// retry against the current epoch.
+    pub const TOPOLOGY_CONFLICT: &str = "topology_conflict";
+    /// A topology mutation hit a router started without `--allow-admin`
+    /// (403). Read-only admin endpoints stay available.
+    pub const ADMIN_DISABLED: &str = "admin_disabled";
 }
 
 /// The one structured error shape used across every 4xx/5xx the daemon
@@ -303,8 +435,10 @@ impl ApiError {
     pub fn for_status(status: u16, message: &str) -> ApiError {
         let c = match status {
             400 => code::BAD_REQUEST,
+            403 => code::ADMIN_DISABLED,
             404 => code::NOT_FOUND,
             405 => code::METHOD_NOT_ALLOWED,
+            409 => code::TOPOLOGY_CONFLICT,
             413 => code::PAYLOAD_TOO_LARGE,
             429 => code::QUEUE_FULL,
             503 => code::SHARD_UNAVAILABLE,
@@ -318,11 +452,46 @@ impl ApiError {
         serde_json::to_string(self).expect("error shape serializes")
     }
 
+    /// Whether this error is the given code.
+    pub fn is(&self, code: &str) -> bool {
+        self.code == code
+    }
+
     /// `Retry-After` header value (whole seconds, rounded up), when a
     /// backoff hint is present.
     pub fn retry_after_s(&self) -> Option<u64> {
         self.retry_after_ms.map(|ms| ms.div_ceil(1000).max(1))
     }
+}
+
+/// Parses a request body for the given dialect. `/v1/*` keeps its
+/// original lenient semantics (unknown fields silently ignored, as a
+/// compatibility shim); `/v2/*` rejects any top-level field outside
+/// `known` with [`code::UNKNOWN_FIELD`], so client typos like
+/// `"confg_name"` fail loudly instead of silently falling back to
+/// defaults. Admin endpoints share this exact validation path with the
+/// data plane (`/v2/simulate` et al.) so the two surfaces cannot drift.
+pub fn parse_body<T: serde::Deserialize>(
+    body: &[u8],
+    version: ApiVersion,
+    known: &[&str],
+) -> Result<T, ApiError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiError::new(code::BAD_REQUEST, "request body is not UTF-8"))?;
+    let value = serde_json::parse_value_str(text)
+        .map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))?;
+    if version == ApiVersion::V2 {
+        let obj = value.as_obj().ok_or_else(|| {
+            ApiError::new(code::BAD_REQUEST, "request body must be a JSON object")
+        })?;
+        if let Some((k, _)) = obj.iter().find(|(k, _)| !known.contains(&k.as_str())) {
+            return Err(ApiError::new(
+                code::UNKNOWN_FIELD,
+                format!("unknown field \"{k}\" (known fields: {})", known.join(", ")),
+            ));
+        }
+    }
+    T::from_value(&value).map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))
 }
 
 /// Which wire dialect a request arrived on.

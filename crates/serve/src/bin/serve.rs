@@ -6,7 +6,8 @@
 //!              [--idle-timeout-ms MS] [--dispatchers N]
 //!              [--cache-dir DIR] [--cache-mem-cap BYTES]
 //!              [--addr-file PATH]
-//!              [--router --shards N [--vnodes N] [--record FILE]]
+//!              [--router --shards N [--shard-weights W,..] [--vnodes N]
+//!               [--allow-admin] [--record FILE]]
 //! Scale via SA_SCALE = quick | half | paper (default quick).
 //! ```
 //!
@@ -15,6 +16,9 @@
 //! `--cache-dir` as the cluster's disk tier), then fronts them with a
 //! consistent-hash router on `--addr`; `--record` appends every routed
 //! POST to a JSONL log that `loadgen --replay` can play back.
+//! `--shard-weights` assigns per-shard ring weights (comma-separated,
+//! one per shard); `--allow-admin` opts into runtime topology mutations
+//! via the `/v2/admin` control plane (add/remove/reweight shards).
 //!
 //! The serve core defaults to the epoll reactor (`--reactor`);
 //! `--threaded` selects the thread-per-connection engine. Either way
@@ -33,7 +37,8 @@ fn usage_and_exit(code: i32) -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
          [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms MS] \
          [--dispatchers N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
-         [--addr-file PATH] [--router --shards N [--vnodes N] [--record FILE]]"
+         [--addr-file PATH] [--router --shards N [--shard-weights W,..] \
+         [--vnodes N] [--allow-admin] [--record FILE]]"
     );
     std::process::exit(code);
 }
@@ -44,7 +49,9 @@ struct Cli {
     config: ServeConfig,
     router: bool,
     shards: usize,
+    weights: Vec<f64>,
     vnodes: usize,
+    allow_admin: bool,
     record: Option<PathBuf>,
 }
 
@@ -53,7 +60,9 @@ fn parse_cli() -> Cli {
         config: ServeConfig::default(),
         router: false,
         shards: 3,
+        weights: Vec::new(),
         vnodes: 0,
+        allow_admin: false,
         record: None,
     };
     let mut args = std::env::args().skip(1);
@@ -140,6 +149,22 @@ fn parse_cli() -> Cli {
                         usage_and_exit(2)
                     })
             }
+            "--shard-weights" => {
+                cli.weights = need(&mut args, "--shard-weights")
+                    .split(',')
+                    .map(|w| {
+                        w.trim()
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|w| w.is_finite() && *w > 0.0)
+                            .unwrap_or_else(|| {
+                                eprintln!("--shard-weights needs comma-separated positive numbers");
+                                usage_and_exit(2)
+                            })
+                    })
+                    .collect()
+            }
+            "--allow-admin" => cli.allow_admin = true,
             "--vnodes" => {
                 cli.vnodes = need(&mut args, "--vnodes").parse().unwrap_or_else(|_| {
                     eprintln!("--vnodes needs an integer");
@@ -219,9 +244,11 @@ fn run_router(cli: Cli) {
     let handle = match start_router(RouterConfig {
         addr: cli.config.addr,
         shards: shards.iter().map(|s| s.addr).collect(),
+        weights: cli.weights,
         vnodes: cli.vnodes,
         record: cli.record,
         engine: cli.config.engine,
+        allow_admin: cli.allow_admin,
     }) {
         Ok(handle) => handle,
         Err(e) => {
@@ -247,9 +274,13 @@ fn run_router(cli: Cli) {
             .collect::<Vec<_>>()
             .join(", "),
     );
-    // Serve until killed; `shards` stays in scope so children outlive
-    // the loop (and are reaped if the router exits cleanly).
-    loop {
-        std::thread::park();
-    }
+    // Serve until the router itself is drained (`POST /v2/admin/drain`
+    // on the router) or killed; `shards` stays in scope so children
+    // outlive the loop and are reaped on a clean exit.
+    let drain = handle.state.drain_control().clone();
+    while !drain.wait_completed(Duration::from_secs(3600)) {}
+    drop(handle);
+    drop(shards);
+    eprintln!("# sparseadapt-serve router drained, exiting");
+    std::process::exit(0);
 }

@@ -26,9 +26,9 @@ use sparseadapt::stitch::{sample_configs, sweep_engine, SweepData};
 use sparseadapt::trace_cache::{simulate_trace, TraceCache, TraceKey};
 
 use crate::api::{
-    code, kernel_name, parse_kernel, ApiError, ApiVersion, ConfigScore, RecommendApiRequest,
-    ResolvedSim, SimulateRequest, SimulateResponse, SweepAccepted, SweepRequest, SweepResult,
-    UploadMatrixRequest, UploadMatrixResponse,
+    code, kernel_name, parse_body, parse_kernel, ApiError, ApiVersion, ConfigScore, DrainStatusDoc,
+    RecommendApiRequest, ResolvedSim, SimulateRequest, SimulateResponse, SweepAccepted,
+    SweepRequest, SweepResult, TopologyAck, TopologyDoc, UploadMatrixRequest, UploadMatrixResponse,
 };
 use crate::http::Response;
 use crate::metrics::{QueueGauges, ReactorSnapshot};
@@ -72,35 +72,6 @@ fn error_response(version: ApiVersion, status: u16, err: &ApiError) -> Response 
     finish(version, status, &err.to_json())
 }
 
-/// Parses a request body for the given dialect. `/v1/*` keeps its
-/// original lenient semantics (unknown fields silently ignored, as a
-/// compatibility shim); `/v2/*` rejects any top-level field outside
-/// `known` with [`code::UNKNOWN_FIELD`], so client typos like
-/// `"confg_name"` fail loudly instead of silently falling back to
-/// defaults.
-fn parse_body<T: serde::Deserialize>(
-    body: &[u8],
-    version: ApiVersion,
-    known: &[&str],
-) -> Result<T, ApiError> {
-    let text = std::str::from_utf8(body)
-        .map_err(|_| ApiError::new(code::BAD_REQUEST, "request body is not UTF-8"))?;
-    let value = serde_json::parse_value_str(text)
-        .map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))?;
-    if version == ApiVersion::V2 {
-        let obj = value.as_obj().ok_or_else(|| {
-            ApiError::new(code::BAD_REQUEST, "request body must be a JSON object")
-        })?;
-        if let Some((k, _)) = obj.iter().find(|(k, _)| !known.contains(&k.as_str())) {
-            return Err(ApiError::new(
-                code::UNKNOWN_FIELD,
-                format!("unknown field \"{k}\" (known fields: {})", known.join(", ")),
-            ));
-        }
-    }
-    T::from_value(&value).map_err(|e| ApiError::new(code::BAD_REQUEST, format!("bad request: {e}")))
-}
-
 /// `GET /healthz`.
 pub fn healthz() -> Response {
     Response::json(200, "{\"ok\": true}")
@@ -118,13 +89,23 @@ pub fn metrics(state: &AppState) -> Response {
         Some(stats) => stats.snapshot(state.engine.as_str()),
         None => ReactorSnapshot::threaded(),
     };
-    let snap = state
+    let mut snap = state
         .metrics
         .snapshot(gauges, TraceCache::global().stats(), reactor);
+    snap.topology_epoch = state.topology_epoch();
     Response::json(
         200,
         serde_json::to_string_pretty(&snap).expect("metrics snapshot serializes"),
     )
+}
+
+/// The enveloped 405 every known `/v2/admin` path returns on a wrong
+/// verb — admin paths exist, so a wrong method must not read as 404,
+/// and the error carries the structured `/v2` envelope like every other
+/// admin answer.
+pub fn admin_method_not_allowed() -> Response {
+    let err = ApiError::new(code::METHOD_NOT_ALLOWED, "method not allowed for this path");
+    Response::json(405, ApiVersion::V2.err_body(&err))
 }
 
 /// `POST /v2/admin/drain`: ask the serve engine to drain gracefully.
@@ -135,11 +116,60 @@ pub fn metrics(state: &AppState) -> Response {
 pub fn drain(state: &AppState, version: ApiVersion) -> Response {
     let already = state.drain.requested();
     state.drain.request();
-    let inner = format!(
-        "{{\"draining\": true, \"already_requested\": {already}, \"engine\": \"{}\"}}",
-        state.engine.as_str()
-    );
-    finish(version, 200, &inner)
+    let doc = DrainStatusDoc {
+        draining: true,
+        already_requested: already,
+        engine: state.engine.as_str().to_string(),
+    };
+    finish(
+        version,
+        200,
+        &serde_json::to_string(&doc).expect("drain status serializes"),
+    )
+}
+
+/// `GET /v2/admin/topology` on a shard: the shard's own view of the
+/// cluster — the last topology the router pushed, or the standalone
+/// placeholder `{epoch: 0, shards: []}` when no router has spoken.
+/// Tests cross-check this against the router's authoritative document.
+pub fn topology_get(state: &AppState, version: ApiVersion) -> Response {
+    let doc = state.topology.lock().expect("topology lock").clone();
+    let doc = doc.unwrap_or(TopologyDoc {
+        epoch: 0,
+        shards: Vec::new(),
+    });
+    finish(
+        version,
+        200,
+        &serde_json::to_string(&doc).expect("topology serializes"),
+    )
+}
+
+/// `POST /v2/admin/topology` on a shard: accept a topology push from
+/// the router. Stale pushes (epoch lower than what the shard already
+/// holds) are ignored so an out-of-order delivery cannot roll the view
+/// back; the ack always reports the epoch the shard now holds.
+pub fn topology_put(state: &AppState, body: &[u8], version: ApiVersion) -> Response {
+    let doc: TopologyDoc = match parse_body(body, version, TopologyDoc::FIELDS) {
+        Ok(doc) => doc,
+        Err(err) => return error_response(version, 400, &err),
+    };
+    let mut held = state.topology.lock().expect("topology lock");
+    let stale = held.as_ref().is_some_and(|h| h.epoch > doc.epoch);
+    if !stale {
+        *held = Some(doc);
+    }
+    let epoch = held.as_ref().map_or(0, |h| h.epoch);
+    drop(held);
+    let ack = TopologyAck {
+        accepted: !stale,
+        epoch,
+    };
+    finish(
+        version,
+        200,
+        &serde_json::to_string(&ack).expect("topology ack serializes"),
+    )
 }
 
 /// `GET /v1/jobs` and `GET /v2/jobs`.

@@ -165,6 +165,11 @@ pub struct MetricsSnapshot {
     /// Connection-level I/O gauges from the serve engine. Under the
     /// threaded engine every counter is zero and `engine` says so.
     pub reactor: ReactorSnapshot,
+    /// The cluster-topology epoch this member holds (the last topology
+    /// a router pushed), or 0 for a standalone daemon. Merging takes
+    /// the max, so the merged document reports the newest epoch any
+    /// member has seen — tests compare it against the router's.
+    pub topology_epoch: u64,
 }
 
 /// JSON shape of the reactor's connection gauges in `/metrics`.
@@ -314,6 +319,7 @@ pub fn merge_snapshots(snaps: &[MetricsSnapshot]) -> Option<MetricsSnapshot> {
         r.accept_overflows_total += s.reactor.accept_overflows_total;
         r.shed_503_total += s.reactor.shed_503_total;
         r.idle_closed_total += s.reactor.idle_closed_total;
+        merged.topology_epoch = merged.topology_epoch.max(s.topology_epoch);
     }
     let h = &mut merged.latency;
     h.mean_ms = if h.count == 0 {
@@ -390,6 +396,9 @@ impl ServerMetrics {
             queue,
             trace_cache: cache.into(),
             reactor,
+            // Stamped by the caller (`handlers::metrics`) from the
+            // member's held topology; the counters know nothing of it.
+            topology_epoch: 0,
         }
     }
 }
@@ -469,10 +478,12 @@ mod tests {
         snap_a.reactor.engine = "reactor".to_string();
         snap_a.reactor.conns_open = 100;
         snap_a.reactor.shed_503_total = 3;
+        snap_a.topology_epoch = 3;
         let mut snap_b = b.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
         snap_b.reactor.engine = "reactor".to_string();
         snap_b.reactor.conns_open = 50;
         snap_b.reactor.epoll_wakeups_total = 7;
+        snap_b.topology_epoch = 5;
         let snaps = [snap_a, snap_b];
         let m = merge_snapshots(&snaps).expect("non-empty");
         assert_eq!(m.reactor.engine, "reactor");
@@ -488,6 +499,9 @@ mod tests {
         assert_eq!(m.latency.p50_ms, 0.25);
         assert_eq!(m.latency.p95_ms, 32.0);
         assert_eq!(m.queue.workers, 8);
+        // Epochs take the max, not the sum: the merged view reports the
+        // newest topology any member holds.
+        assert_eq!(m.topology_epoch, 5);
         // The merged document round-trips through JSON the same way a
         // scraped shard document does.
         let json = serde_json::to_string(&m).expect("serializes");

@@ -58,11 +58,23 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
         ),
         // Admin surface is /v2-only, like uploads.
         ("POST", "/v2/admin/drain") => ("POST /v2/admin/drain", handlers::drain(state, V2)),
+        ("GET", "/v2/admin/topology") => {
+            ("GET /v2/admin/topology", handlers::topology_get(state, V2))
+        }
+        ("POST", "/v2/admin/topology") => (
+            "POST /v2/admin/topology",
+            handlers::topology_put(state, &req.body, V2),
+        ),
+        // Known admin paths answer wrong-method hits with an enveloped
+        // /v2 error (the path exists, only the verb is wrong); the bare
+        // data paths below keep their historical unenveloped 405.
+        (_, "/v2/admin/drain" | "/v2/admin/topology") => {
+            ("method_not_allowed", handlers::admin_method_not_allowed())
+        }
         (
             _,
             "/healthz" | "/metrics" | "/v1/jobs" | "/v1/simulate" | "/v1/recommend" | "/v1/sweep"
-            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices"
-            | "/v2/admin/drain",
+            | "/v2/jobs" | "/v2/simulate" | "/v2/recommend" | "/v2/sweep" | "/v2/matrices",
         ) => (
             "method_not_allowed",
             Response::error(405, "method not allowed for this path"),

@@ -38,7 +38,7 @@ use sparseadapt::exec::Pool;
 use sparseadapt::trace_cache::TraceCache;
 use transmuter::workload::Workload;
 
-use crate::api::{kernel_name, ResolvedSim};
+use crate::api::{kernel_name, ResolvedSim, TopologyDoc};
 use crate::coalesce::Coalescer;
 use crate::http::{read_request, write_response, ReadOutcome, Request, Response};
 use crate::jobs::JobRegistry;
@@ -212,6 +212,12 @@ pub struct AppState {
     pub reactor: Option<Arc<ReactorStats>>,
     /// Which engine this server runs.
     pub engine: Engine,
+    /// The cluster topology as last pushed by a router
+    /// (`POST /v2/admin/topology`), or `None` for a standalone daemon.
+    /// Shards serve this back on `GET /v2/admin/topology` and stamp its
+    /// epoch into `/metrics` so tests can cross-check every member's
+    /// view against the router's.
+    pub topology: Mutex<Option<TopologyDoc>>,
     /// Memoized workloads with their content fingerprints.
     /// Construction (op-stream generation) and fingerprinting both walk
     /// every op, so each costs more than a cached simulation lookup —
@@ -223,6 +229,16 @@ pub struct AppState {
 }
 
 impl AppState {
+    /// The topology epoch this member reports in `/metrics`: the epoch
+    /// of the last pushed topology, or 0 when no router has spoken.
+    pub fn topology_epoch(&self) -> u64 {
+        self.topology
+            .lock()
+            .expect("topology lock")
+            .as_ref()
+            .map_or(0, |t| t.epoch)
+    }
+
     /// The workload for a resolved request plus its
     /// [`Workload::fingerprint`], built and hashed at most once per
     /// `(kernel, matrix, l1_kind)` for the server's lifetime.
@@ -348,6 +364,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         drain: Arc::clone(&drain),
         reactor: reactor_stats.clone(),
         engine: config.engine,
+        topology: Mutex::new(None),
         workloads: Mutex::new(HashMap::new()),
     });
     let stop = Arc::new(AtomicBool::new(false));

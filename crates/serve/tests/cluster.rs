@@ -94,9 +94,11 @@ fn cluster_end_to_end() {
     let router = start_router(RouterConfig {
         addr: "127.0.0.1:0".to_string(),
         shards: shard_addrs.clone(),
+        weights: Vec::new(),
         vnodes: 0,
         record: Some(record_path.clone()),
         engine: serve::Engine::Reactor,
+        allow_admin: false,
     })
     .expect("router boots");
     let addr = router.addr;
@@ -265,7 +267,7 @@ fn cluster_end_to_end() {
     // -- failover: kill the owner of R01 mid-service ------------------
     let ring = Ring::new(3, serve::shard::DEFAULT_VNODES);
     let victim = ring.assign(&routing_key(sim_body("R01").as_bytes()));
-    shards[victim].kill();
+    shards[victim as usize].kill();
 
     // The very next request for R01 hits the dead owner, fails
     // transport, and must fail over to the next ring node — which has
