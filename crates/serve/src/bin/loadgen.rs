@@ -7,6 +7,8 @@
 //!                [--open-loop [--connections N] [--open-rps R]
 //!                 [--open-duration SECONDS] [--quick]
 //!                 [--embed-baseline FILE]]
+//!        loadgen --epoch-ab [--serve-exe PATH] [--epoch-budget-ms MS]
+//!                [--out FILE]
 //! ```
 //!
 //! Runs a cold pass (every unique request once, empty-cache latencies)
@@ -24,23 +26,46 @@
 //! coordinated-omission-resistant mode — latency is measured from each
 //! request's *scheduled* time). Any open-loop error or server-initiated
 //! disconnect also fails the run.
+//!
+//! `--epoch-ab` is a self-contained mode: it spawns two fresh two-shard
+//! clusters from `--serve-exe` (default: the `serve` binary next to
+//! this one) — remote epoch tier on, then off — warms shard A, measures
+//! the same simulate mix live on shard B, and merges the comparison
+//! into `--out` (`BENCH_serve.json`) as the `cluster_epoch_tier` block.
+//! It fails when the arms' simulation payloads differ or the tier-on
+//! arm saw no remote hits.
 
 use std::path::PathBuf;
 
-use serve::loadgen::{check_guard, run, LoadgenConfig};
+use serve::loadgen::{
+    check_guard, merge_epoch_ab, run, run_epoch_ab, EpochAbConfig, LoadgenConfig,
+};
 
 fn usage_and_exit(code: i32) -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--duration SECONDS] [--concurrency N] \
          [--rps TARGET] [--out FILE] [--guard FILE] [--guard-factor F] [--replay FILE] \
          [--open-loop [--connections N] [--open-rps R] [--open-duration SECONDS] \
-         [--quick] [--embed-baseline FILE]]"
+         [--quick] [--embed-baseline FILE]] | \
+         loadgen --epoch-ab [--serve-exe PATH] [--epoch-budget-ms MS] [--out FILE]"
     );
     std::process::exit(code);
 }
 
-fn parse_config() -> LoadgenConfig {
+/// The `--epoch-ab` half of the command line.
+struct EpochAbCli {
+    enabled: bool,
+    serve_exe: Option<PathBuf>,
+    budget_ms: u64,
+}
+
+fn parse_config() -> (LoadgenConfig, EpochAbCli) {
     let mut config = LoadgenConfig::default();
+    let mut epoch_ab = EpochAbCli {
+        enabled: false,
+        serve_exe: None,
+        budget_ms: 2_000,
+    };
     let mut args = std::env::args().skip(1);
     let need = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
         args.next().unwrap_or_else(|| {
@@ -131,6 +156,20 @@ fn parse_config() -> LoadgenConfig {
             "--embed-baseline" => {
                 config.embed_baseline = Some(PathBuf::from(need(&mut args, "--embed-baseline")))
             }
+            "--epoch-ab" => epoch_ab.enabled = true,
+            "--serve-exe" => {
+                epoch_ab.serve_exe = Some(PathBuf::from(need(&mut args, "--serve-exe")))
+            }
+            "--epoch-budget-ms" => {
+                epoch_ab.budget_ms = need(&mut args, "--epoch-budget-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--epoch-budget-ms needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
             "--help" | "-h" => usage_and_exit(0),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -138,11 +177,82 @@ fn parse_config() -> LoadgenConfig {
             }
         }
     }
-    config
+    (config, epoch_ab)
+}
+
+/// Runs the self-contained epoch-tier A/B and exits. Failure modes:
+/// differing payloads across arms, no remote hits with the tier on, or
+/// request errors in any measured phase.
+fn run_epoch_ab_mode(config: &LoadgenConfig, cli: &EpochAbCli) -> ! {
+    let serve_exe = cli.serve_exe.clone().unwrap_or_else(|| {
+        std::env::current_exe()
+            .ok()
+            .and_then(|exe| exe.parent().map(|dir| dir.join("serve")))
+            .unwrap_or_else(|| {
+                eprintln!("loadgen: cannot locate the serve binary; pass --serve-exe");
+                std::process::exit(1);
+            })
+    });
+    if !serve_exe.is_file() {
+        eprintln!(
+            "loadgen: serve binary {} not found; pass --serve-exe",
+            serve_exe.display()
+        );
+        std::process::exit(1);
+    }
+    let report = match run_epoch_ab(&EpochAbConfig {
+        serve_exe,
+        budget_ms: cli.budget_ms,
+    }) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: epoch-ab: {e}");
+            std::process::exit(1);
+        }
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    if let Some(path) = &config.out {
+        if let Err(e) = merge_epoch_ab(path, &report) {
+            eprintln!("loadgen: epoch-ab: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "# epoch tier on: live B mean {:.2} ms (remote hit ratio {:.3}, fetch p50 {:.2} ms, \
+         p95 {:.2} ms); off: {:.2} ms; speedup {:.2}x; payloads identical: {}",
+        report.tier_on.live_b.mean_ms,
+        report.tier_on.remote_hit_ratio,
+        report.tier_on.remote_fetch_p50_ms,
+        report.tier_on.remote_fetch_p95_ms,
+        report.tier_off.live_b.mean_ms,
+        report.warm_speedup,
+        report.identical,
+    );
+    let mut failed = false;
+    if !report.identical {
+        eprintln!("loadgen: epoch-ab: arms returned different simulation payloads");
+        failed = true;
+    }
+    if report.tier_on.remote_hits == 0 {
+        eprintln!("loadgen: epoch-ab: tier-on arm saw no remote hits");
+        failed = true;
+    }
+    for (name, arm) in [("on", &report.tier_on), ("off", &report.tier_off)] {
+        let errors = arm.warm_a.errors + arm.live_b.errors;
+        if errors > 0 {
+            eprintln!("loadgen: epoch-ab: tier-{name} arm saw {errors} request errors");
+            failed = true;
+        }
+    }
+    std::process::exit(i32::from(failed))
 }
 
 fn main() {
-    let config = parse_config();
+    let (config, epoch_ab) = parse_config();
+    if epoch_ab.enabled {
+        run_epoch_ab_mode(&config, &epoch_ab);
+    }
     let report = match run(&config) {
         Ok(report) => report,
         Err(e) => {

@@ -5,6 +5,9 @@
 //!              [--reactor | --threaded] [--max-conns N]
 //!              [--idle-timeout-ms MS] [--dispatchers N]
 //!              [--cache-dir DIR] [--cache-mem-cap BYTES]
+//!              [--epoch-cache] [--epoch-cache-dir DIR]
+//!              [--epoch-peer-fetch] [--epoch-fetch-budget-ms MS]
+//!              [--epoch-warm-push K]
 //!              [--addr-file PATH]
 //!              [--router --shards N [--shard-weights W,..] [--vnodes N]
 //!               [--allow-admin] [--record FILE]]
@@ -19,6 +22,14 @@
 //! `--shard-weights` assigns per-shard ring weights (comma-separated,
 //! one per shard); `--allow-admin` opts into runtime topology mutations
 //! via the `/v2/admin` control plane (add/remove/reweight shards).
+//!
+//! `--epoch-cache` enables the in-memory epoch-boundary cache;
+//! `--epoch-cache-dir` adds a per-shard SAEP disk tier (deliberately
+//! *not* shared across router-spawned shards). `--epoch-peer-fetch`
+//! lets a shard fetch missing epochs from cluster peers (discovered
+//! from the pushed topology) with a hard `--epoch-fetch-budget-ms`
+//! wall-clock budget per lookup; `--epoch-warm-push K` pushes the K
+//! hottest epochs to ring neighbors after each completed sweep.
 //!
 //! The serve core defaults to the epoll reactor (`--reactor`);
 //! `--threaded` selects the thread-per-connection engine. Either way
@@ -37,6 +48,8 @@ fn usage_and_exit(code: i32) -> ! {
         "usage: serve [--addr HOST:PORT] [--workers N] [--queue-cap N] \
          [--reactor | --threaded] [--max-conns N] [--idle-timeout-ms MS] \
          [--dispatchers N] [--cache-dir DIR] [--cache-mem-cap BYTES] \
+         [--epoch-cache] [--epoch-cache-dir DIR] [--epoch-peer-fetch] \
+         [--epoch-fetch-budget-ms MS] [--epoch-warm-push K] \
          [--addr-file PATH] [--router --shards N [--shard-weights W,..] \
          [--vnodes N] [--allow-admin] [--record FILE]]"
     );
@@ -106,6 +119,30 @@ fn parse_cli() -> Cli {
             }
             "--addr-file" => {
                 cli.config.addr_file = Some(PathBuf::from(need(&mut args, "--addr-file")))
+            }
+            "--epoch-cache" => cli.config.epoch_cache = true,
+            "--epoch-cache-dir" => {
+                cli.config.epoch_cache_dir =
+                    Some(PathBuf::from(need(&mut args, "--epoch-cache-dir")))
+            }
+            "--epoch-peer-fetch" => cli.config.epoch_peer_fetch = true,
+            "--epoch-fetch-budget-ms" => {
+                cli.config.epoch_fetch_budget_ms = need(&mut args, "--epoch-fetch-budget-ms")
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--epoch-fetch-budget-ms needs a positive integer");
+                        usage_and_exit(2)
+                    })
+            }
+            "--epoch-warm-push" => {
+                cli.config.epoch_warm_push = need(&mut args, "--epoch-warm-push")
+                    .parse()
+                    .unwrap_or_else(|_| {
+                        eprintln!("--epoch-warm-push needs an integer");
+                        usage_and_exit(2)
+                    })
             }
             "--reactor" => cli.config.engine = Engine::Reactor,
             "--threaded" => cli.config.engine = Engine::Threaded,
@@ -233,6 +270,13 @@ fn run_router(cli: Cli) {
         cache_dir: cli.config.cache_dir.clone(),
         cache_mem_cap: cli.config.cache_mem_cap,
         engine: cli.config.engine,
+        // Epoch flags are forwarded per shard; `--epoch-cache-dir` is
+        // deliberately NOT forwarded — each shard's disk tier must stay
+        // private or cross-shard fetches would be unobservable.
+        epoch_cache: cli.config.epoch_cache,
+        epoch_peer_fetch: cli.config.epoch_peer_fetch,
+        epoch_fetch_budget_ms: cli.config.epoch_fetch_budget_ms,
+        epoch_warm_push: cli.config.epoch_warm_push,
         run_dir,
     }) {
         Ok(shards) => shards,

@@ -21,9 +21,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use sparseadapt::epoch_cache::{simulate_trace_adaptive_keyed, EpochCache, EpochKey};
 use sparseadapt::service::{self, summarize_trace};
 use sparseadapt::stitch::{sample_configs, sweep_engine, SweepData};
-use sparseadapt::trace_cache::{simulate_trace, TraceCache, TraceKey};
+use sparseadapt::trace_cache::{TraceCache, TraceKey};
 
 use crate::api::{
     code, kernel_name, parse_body, parse_kernel, ApiError, ApiVersion, ConfigScore, DrainStatusDoc,
@@ -89,9 +90,12 @@ pub fn metrics(state: &AppState) -> Response {
         Some(stats) => stats.snapshot(state.engine.as_str()),
         None => ReactorSnapshot::threaded(),
     };
-    let mut snap = state
-        .metrics
-        .snapshot(gauges, TraceCache::global().stats(), reactor);
+    let mut snap = state.metrics.snapshot(
+        gauges,
+        TraceCache::global().stats(),
+        EpochCache::global().stats(),
+        reactor,
+    );
     snap.topology_epoch = state.topology_epoch();
     Response::json(
         200,
@@ -172,6 +176,52 @@ pub fn topology_put(state: &AppState, body: &[u8], version: ApiVersion) -> Respo
     )
 }
 
+/// `GET /v2/cache/epoch/{token}`: the serve side of the cluster epoch
+/// tier — one encoded (`SAEP`) epoch from this shard's memory or disk
+/// tier, as `application/octet-stream`. With `?chain=N` the shard
+/// follows the content-addressed digest chain and returns one compact
+/// (`SAEG`) segment instead: records for up to `N` consecutive epochs
+/// plus the last one's exit state, fast-forwarding the requester's
+/// whole run in one response. Answered inline (no pool): it only reads
+/// the cache, and peers call it from inside their own hot paths under
+/// a budget, so queueing behind simulation work would defeat the tier.
+pub fn epoch_get(token: &str, query: &str) -> Response {
+    let Some(key) = EpochKey::parse_token(token) else {
+        return Response::error(400, "malformed epoch cache key");
+    };
+    let chain = query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("chain="))
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(1);
+    let bytes = if chain > 1 {
+        EpochCache::global().export_segment(&key, chain)
+    } else {
+        EpochCache::global().export(&key)
+    };
+    match bytes {
+        Some(bytes) => Response::octet(200, bytes),
+        None => Response::error(404, "epoch not cached on this shard"),
+    }
+}
+
+/// `PUT /v2/cache/epoch/{token}`: the receive side of the post-sweep
+/// warm push. The body is decoded and fully validated before admission;
+/// malformed, corrupt, or version-skewed pushes are rejected with the
+/// typed decode error and admit nothing.
+pub fn epoch_put(token: &str, body: &[u8]) -> Response {
+    let Some(key) = EpochKey::parse_token(token) else {
+        return Response::error(400, "malformed epoch cache key");
+    };
+    if !EpochCache::global().is_enabled() {
+        return Response::error(409, "epoch cache disabled on this shard");
+    }
+    match EpochCache::global().import(&key, body) {
+        Ok(()) => Response::json(200, "{\"accepted\": true}"),
+        Err(e) => Response::error(400, &format!("epoch push rejected: {e}")),
+    }
+}
+
 /// `GET /v1/jobs` and `GET /v2/jobs`.
 pub fn jobs(state: &AppState, version: ApiVersion) -> Response {
     finish(version, 200, &state.jobs.render_all())
@@ -241,7 +291,13 @@ fn run_simulate(state: &AppState, r: &ResolvedSim) -> (u16, String) {
     };
     let trace = TraceCache::global().get_or_simulate(key, || {
         ran.store(true, Ordering::Relaxed);
-        simulate_trace(spec, &workload, r.config)
+        // Routed through the epoch cache when enabled (a no-op
+        // passthrough to `simulate_trace` otherwise): a trace-cache
+        // miss can still fast-forward epoch-by-epoch from memory, the
+        // SAEP disk tier, or — with `--epoch-peer-fetch` — the rest of
+        // the cluster. Fingerprints are reused from `key` so the warm
+        // path hashes nothing twice.
+        simulate_trace_adaptive_keyed(spec, &workload, r.config, key.spec, key.workload)
     });
     let response = SimulateResponse {
         kernel: kernel_name(r.kernel).to_string(),
@@ -359,10 +415,21 @@ pub fn sweep(state: &Arc<AppState>, body: &[u8], version: ApiVersion) -> Respons
         let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
             run_sweep(&job_state, &resolved, sampled, seed)
         }));
+        let succeeded = matches!(out, Ok(Ok(_)));
         match out {
             Ok(Ok(json)) => job_state.jobs.finish(id, json),
             Ok(Err(msg)) => job_state.jobs.fail(id, msg),
             Err(_) => job_state.jobs.fail(id, "sweep panicked".to_string()),
+        }
+        // Optional warm push: the sweep just minted the hottest epoch
+        // entries in the fleet; ship the top of the LRU to ring
+        // neighbors on a detached thread so job completion (and this
+        // pool worker) never wait on peers.
+        if succeeded && job_state.epoch_warm_push > 0 && EpochCache::global().is_enabled() {
+            let st = Arc::clone(&job_state);
+            std::thread::spawn(move || {
+                crate::epoch_tier::warm_push(&st, st.self_addr, st.epoch_warm_push);
+            });
         }
     });
     match submitted {

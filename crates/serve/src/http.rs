@@ -91,6 +91,16 @@ impl Response {
         }
     }
 
+    /// A binary response (`application/octet-stream`) with the given
+    /// status — the shard-to-shard epoch-cache wire format.
+    pub fn octet(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            headers: vec![("content-type".into(), "application/octet-stream".into())],
+            body,
+        }
+    }
+
     /// Adds a header.
     pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
         self.headers.push((name.to_string(), value.into()));
@@ -328,6 +338,30 @@ pub fn write_request(
     let mut wire = Vec::with_capacity(head.len() + body.len());
     wire.extend_from_slice(head.as_bytes());
     wire.extend_from_slice(body.as_bytes());
+    stream.write_all(&wire)?;
+    stream.flush()
+}
+
+/// Client side: writes a request with a binary body
+/// (`application/octet-stream`) — the warm-push side of the
+/// shard-to-shard epoch-cache protocol.
+///
+/// # Errors
+///
+/// Propagates socket errors.
+pub fn write_request_bytes(
+    stream: &mut TcpStream,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: sparseadapt-serve\r\ncontent-length: {}\r\ncontent-type: application/octet-stream\r\n\r\n",
+        body.len(),
+    );
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
     stream.write_all(&wire)?;
     stream.flush()
 }

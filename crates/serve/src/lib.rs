@@ -34,6 +34,7 @@
 
 pub mod api;
 pub mod coalesce;
+pub mod epoch_tier;
 pub mod handlers;
 pub mod http;
 pub mod jobs;

@@ -26,7 +26,7 @@
 //! parse.
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -37,7 +37,7 @@ use sparseadapt::ReconfigPolicy;
 use transmuter::config::TransmuterConfig;
 use transmuter::counters::Telemetry;
 
-use crate::api::{ApiError, RecommendApiRequest, SimulateRequest};
+use crate::api::{ApiError, RecommendApiRequest, ShardDoc, SimulateRequest, TopologyDoc};
 use crate::http::{read_response, write_request, ResponseParser};
 
 /// Client-side settings.
@@ -1142,6 +1142,317 @@ pub fn check_guard(report: &Report, baseline_path: &PathBuf, factor: f64) -> Res
         ));
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Cluster epoch-tier A/B (`loadgen --epoch-ab`)
+// ---------------------------------------------------------------------------
+
+/// Settings of the self-contained cluster epoch-tier A/B. Unlike the
+/// main load phases this mode does not hit a caller-provided daemon: it
+/// spawns its own two-shard clusters (one per arm) from `serve_exe`, so
+/// both arms start from a provably cold tier.
+#[derive(Debug, Clone)]
+pub struct EpochAbConfig {
+    /// The `serve` binary to spawn shard processes from.
+    pub serve_exe: PathBuf,
+    /// Peer-fetch budget for the tier-on arm, milliseconds.
+    pub budget_ms: u64,
+}
+
+/// One arm of the epoch-tier A/B: warm shard A with the simulate mix,
+/// then measure the same mix live on shard B — with the remote tier on
+/// (B fast-forwards through A's epochs) or off (B recomputes all of
+/// them).
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochAbArm {
+    /// The warm pass on shard A (populates A's epoch tier; its cold
+    /// latencies are the recompute reference).
+    pub warm_a: PhaseStats,
+    /// The measured live pass on shard B.
+    pub live_b: PhaseStats,
+    /// B's epoch-cache remote hits after the pass.
+    pub remote_hits: u64,
+    /// B's remote fetches that missed (peer didn't have the key or the
+    /// budget expired).
+    pub remote_misses: u64,
+    /// Extra epochs B prefetched via the digest chain (one round trip
+    /// warms the rest of the run).
+    pub remote_chain_entries: u64,
+    /// `remote_hits / (remote_hits + remote_misses)`.
+    pub remote_hit_ratio: f64,
+    /// Median remote fetch latency on B, milliseconds.
+    pub remote_fetch_p50_ms: f64,
+    /// 95th-percentile remote fetch latency on B, milliseconds.
+    pub remote_fetch_p95_ms: f64,
+}
+
+/// The `cluster_epoch_tier` block of `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochAbReport {
+    /// Simulate requests per pass.
+    pub mix_size: usize,
+    /// Peer-fetch budget used by the tier-on arm, milliseconds.
+    pub budget_ms: u64,
+    /// Remote tier on: B is fed by A over `GET /v2/cache/epoch/{key}`.
+    pub tier_on: EpochAbArm,
+    /// Remote tier off: B recomputes everything locally.
+    pub tier_off: EpochAbArm,
+    /// `tier_off.live_b.mean_ms / tier_on.live_b.mean_ms` — the live
+    /// cluster-warm speedup the remote tier buys.
+    pub warm_speedup: f64,
+    /// Whether both arms returned identical simulation payloads
+    /// (everything except the `cached` flag and wall-time field).
+    pub identical: bool,
+}
+
+/// The simulate-only subset of the default mix: recommend requests
+/// never enter the epoch-cache path, so they would only dilute the A/B.
+fn epoch_ab_mix() -> Vec<PreparedRequest> {
+    default_mix()
+        .into_iter()
+        .filter(|r| r.target.ends_with("/simulate"))
+        .collect()
+}
+
+/// A simulate response body with the fields that legitimately differ
+/// between a cold and a peer-warm run (`cached`, `sim_ms`) stripped,
+/// re-serialized for comparison; `None` when the body isn't JSON.
+fn normalized_sim_body(body: &[u8]) -> Option<String> {
+    fn strip(pairs: Vec<(String, Value)>) -> Vec<(String, Value)> {
+        pairs
+            .into_iter()
+            .filter(|(k, _)| k != "cached" && k != "sim_ms")
+            .map(|(k, v)| match v {
+                Value::Obj(inner) if k == "data" => (k, Value::Obj(strip(inner))),
+                other => (k, other),
+            })
+            .collect()
+    }
+    let text = std::str::from_utf8(body).ok()?;
+    let value = serde_json::parse_value_str(text).ok()?;
+    let Value::Obj(pairs) = value else {
+        return None;
+    };
+    serde_json::to_string(&Value::Obj(strip(pairs))).ok()
+}
+
+/// Scrapes B's epoch-cache counters after a pass; zeros when the scrape
+/// fails (the arm still reports its latencies).
+fn scrape_epoch_stats(addr: &str) -> (u64, u64, u64, f64, f64, f64) {
+    let Ok(body) = get(addr, "/metrics") else {
+        return (0, 0, 0, 0.0, 0.0, 0.0);
+    };
+    let Some(value) = std::str::from_utf8(&body)
+        .ok()
+        .and_then(|text| serde_json::parse_value_str(text).ok())
+    else {
+        return (0, 0, 0, 0.0, 0.0, 0.0);
+    };
+    let field = |name: &str| -> Option<Value> {
+        let Value::Obj(pairs) = &value else {
+            return None;
+        };
+        let Value::Obj(epoch) = serde::obj_get(pairs, "epoch_cache") else {
+            return None;
+        };
+        Some(serde::obj_get(epoch, name).clone())
+    };
+    let int = |name: &str| match field(name) {
+        Some(Value::UInt(u)) => u,
+        Some(Value::Int(i)) => i.max(0) as u64,
+        _ => 0,
+    };
+    let float = |name: &str| match field(name) {
+        Some(Value::Float(f)) => f,
+        Some(Value::UInt(u)) => u as f64,
+        Some(Value::Int(i)) => i as f64,
+        _ => 0.0,
+    };
+    (
+        int("remote_hits"),
+        int("remote_misses"),
+        int("remote_chain_entries"),
+        float("remote_hit_ratio"),
+        float("remote_fetch_p50_ms"),
+        float("remote_fetch_p95_ms"),
+    )
+}
+
+/// Runs one arm: spawn a fresh two-shard cluster, push it a topology,
+/// warm A with the mix, measure the mix on B, scrape B's counters.
+/// Returns the arm plus B's normalized response payloads (for the
+/// cross-arm identity check).
+fn run_epoch_arm(
+    cfg: &EpochAbConfig,
+    peer_fetch: bool,
+    run_dir: PathBuf,
+) -> Result<(EpochAbArm, Vec<Option<String>>), String> {
+    let shards = crate::shard::spawn_shards(&crate::shard::ShardSpawn {
+        exe: cfg.serve_exe.clone(),
+        count: 2,
+        workers: 2,
+        queue_cap: 64,
+        cache_dir: None,
+        cache_mem_cap: None,
+        engine: crate::Engine::Reactor,
+        epoch_cache: true,
+        epoch_peer_fetch: peer_fetch,
+        epoch_fetch_budget_ms: cfg.budget_ms.max(1),
+        epoch_warm_push: 0,
+        run_dir,
+    })
+    .map_err(|e| format!("epoch-ab shard spawn: {e}"))?;
+    let (a, b) = (shards[0].addr, shards[1].addr);
+
+    // Both arms get the same topology so "off" measures the fetch
+    // flag, not a discovery difference.
+    let doc = TopologyDoc {
+        epoch: 1,
+        shards: [a, b]
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| ShardDoc {
+                id: i as u32,
+                addr: addr.to_string(),
+                weight: 1.0,
+                state: "active".to_string(),
+                healthy: true,
+            })
+            .collect(),
+    };
+    let topo_body = serde_json::to_string(&doc).expect("topology serializes");
+    for addr in [a, b] {
+        let req = PreparedRequest {
+            method: "POST".to_string(),
+            target: "/v2/admin/topology".to_string(),
+            body: topo_body.clone(),
+        };
+        let (status, body) = issue_to(&addr, &req)?;
+        if status != 200 {
+            return Err(format!(
+                "epoch-ab topology push to {addr}: {status} {}",
+                String::from_utf8_lossy(&body)
+            ));
+        }
+    }
+
+    let mix = epoch_ab_mix();
+    let warm_acc = PhaseAccumulator::default();
+    let warm_started = Instant::now();
+    for req in &mix {
+        timed_issue(&a, req, &warm_acc);
+    }
+    let warm_a = warm_acc.stats(warm_started.elapsed().as_secs_f64());
+
+    let live_acc = PhaseAccumulator::default();
+    let mut payloads = Vec::with_capacity(mix.len());
+    let live_started = Instant::now();
+    for req in &mix {
+        payloads.push(timed_issue(&b, req, &live_acc));
+    }
+    let live_b = live_acc.stats(live_started.elapsed().as_secs_f64());
+
+    let (remote_hits, remote_misses, remote_chain_entries, remote_hit_ratio, p50, p95) =
+        scrape_epoch_stats(&b.to_string());
+    drop(shards);
+    Ok((
+        EpochAbArm {
+            warm_a,
+            live_b,
+            remote_hits,
+            remote_misses,
+            remote_chain_entries,
+            remote_hit_ratio,
+            remote_fetch_p50_ms: p50,
+            remote_fetch_p95_ms: p95,
+        },
+        payloads,
+    ))
+}
+
+fn issue_to(addr: &SocketAddr, req: &PreparedRequest) -> Result<(u16, Vec<u8>), String> {
+    let mut stream = connect(&addr.to_string()).map_err(|e| format!("connect {addr}: {e}"))?;
+    issue(&mut stream, req).map_err(|e| format!("request to {addr}: {e}"))
+}
+
+/// One timed request against `addr`, recorded into `acc`; returns the
+/// normalized payload for 2xx responses.
+fn timed_issue(addr: &SocketAddr, req: &PreparedRequest, acc: &PhaseAccumulator) -> Option<String> {
+    let started = Instant::now();
+    match issue_to(addr, req) {
+        Ok((status, body)) => {
+            let latency = started.elapsed().as_secs_f64() * 1e3;
+            acc.record(Some(status), Some(&body), latency);
+            (status == 200)
+                .then(|| normalized_sim_body(&body))
+                .flatten()
+        }
+        Err(_) => {
+            acc.record(None, None, started.elapsed().as_secs_f64() * 1e3);
+            None
+        }
+    }
+}
+
+/// Runs the full A/B: the tier-on arm, then a fresh tier-off arm, and
+/// the cross-arm identity/speedup comparison.
+///
+/// # Errors
+///
+/// Returns a message when a cluster fails to boot or a topology push is
+/// rejected; request-level failures are reported in the phase stats
+/// instead.
+pub fn run_epoch_ab(cfg: &EpochAbConfig) -> Result<EpochAbReport, String> {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let base = std::env::temp_dir().join(format!("sa_epoch_ab_{}_{nanos}", std::process::id()));
+    let on = run_epoch_arm(cfg, true, base.join("on"));
+    let off = run_epoch_arm(cfg, false, base.join("off"));
+    let _ = std::fs::remove_dir_all(&base);
+    let (tier_on, on_payloads) = on?;
+    let (tier_off, off_payloads) = off?;
+    let warm_speedup = if tier_on.live_b.mean_ms > 0.0 {
+        tier_off.live_b.mean_ms / tier_on.live_b.mean_ms
+    } else {
+        0.0
+    };
+    let identical = !on_payloads.is_empty()
+        && on_payloads.iter().all(Option::is_some)
+        && on_payloads == off_payloads;
+    Ok(EpochAbReport {
+        mix_size: epoch_ab_mix().len(),
+        budget_ms: cfg.budget_ms,
+        tier_on,
+        tier_off,
+        warm_speedup,
+        identical,
+    })
+}
+
+/// Merges the A/B into `path` as its `cluster_epoch_tier` field,
+/// preserving an existing `BENCH_serve.json` document (an unreadable or
+/// non-object file is replaced by a fresh one).
+///
+/// # Errors
+///
+/// Returns a message when the merged document cannot be written.
+pub fn merge_epoch_ab(path: &PathBuf, report: &EpochAbReport) -> Result<(), String> {
+    let mut pairs = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::parse_value_str(&text).ok())
+        .and_then(|value| match value {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        })
+        .unwrap_or_default();
+    pairs.retain(|(k, _)| k != "cluster_epoch_tier");
+    pairs.push(("cluster_epoch_tier".to_string(), report.to_value()));
+    let json = serde_json::to_string_pretty(&Value::Obj(pairs)).map_err(|e| e.to_string())?;
+    std::fs::write(path, format!("{json}\n"))
+        .map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
 #[cfg(test)]

@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use sparseadapt::epoch_cache::EpochCacheStats;
 use sparseadapt::trace_cache::CacheStats;
 
 /// Upper edges of the latency histogram buckets, in milliseconds.
@@ -162,6 +163,10 @@ pub struct MetricsSnapshot {
     pub queue: QueueGauges,
     /// Process-wide trace cache counters.
     pub trace_cache: TraceCacheSnapshot,
+    /// Process-wide epoch cache counters (all tiers: memory, SAEP
+    /// disk, and the cluster fetch/push tier). All zero when the epoch
+    /// cache is off.
+    pub epoch_cache: EpochCacheSnapshot,
     /// Connection-level I/O gauges from the serve engine. Under the
     /// threaded engine every counter is zero and `engine` says so.
     pub reactor: ReactorSnapshot,
@@ -269,6 +274,103 @@ impl From<CacheStats> for TraceCacheSnapshot {
     }
 }
 
+/// JSON shape of the epoch-cache stats (mirrors
+/// [`sparseadapt::epoch_cache::EpochCacheStats`] plus derived ratios).
+/// The `remote_*` counters are the cluster tier: fetch-on-miss hits,
+/// misses, bytes and latency, plus the warm-push exchange counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochCacheSnapshot {
+    /// Epoch-boundary lookups observed.
+    pub lookups: u64,
+    /// Lookups answered from memory.
+    pub hits: u64,
+    /// Lookups answered from the SAEP disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by fetching from a cluster peer.
+    pub remote_hits: u64,
+    /// Remote fetches that returned nothing usable.
+    pub remote_misses: u64,
+    /// Extra epochs admitted by chained prefetch (beyond the one each
+    /// hit was asked for).
+    pub remote_chain_entries: u64,
+    /// Fresh epochs recorded (misses that simulated).
+    pub inserts: u64,
+    /// Epochs evicted by the memory cap.
+    pub evictions: u64,
+    /// Epochs published to the disk tier.
+    pub disk_writes: u64,
+    /// Corrupt/skewed disk entries quarantined (read as misses).
+    pub disk_quarantined: u64,
+    /// Bytes received from peers by remote fetches.
+    pub remote_bytes: u64,
+    /// Total wall time spent in remote fetches, ms.
+    pub remote_fetch_ms: f64,
+    /// Remote-fetch latency p50 over the recent sample window, ms.
+    pub remote_fetch_p50_ms: f64,
+    /// Remote-fetch latency p95 over the recent sample window, ms.
+    pub remote_fetch_p95_ms: f64,
+    /// Remote lookups suppressed by the negative cache.
+    pub remote_negative_suppressed: u64,
+    /// Remote lookups skipped at the in-flight fetch cap.
+    pub remote_inflight_skipped: u64,
+    /// Remote-sourced epochs evicted by the remote byte quota.
+    pub remote_evictions: u64,
+    /// Warm-push entries this shard sent to peers.
+    pub push_sent: u64,
+    /// Bytes sent in warm pushes.
+    pub push_bytes_sent: u64,
+    /// Warm-push entries this shard accepted from peers.
+    pub push_received: u64,
+    /// Bytes accepted in warm pushes.
+    pub push_bytes_received: u64,
+    /// Epochs resident in memory.
+    pub entries: usize,
+    /// Bytes resident in memory.
+    pub resident_bytes: usize,
+    /// Remote-sourced epochs resident in memory.
+    pub remote_entries: usize,
+    /// Bytes of remote-sourced epochs resident in memory.
+    pub remote_resident_bytes: usize,
+    /// Fraction of lookups answered without simulating, any tier.
+    pub hit_ratio: f64,
+    /// `remote_hits / (remote_hits + remote_misses)`, 0 when idle.
+    pub remote_hit_ratio: f64,
+}
+
+impl From<EpochCacheStats> for EpochCacheSnapshot {
+    fn from(s: EpochCacheStats) -> Self {
+        EpochCacheSnapshot {
+            lookups: s.lookups,
+            hits: s.hits,
+            disk_hits: s.disk_hits,
+            remote_hits: s.remote_hits,
+            remote_misses: s.remote_misses,
+            remote_chain_entries: s.remote_chain_entries,
+            inserts: s.inserts,
+            evictions: s.evictions,
+            disk_writes: s.disk_writes,
+            disk_quarantined: s.disk_quarantined,
+            remote_bytes: s.remote_bytes,
+            remote_fetch_ms: s.remote_fetch_us as f64 / 1000.0,
+            remote_fetch_p50_ms: s.remote_fetch_p50_ms,
+            remote_fetch_p95_ms: s.remote_fetch_p95_ms,
+            remote_negative_suppressed: s.remote_negative_suppressed,
+            remote_inflight_skipped: s.remote_inflight_skipped,
+            remote_evictions: s.remote_evictions,
+            push_sent: s.push_sent,
+            push_bytes_sent: s.push_bytes_sent,
+            push_received: s.push_received,
+            push_bytes_received: s.push_bytes_received,
+            entries: s.entries,
+            resident_bytes: s.resident_bytes,
+            remote_entries: s.remote_entries,
+            remote_resident_bytes: s.remote_resident_bytes,
+            hit_ratio: s.hit_rate(),
+            remote_hit_ratio: s.remote_hit_rate(),
+        }
+    }
+}
+
 /// Merges per-shard `/metrics` documents into one cluster-wide view:
 /// counters and histogram buckets sum, derived statistics (mean,
 /// bucket-resolution percentiles, hit ratio) are recomputed from the
@@ -305,6 +407,34 @@ pub fn merge_snapshots(snaps: &[MetricsSnapshot]) -> Option<MetricsSnapshot> {
         c.evictions += s.trace_cache.evictions;
         c.entries += s.trace_cache.entries;
         c.resident_bytes += s.trace_cache.resident_bytes;
+        let e = &mut merged.epoch_cache;
+        e.lookups += s.epoch_cache.lookups;
+        e.hits += s.epoch_cache.hits;
+        e.disk_hits += s.epoch_cache.disk_hits;
+        e.remote_hits += s.epoch_cache.remote_hits;
+        e.remote_misses += s.epoch_cache.remote_misses;
+        e.remote_chain_entries += s.epoch_cache.remote_chain_entries;
+        e.inserts += s.epoch_cache.inserts;
+        e.evictions += s.epoch_cache.evictions;
+        e.disk_writes += s.epoch_cache.disk_writes;
+        e.disk_quarantined += s.epoch_cache.disk_quarantined;
+        e.remote_bytes += s.epoch_cache.remote_bytes;
+        e.remote_fetch_ms += s.epoch_cache.remote_fetch_ms;
+        // Percentiles cannot be summed; the merged view reports the
+        // worst shard, which is the number capacity planning wants.
+        e.remote_fetch_p50_ms = e.remote_fetch_p50_ms.max(s.epoch_cache.remote_fetch_p50_ms);
+        e.remote_fetch_p95_ms = e.remote_fetch_p95_ms.max(s.epoch_cache.remote_fetch_p95_ms);
+        e.remote_negative_suppressed += s.epoch_cache.remote_negative_suppressed;
+        e.remote_inflight_skipped += s.epoch_cache.remote_inflight_skipped;
+        e.remote_evictions += s.epoch_cache.remote_evictions;
+        e.push_sent += s.epoch_cache.push_sent;
+        e.push_bytes_sent += s.epoch_cache.push_bytes_sent;
+        e.push_received += s.epoch_cache.push_received;
+        e.push_bytes_received += s.epoch_cache.push_bytes_received;
+        e.entries += s.epoch_cache.entries;
+        e.resident_bytes += s.epoch_cache.resident_bytes;
+        e.remote_entries += s.epoch_cache.remote_entries;
+        e.remote_resident_bytes += s.epoch_cache.remote_resident_bytes;
         let r = &mut merged.reactor;
         if r.engine != s.reactor.engine {
             r.engine = "mixed".to_string();
@@ -336,6 +466,18 @@ pub fn merge_snapshots(snaps: &[MetricsSnapshot]) -> Option<MetricsSnapshot> {
         0.0
     } else {
         (c.hits + c.disk_hits) as f64 / answered as f64
+    };
+    let e = &mut merged.epoch_cache;
+    e.hit_ratio = if e.lookups == 0 {
+        0.0
+    } else {
+        (e.hits + e.disk_hits + e.remote_hits) as f64 / e.lookups as f64
+    };
+    let attempts = e.remote_hits + e.remote_misses;
+    e.remote_hit_ratio = if attempts == 0 {
+        0.0
+    } else {
+        e.remote_hits as f64 / attempts as f64
     };
     Some(merged)
 }
@@ -377,6 +519,7 @@ impl ServerMetrics {
         &self,
         queue: QueueGauges,
         cache: CacheStats,
+        epoch: EpochCacheStats,
         reactor: ReactorSnapshot,
     ) -> MetricsSnapshot {
         let by_route = self
@@ -395,6 +538,7 @@ impl ServerMetrics {
             latency: self.latency.snapshot(),
             queue,
             trace_cache: cache.into(),
+            epoch_cache: epoch.into(),
             reactor,
             // Stamped by the caller (`handlers::metrics`) from the
             // member's held topology; the counters know nothing of it.
@@ -450,7 +594,12 @@ mod tests {
         m.record("POST /v1/simulate", 429, 0.1);
         m.record("GET /metrics", 200, 0.2);
         m.record_coalesced();
-        let s = m.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        let s = m.snapshot(
+            gauges(),
+            CacheStats::default(),
+            EpochCacheStats::default(),
+            ReactorSnapshot::threaded(),
+        );
         assert_eq!(s.requests_total, 4);
         assert_eq!(s.rejected_429_total, 1);
         assert_eq!(s.coalesced_total, 1);
@@ -474,12 +623,22 @@ mod tests {
             b.record("POST /v1/simulate", 200, 30.0);
         }
         b.record("POST /v1/simulate", 429, 0.1);
-        let mut snap_a = a.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        let mut snap_a = a.snapshot(
+            gauges(),
+            CacheStats::default(),
+            EpochCacheStats::default(),
+            ReactorSnapshot::threaded(),
+        );
         snap_a.reactor.engine = "reactor".to_string();
         snap_a.reactor.conns_open = 100;
         snap_a.reactor.shed_503_total = 3;
         snap_a.topology_epoch = 3;
-        let mut snap_b = b.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        let mut snap_b = b.snapshot(
+            gauges(),
+            CacheStats::default(),
+            EpochCacheStats::default(),
+            ReactorSnapshot::threaded(),
+        );
         snap_b.reactor.engine = "reactor".to_string();
         snap_b.reactor.conns_open = 50;
         snap_b.reactor.epoll_wakeups_total = 7;
@@ -518,7 +677,12 @@ mod tests {
     #[test]
     fn cross_engine_merge_reports_mixed() {
         let m = ServerMetrics::new();
-        let threaded = m.snapshot(gauges(), CacheStats::default(), ReactorSnapshot::threaded());
+        let threaded = m.snapshot(
+            gauges(),
+            CacheStats::default(),
+            EpochCacheStats::default(),
+            ReactorSnapshot::threaded(),
+        );
         let mut reactor = threaded.clone();
         reactor.reactor.engine = "reactor".to_string();
         let merged = merge_snapshots(&[threaded, reactor]).expect("non-empty");

@@ -56,6 +56,20 @@ pub fn route(state: &Arc<AppState>, req: &Request) -> (&'static str, Response) {
             "POST /v2/matrices",
             handlers::upload_matrix(state, &req.body, V2),
         ),
+        // Shard-to-shard epoch-cache protocol (/v2-only, binary). GET
+        // serves one encoded epoch; PUT accepts a warm push.
+        ("GET", path) if path.starts_with("/v2/cache/epoch/") => (
+            "GET /v2/cache/epoch/:key",
+            handlers::epoch_get(&path["/v2/cache/epoch/".len()..], &req.query),
+        ),
+        ("PUT", path) if path.starts_with("/v2/cache/epoch/") => (
+            "PUT /v2/cache/epoch/:key",
+            handlers::epoch_put(&path["/v2/cache/epoch/".len()..], &req.body),
+        ),
+        (_, path) if path.starts_with("/v2/cache/epoch/") => (
+            "method_not_allowed",
+            Response::error(405, "method not allowed for this path"),
+        ),
         // Admin surface is /v2-only, like uploads.
         ("POST", "/v2/admin/drain") => ("POST /v2/admin/drain", handlers::drain(state, V2)),
         ("GET", "/v2/admin/topology") => {

@@ -34,6 +34,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sa_bench::Harness;
+use sparseadapt::epoch_cache::EpochCache;
 use sparseadapt::exec::Pool;
 use sparseadapt::trace_cache::TraceCache;
 use transmuter::workload::Workload;
@@ -172,6 +173,24 @@ pub struct ServeConfig {
     /// Only the daemon binary sets this; in-process test servers must
     /// not mask the test runner's signals.
     pub handle_signals: bool,
+    /// Enable the epoch-granular simulation cache (memory tier) for
+    /// simulate and sweep work.
+    pub epoch_cache: bool,
+    /// Optional on-disk directory for the epoch cache's `SAEP` tier.
+    /// Implies `epoch_cache`. Deliberately separate from `cache_dir`:
+    /// router-mode shards share a trace-cache dir, and sharing the
+    /// epoch tier through disk would make the cluster tier untestable
+    /// (every "remote" lookup would be a disk hit).
+    pub epoch_cache_dir: Option<PathBuf>,
+    /// Consult cluster peers (from the pushed topology) on local epoch
+    /// misses, under the fetch budget. Implies `epoch_cache`.
+    pub epoch_peer_fetch: bool,
+    /// Hard wall-clock budget for one peer fetch, milliseconds; expiry
+    /// falls back to local simulation.
+    pub epoch_fetch_budget_ms: u64,
+    /// After each sweep, push this many of the hottest epoch entries to
+    /// ring neighbors (0 = off). Implies `epoch_cache`.
+    pub epoch_warm_push: usize,
 }
 
 impl Default for ServeConfig {
@@ -188,6 +207,11 @@ impl Default for ServeConfig {
             idle_timeout_ms: 30_000,
             dispatchers: 0,
             handle_signals: false,
+            epoch_cache: false,
+            epoch_cache_dir: None,
+            epoch_peer_fetch: false,
+            epoch_fetch_budget_ms: 25,
+            epoch_warm_push: 0,
         }
     }
 }
@@ -216,8 +240,15 @@ pub struct AppState {
     /// (`POST /v2/admin/topology`), or `None` for a standalone daemon.
     /// Shards serve this back on `GET /v2/admin/topology` and stamp its
     /// epoch into `/metrics` so tests can cross-check every member's
-    /// view against the router's.
+    /// view against the router's. The epoch-cache cluster tier
+    /// ([`crate::epoch_tier`]) also reads its peers from here.
     pub topology: Mutex<Option<TopologyDoc>>,
+    /// The address this daemon is bound at — what the peer fetcher and
+    /// warm pusher exclude from the topology's shard list to avoid
+    /// asking themselves.
+    pub self_addr: SocketAddr,
+    /// Post-sweep warm-push fan-out (hottest-entry count; 0 = off).
+    pub epoch_warm_push: usize,
     /// Memoized workloads with their content fingerprints.
     /// Construction (op-stream generation) and fingerprinting both walk
     /// every op, so each costs more than a cached simulation lookup —
@@ -329,6 +360,20 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
     if config.cache_mem_cap.is_some() {
         TraceCache::global().set_memory_cap(config.cache_mem_cap);
     }
+    // Epoch tier: the memory tier turns on with any epoch flag (disk,
+    // peer fetch and warm push are all meaningless without it). The
+    // disk dir is NOT defaulted under `cache_dir` on purpose — see the
+    // `epoch_cache_dir` field docs.
+    if config.epoch_cache
+        || config.epoch_cache_dir.is_some()
+        || config.epoch_peer_fetch
+        || config.epoch_warm_push > 0
+    {
+        EpochCache::global().set_enabled(true);
+    }
+    if let Some(dir) = &config.epoch_cache_dir {
+        EpochCache::global().set_disk_dir(Some(dir.clone()));
+    }
     let workers = if config.workers == 0 {
         sparseadapt::exec::default_threads()
     } else {
@@ -365,9 +410,21 @@ pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
         reactor: reactor_stats.clone(),
         engine: config.engine,
         topology: Mutex::new(None),
+        self_addr: addr,
+        epoch_warm_push: config.epoch_warm_push,
         workloads: Mutex::new(HashMap::new()),
     });
     let stop = Arc::new(AtomicBool::new(false));
+    if config.epoch_peer_fetch {
+        EpochCache::global().set_remote_config(sparseadapt::epoch_cache::RemoteConfig {
+            budget: Duration::from_millis(config.epoch_fetch_budget_ms.max(1)),
+            ..Default::default()
+        });
+        EpochCache::global().set_remote(Some(Arc::new(crate::epoch_tier::PeerFetcher::new(
+            addr,
+            Arc::clone(&state),
+        ))));
+    }
 
     let route: RouteFn = {
         let state = Arc::clone(&state);

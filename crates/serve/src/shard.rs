@@ -1439,6 +1439,7 @@ fn router_metrics(state: &RouterState) -> Response {
             workers: 0,
         },
         sparseadapt::trace_cache::CacheStats::default(),
+        sparseadapt::epoch_cache::EpochCacheStats::default(),
         own_reactor,
     );
     own.topology_epoch = view.epoch;
@@ -1484,6 +1485,14 @@ pub struct ShardSpawn {
     pub run_dir: PathBuf,
     /// Serve engine each shard daemon runs.
     pub engine: Engine,
+    /// Enable the per-shard epoch cache (memory tier) on every shard.
+    pub epoch_cache: bool,
+    /// Enable shard-to-shard epoch fetch-on-miss on every shard.
+    pub epoch_peer_fetch: bool,
+    /// Per-fetch wall-clock budget forwarded to every shard, ms.
+    pub epoch_fetch_budget_ms: u64,
+    /// Post-sweep warm-push fan-out forwarded to every shard (0 = off).
+    pub epoch_warm_push: usize,
 }
 
 /// A spawned shard process; killed (and reaped) on drop.
@@ -1548,6 +1557,18 @@ pub fn spawn_shards(spawn: &ShardSpawn) -> io::Result<Vec<ShardChild>> {
         }
         if let Some(cap) = spawn.cache_mem_cap {
             cmd.arg("--cache-mem-cap").arg(cap.to_string());
+        }
+        if spawn.epoch_cache {
+            cmd.arg("--epoch-cache");
+        }
+        if spawn.epoch_peer_fetch {
+            cmd.arg("--epoch-peer-fetch")
+                .arg("--epoch-fetch-budget-ms")
+                .arg(spawn.epoch_fetch_budget_ms.to_string());
+        }
+        if spawn.epoch_warm_push > 0 {
+            cmd.arg("--epoch-warm-push")
+                .arg(spawn.epoch_warm_push.to_string());
         }
         let child = cmd.spawn()?;
         let addr = wait_for_addr(&addr_file, Duration::from_secs(10))?;

@@ -87,6 +87,10 @@ fn cluster_end_to_end() {
         cache_dir: Some(cache_dir.clone()),
         cache_mem_cap: None,
         engine: serve::Engine::Reactor,
+        epoch_cache: false,
+        epoch_peer_fetch: false,
+        epoch_fetch_budget_ms: 25,
+        epoch_warm_push: 0,
         run_dir: base.join("run"),
     })
     .expect("shards boot");
